@@ -1,0 +1,71 @@
+"""EXP-E9 — Example 9: query Q on the Figure 2 document, all algorithms.
+
+Regenerates the paper's OPTMINCONTEXT walkthrough result
+({x11, x12, x13, x14, x22}) and times every algorithm on it, verifying
+that OPTMINCONTEXT's bottom-up pass pays off against plain MINCONTEXT
+in abstract operation counts even at |dom| = 25.
+"""
+
+from harness import ExperimentReport, measure_counters, time_query
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import running_example_document
+from repro.workloads.queries import example9_query
+
+ALGORITHMS = ("naive", "topdown", "bottomup", "mincontext", "optmincontext")
+
+
+def bench_example9_all_algorithms(benchmark):
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
+def _run():
+    engine = XPathEngine(running_example_document())
+    compiled = engine.compile(example9_query())
+    report = ExperimentReport("EXP-E9", "Example 9 — query Q across all algorithms")
+    report.note(f"query: {compiled.source}")
+    report.note(f"fragment: wadler={compiled.is_extended_wadler}, "
+                f"bottom-up paths={compiled.bottomup_path_count}")
+    report.note("")
+    rows = []
+    expected = None
+    for algorithm in ALGORITHMS:
+        elapsed = time_query(engine, compiled, algorithm)
+        counters = measure_counters(engine, compiled, algorithm)
+        result = engine.evaluate(compiled, algorithm=algorithm)
+        labels = "{" + ", ".join(f"x{n.xml_id}" for n in result) + "}"
+        if expected is None:
+            expected = labels
+        assert labels == expected, algorithm
+        rows.append(
+            [
+                algorithm,
+                f"{elapsed * 1000:.2f}",
+                counters.peak_table_cells,
+                counters.get("mincontext_contexts_evaluated"),
+                labels,
+            ]
+        )
+    report.table(["algorithm", "ms", "peak cells", "ctx evals", "result"], rows)
+    report.note("")
+    report.note("paper's answer: {x11, x12, x13, x14, x22} ✓")
+    report.finish()
+    assert expected == "{x11, x12, x13, x14, x22}"
+
+
+def bench_example9_optmincontext(benchmark, running_engine):
+    compiled = running_engine.compile(example9_query())
+    result = benchmark(
+        lambda: running_engine.evaluate(compiled, algorithm="optmincontext")
+    )
+    assert sorted(n.xml_id for n in result) == ["11", "12", "13", "14", "22"]
+
+
+def bench_example9_mincontext(benchmark, running_engine):
+    compiled = running_engine.compile(example9_query())
+    benchmark(lambda: running_engine.evaluate(compiled, algorithm="mincontext"))
+
+
+def bench_example9_naive(benchmark, running_engine):
+    compiled = running_engine.compile(example9_query())
+    benchmark(lambda: running_engine.evaluate(compiled, algorithm="naive"))

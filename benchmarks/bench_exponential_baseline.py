@@ -1,0 +1,84 @@
+"""EXP-X1 — the exponential baseline (the experiment motivating the paper).
+
+[11] measured XALAN, XT, and IE6 taking time exponential in |Q|; the
+introduction of the ICDE'03 paper builds on that finding. We regenerate
+the curve with our from-scratch naive engine (per-context re-evaluation,
+duplicate-bearing lists) against the ``parent/child`` doubling family on
+the two-``b`` document, and show the polynomial algorithms flat on the
+same sweep.
+
+Expected shape: naive work doubles with every appended pair
+(~×4 per two pairs); MINCONTEXT/OPTMINCONTEXT grow linearly in |Q|.
+"""
+
+from harness import ExperimentReport, doubling_ratios, measure_counters, time_query
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import doubling_document
+from repro.workloads.queries import doubling_query
+
+PAIR_COUNTS = (2, 4, 6, 8, 10, 12)
+
+
+def bench_exponential_blowup_sweep(benchmark):
+    benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+
+def _run_sweep():
+    engine = XPathEngine(doubling_document())
+    report = ExperimentReport(
+        "EXP-X1", "naive engine is exponential in |Q|; MINCONTEXT is not"
+    )
+    rows = []
+    naive_ops = []
+    for pairs in PAIR_COUNTS:
+        query = doubling_query(pairs)
+        naive = measure_counters(engine, query, "naive")
+        mincontext = measure_counters(engine, query, "mincontext")
+        optmin = measure_counters(engine, query, "optmincontext")
+        naive_time = time_query(engine, query, "naive")
+        min_time = time_query(engine, query, "mincontext")
+        naive_ops.append(naive.get("naive_step_contexts"))
+        rows.append(
+            [
+                pairs,
+                len(query),
+                naive.get("naive_step_contexts"),
+                f"{naive_time * 1000:.2f}",
+                mincontext.get("mincontext_contexts_evaluated")
+                + mincontext.get("axis_set_calls"),
+                f"{min_time * 1000:.2f}",
+                optmin.get("mincontext_contexts_evaluated")
+                + optmin.get("axis_set_calls"),
+            ]
+        )
+    report.table(
+        ["pairs", "|Q| chars", "naive ops", "naive ms", "minctx ops", "minctx ms", "optminctx ops"],
+        rows,
+    )
+    ratios = doubling_ratios(naive_ops)
+    report.note("")
+    report.note(f"naive ops growth per +2 pairs: {[f'{r:.1f}' for r in ratios]} (≈4 = 2^2)")
+    report.note("polynomial algorithms grow linearly with the step count.")
+    report.finish()
+    # Shape assertions: exponential vs linear.
+    for ratio in ratios[1:]:
+        assert ratio > 3.0, "naive engine did not blow up as expected"
+
+
+def bench_naive_on_doubling_query(benchmark):
+    engine = XPathEngine(doubling_document())
+    query = engine.compile(doubling_query(10))
+    benchmark(lambda: engine.evaluate(query, algorithm="naive"))
+
+
+def bench_mincontext_on_doubling_query(benchmark):
+    engine = XPathEngine(doubling_document())
+    query = engine.compile(doubling_query(10))
+    benchmark(lambda: engine.evaluate(query, algorithm="mincontext"))
+
+
+def bench_optmincontext_on_doubling_query(benchmark):
+    engine = XPathEngine(doubling_document())
+    query = engine.compile(doubling_query(10))
+    benchmark(lambda: engine.evaluate(query, algorithm="optmincontext"))

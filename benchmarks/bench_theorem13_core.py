@@ -1,0 +1,67 @@
+"""EXP-T13 — Theorem 13: Core XPath in O(|D|·|Q|) time.
+
+Sweep |D| on balanced trees with a Core-family query (axes + node tests
++ and/or/not over paths). The dedicated evaluator performs O(|Q|) set
+sweeps of O(|D|) each; the fitted time slope must be ~1, and the abstract
+step count must not depend on |D| at all.
+"""
+
+from harness import ExperimentReport, loglog_slope, measure_counters, time_query
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import balanced_tree
+from repro.workloads.queries import core_family
+
+SHAPES = ((4, 3), (5, 3), (6, 3), (7, 3))  # depth, fanout → ~40..1100 elements
+
+
+def bench_core_linear_sweep(benchmark):
+    benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+
+
+def _run_sweep():
+    query = core_family(4)
+    report = ExperimentReport("EXP-T13", "Theorem 13 — Core XPath linear time")
+    report.note(f"query: {query}")
+    report.note("")
+    sizes, times = [], []
+    rows = []
+    for depth, fanout in SHAPES:
+        document = balanced_tree(depth=depth, fanout=fanout)
+        engine = XPathEngine(document)
+        compiled = engine.compile(query)
+        assert compiled.is_core_xpath
+        elapsed = time_query(engine, compiled, "corexpath", repeat=3)
+        counters = measure_counters(engine, compiled, "corexpath")
+        mc_time = time_query(engine, compiled, "mincontext", repeat=2)
+        sizes.append(len(document.nodes))
+        times.append(elapsed)
+        rows.append(
+            [
+                len(document.nodes),
+                f"{elapsed * 1000:.3f}",
+                counters.get("corexpath_steps"),
+                f"{mc_time * 1000:.3f}",
+            ]
+        )
+    report.table(["|D|", "corexpath ms", "set sweeps", "minctx ms"], rows)
+    slope = loglog_slope(sizes, times)
+    report.note("")
+    report.note(f"time slope: {slope:.2f} (theorem cap: 1)")
+    report.note("set sweeps are |D|-independent (a function of |Q| alone).")
+    report.finish()
+    assert slope < 1.45
+    sweeps = {row[2] for row in rows}
+    assert len(sweeps) == 1, "step count must not depend on |D|"
+
+
+def bench_corexpath_representative(benchmark):
+    engine = XPathEngine(balanced_tree(depth=6, fanout=3))
+    compiled = engine.compile(core_family(4))
+    benchmark(lambda: engine.evaluate(compiled, algorithm="corexpath"))
+
+
+def bench_optmincontext_on_core_query(benchmark):
+    engine = XPathEngine(balanced_tree(depth=6, fanout=3))
+    compiled = engine.compile(core_family(4))
+    benchmark(lambda: engine.evaluate(compiled, algorithm="optmincontext"))

@@ -1,0 +1,113 @@
+"""EXP-T7 — Theorem 7: MINCONTEXT in O(|D|⁴·|Q|²) time, O(|D|²·|Q|²) space.
+
+Two sweeps on a full-XPath workload (position predicates + count —
+outside both special fragments, so MINCONTEXT's generic machinery runs):
+
+* |D| sweep at fixed |Q|: fitted log-log slope of MINCONTEXT's time must
+  stay at or below ~4 (the theorem's degree) and beat the top-down E↓
+  baseline's slope on the same instances; peak live table cells must fit
+  the O(|D|²) budget (slope ≤ ~2) while E↓'s grows faster.
+* |Q| sweep at fixed |D|: time slope ≤ ~2 in query size.
+"""
+
+from harness import ExperimentReport, loglog_slope, measure_counters, time_query
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import balanced_tree, deep_chain
+from repro.workloads.queries import position_heavy_query
+
+Q_SWEEP = (1, 2, 3, 4, 5)
+
+
+def bench_document_size_sweep(benchmark):
+    benchmark.pedantic(_run_d_sweep, rounds=1, iterations=1)
+
+
+def _run_d_sweep():
+    # The paper's own running-example query e at scale: two descendant
+    # steps give Θ(|D|²) previous/current context-node pairs, which E↓
+    # materializes as table rows while MINCONTEXT only loops over them.
+    query = "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]"
+    report = ExperimentReport(
+        "EXP-T7a", "Theorem 7 — time/space vs |D| (query e on deep chains)"
+    )
+    sizes, min_times, top_times, min_cells, top_cells = [], [], [], [], []
+    rows = []
+    for length in (10, 20, 40, 80):
+        document = deep_chain(length)
+        engine = XPathEngine(document)
+        size = len(document.nodes)
+        mc_time = time_query(engine, query, "mincontext", repeat=2)
+        td_time = time_query(engine, query, "topdown", repeat=2)
+        mc_stats = measure_counters(engine, query, "mincontext")
+        td_stats = measure_counters(engine, query, "topdown")
+        sizes.append(size)
+        min_times.append(mc_time)
+        top_times.append(td_time)
+        min_cells.append(max(1, mc_stats.peak_table_cells))
+        top_cells.append(max(1, td_stats.peak_table_cells))
+        rows.append(
+            [
+                size,
+                f"{mc_time * 1000:.2f}",
+                f"{td_time * 1000:.2f}",
+                mc_stats.peak_table_cells,
+                td_stats.peak_table_cells,
+            ]
+        )
+    report.table(
+        ["|D|", "minctx ms", "topdown ms", "minctx peak cells", "topdown peak cells"],
+        rows,
+    )
+    min_time_slope = loglog_slope(sizes, min_times)
+    top_time_slope = loglog_slope(sizes, top_times)
+    min_cell_slope = loglog_slope(sizes, min_cells)
+    top_cell_slope = loglog_slope(sizes, top_cells)
+    report.note("")
+    report.note(f"time slope:  MINCONTEXT {min_time_slope:.2f}  vs  E↓ {top_time_slope:.2f}"
+                "  (theorem caps: 4 vs 5)")
+    report.note(f"space slope: MINCONTEXT {min_cell_slope:.2f}  vs  E↓ {top_cell_slope:.2f}"
+                "  (theorem caps: 2 vs 4)")
+    report.finish()
+    assert min_time_slope < 4.5, "MINCONTEXT time exceeded the Theorem 7 degree"
+    assert min_cell_slope < 2.3, "MINCONTEXT space exceeded the Theorem 7 degree"
+    assert top_cell_slope > min_cell_slope + 0.3, "E↓ should need asymptotically more space"
+    assert top_cells[-1] > 4 * min_cells[-1], "E↓ should need far more live cells"
+
+
+def bench_query_size_sweep(benchmark):
+    benchmark.pedantic(_run_q_sweep, rounds=1, iterations=1)
+
+
+def _run_q_sweep():
+    document = balanced_tree(depth=4, fanout=3)
+    engine = XPathEngine(document)
+    report = ExperimentReport("EXP-T7b", "Theorem 7 — time vs |Q| (fixed |D|)")
+    lengths, times = [], []
+    rows = []
+    for levels in Q_SWEEP:
+        query = position_heavy_query(levels)
+        elapsed = time_query(engine, query, "mincontext", repeat=2)
+        lengths.append(len(query))
+        times.append(elapsed)
+        rows.append([levels, len(query), f"{elapsed * 1000:.2f}"])
+    report.table(["levels", "|Q| chars", "minctx ms"], rows)
+    slope = loglog_slope(lengths, times)
+    report.note("")
+    report.note(f"time slope vs |Q|: {slope:.2f} (theorem cap: 2)")
+    report.finish()
+    assert slope < 2.5
+
+
+def bench_mincontext_representative(benchmark):
+    document = balanced_tree(depth=4, fanout=3)
+    engine = XPathEngine(document)
+    query = engine.compile(position_heavy_query(2))
+    benchmark(lambda: engine.evaluate(query, algorithm="mincontext"))
+
+
+def bench_topdown_representative(benchmark):
+    document = balanced_tree(depth=4, fanout=3)
+    engine = XPathEngine(document)
+    query = engine.compile(position_heavy_query(2))
+    benchmark(lambda: engine.evaluate(query, algorithm="topdown"))

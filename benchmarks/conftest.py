@@ -1,0 +1,16 @@
+"""Benchmark-suite fixtures."""
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import running_example_document
+
+
+@pytest.fixture(scope="session")
+def running_engine():
+    return XPathEngine(running_example_document())

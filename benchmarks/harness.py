@@ -1,0 +1,106 @@
+"""Shared benchmark harness: timing sweeps, log-log fits, table output.
+
+Every bench regenerates one experiment from DESIGN.md §4. Results print
+to stdout (run with ``-s`` to watch) and are also appended to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote them.
+
+Absolute milliseconds are machine-dependent; what the experiments pin
+down is *shape*: fitted polynomial degrees (log-log slopes), growth
+ratios, who-beats-whom, and abstract operation/space counts from
+:mod:`repro.stats` that are deterministic across machines.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import time
+
+from repro import stats
+from repro.engine import XPathEngine
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def time_query(engine: XPathEngine, query, algorithm: str, repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for one evaluation."""
+    compiled = engine.compile(query) if isinstance(query, str) else query
+    best = math.inf
+    for _ in range(repeat):
+        started = time.perf_counter()
+        engine.evaluate(compiled, algorithm=algorithm)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_counters(engine: XPathEngine, query, algorithm: str):
+    """One evaluation under a stats collector; returns the Stats object."""
+    compiled = engine.compile(query) if isinstance(query, str) else query
+    with stats.collect() as collected:
+        engine.evaluate(compiled, algorithm=algorithm)
+    return collected
+
+
+def loglog_slope(xs, ys) -> float:
+    """Least-squares slope of log(y) against log(x) — the empirical
+    polynomial degree of y(x). Requires positive data."""
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        return float("nan")
+    lx = [math.log(x) for x, _ in pairs]
+    ly = [math.log(y) for _, y in pairs]
+    n = len(pairs)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    denominator = sum((x - mean_x) ** 2 for x in lx)
+    if denominator == 0:
+        return float("nan")
+    return sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly)) / denominator
+
+
+def doubling_ratios(ys) -> list[float]:
+    """Successive growth ratios y[i+1]/y[i]."""
+    return [b / a for a, b in zip(ys, ys[1:]) if a > 0]
+
+
+class ExperimentReport:
+    """Accumulates one experiment's tables; prints and persists them."""
+
+    def __init__(self, experiment_id: str, title: str):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.lines: list[str] = [f"== {experiment_id}: {title} =="]
+
+    def note(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        rendered_rows = [[_cell(value) for value in row] for row in rows]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        self.lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+        self.lines.append("  ".join("-" * w for w in widths))
+        for row in rendered_rows:
+            self.lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+
+    def finish(self) -> str:
+        text = "\n".join(self.lines) + "\n"
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.experiment_id.lower().replace('-', '_')}.txt"
+        path.write_text(text, encoding="utf-8")
+        return text
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100 or value == int(value):
+            return f"{value:.0f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)

@@ -1,0 +1,41 @@
+"""Aggregate all experiment reports into one document.
+
+Run after the benchmark suite:
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/summarize.py          # prints + writes results/ALL.txt
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+ORDER = [
+    "exp_f4", "exp_f5", "exp_e9",
+    "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
+    "exp_x2", "exp_x3", "exp_a1", "exp_a2",
+]
+
+
+def main() -> None:
+    if not RESULTS_DIR.exists():
+        raise SystemExit("no results yet — run: pytest benchmarks/ --benchmark-only")
+    sections = []
+    seen = set()
+    for stem in ORDER:
+        path = RESULTS_DIR / f"{stem}.txt"
+        if path.exists():
+            sections.append(path.read_text(encoding="utf-8"))
+            seen.add(path.name)
+    for path in sorted(RESULTS_DIR.glob("*.txt")):
+        if path.name not in seen and path.name != "ALL.txt":
+            sections.append(path.read_text(encoding="utf-8"))
+    combined = "\n".join(sections)
+    (RESULTS_DIR / "ALL.txt").write_text(combined, encoding="utf-8")
+    print(combined)
+
+
+if __name__ == "__main__":
+    main()

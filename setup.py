@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (environments without the wheel
+package, where `pip install -e .` needs a setup.py to fall back on)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — a reproduction of Gottlob, Koch & Pichler,
+"XPath Query Evaluation: Improving Time and Space Efficiency" (ICDE 2003).
+
+A complete, from-scratch XPath 1.0 query evaluation stack:
+
+* an XML substrate (parser, data model, serializer) — :mod:`repro.xml`;
+* linear-time axis set functions and inverses — :mod:`repro.axes`;
+* a full XPath 1.0 front end with the paper's normalizations and the
+  ``Relev`` analysis — :mod:`repro.xpath`;
+* five evaluation algorithms, from the exponential "contemporary engine"
+  baseline to the paper's MINCONTEXT and OPTMINCONTEXT — :mod:`repro.core`;
+* an engine facade with fragment-aware dispatch — :mod:`repro.engine`.
+
+Quickstart::
+
+    from repro import XPathEngine, parse_document
+
+    doc = parse_document("<lib><book year='2001'/><book year='2003'/></lib>")
+    engine = XPathEngine(doc)
+    recent = engine.evaluate("//book[@year > 2002]")
+"""
+
+from repro.engine import ALGORITHMS, CompiledQuery, XPathEngine
+from repro.errors import (
+    EvaluationError,
+    FragmentViolationError,
+    ReproError,
+    UnboundVariableError,
+    UnknownFunctionError,
+    XMLSyntaxError,
+    XPathSyntaxError,
+    XPathTypeError,
+)
+from repro.core.context import Context
+from repro.xml.builder import DocumentBuilder, element, text
+from repro.xml.document import Document, Node, NodeKind
+from repro.xml.parser import parse_document, parse_fragment
+from repro.xml.serializer import serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "CompiledQuery",
+    "Context",
+    "Document",
+    "DocumentBuilder",
+    "EvaluationError",
+    "FragmentViolationError",
+    "Node",
+    "NodeKind",
+    "ReproError",
+    "UnboundVariableError",
+    "UnknownFunctionError",
+    "XMLSyntaxError",
+    "XPathEngine",
+    "XPathSyntaxError",
+    "XPathTypeError",
+    "element",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "text",
+    "__version__",
+]

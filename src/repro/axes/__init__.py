@@ -1,0 +1,34 @@
+"""Axis relations of the XPath data model.
+
+Implements Definition 1 of the paper: every axis ``χ`` is available both
+as a per-node iterator and as a *set function* ``χ : 2^dom → 2^dom`` with
+an inverse ``χ⁻¹(Y) = {x | χ({x}) ∩ Y ≠ ∅}``. All set functions run in
+``O(|D|)`` time, which is the bound the paper's complexity theorems rely
+on (see the remark below Definition 1).
+"""
+
+from repro.axes.axes import (
+    ALL_AXES,
+    FORWARD_AXES,
+    REVERSE_AXES,
+    AXIS_PRINCIPAL_ATTRIBUTE,
+    axis_nodes,
+    axis_set,
+    inverse_axis_set,
+    is_forward_axis,
+)
+from repro.axes.order import axis_order_key, index_in_axis_order, sort_in_axis_order
+
+__all__ = [
+    "ALL_AXES",
+    "FORWARD_AXES",
+    "REVERSE_AXES",
+    "AXIS_PRINCIPAL_ATTRIBUTE",
+    "axis_nodes",
+    "axis_set",
+    "inverse_axis_set",
+    "is_forward_axis",
+    "axis_order_key",
+    "index_in_axis_order",
+    "sort_in_axis_order",
+]

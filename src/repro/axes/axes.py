@@ -1,0 +1,340 @@
+"""Axis functions ``χ`` and inverse axis functions ``χ⁻¹`` (Definition 1).
+
+Two interfaces:
+
+* :func:`axis_nodes` — enumerate ``χ({x})`` for one context node, in
+  ``<doc,χ`` proximity order. Used by the per-context evaluators (naive,
+  single-context loops) where proximity positions matter.
+* :func:`axis_set` / :func:`inverse_axis_set` — the set functions
+  ``χ(X)`` and ``χ⁻¹(Y)`` of Definition 1, each computed in ``O(|D|)``
+  regardless of ``|X|`` (the paper's complexity theorems depend on this
+  bound; see the remark below Definition 1 citing [11]).
+
+Linear-time techniques, keyed to the pre-order numbering of
+:mod:`repro.xml.document`:
+
+* ``descendant(X)`` — interval stabbing with a difference array over
+  ``pre`` numbers (each ``x`` contributes the interval
+  ``(pre(x), pre(x)+size(x))``), one prefix-sum pass.
+* ``following(X)`` — the pre-order suffix starting at
+  ``min_{x∈X}(pre(x)+size(x))``; ``preceding(X)`` — all nodes whose
+  subtree ends at or before ``max_{x∈X} pre(x)``.
+* sibling axes — group ``X`` by parent and take one suffix/prefix of each
+  parent's child list.
+
+Attribute nodes follow the W3C data model: they are reached only via the
+``attribute`` axis, have no siblings, and are excluded from
+``descendant``/``following``/``preceding`` results.
+
+The ``id`` pseudo-axis of Section 4 of the paper (``x id→ y`` iff the id
+of ``y`` occurs as a whitespace token in ``strval(x)``) is also provided,
+with its inverse computed from the document's cached token index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro import stats
+from repro.axes.order import FORWARD_AXES, REVERSE_AXES, is_forward_axis
+from repro.xml.document import Document, Node
+
+#: Every axis this library supports. ``id`` is the pseudo-axis of
+#: Section 4; the paper's eleven named axes plus ``attribute``.
+ALL_AXES = frozenset(FORWARD_AXES | REVERSE_AXES)
+
+#: Axes whose principal node type is attribute (name tests select
+#: attribute nodes); all others select elements.
+AXIS_PRINCIPAL_ATTRIBUTE = frozenset({"attribute"})
+
+# ----------------------------------------------------------------------
+# Per-node enumeration (proximity order)
+# ----------------------------------------------------------------------
+
+
+def axis_nodes(document: Document, axis: str, node: Node) -> Iterator[Node]:
+    """Yield ``χ({node})`` in proximity order (``<doc,χ``)."""
+    stats.count("axis_single_calls")
+    if axis == "self":
+        yield node
+    elif axis == "child":
+        yield from node.children
+    elif axis == "parent":
+        if node.parent is not None:
+            yield node.parent
+    elif axis == "descendant":
+        yield from _descendants(node)
+    elif axis == "descendant-or-self":
+        yield node
+        yield from _descendants(node)
+    elif axis == "ancestor":
+        yield from node.ancestors()
+    elif axis == "ancestor-or-self":
+        yield node
+        yield from node.ancestors()
+    elif axis == "following-sibling":
+        if node.parent is not None and node.child_index is not None:
+            yield from node.parent.children[node.child_index + 1 :]
+    elif axis == "preceding-sibling":
+        if node.parent is not None and node.child_index is not None:
+            yield from reversed(node.parent.children[: node.child_index])
+    elif axis == "following":
+        start = node.pre + node.size
+        for candidate in document.nodes[start:]:
+            if not candidate.is_attribute:
+                yield candidate
+    elif axis == "preceding":
+        limit = node.pre
+        # Proximity order for preceding is reverse document order.
+        for candidate in reversed(document.nodes[:limit]):
+            if candidate.pre + candidate.size <= limit and not candidate.is_attribute:
+                yield candidate
+    elif axis == "attribute":
+        yield from node.attributes
+    elif axis == "id":
+        yield from document.in_document_order(document.deref_ids(node.string_value))
+    else:
+        raise ValueError(f"unknown axis: {axis}")
+
+
+def _descendants(node: Node) -> Iterator[Node]:
+    for child in node.children:
+        yield child
+        yield from _descendants(child)
+
+
+# ----------------------------------------------------------------------
+# Set functions (Definition 1), each O(|D|)
+# ----------------------------------------------------------------------
+
+
+def axis_set(document: Document, axis: str, node_set: Iterable[Node]) -> set[Node]:
+    """The axis function ``χ(X) = {y | ∃x ∈ X : x χ y}``."""
+    stats.count("axis_set_calls")
+    X = node_set if isinstance(node_set, (set, frozenset, list, tuple)) else list(node_set)
+    if axis == "self":
+        return set(X)
+    if axis == "child":
+        result: set[Node] = set()
+        for x in X:
+            result.update(x.children)
+        return result
+    if axis == "parent":
+        return {x.parent for x in X if x.parent is not None}
+    if axis == "descendant":
+        return _descendant_set(document, X, include_self=False)
+    if axis == "descendant-or-self":
+        result = _descendant_set(document, X, include_self=False)
+        result.update(X)
+        return result
+    if axis == "ancestor":
+        return _ancestor_set(X, include_self=False)
+    if axis == "ancestor-or-self":
+        result = _ancestor_set(X, include_self=False)
+        result.update(X)
+        return result
+    if axis == "following":
+        return _following_set(document, X)
+    if axis == "preceding":
+        return _preceding_set(document, X)
+    if axis == "following-sibling":
+        return _sibling_set(X, forward=True)
+    if axis == "preceding-sibling":
+        return _sibling_set(X, forward=False)
+    if axis == "attribute":
+        result = set()
+        for x in X:
+            result.update(x.attributes)
+        return result
+    if axis == "id":
+        result = set()
+        for x in X:
+            result.update(document.deref_ids(x.string_value))
+        return result
+    raise ValueError(f"unknown axis: {axis}")
+
+
+def inverse_axis_set(document: Document, axis: str, node_set: Iterable[Node]) -> set[Node]:
+    """Definition 1's ``χ⁻¹(Y) = {x | χ({x}) ∩ Y ≠ ∅}``, in ``O(|D|)``.
+
+    For most tree axes this is the converse axis's set function
+    (``child⁻¹ = parent`` etc.). Attribute nodes make four corners
+    asymmetric — an attribute has ancestors/following/preceding but is
+    nobody's descendant/following/preceding, and it has a parent without
+    being a child — so those cases are computed directly from the
+    definition rather than via the converse axis. ``id⁻¹(Y)`` uses the
+    cached per-node string-value token index (the ``F[[Op]]⁻¹`` of
+    Section 4, shown linear-time in [11]).
+    """
+    stats.count("axis_inverse_calls")
+    Y = node_set if isinstance(node_set, (set, frozenset)) else set(node_set)
+    if axis == "self":
+        return set(Y)
+    if axis == "child":
+        # x has a child in Y — attribute members of Y are nobody's child.
+        return {y.parent for y in Y if not y.is_attribute and y.parent is not None}
+    if axis == "parent":
+        # x's parent is in Y — children of Y plus attributes of Y.
+        result = axis_set(document, "child", Y)
+        result |= axis_set(document, "attribute", Y)
+        return result
+    if axis == "descendant":
+        return _ancestor_set((y for y in Y if not y.is_attribute), include_self=False)
+    if axis == "descendant-or-self":
+        result = _ancestor_set((y for y in Y if not y.is_attribute), include_self=False)
+        result.update(Y)
+        return result
+    if axis == "ancestor":
+        # x has an ancestor in Y: everything strictly inside Y's subtree
+        # intervals, attributes included (an attribute's ancestors are its
+        # element's ancestor-or-self chain).
+        return _interval_cover(document, Y, include_self=False, include_attributes=True)
+    if axis == "ancestor-or-self":
+        result = _interval_cover(document, Y, include_self=False, include_attributes=True)
+        result.update(Y)
+        return result
+    if axis == "following":
+        # following(x) ∩ Y ≠ ∅ ⟺ some non-attribute y ∈ Y starts at or
+        # after x's subtree end. x itself may be any kind, attributes too.
+        cutoff = None
+        for y in Y:
+            if not y.is_attribute and (cutoff is None or y.pre > cutoff):
+                cutoff = y.pre
+        if cutoff is None:
+            return set()
+        return {x for x in document.nodes if x.pre + x.size <= cutoff}
+    if axis == "preceding":
+        cutoff = None
+        for y in Y:
+            if not y.is_attribute:
+                end = y.pre + y.size
+                if cutoff is None or end < cutoff:
+                    cutoff = end
+        if cutoff is None:
+            return set()
+        return set(document.nodes[cutoff:])
+    if axis == "following-sibling":
+        return _sibling_set(Y, forward=False)
+    if axis == "preceding-sibling":
+        return _sibling_set(Y, forward=True)
+    if axis == "attribute":
+        return {y.parent for y in Y if y.is_attribute and y.parent is not None}
+    if axis == "id":
+        ids = {y.xml_id for y in Y}
+        ids.discard(None)
+        if not ids:
+            return set()
+        return {node for node, tokens in document.id_tokens() if not ids.isdisjoint(tokens)}
+    raise ValueError(f"unknown axis: {axis}")
+
+
+def _interval_cover(
+    document: Document, X: Iterable[Node], include_self: bool, include_attributes: bool
+) -> set[Node]:
+    """Nodes covered by the subtree intervals of ``X`` (difference-array
+    sweep like :func:`_descendant_set`, optionally keeping attributes)."""
+    nodes = document.nodes
+    total = len(nodes)
+    delta = [0] * (total + 1)
+    any_interval = False
+    for x in X:
+        lo = x.pre if include_self else x.pre + 1
+        hi = x.pre + x.size
+        if lo < hi:
+            delta[lo] += 1
+            delta[hi] -= 1
+            any_interval = True
+    if not any_interval:
+        return set()
+    result: set[Node] = set()
+    coverage = 0
+    for pre, node in enumerate(nodes):
+        coverage += delta[pre]
+        if coverage > 0 and (include_attributes or not node.is_attribute):
+            result.add(node)
+    return result
+
+
+def _descendant_set(document: Document, X: Iterable[Node], include_self: bool) -> set[Node]:
+    """Union of subtree intervals via a difference array: O(|D| + |X|)."""
+    nodes = document.nodes
+    total = len(nodes)
+    delta = [0] * (total + 1)
+    any_interval = False
+    for x in X:
+        lo = x.pre if include_self else x.pre + 1
+        hi = x.pre + x.size
+        if lo < hi:
+            delta[lo] += 1
+            delta[hi] -= 1
+            any_interval = True
+    if not any_interval:
+        return set()
+    result: set[Node] = set()
+    coverage = 0
+    for pre, node in enumerate(nodes):
+        coverage += delta[pre]
+        if coverage > 0 and not node.is_attribute:
+            result.add(node)
+    return result
+
+
+def _ancestor_set(X: Iterable[Node], include_self: bool) -> set[Node]:
+    """Union of ancestor chains with sharing: O(|D|) total."""
+    result: set[Node] = set()
+    for x in X:
+        if include_self:
+            result.add(x)
+        node = x.parent
+        while node is not None and node not in result:
+            result.add(node)
+            node = node.parent
+    return result
+
+
+def _following_set(document: Document, X: Iterable[Node]) -> set[Node]:
+    cutoff = None
+    for x in X:
+        end = x.pre + x.size
+        if cutoff is None or end < cutoff:
+            cutoff = end
+    if cutoff is None:
+        return set()
+    return {node for node in document.nodes[cutoff:] if not node.is_attribute}
+
+
+def _preceding_set(document: Document, X: Iterable[Node]) -> set[Node]:
+    cutoff = None
+    for x in X:
+        if cutoff is None or x.pre > cutoff:
+            cutoff = x.pre
+    if cutoff is None:
+        return set()
+    return {
+        node
+        for node in document.nodes[:cutoff]
+        if node.pre + node.size <= cutoff and not node.is_attribute
+    }
+
+
+def _sibling_set(X: Iterable[Node], forward: bool) -> set[Node]:
+    """Group by parent, then one suffix (or prefix) per parent: O(|D|)."""
+    extremes: dict[int, tuple[Node, int]] = {}
+    for x in X:
+        if x.parent is None or x.child_index is None:
+            continue  # document node and attributes have no siblings
+        key = id(x.parent)
+        current = extremes.get(key)
+        if current is None:
+            extremes[key] = (x.parent, x.child_index)
+        else:
+            parent, index = current
+            if (forward and x.child_index < index) or (not forward and x.child_index > index):
+                extremes[key] = (parent, x.child_index)
+    result: set[Node] = set()
+    for parent, index in extremes.values():
+        if forward:
+            result.update(parent.children[index + 1 :])
+        else:
+            result.update(parent.children[:index])
+    return result

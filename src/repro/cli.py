@@ -1,0 +1,151 @@
+"""Command-line XPath tool: ``repro-xpath`` / ``python -m repro``.
+
+Examples::
+
+    repro-xpath --file doc.xml "//book[price > 20]/title"
+    repro-xpath --xml "<a><b/></a>" --explain "/child::a/child::b"
+    repro-xpath --file doc.xml --compare "//a[position() = last()]"
+
+``--explain`` prints the normalized parse tree with static types and
+``Relev`` sets plus fragment classification; ``--compare`` runs all
+polynomial algorithms (and, for small inputs, the naive baseline) and
+reports agreement — a one-shot differential check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine import ALGORITHMS, XPathEngine
+from repro.errors import ReproError
+from repro.xml.document import Node
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize_node
+from repro.xpath.explain import explain_text
+from repro.xpath.unparse import dump_tree, unparse
+
+
+def _render_node(node: Node, style: str) -> str:
+    if style == "path":
+        return node.path()
+    if style == "xml":
+        return serialize_node(node)
+    return node.string_value
+
+
+def _render_result(result, style: str) -> str:
+    if isinstance(result, list):
+        if not result:
+            return "(empty node-set)"
+        return "\n".join(_render_node(node, style) for node in result)
+    if isinstance(result, bool):
+        return "true" if result else "false"
+    return str(result)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath",
+        description="Evaluate an XPath 1.0 query with the Gottlob/Koch/Pichler algorithms.",
+    )
+    parser.add_argument("query", help="XPath 1.0 query (abbreviated syntax accepted)")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--file", "-f", help="XML document file")
+    source.add_argument("--xml", help="inline XML document string")
+    parser.add_argument(
+        "--algorithm",
+        "-a",
+        choices=ALGORITHMS,
+        default="auto",
+        help="evaluation algorithm (default: auto fragment dispatch)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        choices=("path", "xml", "value"),
+        default="path",
+        help="node rendering: debug path, serialized XML, or string value",
+    )
+    parser.add_argument(
+        "--strip-whitespace",
+        action="store_true",
+        help="drop whitespace-only text nodes while parsing",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the normalized parse tree, Relev sets, fragment classification, "
+        "and the per-subexpression evaluation plan",
+    )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="apply the semantics-preserving rewrite pass before evaluation",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run every algorithm and check they agree",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.file:
+            with open(args.file, encoding="utf-8") as handle:
+                source = handle.read()
+        else:
+            source = args.xml
+        document = parse_document(source, keep_whitespace_text=not args.strip_whitespace)
+        engine = XPathEngine(document, optimize=args.optimize)
+        compiled = engine.compile(args.query)
+
+        if args.explain:
+            print("normalized query:", unparse(compiled.ast))
+            print("result type:     ", compiled.result_type)
+            core = "yes" if compiled.is_core_xpath else f"no ({compiled.core_violation})"
+            wadler = (
+                "yes" if compiled.is_extended_wadler else f"no ({compiled.wadler_violation})"
+            )
+            print("Core XPath:      ", core)
+            print("Extended Wadler: ", wadler)
+            print("bottom-up paths: ", compiled.bottomup_path_count)
+            print("auto algorithm:  ", compiled.best_algorithm())
+            if compiled.rewrite_stats is not None:
+                print("rewrites applied:", compiled.rewrite_stats.total())
+            print("parse tree:")
+            print(dump_tree(compiled.ast, indent="    "))
+            print("evaluation plan (per-subexpression strategy, Corollary 11):")
+            print(explain_text(compiled.ast))
+            print()
+
+        if args.compare:
+            candidates = ["topdown", "mincontext", "optmincontext"]
+            if len(document.nodes) <= 40:
+                candidates = ["naive", "bottomup"] + candidates
+            if compiled.is_core_xpath:
+                candidates.append("corexpath")
+            outcomes = {}
+            for name in candidates:
+                outcomes[name] = engine.evaluate(compiled, algorithm=name)
+            rendered = {name: _render_result(value, args.output) for name, value in outcomes.items()}
+            agree = len(set(rendered.values())) == 1
+            for name, text in rendered.items():
+                print(f"--- {name} ---")
+                print(text)
+            print("AGREE" if agree else "DISAGREE", file=sys.stderr)
+            return 0 if agree else 2
+
+        result = engine.evaluate(compiled, algorithm=args.algorithm)
+        print(_render_result(result, args.output))
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

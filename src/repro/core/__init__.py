@@ -1,0 +1,21 @@
+"""Evaluation algorithms.
+
+Five interchangeable evaluators over the same normalized AST:
+
+* :mod:`repro.core.naive` — the *contemporary engine* baseline the paper's
+  introduction measures against (exponential in ``|Q|``).
+* :mod:`repro.core.bottomup` — strict bottom-up context-value tables
+  (``E↑`` of [11], ``O(|D|³)`` table entries, Section 2.3).
+* :mod:`repro.core.topdown` — the vectorized top-down semantics ``E↓``
+  of Definition 2 (``O(|D|⁵·|Q|²)`` time / ``O(|D|⁴·|Q|²)`` space).
+* :mod:`repro.core.mincontext` — the paper's MINCONTEXT (Sections 3/6):
+  ``O(|D|⁴·|Q|²)`` time, ``O(|D|²·|Q|²)`` space.
+* :mod:`repro.core.optmincontext` — OPTMINCONTEXT (Section 5):
+  MINCONTEXT plus bottom-up evaluation of eligible location paths
+  (Section 4) and the linear-time Core XPath fast path (Theorem 13,
+  :mod:`repro.core.corexpath`).
+"""
+
+from repro.core.context import Context
+
+__all__ = ["Context"]

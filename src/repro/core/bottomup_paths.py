@@ -1,0 +1,181 @@
+"""Bottom-up evaluation of existential location paths (Section 4).
+
+A location path ``π`` inside ``boolean(π)`` or ``π RelOp s`` has
+∃-semantics: only *whether* some node is reachable matters, never which.
+The paper exploits this to avoid materializing the ``dom × 2^dom``
+relation of eval_inner_locpath: compute the *initial node set* ``Y`` of
+admissible targets, then propagate it backwards through the inverse axis
+functions ``χ⁻¹`` (Definition 1), node test by node test, predicate by
+predicate. The resulting set ``X`` of start nodes yields the boolean
+table directly. Space per step: one node set — linear. This is the
+engine of Theorem 10's ``O(|D|·|Q|²)`` space bound for the Extended
+Wadler Fragment, and (without position predicates) of Theorem 13's
+linear time for Core XPath.
+
+Two procedures, mapping onto the Section 6 pseudo-code:
+
+* :func:`eval_bottomup_path` — builds the initial set from the RelOp
+  comparison (or ``dom`` for ``boolean``) and fills ``table(N)``.
+* :func:`propagate_path_backwards` — walks the steps last-to-first.
+
+Soundness fixes relative to the *printed* pseudo-code (documented in
+DESIGN.md §5 and EXPERIMENTS.md):
+
+* In the position-dependent branch, the printed code ranks candidates
+  within ``Z = {z ∈ Y′ | xχz}`` — the propagated subset — but XPath
+  positions count *all* test-passing candidates of ``x``. We compute
+  positions over the full candidate list and intersect with the
+  propagated set afterwards; on the paper's own Example 9 both readings
+  give the same final answer, but on e.g. ``child::a[1] = 'v'`` the
+  printed form would be wrong.
+* At the top of an absolute path the printed code returns ``dom``
+  whenever the propagated set is nonempty; the root must actually be a
+  member (``boolean(/child::b)`` is false on an ``a``-rooted document
+  even though ``child::b`` succeeds from other nodes).
+"""
+
+from __future__ import annotations
+
+from repro import stats
+from repro.axes.axes import inverse_axis_set
+from repro.core.common import matches_node_test, step_candidate_set, step_candidates
+from repro.core.context import WILDCARD
+from repro.core.mincontext import MinContextEvaluator
+from repro.errors import EvaluationError
+from repro.values.compare import compare_values
+from repro.xml.document import Node
+from repro.xpath.ast import BinaryOp, Expr, FunctionCall, Path, Step
+
+_CPCS = frozenset({"cp", "cs"})
+
+
+def eval_bottomup_path(mc: MinContextEvaluator, node: Expr) -> None:
+    """Fill ``table(node)`` for a ``boolean(π)`` / ``π RelOp s`` node.
+
+    Afterwards the node's uid is in ``mc.precomputed``: MINCONTEXT's
+    eval_by_cnode_only will not re-evaluate it (Algorithm 8's proviso).
+    The table covers *all* of ``dom``, so any later lookup succeeds.
+    """
+    if node.uid in mc.precomputed:
+        return
+    document = mc.document
+    dom = set(document.nodes)
+
+    if isinstance(node, FunctionCall) and node.name == "boolean":
+        path = node.args[0]
+        start_nodes = propagate_path_backwards(mc, path, dom)
+        truths = {x: (x in start_nodes) for x in dom}
+    elif isinstance(node, BinaryOp):
+        path, op, scalar = _comparison_parts(node)
+        mc.eval_by_cnode_only(scalar, set())
+        scalar_value = mc.eval_single_context(scalar, (None, WILDCARD, WILDCARD))
+        if scalar.value_type == "bool":
+            # "π RelOp s with s of type bool is treated like
+            # boolean(π) RelOp s" (Section 6).
+            nonempty = propagate_path_backwards(mc, path, dom)
+            truths = {
+                x: compare_values(op, x in nonempty, "bool", scalar_value, "bool")
+                for x in dom
+            }
+        else:
+            initial = {
+                y
+                for y in dom
+                if compare_values(op, [y], "nset", scalar_value, scalar.value_type)
+            }
+            start_nodes = propagate_path_backwards(mc, path, initial)
+            truths = {x: (x in start_nodes) for x in dom}
+    else:
+        raise EvaluationError(f"not a bottom-up-eligible node: {node!r}")
+
+    mc._store(node, {mc._key(node, x): value for x, value in truths.items()})
+    mc.precomputed.add(node.uid)
+
+
+def _comparison_parts(node: BinaryOp) -> tuple[Path, str, Expr]:
+    """Split ``π RelOp s`` into (path, effective op, scalar), flipping the
+    operator when the path is on the right."""
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+    if isinstance(node.left, Path) and node.left.steps:
+        return node.left, node.op, node.right
+    if isinstance(node.right, Path) and node.right.steps:
+        return node.right, flipped[node.op], node.left
+    raise EvaluationError(f"no location-path side in {node!r}")
+
+
+def propagate_path_backwards(
+    mc: MinContextEvaluator, path: Expr, targets: set[Node]
+) -> set[Node]:
+    """Propagate a target set backwards through ``π``: the returned set is
+    ``{x ∈ dom | some y ∈ targets is reachable from x via π}``."""
+    if not isinstance(path, Path):
+        raise EvaluationError(f"not a location path: {path!r}")
+    document = mc.document
+    current = set(targets)
+    for step in reversed(path.steps):
+        if not current:
+            return set()
+        current = _propagate_step(mc, step, current)
+        stats.count("bottomup_propagation_steps")
+    if path.primary is not None:
+        # Context-free primary start (id('k')/...): the path succeeds from
+        # *every* context node iff the primary's value meets the
+        # propagated set — mirroring the absolute-path case below.
+        mc.eval_by_cnode_only(path.primary, set())
+        start_nodes = mc.eval_single_context(path.primary, (None, WILDCARD, WILDCARD))
+        if not current.isdisjoint(start_nodes):
+            return set(document.nodes)
+        return set()
+    if path.absolute:
+        # '/' at the top: the path restarts at the root, so the answer is
+        # context-independent — all of dom iff the root can start it (for
+        # the empty absolute path '/', iff the root itself is a target).
+        if document.root in current:
+            return set(document.nodes)
+        return set()
+    return current
+
+
+def _propagate_step(mc: MinContextEvaluator, step: Step, targets: set[Node]) -> set[Node]:
+    """One inverse location step: filter targets by node test and
+    predicates, then apply ``χ⁻¹``."""
+    document = mc.document
+    tested = {y for y in targets if matches_node_test(y, step.node_test, step.axis)}
+    if not tested:
+        return set()
+    if not step.predicates:
+        return inverse_axis_set(document, step.axis, tested)
+    position_free = all(not (_CPCS & p.relev) for p in step.predicates)
+    if position_free:
+        for predicate in step.predicates:
+            mc.eval_by_cnode_only(predicate, tested)
+        passing = set()
+        for y in tested:
+            stats.count("mincontext_contexts_evaluated")
+            if all(
+                mc.eval_single_context(p, (y, WILDCARD, WILDCARD))
+                for p in step.predicates
+            ):
+                passing.add(y)
+        return inverse_axis_set(document, step.axis, passing)
+    # Position-dependent predicates: loop over the candidate origins and
+    # rank each origin's full candidate list (soundness fix, see module
+    # docstring), keeping origins with a surviving candidate in `tested`.
+    origins = inverse_axis_set(document, step.axis, tested)
+    pool = step_candidate_set(document, step.axis, origins, step.node_test)
+    for predicate in step.predicates:
+        mc.eval_by_cnode_only(predicate, pool)
+    result = set()
+    for x in origins:
+        candidates = step_candidates(document, step.axis, x, step.node_test)
+        for predicate in step.predicates:
+            size = len(candidates)
+            survivors = []
+            for position, z in enumerate(candidates, start=1):
+                stats.count("mincontext_contexts_evaluated")
+                if mc.eval_single_context(predicate, (z, position, size)):
+                    survivors.append(z)
+            candidates = survivors
+        if any(z in tested for z in candidates):
+            result.add(x)
+    return result

@@ -1,0 +1,114 @@
+"""Shared evaluation primitives used by every algorithm.
+
+Node-test matching (the paper's ``T`` function generalized to node
+kinds), per-step candidate enumeration, and the generic application of an
+operator node ``Op(e1, ..., ek)`` to already-evaluated child values —
+Figure 1's ``F[[Op]]`` dispatched over the AST.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import stats
+from repro.axes.axes import AXIS_PRINCIPAL_ATTRIBUTE, axis_nodes, axis_set
+from repro.errors import EvaluationError
+from repro.functions.library import apply_function
+from repro.values.compare import compare_values
+from repro.values.numbers import xpath_divide, xpath_modulo
+from repro.xml.document import Document, Node, NodeKind
+from repro.xpath.ast import BinaryOp, Expr, FunctionCall, Negate, NodeTest
+
+_COMPARISON_OPS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+
+
+def matches_node_test(node: Node, test: NodeTest, axis: str) -> bool:
+    """Does ``node`` pass node test ``t`` on the given axis?
+
+    Name tests and ``*`` select the axis's *principal node type*
+    (attributes on the attribute axis, elements elsewhere) — this is how
+    the paper's ``T(*) = dom`` specializes once non-element node kinds
+    exist; on the paper's element-only examples the two coincide.
+    """
+    if test.kind == "node":
+        return True
+    if test.kind == "text":
+        return node.kind is NodeKind.TEXT
+    if test.kind == "comment":
+        return node.kind is NodeKind.COMMENT
+    if test.kind == "pi":
+        if node.kind is not NodeKind.PROCESSING_INSTRUCTION:
+            return False
+        return test.name is None or node.name == test.name
+    principal = (
+        NodeKind.ATTRIBUTE if axis in AXIS_PRINCIPAL_ATTRIBUTE else NodeKind.ELEMENT
+    )
+    if node.kind is not principal:
+        return False
+    if test.kind == "wildcard":
+        return True
+    return node.name == test.name
+
+
+def step_candidates(document: Document, axis: str, node: Node, test: NodeTest) -> list[Node]:
+    """``χ({x}) ∩ T(t)`` in proximity order — one context node's
+    candidates, the list predicates assign positions over."""
+    return [y for y in axis_nodes(document, axis, node) if matches_node_test(y, test, axis)]
+
+
+def step_candidate_set(document: Document, axis: str, nodes, test: NodeTest) -> set[Node]:
+    """``χ(X) ∩ T(t)`` as a set, in ``O(|D|)``."""
+    return {y for y in axis_set(document, axis, nodes) if matches_node_test(y, test, axis)}
+
+
+def apply_operator(
+    document: Document,
+    expr: Expr,
+    values: list,
+    context_node: Node | None = None,
+):
+    """Apply the operator at ``expr`` to its children's values.
+
+    This is ``F[[Op]]`` (Figure 1) for compound nodes: arithmetic,
+    comparisons (dispatched on the children's *static* types, as Figure
+    1's typed signatures do), boolean connectives, unary minus, and core
+    library calls. ``position``/``last`` are context accessors and must
+    be handled by the caller, never passed here.
+    """
+    stats.count("operator_applications")
+    if isinstance(expr, Negate):
+        return -values[0]
+    if isinstance(expr, BinaryOp):
+        if expr.op == "and":
+            return values[0] and values[1]
+        if expr.op == "or":
+            return values[0] or values[1]
+        if expr.op in _COMPARISON_OPS:
+            return compare_values(
+                expr.op,
+                values[0],
+                expr.left.value_type,
+                values[1],
+                expr.right.value_type,
+            )
+        left, right = values
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            if math.isnan(left) or math.isnan(right):
+                return float("nan")
+            return left * right
+        if expr.op == "div":
+            return xpath_divide(left, right)
+        if expr.op == "mod":
+            return xpath_modulo(left, right)
+        raise EvaluationError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, FunctionCall):
+        if expr.name in ("position", "last"):
+            raise EvaluationError(
+                f"{expr.name}() is a context accessor and cannot be applied as a value function"
+            )
+        return apply_function(document, expr.name, values, context_node)
+    raise EvaluationError(f"cannot apply operator node {expr!r}")

@@ -1,0 +1,103 @@
+"""Linear-time evaluation of the Core XPath fragment (Definition 12).
+
+Core XPath — location paths whose predicates are and/or/not combinations
+of location paths — admits ``O(|D|·|Q|)`` evaluation (Theorem 13, proved
+in [11]): since ``position()``/``last()`` are absent, no per-origin
+ranking loop is ever needed. The strategy:
+
+* a *predicate* denotes the set of context nodes where it holds; paths
+  inside predicates are ∃-quantified, so their node set is computed by
+  **backward propagation** through inverse axis functions (one
+  ``O(|D|)`` set operation per step), and ``and``/``or``/``not`` are
+  set intersection/union/complement;
+* the *main* path is then a forward sweep: ``X_{i+1} = χ(X_i) ∩ T(t_i) ∩
+  pred-sets``, again one ``O(|D|)`` operation per step.
+
+Every set is a subset of ``dom`` — linear space. OPTMINCONTEXT routes
+whole-query Core XPath here; benchmark EXP-T13 verifies the linear
+scaling.
+"""
+
+from __future__ import annotations
+
+from repro import stats
+from repro.axes.axes import axis_set, inverse_axis_set
+from repro.core.common import matches_node_test
+from repro.core.context import Context
+from repro.errors import FragmentViolationError
+from repro.xml.document import Document, Node
+from repro.xpath.ast import BinaryOp, Expr, FunctionCall, Path, Step
+from repro.xpath.fragments import core_xpath_violation
+
+
+class CoreXPathEvaluator:
+    """Forward/backward set evaluation for Core XPath queries."""
+
+    def __init__(self, document: Document):
+        self.document = document
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, expr: Expr, context: Context) -> list[Node]:
+        """Evaluate a Core XPath query; raises
+        :class:`repro.errors.FragmentViolationError` outside the fragment."""
+        violation = core_xpath_violation(expr)
+        if violation is not None:
+            raise FragmentViolationError(f"not a Core XPath query: {violation}")
+        assert isinstance(expr, Path)
+        result = self._forward_path(expr, {context.node})
+        return self.document.in_document_order(result)
+
+    # ------------------------------------------------------------------
+
+    def _forward_path(self, path: Path, start: set[Node]) -> set[Node]:
+        current = {self.document.root} if path.absolute else set(start)
+        for step in path.steps:
+            current = self._forward_step(step, current)
+        return current
+
+    def _forward_step(self, step: Step, origins: set[Node]) -> set[Node]:
+        stats.count("corexpath_steps")
+        candidates = {
+            y
+            for y in axis_set(self.document, step.axis, origins)
+            if matches_node_test(y, step.node_test, step.axis)
+        }
+        for predicate in step.predicates:
+            candidates &= self._predicate_set(predicate)
+        return candidates
+
+    # ------------------------------------------------------------------
+
+    def _predicate_set(self, predicate: Expr) -> set[Node]:
+        """The set of context nodes at which the predicate holds."""
+        if isinstance(predicate, BinaryOp) and predicate.op == "and":
+            return self._predicate_set(predicate.left) & self._predicate_set(predicate.right)
+        if isinstance(predicate, BinaryOp) and predicate.op == "or":
+            return self._predicate_set(predicate.left) | self._predicate_set(predicate.right)
+        if isinstance(predicate, FunctionCall) and predicate.name == "not":
+            return set(self.document.nodes) - self._predicate_set(predicate.args[0])
+        if isinstance(predicate, FunctionCall) and predicate.name == "boolean":
+            return self._exists_set(predicate.args[0])
+        raise FragmentViolationError(f"non-Core predicate: {predicate!r}")
+
+    def _exists_set(self, path: Expr) -> set[Node]:
+        """``{cn | path evaluates to a nonempty set at cn}`` by backward
+        propagation (no positions in Core XPath, so one pass suffices)."""
+        assert isinstance(path, Path)
+        current = set(self.document.nodes)
+        for step in reversed(path.steps):
+            stats.count("corexpath_steps")
+            if not current:
+                return set()
+            tested = {
+                y for y in current if matches_node_test(y, step.node_test, step.axis)
+            }
+            for predicate in step.predicates:
+                tested &= self._predicate_set(predicate)
+            current = inverse_axis_set(self.document, step.axis, tested)
+        if path.absolute:
+            if self.document.root in current:
+                return set(self.document.nodes)
+            return set()
+        return current

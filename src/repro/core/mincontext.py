@@ -1,0 +1,403 @@
+"""MINCONTEXT — the paper's main algorithm (Sections 3 and 6).
+
+Combines the three ideas of Section 3.1 on top of the context-value-table
+principle:
+
+1. **Restriction to the relevant context.** Every table is projected to
+   ``Relev(N)`` (computed by :mod:`repro.xpath.relevance`); a constant
+   has a one-row table, ``self::* = 100`` a ``|dom|``-row table
+   (Figure 5), never the ``|dom|³`` of strict bottom-up evaluation.
+2. **Outermost location paths as node sets.** The outermost path is
+   propagated as a plain subset of ``dom``
+   (:meth:`MinContextEvaluator.eval_outermost_locpath`), not as a
+   ``dom × 2^dom`` relation — Example 4.
+3. **Looping over (cp, cs).** Tables are only ever *stored* for
+   subexpressions independent of context position/size; predicates that
+   use ``position()``/``last()`` are evaluated in a loop over the
+   ``O(|dom|²)`` pairs of previous/current context node
+   (:meth:`_eval_step_from_set`'s dependent branch — Example 5), with
+   :meth:`eval_single_context` recomputing the position-dependent spine
+   on the fly.
+
+The four procedures map one-to-one onto the Section 6 pseudo-code:
+``eval_outermost_locpath``, ``eval_by_cnode_only``,
+``eval_single_context``, ``eval_inner_locpath``. Algorithm 6 is
+:meth:`MinContextEvaluator.evaluate`.
+
+Bound: ``O(|D|⁴·|Q|²)`` time and ``O(|D|²·|Q|²)`` space (Theorem 7).
+
+Deviations from the printed pseudo-code (all documented in DESIGN.md /
+EXPERIMENTS.md):
+
+* Paths rooted at filter-expression primaries (full XPath 1.0 grammar,
+  outside the paper's path grammar) are supported by evaluating the
+  primary with the machinery for general expressions and then running
+  the step machinery from its result.
+* Tables are *merged* on re-entry rather than overwritten: a predicate
+  subtree can legitimately be prepared for several candidate sets when
+  its enclosing expression is itself evaluated in a (cp, cs) loop.
+
+Instances are single-use: create one evaluator per query evaluation (the
+engine does). OPTMINCONTEXT pre-fills ``tables`` for bottom-up-evaluated
+subexpressions and records their uids in ``precomputed``.
+"""
+
+from __future__ import annotations
+
+from repro import stats
+from repro.core.common import (
+    apply_operator,
+    step_candidate_set,
+    step_candidates,
+)
+from repro.core.context import WILDCARD, Context
+from repro.errors import EvaluationError
+from repro.xml.document import Document, Node
+from repro.xpath.ast import (
+    BinaryOp,
+    ConstantNodeSet,
+    Expr,
+    FunctionCall,
+    Negate,
+    NumberLiteral,
+    Path,
+    Step,
+    StringLiteral,
+    Union,
+)
+
+_CPCS = frozenset({"cp", "cs"})
+
+
+class MinContextEvaluator:
+    """The MINCONTEXT query processor."""
+
+    def __init__(self, document: Document):
+        self.document = document
+        #: uid → {projected-context-key: value}. Keys follow
+        #: :func:`repro.xpath.relevance.project_context`.
+        self.tables: dict[int, dict[tuple, object]] = {}
+        #: uids whose tables were filled by OPTMINCONTEXT's bottom-up
+        #: pass; eval_by_cnode_only skips them ("subexpressions that have
+        #: already been evaluated bottom-up are not evaluated again").
+        self.precomputed: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Algorithm 6
+    # ------------------------------------------------------------------
+
+    def evaluate(self, expr: Expr, context: Context):
+        """Algorithm 6 (MINCONTEXT). Node-set results come back as
+        document-ordered lists."""
+        if expr.value_type == "nset" and isinstance(expr, (Path, Union)):
+            result = self.eval_outermost_locpath(expr, {context.node}, context)
+            return self.document.in_document_order(result)
+        self.eval_by_cnode_only(expr, {context.node})
+        value = self.eval_single_context(expr, context.triple())
+        if expr.value_type == "nset":
+            return self.document.in_document_order(value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Table plumbing
+    # ------------------------------------------------------------------
+
+    def _key(self, node, cn, cp=WILDCARD, cs=WILDCARD) -> tuple:
+        key = []
+        relev = node.relev
+        if "cn" in relev:
+            key.append(cn)
+        if "cp" in relev:
+            key.append(cp)
+        if "cs" in relev:
+            key.append(cs)
+        return tuple(key)
+
+    def _store(self, node, rows: dict[tuple, object]) -> None:
+        table = self.tables.setdefault(node.uid, {})
+        fresh_keys = rows.keys() - table.keys()
+        fresh_cells = sum(stats.cell_weight(rows[key]) for key in fresh_keys)
+        table.update(rows)
+        stats.count("mincontext_table_rows", len(fresh_keys))
+        stats.table_cells_allocated(fresh_cells)
+
+    def _lookup(self, node, cn):
+        table = self.tables.get(node.uid)
+        if table is None:
+            raise EvaluationError(
+                f"table for parse-tree node N{node.uid} was never prepared "
+                "(eval_by_cnode_only must run before eval_single_context)"
+            )
+        key = self._key(node, cn)
+        if key not in table:
+            raise EvaluationError(
+                f"table for parse-tree node N{node.uid} has no row for context node "
+                f"{cn!r} — prepared with a different candidate set"
+            )
+        return table[key]
+
+    # ------------------------------------------------------------------
+    # eval_outermost_locpath (Section 6)
+    # ------------------------------------------------------------------
+
+    def eval_outermost_locpath(
+        self, expr: Expr, X: set[Node], outer: Context
+    ) -> set[Node]:
+        """Evaluate an outermost location path as a plain node set.
+
+        Handles the pseudo-code's four cases: ``/π`` (absolute start),
+        ``π1|π2`` (union of branch results), ``π1/π2`` (the step loop),
+        and ``χ::t[e1]...[eq]`` (:meth:`_eval_step_from_set`).
+        """
+        stats.count("outermost_path_evaluations")
+        if isinstance(expr, Union):
+            return self.eval_outermost_locpath(
+                expr.left, X, outer
+            ) | self.eval_outermost_locpath(expr.right, X, outer)
+        if not isinstance(expr, Path):
+            raise EvaluationError(f"not a location path: {expr!r}")
+        if expr.absolute:
+            current: set[Node] = {self.document.root}
+        elif expr.primary is not None:
+            current = self._primary_start_set(expr, X, outer)
+        else:
+            current = set(X)
+        for step in expr.steps:
+            current = self._eval_step_from_set(step, current)
+        return current
+
+    def _primary_start_set(self, path: Path, X: set[Node], outer: Context) -> set[Node]:
+        """Start set for a filter-expression-rooted path (extension)."""
+        primary = path.primary
+        assert primary is not None
+        self.eval_by_cnode_only(primary, X)
+        value = self.eval_single_context(primary, outer.triple())
+        selected = set(value)
+        for predicate in path.primary_predicates:
+            selected = self._filter_document_order(selected, predicate)
+        return selected
+
+    def _filter_document_order(self, nodes: set[Node], predicate: Expr) -> set[Node]:
+        """Filter a node set by a predicate ranked in document order (the
+        rule for predicates attached to filter expressions)."""
+        self.eval_by_cnode_only(predicate, nodes)
+        ordered = self.document.in_document_order(nodes)
+        size = len(ordered)
+        survivors = set()
+        for position, node in enumerate(ordered, start=1):
+            if self.eval_single_context(predicate, (node, position, size)):
+                survivors.add(node)
+        return survivors
+
+    def _eval_step_from_set(self, step: Step, X: set[Node]) -> set[Node]:
+        """One step, set-in/set-out (the pseudo-code's ``χ::t[e1]...[eq]``
+        case of eval_outermost_locpath)."""
+        Y = step_candidate_set(self.document, step.axis, X, step.node_test)
+        for predicate in step.predicates:
+            self.eval_by_cnode_only(predicate, Y)
+        if all(not (_CPCS & p.relev) for p in step.predicates):
+            # All predicates independent of position/size: one pass over Y.
+            result = set()
+            for y in Y:
+                stats.count("mincontext_contexts_evaluated")
+                if all(
+                    self.eval_single_context(p, (y, WILDCARD, WILDCARD))
+                    for p in step.predicates
+                ):
+                    result.add(y)
+            return result
+        # At least one predicate needs cp/cs: loop over all pairs of
+        # previous/current context node (Example 5 / Theorem 7's loop).
+        result = set()
+        for x in X:
+            candidates = step_candidates(self.document, step.axis, x, step.node_test)
+            for predicate in step.predicates:
+                size = len(candidates)
+                survivors = []
+                for position, z in enumerate(candidates, start=1):
+                    stats.count("mincontext_contexts_evaluated")
+                    if self.eval_single_context(predicate, (z, position, size)):
+                        survivors.append(z)
+                candidates = survivors
+            result.update(candidates)
+        return result
+
+    # ------------------------------------------------------------------
+    # eval_by_cnode_only (Section 6)
+    # ------------------------------------------------------------------
+
+    def eval_by_cnode_only(self, node: Expr, X: set[Node]) -> None:
+        """Prepare ``table(M)`` for every M below ``node`` whose value
+        does not depend on the current context position/size."""
+        if node.uid in self.precomputed:
+            return
+        relev = node.relev
+        if _CPCS & relev:
+            # Position/size-dependent: only descend; this node's values
+            # are produced on the fly by eval_single_context. Path
+            # children are prepared, step predicates are prepared lazily
+            # by the path-evaluation loops (which know candidate sets).
+            for child in node.children():
+                if isinstance(child, Step):
+                    continue
+                self.eval_by_cnode_only(child, X)
+            return
+        if isinstance(node, (Path, Union)):
+            mapping = self.eval_inner_locpath(node, X)
+            self._store(node, {self._key(node, x): nodes for x, nodes in mapping.items()})
+            return
+        if isinstance(node, (NumberLiteral, StringLiteral)):
+            self._store(node, {(): node.value})
+            return
+        if isinstance(node, ConstantNodeSet):
+            self._store(node, {(): set(node.nodes)})
+            return
+        # Op(e1, ..., ek) with Relev(N) ⊆ {'cn'}.
+        children = node.children()
+        for child in children:
+            self.eval_by_cnode_only(child, X)
+        rows: dict[tuple, object] = {}
+        if "cn" in relev:
+            row_nodes: list[Node | None] = list(X)
+        else:
+            row_nodes = [None]
+        for cn in row_nodes:
+            stats.count("mincontext_contexts_evaluated")
+            values = [self._lookup(child, cn) for child in children]
+            rows[self._key(node, cn)] = apply_operator(self.document, node, values, cn)
+        self._store(node, rows)
+
+    # ------------------------------------------------------------------
+    # eval_single_context (Section 6)
+    # ------------------------------------------------------------------
+
+    def eval_single_context(self, node: Expr, triple: tuple):
+        """Evaluate ``expr(N)`` for one context ``⟨cn, cp, cs⟩`` (wildcards
+        allowed for irrelevant components)."""
+        cn, cp, cs = triple
+        relev = node.relev
+        if not (_CPCS & relev):
+            return self._lookup(node, cn)
+        if isinstance(node, FunctionCall) and node.name == "position":
+            if cp is WILDCARD:
+                raise EvaluationError("position() evaluated under a wildcard position")
+            return float(cp)
+        if isinstance(node, FunctionCall) and node.name == "last":
+            if cs is WILDCARD:
+                raise EvaluationError("last() evaluated under a wildcard size")
+            return float(cs)
+        if isinstance(node, (Path, Union)):
+            # Position/size-dependent path (via a filter primary).
+            return self._eval_path_single(node, triple)
+        children = node.children()
+        values = [self.eval_single_context(child, triple) for child in children]
+        return apply_operator(self.document, node, values, cn)
+
+    def _eval_path_single(self, node: Expr, triple: tuple) -> set[Node]:
+        if isinstance(node, Union):
+            return self._eval_path_single(node.left, triple) | self._eval_path_single(
+                node.right, triple
+            )
+        assert isinstance(node, Path)
+        cn = triple[0]
+        if node.absolute:
+            current: set[Node] = {self.document.root}
+        elif node.primary is not None:
+            value = self.eval_single_context(node.primary, triple)
+            current = set(value)
+            for predicate in node.primary_predicates:
+                current = self._filter_document_order(current, predicate)
+        else:
+            current = {cn}
+        for step in node.steps:
+            current = self._eval_step_from_set(step, current)
+        return current
+
+    # ------------------------------------------------------------------
+    # eval_inner_locpath (Section 6)
+    # ------------------------------------------------------------------
+
+    def eval_inner_locpath(self, expr: Expr, X: set[Node]) -> dict[Node, set[Node]]:
+        """Evaluate an inner location path as the relation
+        ``table(N) ⊆ dom × 2^dom`` (context node → reachable set)."""
+        stats.count("inner_path_evaluations")
+        if isinstance(expr, Union):
+            left = self.eval_inner_locpath(expr.left, X)
+            right = self.eval_inner_locpath(expr.right, X)
+            return {x: left.get(x, set()) | right.get(x, set()) for x in X}
+        if isinstance(expr, ConstantNodeSet):
+            return {x: set(expr.nodes) for x in X}
+        if not isinstance(expr, Path):
+            raise EvaluationError(f"not an inner location path: {expr!r}")
+        if expr.absolute:
+            root = self.document.root
+            mapping: dict[Node, set[Node]] = {root: {root}}
+            mapping = self._compose_steps(expr.steps, mapping)
+            reachable = mapping.get(root, set())
+            return {x: set(reachable) for x in X}
+        if expr.primary is not None:
+            self.eval_by_cnode_only(expr.primary, X)
+            mapping = {}
+            for x in X:
+                selected = set(self._lookup(expr.primary, x))
+                for predicate in expr.primary_predicates:
+                    selected = self._filter_document_order(selected, predicate)
+                mapping[x] = selected
+            return self._compose_steps(expr.steps, mapping)
+        return self._compose_steps(expr.steps, {x: {x} for x in X})
+
+    def _compose_steps(
+        self, steps: list[Step], mapping: dict[Node, set[Node]]
+    ) -> dict[Node, set[Node]]:
+        """``π1/π2`` composition: thread the origin→reachable relation
+        through each step's per-origin relation."""
+        for step in steps:
+            origins: set[Node] = set()
+            for reachable in mapping.values():
+                origins.update(reachable)
+            relation = self._inner_step_relation(step, origins)
+            mapping = {
+                x: set().union(*(relation[y] for y in reachable)) if reachable else set()
+                for x, reachable in mapping.items()
+            }
+            stats.count(
+                "mincontext_relation_cells", sum(len(v) for v in mapping.values())
+            )
+        return mapping
+
+    def _inner_step_relation(self, step: Step, X: set[Node]) -> dict[Node, set[Node]]:
+        """Per-origin step results (the pseudo-code's
+        ``χ::t[e1]...[eq]`` case of eval_inner_locpath)."""
+        Y = step_candidate_set(self.document, step.axis, X, step.node_test)
+        for predicate in step.predicates:
+            self.eval_by_cnode_only(predicate, Y)
+        if all(not (_CPCS & p.relev) for p in step.predicates):
+            passing = set()
+            for y in Y:
+                stats.count("mincontext_contexts_evaluated")
+                if all(
+                    self.eval_single_context(p, (y, WILDCARD, WILDCARD))
+                    for p in step.predicates
+                ):
+                    passing.add(y)
+            return {
+                x: {
+                    z
+                    for z in step_candidates(self.document, step.axis, x, step.node_test)
+                    if z in passing
+                }
+                for x in X
+            }
+        relation: dict[Node, set[Node]] = {}
+        for x in X:
+            candidates = step_candidates(self.document, step.axis, x, step.node_test)
+            for predicate in step.predicates:
+                size = len(candidates)
+                survivors = []
+                for position, z in enumerate(candidates, start=1):
+                    stats.count("mincontext_contexts_evaluated")
+                    if self.eval_single_context(predicate, (z, position, size)):
+                        survivors.append(z)
+                candidates = survivors
+            relation[x] = set(candidates)
+        return relation

@@ -1,0 +1,251 @@
+"""Public engine facade.
+
+:class:`XPathEngine` ties the pipeline together: parse → normalize
+(variables substituted, conversions explicit) → relevance analysis →
+fragment classification → algorithm dispatch. ``algorithm='auto'`` picks
+the best algorithm the paper provides for the query's fragment:
+
+* whole-query Core XPath (Definition 12)  → ``corexpath``  (Theorem 13)
+* everything else                          → ``optmincontext`` (Thm 7/10)
+
+The slower algorithms (``naive``, ``bottomup``, ``topdown``,
+``mincontext``) remain selectable — the benchmark harness and the
+differential test suite exercise all of them on the same queries.
+
+Example::
+
+    from repro import XPathEngine, parse_document
+
+    doc = parse_document("<a><b id='1'/><b id='2'/></a>")
+    engine = XPathEngine(doc)
+    nodes = engine.evaluate("/child::a/child::b[position() = last()]")
+    assert [n.xml_id for n in nodes] == ["2"]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bottomup import BottomUpEvaluator
+from repro.core.context import Context
+from repro.core.corexpath import CoreXPathEvaluator
+from repro.core.mincontext import MinContextEvaluator
+from repro.core.naive import NaiveEvaluator
+from repro.core.optmincontext import OptMinContextEvaluator
+from repro.core.topdown import TopDownEvaluator
+from repro.errors import FragmentViolationError, ReproError
+from repro.xml.document import Document, Node
+from repro.xpath.ast import Expr, Path
+from repro.xpath.fragments import (
+    core_xpath_violation,
+    find_bottomup_paths,
+    wadler_violation,
+)
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.relevance import compute_relevance
+from repro.xpath.rewrite import RewriteStats, rewrite
+
+#: The selectable evaluation algorithms.
+ALGORITHMS = (
+    "auto",
+    "naive",
+    "bottomup",
+    "topdown",
+    "mincontext",
+    "optmincontext",
+    "corexpath",
+)
+
+
+@dataclass
+class CompiledQuery:
+    """A parsed, normalized, analyzed query, reusable across evaluations.
+
+    Attributes:
+        source: the original query string.
+        ast: normalized AST with ``value_type`` and ``relev`` annotations.
+        result_type: static type of the whole query.
+        core_violation: why the query is outside Core XPath (None if in).
+        wadler_violation: why it is outside the Extended Wadler Fragment.
+        bottomup_path_count: number of subexpressions OPTMINCONTEXT will
+            evaluate bottom-up.
+    """
+
+    source: str
+    ast: Expr
+    result_type: str
+    core_violation: str | None
+    wadler_violation: str | None
+    bottomup_path_count: int
+    variables: dict[str, object] = field(default_factory=dict, repr=False)
+    #: What the optimizer pass did (None when the engine was built with
+    #: optimize=False).
+    rewrite_stats: RewriteStats | None = None
+
+    @property
+    def is_core_xpath(self) -> bool:
+        return self.core_violation is None
+
+    @property
+    def is_extended_wadler(self) -> bool:
+        return self.wadler_violation is None
+
+    def best_algorithm(self) -> str:
+        """The algorithm ``auto`` dispatches to."""
+        if self.is_core_xpath:
+            return "corexpath"
+        return "optmincontext"
+
+
+class XPathEngine:
+    """Evaluate XPath 1.0 queries against one document."""
+
+    def __init__(
+        self,
+        document: Document,
+        variables: dict[str, object] | None = None,
+        optimize: bool = False,
+    ):
+        if not document.is_finalized:
+            raise ReproError("document must be finalized before building an engine")
+        self.document = document
+        self.variables = dict(variables or {})
+        self.optimize = optimize
+        self._cache: dict[str, CompiledQuery] = {}
+
+    # ------------------------------------------------------------------
+
+    def compile(self, query: str) -> CompiledQuery:
+        """Parse + normalize (+ optionally rewrite) + analyze a query
+        (cached per engine)."""
+        cached = self._cache.get(query)
+        if cached is not None:
+            return cached
+        ast = normalize(parse_xpath(query), self.variables)
+        compute_relevance(ast)
+        rewrite_stats = None
+        if self.optimize:
+            rewrite_stats = RewriteStats()
+            ast = rewrite(ast, rewrite_stats)
+            compute_relevance(ast)
+        compiled = CompiledQuery(
+            source=query,
+            ast=ast,
+            result_type=ast.value_type or "nset",
+            core_violation=core_xpath_violation(ast),
+            wadler_violation=wadler_violation(ast),
+            bottomup_path_count=len(find_bottomup_paths(ast)),
+            variables=dict(self.variables),
+            rewrite_stats=rewrite_stats,
+        )
+        self._cache[query] = compiled
+        return compiled
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: str | CompiledQuery,
+        context_node: Node | None = None,
+        context_position: int = 1,
+        context_size: int = 1,
+        algorithm: str = "auto",
+    ):
+        """Evaluate ``query`` for the context
+        ``⟨context_node, context_position, context_size⟩``.
+
+        Args:
+            query: query string or a :meth:`compile` result.
+            context_node: defaults to the document node (so absolute and
+                relative queries both behave naturally at the top level).
+            algorithm: one of :data:`ALGORITHMS`.
+
+        Returns:
+            A document-ordered ``list[Node]`` for node-set queries, or a
+            ``float``/``str``/``bool`` scalar.
+        """
+        compiled = self.compile(query) if isinstance(query, str) else query
+        if context_node is None:
+            context_node = self.document.root
+        context = Context(context_node, context_position, context_size)
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+        if algorithm == "auto":
+            algorithm = compiled.best_algorithm()
+        if algorithm == "corexpath":
+            if not compiled.is_core_xpath:
+                raise FragmentViolationError(
+                    f"query is not in Core XPath: {compiled.core_violation}"
+                )
+            return CoreXPathEvaluator(self.document).evaluate(compiled.ast, context)
+        if algorithm == "naive":
+            return NaiveEvaluator(self.document).evaluate(compiled.ast, context)
+        if algorithm == "topdown":
+            return TopDownEvaluator(self.document).evaluate(compiled.ast, context)
+        if algorithm == "bottomup":
+            return BottomUpEvaluator(self.document).evaluate(compiled.ast, context)
+        if algorithm == "mincontext":
+            return MinContextEvaluator(self.document).evaluate(compiled.ast, context)
+        return OptMinContextEvaluator(self.document).evaluate(compiled.ast, context)
+
+    # ------------------------------------------------------------------
+
+    def table(
+        self,
+        query: str | CompiledQuery,
+        nodes=None,
+        use_bottomup: bool = True,
+    ) -> dict[Node, object]:
+        """The context-value-table principle as a public API: evaluate the
+        query *simultaneously for every context node* and return one
+        ``{context_node: value}`` mapping.
+
+        This is asymptotically cheaper than calling :meth:`evaluate` in a
+        loop — exactly the paper's point (Section 2.3): shared tables are
+        built once. Only queries independent of the context position/size
+        qualify (``Relev ⊆ {'cn'}``); others raise
+        :class:`repro.errors.ReproError` since ``cp``/``cs`` would be
+        unbound.
+
+        Args:
+            query: query string or compiled query.
+            nodes: restrict the table to these context nodes (defaults to
+                every node of the document).
+            use_bottomup: run OPTMINCONTEXT's bottom-up pass first
+                (Algorithm 8) — cheaper for existential subexpressions.
+        """
+        compiled = self.compile(query) if isinstance(query, str) else query
+        relev = compiled.ast.relev or frozenset()
+        if "cp" in relev or "cs" in relev:
+            raise ReproError(
+                "table() needs a position/size-independent query "
+                f"(Relev = {sorted(relev)})"
+            )
+        from repro.core.bottomup_paths import eval_bottomup_path
+        from repro.xpath.fragments import find_bottomup_paths as _find
+
+        context_nodes = list(nodes) if nodes is not None else list(self.document.nodes)
+        evaluator = MinContextEvaluator(self.document)
+        if use_bottomup:
+            for node in _find(compiled.ast):
+                eval_bottomup_path(evaluator, node)
+        evaluator.eval_by_cnode_only(compiled.ast, set(context_nodes))
+        result: dict[Node, object] = {}
+        for context_node in context_nodes:
+            value = evaluator.eval_single_context(
+                compiled.ast, (context_node, 1, 1)
+            )
+            if compiled.result_type == "nset":
+                value = self.document.in_document_order(value)
+            result[context_node] = value
+        return result
+
+    def select(self, query: str | CompiledQuery, **kwargs) -> list[Node]:
+        """Like :meth:`evaluate`, but asserts a node-set result."""
+        result = self.evaluate(query, **kwargs)
+        if not isinstance(result, list):
+            raise ReproError(
+                f"select() needs a node-set query, got a {type(result).__name__} result"
+            )
+        return result

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the repro XPath engine.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class. The split mirrors the pipeline stages:
+XML parsing, XPath parsing, static analysis/normalization, and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised when an XML document is not well-formed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DocumentFrozenError(ReproError):
+    """Raised when mutating a document after it has been finalized.
+
+    Evaluation relies on the pre/post order numbering computed by
+    :meth:`repro.xml.document.Document.finalize`; mutating afterwards would
+    silently corrupt every axis computation, so it is a hard error.
+    """
+
+
+class DocumentNotFinalizedError(ReproError):
+    """Raised when evaluating against a document that was never finalized."""
+
+
+class XPathSyntaxError(ReproError):
+    """Raised when an XPath query string cannot be parsed.
+
+    Carries the 0-based character ``offset`` into the query when known.
+    """
+
+    def __init__(self, message: str, offset: int | None = None):
+        self.offset = offset
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+
+
+class XPathTypeError(ReproError):
+    """Raised by static analysis when an expression is ill-typed.
+
+    XPath 1.0 gives every expression a static type; operations such as
+    location steps applied to a number operand have no defined semantics
+    and are rejected before evaluation.
+    """
+
+
+class UnknownFunctionError(XPathTypeError):
+    """Raised when a query calls a function not in the core library."""
+
+    def __init__(self, name: str):
+        self.function_name = name
+        super().__init__(f"unknown XPath function: {name}()")
+
+
+class WrongArityError(XPathTypeError):
+    """Raised when a core library function is called with a bad arity."""
+
+    def __init__(self, name: str, got: int, expected: str):
+        self.function_name = name
+        super().__init__(f"function {name}() called with {got} argument(s), expected {expected}")
+
+
+class UnboundVariableError(ReproError):
+    """Raised when the query references a variable with no binding.
+
+    Per Section 2.2 of the paper, variables are replaced by the constant
+    value of the input variable binding before evaluation; a missing
+    binding is therefore a static error.
+    """
+
+    def __init__(self, name: str):
+        self.variable_name = name
+        super().__init__(f"unbound XPath variable: ${name}")
+
+
+class EvaluationError(ReproError):
+    """Raised for errors that only manifest during evaluation."""
+
+
+class FragmentViolationError(ReproError):
+    """Raised when an algorithm is forced onto a query outside its fragment.
+
+    For example, requesting ``algorithm='corexpath'`` for a query that uses
+    ``position()`` (not in Core XPath, Definition 12 of the paper).
+    """

@@ -1,0 +1,16 @@
+"""XPath 1.0 core function library.
+
+Signatures drive the normalizer's explicit-conversion insertion (the
+paper's Section 2.2 assumption) and implementations realize the paper's
+Figure 1 ``F`` rows plus the remaining W3C §4 functions the paper omits
+for space ("several string and number operations were omitted, cf. [11]").
+"""
+
+from repro.functions.library import (
+    FUNCTION_LIBRARY,
+    Signature,
+    apply_function,
+    signature_for,
+)
+
+__all__ = ["FUNCTION_LIBRARY", "Signature", "apply_function", "signature_for"]

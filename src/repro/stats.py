@@ -1,0 +1,103 @@
+"""Lightweight instrumentation for complexity experiments.
+
+The benchmark harness validates the paper's complexity *claims* (Theorems
+7, 10, 13) not only with wall-clock measurements but also with abstract
+operation counts, which are immune to interpreter noise:
+
+* ``count(name)`` — bump a named counter (axis calls, contexts evaluated,
+  predicate loop iterations, ...).
+* ``table_cells_allocated`` / ``table_cells_freed`` — track the number of
+  live context-value-table cells, maintaining a peak. This is the space
+  measure in the paper's space bounds (each table entry is one unit;
+  Theorem 7's ``O(|D|^2·|Q|^2)`` counts exactly these).
+
+Collection is opt-in and nestable::
+
+    with stats.collect() as s:
+        engine.evaluate(query)
+    print(s.counters["contexts_evaluated"], s.peak_table_cells)
+
+When no collector is active the hooks are near-free (one truthiness check
+on a module-level list).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stats:
+    """Counters gathered during one :func:`collect` block."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    live_table_cells: int = 0
+    peak_table_cells: int = 0
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def cells_allocated(self, amount: int) -> None:
+        self.live_table_cells += amount
+        if self.live_table_cells > self.peak_table_cells:
+            self.peak_table_cells = self.live_table_cells
+
+    def cells_freed(self, amount: int) -> None:
+        self.live_table_cells -= amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters plus the space gauges, as a plain dict."""
+        merged = dict(self.counters)
+        merged["live_table_cells"] = self.live_table_cells
+        merged["peak_table_cells"] = self.peak_table_cells
+        return merged
+
+
+# Active collectors; almost always empty, occasionally one deep.
+_active: list[Stats] = []
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Bump a counter on every active collector."""
+    if _active:
+        for collector in _active:
+            collector.bump(name, amount)
+
+
+def table_cells_allocated(amount: int) -> None:
+    """Record allocation of ``amount`` context-value-table cells."""
+    if _active:
+        for collector in _active:
+            collector.cells_allocated(amount)
+
+
+def table_cells_freed(amount: int) -> None:
+    """Record release of ``amount`` context-value-table cells."""
+    if _active:
+        for collector in _active:
+            collector.cells_freed(amount)
+
+
+def cell_weight(value) -> int:
+    """Space weight of one table entry: node-set values occupy one cell
+    per member (plus the row itself) — this is what makes an inner-path
+    relation ``⊆ dom × 2^dom`` cost ``Θ(|D|²)`` in the paper's space
+    accounting, while a boolean/number row costs ``O(1)``."""
+    if isinstance(value, (set, frozenset, list, tuple)):
+        return 1 + len(value)
+    return 1
+
+
+@contextlib.contextmanager
+def collect():
+    """Context manager that gathers stats for its dynamic extent."""
+    collector = Stats()
+    _active.append(collector)
+    try:
+        yield collector
+    finally:
+        _active.remove(collector)

@@ -1,0 +1,120 @@
+"""XPath 1.0 number semantics (``to_number`` / ``to_string`` of §2.1).
+
+XPath numbers are IEEE-754 doubles, so Python ``float`` is the right
+carrier. What needs care is the *boundary* behaviour the paper's Figure 1
+relies on:
+
+* ``to_number`` parses exactly the XPath ``Number`` grammar
+  (``Digits ('.' Digits?)? | '.' Digits`` with optional leading ``-`` and
+  surrounding whitespace — no exponent, no ``+``), everything else is NaN;
+* ``to_string`` renders integers without a decimal point ("4", not
+  "4.0"), negative zero as "0", and NaN/±Infinity by name;
+* ``boolean(num)`` is false exactly for ``±0`` and NaN (Figure 1);
+* ``round()`` rounds half toward positive infinity (not banker's
+  rounding), and ``round(-0.5)`` is negative zero.
+"""
+
+from __future__ import annotations
+
+import decimal
+import math
+import re
+
+NAN = float("nan")
+INF = float("inf")
+
+_NUMBER_PATTERN = re.compile(r"^[ \t\r\n]*-?(\d+(\.\d*)?|\.\d+)[ \t\r\n]*$")
+
+
+def to_number(text: str) -> float:
+    """The XPath 1.0 string→number conversion.
+
+    Follows the ``Number`` production: optional minus, digits with an
+    optional fractional part (or a bare fractional part), surrounded by
+    optional whitespace. Any other string converts to NaN — including
+    ``''``, ``'+1'``, ``'1e3'``, and ``'Infinity'``.
+    """
+    if _NUMBER_PATTERN.match(text):
+        return float(text)
+    return NAN
+
+
+def number_to_string(value: float) -> str:
+    """The XPath 1.0 number→string conversion.
+
+    NaN → ``"NaN"``; ±∞ → ``"±Infinity"``; integers (including -0) render
+    without a decimal point or sign of zero; other values use the shortest
+    decimal representation Python offers, expanded out of scientific
+    notation because XPath strings never carry exponents.
+    """
+    if math.isnan(value):
+        return "NaN"
+    if value == INF:
+        return "Infinity"
+    if value == -INF:
+        return "-Infinity"
+    if value == 0:
+        return "0"  # covers -0.0
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    text = repr(value)
+    if "e" in text or "E" in text:
+        # Expand scientific notation exactly (Decimal of the shortest
+        # repr), covering both huge and tiny magnitudes without loss.
+        text = format(decimal.Decimal(text), "f")
+    return text
+
+
+def xpath_floor(value: float) -> float:
+    """``floor()``: largest integer ≤ value; NaN/∞ pass through."""
+    if math.isnan(value) or math.isinf(value):
+        return value
+    return float(math.floor(value))
+
+
+def xpath_ceiling(value: float) -> float:
+    """``ceiling()``: smallest integer ≥ value; NaN/∞ pass through."""
+    if math.isnan(value) or math.isinf(value):
+        return value
+    return float(math.ceil(value))
+
+
+def xpath_round(value: float) -> float:
+    """``round()``: nearest integer, ties toward +∞ (spec §4.4).
+
+    ``round(0.5) = 1``, ``round(-0.5) = -0`` (negative zero),
+    ``round(-1.5) = -1``. NaN and the infinities pass through.
+    """
+    if math.isnan(value) or math.isinf(value):
+        return value
+    if value == int(value):
+        return value  # already integral (covers |v| >= 2^52, where v+0.5 would lose precision)
+    if -0.5 <= value < 0:
+        return -0.0
+    return float(math.floor(value + 0.5))
+
+
+def xpath_divide(left: float, right: float) -> float:
+    """IEEE division: ``x div 0`` is ±∞ (or NaN for ``0 div 0``)."""
+    if right == 0:
+        if math.isnan(left) or left == 0:
+            return NAN
+        positive = (left > 0) == (not _is_negative_zero(right) and right >= 0)
+        return INF if positive else -INF
+    return left / right
+
+
+def xpath_modulo(left: float, right: float) -> float:
+    """XPath ``mod``: remainder with the sign of the dividend (like Java/C
+    ``%``, *not* Python's floored ``%``). ``5 mod -2 = 1``,
+    ``-5 mod 2 = -1``."""
+    if math.isnan(left) or math.isnan(right) or math.isinf(left) or right == 0:
+        return NAN
+    if math.isinf(right):
+        return left
+    result = math.fmod(left, right)
+    return result
+
+
+def _is_negative_zero(value: float) -> bool:
+    return value == 0 and math.copysign(1.0, value) < 0

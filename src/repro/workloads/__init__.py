@@ -1,0 +1,45 @@
+"""Synthetic workloads: document generators and query families.
+
+Everything the benchmark harness sweeps over lives here, so experiments
+are reproducible from parameters alone (no external data needed — the
+paper's own evaluation artifacts are worked examples plus complexity
+claims; see DESIGN.md §4).
+"""
+
+from repro.workloads.documents import (
+    balanced_tree,
+    book_catalog,
+    deep_chain,
+    doubling_document,
+    numbered_line,
+    random_document,
+    running_example_document,
+    wide_tree,
+)
+from repro.workloads.queries import (
+    core_family,
+    doubling_query,
+    example9_query,
+    position_heavy_query,
+    random_query,
+    running_example_query,
+    wadler_family,
+)
+
+__all__ = [
+    "balanced_tree",
+    "book_catalog",
+    "deep_chain",
+    "doubling_document",
+    "numbered_line",
+    "random_document",
+    "running_example_document",
+    "wide_tree",
+    "core_family",
+    "doubling_query",
+    "example9_query",
+    "position_heavy_query",
+    "random_query",
+    "running_example_query",
+    "wadler_family",
+]

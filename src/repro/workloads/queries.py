@@ -1,0 +1,171 @@
+"""Query-family generators for the benchmark sweeps and random testing.
+
+Each family is keyed to one experiment in DESIGN.md §4:
+
+* :func:`doubling_query` — EXP-X1, the exponential baseline;
+* :func:`core_family` — EXP-T13, linear-time Core XPath;
+* :func:`wadler_family` — EXP-T10, the Extended Wadler Fragment;
+* :func:`position_heavy_query` — EXP-T7, full-XPath MINCONTEXT;
+* :func:`running_example_query` / :func:`example9_query` — the paper's
+  worked examples;
+* :func:`random_query` — the differential-testing fuzzer.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def running_example_query() -> str:
+    """Section 2.4's query ``e`` (Figures 3–5)."""
+    return "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]"
+
+
+def example9_query() -> str:
+    """Example 9's query ``Q`` (Figure 6)."""
+    return (
+        "/child::a/descendant::*[boolean(following::d["
+        "(position() != last()) and (preceding-sibling::*/preceding::* = 100)"
+        "]/following::d)]"
+    )
+
+
+def doubling_query(pairs: int) -> str:
+    """``//b`` followed by ``pairs`` ``parent::a/child::b`` bounces.
+
+    On :func:`repro.workloads.documents.doubling_document`, naive
+    list-based engines do ``Θ(2^pairs)`` work while the polynomial
+    algorithms stay flat — the [11] experiment that motivates the paper.
+    """
+    query = "descendant-or-self::node()/child::a/child::b"
+    query += "/parent::a/child::b" * pairs
+    return "/" + query
+
+
+def core_family(depth: int, with_predicates: bool = True) -> str:
+    """A Core XPath query of ``depth`` steps with nested path predicates.
+
+    Example (depth 3): ``/descendant-or-self::node()/child::a[child::b]/
+    child::b[not(child::c)]/child::c`` — axes, node tests, and
+    and/or/not over location paths, nothing else (Definition 12).
+    """
+    tags = ("a", "b", "c")
+    steps = ["descendant-or-self::node()"]
+    for level in range(depth):
+        tag = tags[level % 3]
+        next_tag = tags[(level + 1) % 3]
+        if with_predicates and level % 2 == 0:
+            steps.append(f"child::{tag}[child::{next_tag} or self::{tag}]")
+        elif with_predicates:
+            steps.append(f"child::{tag}[not(child::{tag})]")
+        else:
+            steps.append(f"child::{tag}")
+    return "/" + "/".join(steps)
+
+
+def wadler_family(levels: int) -> str:
+    """An Extended-Wadler query with position arithmetic and value tests.
+
+    Built for :func:`repro.workloads.documents.numbered_line`: every step
+    walks the sibling line and keeps a large fraction of it alive, so the
+    position loops and backward propagations do real work at every size.
+    Ingredients: existential value comparisons (``π RelOp const``),
+    position/last arithmetic, and nested sibling paths — Restrictions 1–3
+    all satisfied.
+    """
+    predicates = [
+        "position() > last()*0.25",
+        "position() != last()",
+        "following-sibling::* = 100 or position() = 1",
+        "self::* >= 2",
+    ]
+    steps = ["child::*", f"child::*[{predicates[0]}]"]
+    for level in range(max(0, levels)):
+        steps.append(f"following-sibling::*[{predicates[(level + 1) % len(predicates)]}]")
+    return "/" + "/".join(steps)
+
+
+def position_heavy_query(levels: int) -> str:
+    """Full-XPath query outside the Wadler fragment (uses ``count``),
+    exercising MINCONTEXT's (cp, cs) loop — the EXP-T7 workload."""
+    steps = []
+    for level in range(max(1, levels)):
+        if level % 2 == 0:
+            steps.append("descendant::*[position() > count(child::*)]")
+        else:
+            steps.append("child::*[position() != last() or count(descendant::*) > 1]")
+    return "/" + "/".join(steps)
+
+
+# ----------------------------------------------------------------------
+# Random query generation (differential testing)
+# ----------------------------------------------------------------------
+
+_AXES = (
+    "self",
+    "child",
+    "parent",
+    "descendant",
+    "ancestor",
+    "descendant-or-self",
+    "ancestor-or-self",
+    "following",
+    "preceding",
+    "following-sibling",
+    "preceding-sibling",
+)
+
+_TESTS = ("a", "b", "c", "d", "*", "node()", "text()")
+
+
+def random_query(
+    rng: random.Random,
+    max_steps: int = 4,
+    max_depth: int = 2,
+    allow_positions: bool = True,
+) -> str:
+    """Generate a random (always grammatical, always type-correct) query.
+
+    The distribution is tuned so most queries return nonempty results on
+    the :func:`repro.workloads.documents.random_document` trees: child and
+    descendant axes dominate, predicates are rare-ish and shallow.
+    """
+    return _random_path(rng, max_steps, max_depth, absolute=True)
+
+
+def _random_path(rng: random.Random, max_steps: int, depth: int, absolute: bool) -> str:
+    steps = []
+    for _ in range(rng.randint(1, max(1, max_steps))):
+        axis = rng.choice(_AXES if rng.random() < 0.4 else ("child", "descendant", "descendant-or-self", "self"))
+        test = rng.choice(_TESTS)
+        if test in ("node()", "text()") or rng.random() < 0.25:
+            step = f"{axis}::{test}"
+        else:
+            step = f"{axis}::{test}"
+        if depth > 0 and rng.random() < 0.45:
+            step += f"[{_random_predicate(rng, depth - 1)}]"
+        steps.append(step)
+    body = "/".join(steps)
+    return ("/" + body) if absolute else body
+
+
+def _random_predicate(rng: random.Random, depth: int) -> str:
+    choice = rng.random()
+    if choice < 0.3:
+        return _random_path(rng, 2, depth, absolute=rng.random() < 0.2)
+    if choice < 0.5:
+        comparator = rng.choice(("=", "!=", "<", ">", "<=", ">="))
+        constant = rng.choice(("1", "2", "100", "'x'", "'1'"))
+        return f"{_random_path(rng, 2, 0, absolute=False)} {comparator} {constant}"
+    if choice < 0.65:
+        return f"position() {rng.choice(('=', '!=', '<', '>'))} {rng.randint(1, 4)}"
+    if choice < 0.75:
+        return "position() = last()"
+    if choice < 0.85 and depth > 0:
+        return (
+            f"{_random_predicate(rng, depth - 1)} "
+            f"{rng.choice(('and', 'or'))} {_random_predicate(rng, depth - 1)}"
+        )
+    if choice < 0.92:
+        return f"not({_random_predicate(rng, max(0, depth - 1))})"
+    return f"count({_random_path(rng, 2, 0, absolute=False)}) {rng.choice(('=', '>', '<'))} {rng.randint(0, 3)}"

@@ -1,0 +1,28 @@
+"""From-scratch XML substrate: data model, parser, builder, serializer.
+
+This package implements the data model of Section 2.1 of the paper: an
+unranked, ordered, labeled tree ``dom`` with document order, string values,
+and the ``id``/``deref_ids`` machinery. Nothing here depends on external
+XML libraries; the parser is a self-contained well-formedness checker.
+"""
+
+from repro.xml.document import Document, Node, NodeKind
+from repro.xml.parser import parse_document, parse_fragment
+from repro.xml.builder import DocumentBuilder, element, text
+from repro.xml.serializer import serialize, serialize_node
+from repro.xml.store import DocumentStore, DocumentStoreError
+
+__all__ = [
+    "Document",
+    "DocumentStore",
+    "DocumentStoreError",
+    "Node",
+    "NodeKind",
+    "parse_document",
+    "parse_fragment",
+    "DocumentBuilder",
+    "element",
+    "text",
+    "serialize",
+    "serialize_node",
+]

@@ -1,0 +1,158 @@
+"""Programmatic document construction.
+
+Two styles are offered:
+
+* :class:`DocumentBuilder` — an imperative, stack-based builder
+  (``start``/``end``/``text``/...) convenient for generators that emit
+  trees while walking some other structure (the workload generators in
+  :mod:`repro.workloads.documents` use it).
+* :func:`element`/:func:`text` — a declarative nested-call style for
+  literal trees in tests::
+
+      doc = element("a", {"id": "1"}, element("b", {}, text("hi"))).build()
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.xml.document import Document, Node, NodeKind
+
+
+class DocumentBuilder:
+    """Imperative stack-based builder for :class:`Document` trees.
+
+    Example::
+
+        b = DocumentBuilder()
+        b.start("a", id="10")
+        b.start("b", id="11")
+        b.text("hello")
+        b.end()
+        b.end()
+        doc = b.build()
+    """
+
+    def __init__(self, id_attribute: str = "id"):
+        self.document = Document(id_attribute=id_attribute)
+        self._stack: list[Node] = [self.document.root]
+        self._built = False
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open elements."""
+        return len(self._stack) - 1
+
+    def start(self, name: str, attributes: dict[str, str] | None = None, **kw_attributes: str):
+        """Open an element; attributes may be given as a dict or keywords."""
+        element = self.document.new_node(NodeKind.ELEMENT, name=name)
+        self.document.append_child(self._stack[-1], element)
+        merged = dict(attributes or {})
+        merged.update(kw_attributes)
+        for attr_name, attr_value in merged.items():
+            attr = self.document.new_node(NodeKind.ATTRIBUTE, name=attr_name, value=str(attr_value))
+            self.document.set_attribute_node(element, attr)
+        self._stack.append(element)
+        return self
+
+    def end(self):
+        """Close the most recently opened element."""
+        if len(self._stack) == 1:
+            raise ReproError("end() with no open element")
+        self._stack.pop()
+        return self
+
+    def leaf(self, name: str, content: str | None = None, attributes: dict[str, str] | None = None, **kw_attributes: str):
+        """Open an element, optionally add text, and close it."""
+        self.start(name, attributes, **kw_attributes)
+        if content is not None:
+            self.text(content)
+        return self.end()
+
+    def text(self, content: str):
+        """Append a text node to the open element.
+
+        Empty content is a no-op: the XPath data model has no empty text
+        nodes (the parser never creates them either), and allowing one
+        here would break the serialize/parse round-trip.
+        """
+        if self._stack[-1].is_document:
+            raise ReproError("text() outside the root element")
+        if content == "":
+            return self
+        node = self.document.new_node(NodeKind.TEXT, value=content)
+        self.document.append_child(self._stack[-1], node)
+        return self
+
+    def comment(self, content: str):
+        """Append a comment node."""
+        node = self.document.new_node(NodeKind.COMMENT, value=content)
+        self.document.append_child(self._stack[-1], node)
+        return self
+
+    def processing_instruction(self, target: str, data: str = ""):
+        """Append a processing-instruction node."""
+        node = self.document.new_node(NodeKind.PROCESSING_INSTRUCTION, name=target, value=data)
+        self.document.append_child(self._stack[-1], node)
+        return self
+
+    def build(self) -> Document:
+        """Finalize and return the document. All elements must be closed."""
+        if self._built:
+            raise ReproError("build() called twice")
+        if len(self._stack) != 1:
+            open_names = ", ".join(n.name or "?" for n in self._stack[1:])
+            raise ReproError(f"build() with unclosed element(s): {open_names}")
+        if not self.document.root.children:
+            raise ReproError("build() on an empty document (no root element)")
+        self._built = True
+        return self.document.finalize()
+
+
+class _Spec:
+    """Declarative node specification used by :func:`element`/:func:`text`."""
+
+    def __init__(self, kind: NodeKind, name: str | None, value: str | None,
+                 attributes: dict[str, str], children: tuple["_Spec", ...]):
+        self.kind = kind
+        self.name = name
+        self.value = value
+        self.attributes = attributes
+        self.children = children
+
+    def build(self, id_attribute: str = "id") -> Document:
+        """Materialize this spec (which must be an element) as a document."""
+        if self.kind is not NodeKind.ELEMENT:
+            raise ReproError("only an element spec can be the document root")
+        document = Document(id_attribute=id_attribute)
+        self._attach(document, document.root)
+        return document.finalize()
+
+    def _attach(self, document: Document, parent: Node) -> None:
+        node = document.new_node(self.kind, name=self.name, value=self.value)
+        document.append_child(parent, node)
+        for attr_name, attr_value in self.attributes.items():
+            attr = document.new_node(NodeKind.ATTRIBUTE, name=attr_name, value=str(attr_value))
+            document.set_attribute_node(node, attr)
+        for child in self.children:
+            child._attach(document, node)
+
+
+def element(name: str, attributes: dict[str, str] | None = None, *children: "_Spec | str") -> _Spec:
+    """Declarative element spec; string children become text nodes."""
+    specs = tuple(text(c) if isinstance(c, str) else c for c in children)
+    return _Spec(NodeKind.ELEMENT, name, None, dict(attributes or {}), specs)
+
+
+def text(content: str) -> _Spec:
+    """Declarative text-node spec."""
+    return _Spec(NodeKind.TEXT, None, content, {}, ())
+
+
+def comment(content: str) -> _Spec:
+    """Declarative comment-node spec."""
+    return _Spec(NodeKind.COMMENT, None, content, {}, ())
+
+
+def processing_instruction(target: str, data: str = "") -> _Spec:
+    """Declarative processing-instruction spec."""
+    return _Spec(NodeKind.PROCESSING_INSTRUCTION, target, data, {}, ())

@@ -1,0 +1,93 @@
+"""Document statistics: the shape numbers that drive evaluation cost.
+
+The paper's complexity bounds are stated in |D| alone, but the constants
+hide document shape: depth drives ancestor/descendant work, fanout drives
+sibling/position work, text volume drives string-value comparisons. This
+module computes those shape statistics in one O(|D|) pass — used by the
+``fragment_advisor`` example to contextualize measurements and by
+workload tests to assert generator shapes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.xml.document import Document, Node, NodeKind
+
+
+@dataclass
+class DocumentStatistics:
+    """Shape summary of one document."""
+
+    total_nodes: int = 0
+    elements: int = 0
+    attributes: int = 0
+    text_nodes: int = 0
+    comments: int = 0
+    processing_instructions: int = 0
+    max_depth: int = 0
+    max_fanout: int = 0
+    total_text_bytes: int = 0
+    identified_elements: int = 0
+    tag_counts: Counter = field(default_factory=Counter)
+
+    _parents: int = 0
+    _child_sum: int = 0
+
+    @property
+    def mean_fanout(self) -> float:
+        """Average element-child count over elements with children."""
+        if not self._parents:
+            return 0.0
+        return self._child_sum / self._parents
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        common = ", ".join(f"{tag}×{count}" for tag, count in self.tag_counts.most_common(5))
+        return (
+            f"|dom| = {self.total_nodes} "
+            f"({self.elements} elements, {self.attributes} attributes, "
+            f"{self.text_nodes} text, {self.comments} comments, "
+            f"{self.processing_instructions} PIs); "
+            f"depth ≤ {self.max_depth}, fanout ≤ {self.max_fanout} "
+            f"(mean {self.mean_fanout:.1f}); "
+            f"{self.total_text_bytes} text chars; "
+            f"{self.identified_elements} elements carry ids; "
+            f"top tags: {common}"
+        )
+
+
+def document_statistics(document: Document) -> DocumentStatistics:
+    """One-pass shape statistics for a finalized document."""
+    stats = DocumentStatistics()
+    stats.total_nodes = len(document)
+
+    def visit(node: Node, depth: int) -> None:
+        if node.kind is NodeKind.ELEMENT:
+            stats.elements += 1
+            stats.tag_counts[node.name] += 1
+            stats.max_depth = max(stats.max_depth, depth)
+            if node.attribute_value(document.id_attribute) is not None:
+                stats.identified_elements += 1
+            element_children = sum(1 for c in node.children if c.is_element)
+            if element_children:
+                stats._parents += 1
+                stats._child_sum += element_children
+                stats.max_fanout = max(stats.max_fanout, element_children)
+        elif node.kind is NodeKind.ATTRIBUTE:
+            stats.attributes += 1
+        elif node.kind is NodeKind.TEXT:
+            stats.text_nodes += 1
+            stats.total_text_bytes += len(node.value or "")
+        elif node.kind is NodeKind.COMMENT:
+            stats.comments += 1
+        elif node.kind is NodeKind.PROCESSING_INSTRUCTION:
+            stats.processing_instructions += 1
+        for attr in node.attributes:
+            visit(attr, depth + 1)
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(document.root, 0)
+    return stats

@@ -1,0 +1,158 @@
+"""Persistent document store (the paper's §7 future-work direction).
+
+The conclusion of the paper points at "using our techniques for XPath
+processors that query XML documents stored in a database". This module
+provides the minimal substrate for that: a single-file store that
+persists finalized documents in a compact node-table format and
+reconstructs them with their document order (and therefore every axis
+computation) intact.
+
+Format (JSON, one file per store):
+
+    {"version": 1,
+     "documents": {
+        "<name>": {
+            "id_attribute": "id",
+            "nodes": [[kind, name, value, parent], ...]   # pre-order
+        }, ...}}
+
+``kind`` is a single-character code; ``parent`` is the parent's pre-order
+index (the document node, index 0, has parent -1). Attributes are plain
+rows with their owner element as parent — reconstruction re-attaches them
+via ``set_attribute_node`` so the rebuilt tree is node-for-node
+isomorphic to the original, with identical ``pre`` numbering.
+
+Writes are atomic (temp file + ``os.replace``). The store is a catalog of
+independent documents; engines operate on loaded documents exactly as on
+parsed ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.errors import ReproError
+from repro.xml.document import Document, Node, NodeKind
+
+_KIND_CODES = {
+    NodeKind.DOCUMENT: "D",
+    NodeKind.ELEMENT: "E",
+    NodeKind.ATTRIBUTE: "A",
+    NodeKind.TEXT: "T",
+    NodeKind.COMMENT: "C",
+    NodeKind.PROCESSING_INSTRUCTION: "P",
+}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+_FORMAT_VERSION = 1
+
+
+class DocumentStoreError(ReproError):
+    """Raised for missing documents, format problems, or corrupt files."""
+
+
+class DocumentStore:
+    """A named collection of persisted documents in one JSON file."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = pathlib.Path(path)
+        self._data = self._read()
+
+    # ------------------------------------------------------------------
+    # File plumbing
+    # ------------------------------------------------------------------
+
+    def _read(self) -> dict:
+        if not self.path.exists():
+            return {"version": _FORMAT_VERSION, "documents": {}}
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise DocumentStoreError(f"cannot read store {self.path}: {error}") from error
+        if not isinstance(data, dict) or "documents" not in data:
+            raise DocumentStoreError(f"{self.path} is not a document store file")
+        if data.get("version") != _FORMAT_VERSION:
+            raise DocumentStoreError(
+                f"unsupported store version {data.get('version')!r} in {self.path}"
+            )
+        return data
+
+    def _write(self) -> None:
+        temp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(self._data, handle, separators=(",", ":"))
+        os.replace(temp_path, self.path)
+
+    # ------------------------------------------------------------------
+    # Catalog operations
+    # ------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Stored document names, sorted."""
+        return sorted(self._data["documents"])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data["documents"]
+
+    def __len__(self) -> int:
+        return len(self._data["documents"])
+
+    def save(self, name: str, document: Document) -> None:
+        """Persist a finalized document under ``name`` (overwrites)."""
+        document._require_finalized()
+        rows = []
+        for node in document.nodes:
+            parent = node.parent.pre if node.parent is not None else -1
+            rows.append([_KIND_CODES[node.kind], node.name, node.value, parent])
+        self._data["documents"][name] = {
+            "id_attribute": document.id_attribute,
+            "nodes": rows,
+        }
+        self._write()
+
+    def load(self, name: str) -> Document:
+        """Reconstruct the document stored under ``name``.
+
+        The rebuilt tree has identical pre-order numbering, subtree
+        sizes, and string values — every axis computation gives the same
+        answers as on the original.
+        """
+        entry = self._data["documents"].get(name)
+        if entry is None:
+            raise DocumentStoreError(f"no document named {name!r} in {self.path}")
+        document = Document(id_attribute=entry.get("id_attribute", "id"))
+        nodes: list[Node] = []
+        for index, row in enumerate(entry["nodes"]):
+            code, node_name, value, parent_index = row
+            kind = _CODE_KINDS.get(code)
+            if kind is None:
+                raise DocumentStoreError(f"corrupt store: unknown node kind {code!r}")
+            if kind is NodeKind.DOCUMENT:
+                if index != 0:
+                    raise DocumentStoreError("corrupt store: document node not first")
+                nodes.append(document.root)
+                continue
+            node = document.new_node(kind, name=node_name, value=value)
+            if not (0 <= parent_index < index):
+                raise DocumentStoreError(
+                    f"corrupt store: node {index} has invalid parent {parent_index}"
+                )
+            parent = nodes[parent_index]
+            if kind is NodeKind.ATTRIBUTE:
+                document.set_attribute_node(parent, node)
+            else:
+                document.append_child(parent, node)
+            nodes.append(node)
+        if not nodes:
+            raise DocumentStoreError("corrupt store: empty node table")
+        return document.finalize()
+
+    def delete(self, name: str) -> None:
+        """Remove a document from the store."""
+        if name not in self._data["documents"]:
+            raise DocumentStoreError(f"no document named {name!r} in {self.path}")
+        del self._data["documents"][name]
+        self._write()

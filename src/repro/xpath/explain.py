@@ -1,0 +1,100 @@
+"""Per-subexpression evaluation plans (the Corollary 11 view).
+
+OPTMINCONTEXT does not treat a query uniformly: each subexpression is
+evaluated by the cheapest strategy its shape allows. This module makes
+that visible — for every parse-tree node it reports the *strategy* the
+combined algorithm will use and the complexity bound that strategy
+carries, directly mirroring Corollary 11 ("let e be a subexpression in
+Q ... then e is evaluated in space O(|D|·|e|²) and time O(|D|²·|e|²)")
+and Theorem 13 for Core XPath parts.
+
+Strategies:
+
+* ``bottom-up``     — shape ``boolean(π)`` / ``π RelOp s``: backward
+  propagation through inverse axes; linear space
+  (linear *time* as well when ``π`` has no position predicates).
+* ``outermost-set`` — the outermost location path: plain node-set sweep.
+* ``cn-table``      — a table keyed by context node (≤ |dom| rows).
+* ``constant``      — one-row table (Relev = ∅).
+* ``cp/cs-loop``    — never tabulated; recomputed inside the loop over
+  positions (Example 5).
+* ``inner-relation``— a ``dom × 2^dom`` relation (the expensive case the
+  Wadler restrictions exist to avoid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xpath.ast import AstNode, ConstantNodeSet, Expr, Path, Step, Union
+from repro.xpath.fragments import find_bottomup_paths, is_bottomup_eligible
+from repro.xpath.unparse import step_to_string, unparse
+
+_CPCS = frozenset({"cp", "cs"})
+
+
+@dataclass
+class PlanLine:
+    """One parse-tree node's plan entry."""
+
+    depth: int
+    uid: int
+    source: str
+    strategy: str
+    bound: str
+
+    def render(self) -> str:
+        indent = "    " * self.depth
+        return f"{indent}N{self.uid} [{self.strategy:<14}] {self.source}  — {self.bound}"
+
+
+def explain(expr: Expr) -> list[PlanLine]:
+    """Build the evaluation plan for a normalized, relevance-annotated
+    query (the root is treated as the outermost expression)."""
+    bottomup = {node.uid for node in find_bottomup_paths(expr)}
+    lines: list[PlanLine] = []
+    _visit(expr, 0, bottomup, lines, is_root=True, under_bottomup=False)
+    return lines
+
+
+def explain_text(expr: Expr) -> str:
+    """The plan as a printable block."""
+    return "\n".join(line.render() for line in explain(expr))
+
+
+def _strategy_for(node: AstNode, bottomup: set[int], is_root: bool, under_bottomup: bool) -> tuple[str, str]:
+    relev = node.relev or frozenset()
+    if node.uid in bottomup:
+        return "bottom-up", "O(|D|·|e|²) space (Thm 10 / Cor 11)"
+    if is_root and isinstance(node, (Path, Union)) and node.value_type == "nset":
+        return "outermost-set", "plain node sets, O(|D|) space (Sec 3.1)"
+    if _CPCS & relev:
+        return "cp/cs-loop", "recomputed per (cp,cs) pair, no table (Ex 5)"
+    if isinstance(node, (Path, Union, ConstantNodeSet)) and not under_bottomup:
+        return "inner-relation", "table ⊆ dom × 2^dom, O(|D|²) space"
+    if isinstance(node, (Path, Union, ConstantNodeSet)):
+        return "backward-step", "inverse axis sweeps inside bottom-up path"
+    if not relev:
+        return "constant", "one-row table"
+    return "cn-table", "≤ |dom| rows (relevant context: cn)"
+
+
+def _visit(
+    node: AstNode,
+    depth: int,
+    bottomup: set[int],
+    lines: list[PlanLine],
+    is_root: bool,
+    under_bottomup: bool,
+) -> None:
+    if isinstance(node, Step):
+        source = step_to_string(node)
+    else:
+        source = unparse(node)  # type: ignore[arg-type]
+    if len(source) > 60:
+        source = source[:57] + "..."
+    strategy, bound = _strategy_for(node, bottomup, is_root, under_bottomup)
+    lines.append(PlanLine(depth, node.uid, source, strategy, bound))
+    now_under = under_bottomup or node.uid in bottomup
+    for child in node.children():
+        _visit(child, depth + 1, bottomup, lines, is_root=False, under_bottomup=now_under)

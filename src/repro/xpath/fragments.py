@@ -1,0 +1,293 @@
+"""Fragment classification: Core XPath and the Extended Wadler Fragment.
+
+Two syntactic fragments drive OPTMINCONTEXT's dispatch:
+
+* **Core XPath** (Definition 12, from [11]): location paths whose
+  predicates are and/or/not combinations of location paths. Queries fully
+  inside it evaluate in ``O(|D|·|Q|)`` (Theorem 13) via
+  :mod:`repro.core.corexpath`.
+* **Extended Wadler Fragment** (Section 4, Restrictions 1–3): evaluable
+  in ``O(|D|·|Q|²)`` space and ``O(|D|²·|Q|²)`` time (Theorem 10) because
+  every node-set subexpression sits in an existential position
+  (``boolean(π)`` / ``π RelOp s``) and can be propagated *backwards*
+  through inverse axes instead of being tabulated per context node.
+
+Both classifiers expect a **normalized** tree (conversions explicit,
+numeric predicates rewritten, unions lifted, ``id``-chains turned into
+pseudo-axis steps) and return a violation description, or ``None`` when
+the expression is in the fragment — the reason strings power the
+``fragment_advisor`` example and engine diagnostics.
+
+Interpretation notes (documented deviations / sharpenings):
+
+* Restriction 1 bans "functions which select data from an XML document",
+  listing local-name, namespace-uri, name, string, number, string-length,
+  and normalize-space. Data enters scalars only through ``string(nset)``
+  / ``number(nset)`` / the name accessors, so we ban exactly those:
+  ``string(position())`` is harmless and accepted, while every listed
+  function applied to document content is rejected. This keeps the
+  fragment's purpose (scalar sizes independent of ``|D|``) while not
+  rejecting conversions that our own normalizer inserts around
+  data-free scalars.
+* Paths rooted at filter-expression primaries (``(...)[1]/a``) are
+  outside both fragments (the paper's grammars only build pure location
+  paths).
+"""
+
+from __future__ import annotations
+
+from repro.xpath.ast import (
+    BinaryOp,
+    ConstantNodeSet,
+    Expr,
+    FunctionCall,
+    Negate,
+    NumberLiteral,
+    Path,
+    Step,
+    StringLiteral,
+    Union,
+)
+
+_COMPARISON_OPS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+
+#: Name accessors always select document data.
+_R1_NAME_ACCESSORS = frozenset({"local-name", "namespace-uri", "name"})
+#: Conversions select data exactly when applied to a node-set.
+_R1_DATA_CONVERSIONS = frozenset({"string", "number"})
+#: Derived string measures on document data (banned when fed a
+#: data-selecting conversion, which the _R1_DATA_CONVERSIONS rule already
+#: catches; listed for the strict reading used by `strict=True`).
+_R1_STRING_MEASURES = frozenset({"string-length", "normalize-space"})
+
+
+def _needs_relev(expr: Expr) -> frozenset[str]:
+    if expr.relev is None:
+        raise ValueError(
+            "fragment classification requires relevance annotations "
+            "(run compute_relevance first)"
+        )
+    return expr.relev
+
+
+# ----------------------------------------------------------------------
+# Core XPath (Definition 12)
+# ----------------------------------------------------------------------
+
+
+def core_xpath_violation(expr: Expr) -> str | None:
+    """Return why ``expr`` is outside Core XPath, or ``None`` if inside."""
+    return _core_path(expr)
+
+
+def is_core_xpath(expr: Expr) -> bool:
+    return core_xpath_violation(expr) is None
+
+
+def _core_path(expr: Expr) -> str | None:
+    if not isinstance(expr, Path):
+        return f"not a location path: {type(expr).__name__}"
+    if expr.primary is not None:
+        return "filter-expression primaries are not in Core XPath"
+    for step in expr.steps:
+        if step.axis == "id":
+            return "the id pseudo-axis is not in Core XPath"
+        for predicate in step.predicates:
+            violation = _core_predicate(predicate)
+            if violation is not None:
+                return violation
+    return None
+
+
+def _core_predicate(expr: Expr) -> str | None:
+    if isinstance(expr, BinaryOp) and expr.op in ("and", "or"):
+        return _core_predicate(expr.left) or _core_predicate(expr.right)
+    if isinstance(expr, FunctionCall) and expr.name == "not" and len(expr.args) == 1:
+        return _core_predicate(expr.args[0])
+    if isinstance(expr, FunctionCall) and expr.name == "boolean" and len(expr.args) == 1:
+        # A bare cxp predicate is boolean(path) after normalization.
+        return _core_path(expr.args[0])
+    return f"predicate uses a non-Core construct: {type(expr).__name__}"
+
+
+# ----------------------------------------------------------------------
+# Extended Wadler Fragment (Restrictions 1-3)
+# ----------------------------------------------------------------------
+
+
+def wadler_violation(expr: Expr, strict: bool = False) -> str | None:
+    """Return why ``expr`` violates Restrictions 1–3, else ``None``.
+
+    ``strict=True`` applies Restriction 1 literally (ban string-length
+    and normalize-space outright) instead of the data-flow reading
+    described in the module docstring.
+    """
+    return _wadler(expr, nset_allowed=True, strict=strict)
+
+
+def is_extended_wadler(expr: Expr, strict: bool = False) -> bool:
+    return wadler_violation(expr, strict=strict) is None
+
+
+def _wadler(expr: Expr, nset_allowed: bool, strict: bool) -> str | None:
+    if isinstance(expr, (NumberLiteral, StringLiteral)):
+        return None
+    if isinstance(expr, ConstantNodeSet):
+        if not nset_allowed:
+            return "constant node-set in a non-existential position"
+        return None
+    if isinstance(expr, Negate):
+        return _wadler(expr.operand, nset_allowed=False, strict=strict)
+    if isinstance(expr, Union):
+        if not nset_allowed:
+            return "union in a non-existential position"
+        return (
+            _wadler(expr.left, nset_allowed=True, strict=strict)
+            or _wadler(expr.right, nset_allowed=True, strict=strict)
+        )
+    if isinstance(expr, Path):
+        if not nset_allowed:
+            return "location path in a non-existential position (Restriction 2)"
+        return _wadler_path(expr, strict)
+    if isinstance(expr, BinaryOp):
+        return _wadler_binary(expr, strict)
+    if isinstance(expr, FunctionCall):
+        return _wadler_call(expr, strict)
+    return f"construct outside the fragment: {type(expr).__name__}"
+
+
+def _wadler_path(path: Path, strict: bool) -> str | None:
+    if path.primary is not None:
+        # The Section 4 reading of Restriction 3: a path may start from a
+        # context-free node set (id('k')/..., a constant binding) — the
+        # "id as axis" device. Context-*dependent* primaries are out.
+        if _needs_relev(path.primary):
+            return "context-dependent filter-expression primary"
+        violation = _wadler(path.primary, nset_allowed=True, strict=strict)
+        if violation is not None:
+            return violation
+        for predicate in path.primary_predicates:
+            violation = _wadler(predicate, nset_allowed=False, strict=strict)
+            if violation is not None:
+                return violation
+    for step in path.steps:
+        for predicate in step.predicates:
+            violation = _wadler(predicate, nset_allowed=False, strict=strict)
+            if violation is not None:
+                return violation
+    return None
+
+
+def _wadler_binary(expr: BinaryOp, strict: bool) -> str | None:
+    if expr.op in ("and", "or"):
+        return (
+            _wadler(expr.left, nset_allowed=False, strict=strict)
+            or _wadler(expr.right, nset_allowed=False, strict=strict)
+        )
+    if expr.op in _COMPARISON_OPS:
+        left_is_nset = expr.left.value_type == "nset"
+        right_is_nset = expr.right.value_type == "nset"
+        if left_is_nset and right_is_nset:
+            return "nset RelOp nset comparison (Restriction 2)"
+        if left_is_nset or right_is_nset:
+            nset_side = expr.left if left_is_nset else expr.right
+            scalar_side = expr.right if left_is_nset else expr.left
+            if _needs_relev(scalar_side):
+                return (
+                    "nset RelOp scalar where the scalar depends on the context "
+                    "(Restriction 2)"
+                )
+            return (
+                _wadler(nset_side, nset_allowed=True, strict=strict)
+                or _wadler(scalar_side, nset_allowed=False, strict=strict)
+            )
+        return (
+            _wadler(expr.left, nset_allowed=False, strict=strict)
+            or _wadler(expr.right, nset_allowed=False, strict=strict)
+        )
+    # Arithmetic.
+    return (
+        _wadler(expr.left, nset_allowed=False, strict=strict)
+        or _wadler(expr.right, nset_allowed=False, strict=strict)
+    )
+
+
+def _wadler_call(call: FunctionCall, strict: bool) -> str | None:
+    name = call.name
+    if name in ("count", "sum"):
+        return f"{name}() is not allowed (Restriction 2)"
+    if name in _R1_NAME_ACCESSORS:
+        return f"{name}() selects document data (Restriction 1)"
+    if strict and name in _R1_STRING_MEASURES:
+        return f"{name}() is banned under the strict reading of Restriction 1"
+    if name in _R1_DATA_CONVERSIONS and call.args and call.args[0].value_type == "nset":
+        return f"{name}() applied to a node-set selects document data (Restriction 1)"
+    if name == "boolean" and len(call.args) == 1 and call.args[0].value_type == "nset":
+        return _wadler(call.args[0], nset_allowed=True, strict=strict)
+    if name == "id":
+        argument = call.args[0]
+        if argument.value_type != "nset" and _needs_relev(argument):
+            return "id(s) where s depends on the context (Restriction 3)"
+        return _wadler(argument, nset_allowed=True, strict=strict)
+    for arg in call.args:
+        violation = _wadler(arg, nset_allowed=False, strict=strict)
+        if violation is not None:
+            return violation
+    return None
+
+
+# ----------------------------------------------------------------------
+# Bottom-up path discovery (for OPTMINCONTEXT, Algorithm 8)
+# ----------------------------------------------------------------------
+
+
+def find_bottomup_paths(expr: Expr) -> list[Expr]:
+    """Find subexpressions OPTMINCONTEXT evaluates bottom-up.
+
+    Eligible shapes (Section 4): ``boolean(π)`` and ``π RelOp s`` where
+    ``π`` is a plain location path and ``s`` is independent of the
+    context (``Relev(s) = ∅``). Returned in post-order, i.e. innermost
+    first, as Algorithm 8 requires ("starting with the innermost ones in
+    case of nesting").
+
+    Note eligibility is about *shape*, not Wadler membership: the
+    bottom-up procedure is correct for any predicates (they are handled
+    through eval_by_cnode_only / eval_single_context); the Wadler
+    restrictions only matter for the *space guarantee* of Theorem 10.
+    """
+    found: list[Expr] = []
+    _find_bottomup(expr, found, is_root=True)
+    return found
+
+
+def is_bottomup_eligible(expr: Expr) -> bool:
+    """Is this node itself of shape ``boolean(π)`` / ``π RelOp s``?"""
+    if isinstance(expr, FunctionCall) and expr.name == "boolean" and len(expr.args) == 1:
+        return _is_propagatable_path(expr.args[0])
+    if isinstance(expr, BinaryOp) and expr.op in _COMPARISON_OPS:
+        left_is_path = _is_propagatable_path(expr.left)
+        right_is_path = _is_propagatable_path(expr.right)
+        if left_is_path and not right_is_path and expr.right.value_type != "nset":
+            return not _needs_relev(expr.right)
+        if right_is_path and not left_is_path and expr.left.value_type != "nset":
+            return not _needs_relev(expr.left)
+    return False
+
+
+def _is_propagatable_path(expr: Expr) -> bool:
+    """A path :func:`repro.core.bottomup_paths.propagate_path_backwards`
+    can handle: a plain location path with at least one step, optionally
+    rooted at a context-free predicate-less primary (the id-as-axis
+    device)."""
+    if not isinstance(expr, Path) or not expr.steps:
+        return False
+    if expr.primary is None:
+        return True
+    return not expr.primary_predicates and not _needs_relev(expr.primary)
+
+
+def _find_bottomup(node, found: list[Expr], is_root: bool) -> None:
+    for child in node.children():
+        _find_bottomup(child, found, is_root=False)
+    if not is_root and isinstance(node, Expr) and is_bottomup_eligible(node):
+        found.append(node)

@@ -1,0 +1,200 @@
+"""XPath 1.0 tokenizer.
+
+Implements the lexical structure of the W3C recommendation §3.7,
+including the two disambiguation rules that make XPath lexing mildly
+context-sensitive:
+
+* a ``*`` is the multiplication operator (rather than a wildcard name
+  test) exactly when the preceding token is not ``@``, ``::``, ``(``,
+  ``[``, ``,``, or an operator;
+* under the same condition an NCName is an operator name
+  (``and or div mod``); otherwise a name followed by ``(`` is a function
+  name, a name followed by ``::`` is an axis name, and any other name is
+  a name test.
+
+The tokenizer resolves both rules, so the parser sees unambiguous token
+types.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import XPathSyntaxError
+
+
+class TokenType(enum.Enum):
+    NUMBER = "number"
+    LITERAL = "literal"
+    NAME = "name"  # name test component (may be '*' handled separately)
+    FUNCTION_NAME = "function-name"
+    AXIS_NAME = "axis-name"
+    OPERATOR = "operator"  # and or div mod = != <= < >= > + - * | /  //
+    VARIABLE = "variable"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    AT = "@"
+    DOT = "."
+    DOTDOT = ".."
+    COLONCOLON = "::"
+    STAR = "star"  # wildcard name test
+    END = "end"
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: str
+    offset: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+_NUMBER = re.compile(r"\d+(\.\d*)?|\.\d+")
+_NAME = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*(:[A-Za-z_][A-Za-z0-9_.\-]*)?")
+_OPERATOR_NAMES = frozenset({"and", "or", "div", "mod"})
+_NODE_TYPES = frozenset({"node", "text", "comment", "processing-instruction"})
+
+#: Token types after which '*' is a wildcard and names are name tests.
+_NAME_POSITION_PREDECESSORS = frozenset(
+    {
+        TokenType.OPERATOR,
+        TokenType.AT,
+        TokenType.COLONCOLON,
+        TokenType.LPAREN,
+        TokenType.LBRACKET,
+        TokenType.COMMA,
+    }
+)
+
+
+def _in_operator_position(previous: Token | None) -> bool:
+    """True when the disambiguation rule forces operator interpretation."""
+    if previous is None:
+        return False
+    return previous.type not in _NAME_POSITION_PREDECESSORS
+
+
+def tokenize_xpath(source: str) -> list[Token]:
+    """Tokenize an XPath expression; appends a sentinel END token."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(source)
+
+    def previous() -> Token | None:
+        return tokens[-1] if tokens else None
+
+    while pos < length:
+        ch = source[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        start = pos
+        if ch == "'" or ch == '"':
+            end = source.find(ch, pos + 1)
+            if end == -1:
+                raise XPathSyntaxError("unterminated string literal", pos)
+            tokens.append(Token(TokenType.LITERAL, source[pos + 1 : end], start))
+            pos = end + 1
+            continue
+        number_match = _NUMBER.match(source, pos)
+        # '.' starts a number only when followed by a digit; plain '.' and
+        # '..' are abbreviations.
+        if ch.isdigit() or (ch == "." and number_match):
+            tokens.append(Token(TokenType.NUMBER, number_match.group(), start))
+            pos = number_match.end()
+            continue
+        if source.startswith("..", pos):
+            tokens.append(Token(TokenType.DOTDOT, "..", start))
+            pos += 2
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenType.DOT, ".", start))
+            pos += 1
+            continue
+        if source.startswith("::", pos):
+            tokens.append(Token(TokenType.COLONCOLON, "::", start))
+            pos += 2
+            continue
+        if source.startswith("//", pos):
+            tokens.append(Token(TokenType.OPERATOR, "//", start))
+            pos += 2
+            continue
+        if source.startswith("!=", pos) or source.startswith("<=", pos) or source.startswith(">=", pos):
+            tokens.append(Token(TokenType.OPERATOR, source[pos : pos + 2], start))
+            pos += 2
+            continue
+        if ch in "/|+-=<>":
+            tokens.append(Token(TokenType.OPERATOR, ch, start))
+            pos += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, ch, start))
+            pos += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ch, start))
+            pos += 1
+            continue
+        if ch == "[":
+            tokens.append(Token(TokenType.LBRACKET, ch, start))
+            pos += 1
+            continue
+        if ch == "]":
+            tokens.append(Token(TokenType.RBRACKET, ch, start))
+            pos += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ch, start))
+            pos += 1
+            continue
+        if ch == "@":
+            tokens.append(Token(TokenType.AT, ch, start))
+            pos += 1
+            continue
+        if ch == "$":
+            name_match = _NAME.match(source, pos + 1)
+            if not name_match:
+                raise XPathSyntaxError("'$' must be followed by a variable name", pos)
+            tokens.append(Token(TokenType.VARIABLE, name_match.group(), start))
+            pos = name_match.end()
+            continue
+        if ch == "*":
+            if _in_operator_position(previous()):
+                tokens.append(Token(TokenType.OPERATOR, "*", start))
+            else:
+                tokens.append(Token(TokenType.STAR, "*", start))
+            pos += 1
+            continue
+        name_match = _NAME.match(source, pos)
+        if name_match:
+            name = name_match.group()
+            pos = name_match.end()
+            if _in_operator_position(previous()):
+                if name not in _OPERATOR_NAMES:
+                    raise XPathSyntaxError(
+                        f"unexpected name {name!r} in operator position", start
+                    )
+                tokens.append(Token(TokenType.OPERATOR, name, start))
+                continue
+            # Peek past whitespace to classify the name.
+            peek = pos
+            while peek < length and source[peek] in " \t\r\n":
+                peek += 1
+            if source.startswith("::", peek):
+                tokens.append(Token(TokenType.AXIS_NAME, name, start))
+            elif peek < length and source[peek] == "(" and name not in _NODE_TYPES:
+                tokens.append(Token(TokenType.FUNCTION_NAME, name, start))
+            else:
+                tokens.append(Token(TokenType.NAME, name, start))
+            continue
+        raise XPathSyntaxError(f"unexpected character {ch!r}", pos)
+
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

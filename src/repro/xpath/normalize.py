@@ -1,0 +1,298 @@
+"""Normalization: establish the paper's Section 2.2 assumptions.
+
+The paper's semantics (and all four evaluation algorithms) assume a
+*normalized* parse tree:
+
+1. **Variables are gone** — "each variable is replaced by the (constant)
+   value of the input variable binding".
+2. **All type conversions are explicit** — ``boolean()``, ``number()``,
+   ``string()`` calls appear wherever XPath 1.0's implicit conversion
+   rules would fire: predicate truth tests, and/or operands, arithmetic
+   operands, and function arguments per signature. A numeric predicate
+   ``[e]`` becomes ``[position() = e]`` (W3C §2.4).
+3. **``id`` chains over node-sets are axis steps** — Section 4's rewrite
+   of ``id(id(...(π)...))`` to ``π/id/id/.../id``, treating ``id`` as a
+   pseudo-axis. ``id(s)`` for scalar ``s`` stays a function call.
+4. **Unions are lifted out of existential positions** —
+   ``boolean(π1|π2)`` → ``boolean(π1) or boolean(π2)`` and
+   ``(π1|π2) RelOp s`` → ``(π1 RelOp s) or (π2 RelOp s)``, as assumed by
+   ``propagate_path_backwards`` ("we assume w.l.o.g. that all occurrences
+   of '|' have been removed").
+
+The pass is bottom-up and annotates every node's static ``value_type``
+(every XPath 1.0 expression has one of the four types statically).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnboundVariableError, XPathTypeError
+from repro.functions.library import signature_for
+from repro.xpath.ast import (
+    BinaryOp,
+    ConstantNodeSet,
+    Expr,
+    FunctionCall,
+    Negate,
+    NodeTest,
+    NumberLiteral,
+    Path,
+    Step,
+    StringLiteral,
+    Union,
+    VariableRef,
+)
+
+_ARITHMETIC_OPS = frozenset({"+", "-", "*", "div", "mod"})
+_COMPARISON_OPS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+_BOOLEAN_OPS = frozenset({"and", "or"})
+
+_CONVERSION_FUNCTIONS = {"bool": "boolean", "num": "number", "str": "string"}
+
+
+def _typed(expr: Expr, value_type: str) -> Expr:
+    expr.value_type = value_type
+    return expr
+
+
+def _convert(expr: Expr, to_type: str) -> Expr:
+    """Wrap ``expr`` in an explicit conversion call if its type differs."""
+    if expr.value_type == to_type:
+        return expr
+    if to_type == "nset":
+        raise XPathTypeError(
+            f"a {expr.value_type} expression cannot be converted to a node-set"
+        )
+    call = FunctionCall(_CONVERSION_FUNCTIONS[to_type], [expr])
+    return _typed(call, to_type)
+
+
+def _self_node_path() -> Path:
+    """``self::node()`` — the default argument of context-defaulting
+    functions like ``string()``."""
+    path = Path(steps=[Step("self", NodeTest("node"))])
+    return _typed(path, "nset")
+
+
+class _Normalizer:
+    def __init__(self, variables: dict[str, object] | None):
+        self.variables = variables or {}
+
+    # ------------------------------------------------------------------
+
+    def normalize(self, expr: Expr) -> Expr:
+        if isinstance(expr, NumberLiteral):
+            return _typed(expr, "num")
+        if isinstance(expr, StringLiteral):
+            return _typed(expr, "str")
+        if isinstance(expr, ConstantNodeSet):
+            return _typed(expr, "nset")
+        if isinstance(expr, VariableRef):
+            return self._substitute_variable(expr)
+        if isinstance(expr, Negate):
+            operand = _convert(self.normalize(expr.operand), "num")
+            expr.operand = operand
+            return _typed(expr, "num")
+        if isinstance(expr, BinaryOp):
+            return self._normalize_binary(expr)
+        if isinstance(expr, Union):
+            left = self.normalize(expr.left)
+            right = self.normalize(expr.right)
+            if left.value_type != "nset" or right.value_type != "nset":
+                raise XPathTypeError("operands of '|' must be node-sets")
+            expr.left, expr.right = left, right
+            return _typed(expr, "nset")
+        if isinstance(expr, Path):
+            return self._normalize_path(expr)
+        if isinstance(expr, FunctionCall):
+            return self._normalize_call(expr)
+        raise XPathTypeError(f"cannot normalize node {expr!r}")
+
+    # ------------------------------------------------------------------
+
+    def _substitute_variable(self, ref: VariableRef) -> Expr:
+        if ref.name not in self.variables:
+            raise UnboundVariableError(ref.name)
+        value = self.variables[ref.name]
+        if isinstance(value, bool):
+            return _typed(FunctionCall("true" if value else "false", []), "bool")
+        if isinstance(value, (int, float)):
+            return _typed(NumberLiteral(float(value)), "num")
+        if isinstance(value, str):
+            return _typed(StringLiteral(value), "str")
+        if isinstance(value, (set, frozenset, list, tuple)):
+            return _typed(ConstantNodeSet(value), "nset")
+        raise XPathTypeError(f"unsupported variable binding type for ${ref.name}: {type(value)}")
+
+    def _normalize_binary(self, expr: BinaryOp) -> Expr:
+        left = self.normalize(expr.left)
+        right = self.normalize(expr.right)
+        if expr.op in _BOOLEAN_OPS:
+            expr.left = _convert(left, "bool")
+            expr.right = _convert(right, "bool")
+            return _typed(expr, "bool")
+        if expr.op in _ARITHMETIC_OPS:
+            expr.left = _convert(left, "num")
+            expr.right = _convert(right, "num")
+            return _typed(expr, "num")
+        if expr.op in _COMPARISON_OPS:
+            # Figure 1 defines comparison on all type pairs; no conversion
+            # is inserted. Lift unions out first (Section 4 / Section 6
+            # pseudo-code assumption).
+            lifted = self._lift_union_comparison(expr.op, left, right)
+            if lifted is not None:
+                return lifted
+            expr.left, expr.right = left, right
+            return _typed(expr, "bool")
+        raise XPathTypeError(f"unknown binary operator {expr.op!r}")
+
+    def _lift_union_comparison(self, op: str, left: Expr, right: Expr) -> Expr | None:
+        """``(π1|π2) RelOp e`` → ``(π1 RelOp e) or (π2 RelOp e)`` (both
+        sides checked). Sound because node-set comparisons are existential
+        over the set, and a union is the union of its branches."""
+        if isinstance(left, Union):
+            # Rebuild explicitly to avoid sharing subtrees between branches.
+            return self._make_or(
+                self._normalize_binary(BinaryOp(op, left.left, right)),
+                self._normalize_binary(BinaryOp(op, left.right, _clone(right))),
+            )
+        if isinstance(right, Union):
+            return self._make_or(
+                self._normalize_binary(BinaryOp(op, left, right.left)),
+                self._normalize_binary(BinaryOp(op, _clone(left), right.right)),
+            )
+        return None
+
+    def _make_or(self, left: Expr, right: Expr) -> Expr:
+        return _typed(BinaryOp("or", left, right), "bool")
+
+    def _normalize_path(self, path: Path) -> Expr:
+        if path.primary is not None:
+            primary = self.normalize(path.primary)
+            if primary.value_type != "nset":
+                raise XPathTypeError(
+                    "a filter expression followed by predicates or '/' must be a node-set, "
+                    f"got {primary.value_type}"
+                )
+            path.primary = primary
+        path.primary_predicates = [self._normalize_predicate(p) for p in path.primary_predicates]
+        for step in path.steps:
+            step.predicates = [self._normalize_predicate(p) for p in step.predicates]
+            step.value_type = "nset"
+        return _typed(path, "nset")
+
+    def _normalize_predicate(self, expr: Expr) -> Expr:
+        """W3C §2.4: a numeric predicate ``[e]`` means
+        ``[position() = e]``; anything else is wrapped in ``boolean()``."""
+        normalized = self.normalize(expr)
+        if normalized.value_type == "num":
+            position = _typed(FunctionCall("position", []), "num")
+            return _typed(BinaryOp("=", position, normalized), "bool")
+        if normalized.value_type == "bool":
+            return self._lift_boolean_union(normalized)
+        return self._lift_boolean_union(_convert(normalized, "bool"))
+
+    def _lift_boolean_union(self, expr: Expr) -> Expr:
+        """``boolean(π1|π2)`` → ``boolean(π1) or boolean(π2)``."""
+        if (
+            isinstance(expr, FunctionCall)
+            and expr.name == "boolean"
+            and len(expr.args) == 1
+            and isinstance(expr.args[0], Union)
+        ):
+            union = expr.args[0]
+            return self._make_or(
+                self._lift_boolean_union(_typed(FunctionCall("boolean", [union.left]), "bool")),
+                self._lift_boolean_union(_typed(FunctionCall("boolean", [union.right]), "bool")),
+            )
+        return expr
+
+    def _normalize_call(self, call: FunctionCall) -> Expr:
+        signature = signature_for(call.name)
+        signature.check_arity(len(call.args))
+        args = [self.normalize(a) for a in call.args]
+        if not args and signature.defaults_to_context:
+            args = [_self_node_path()]
+        # Section 4 rewrite: id over a node-set becomes the id pseudo-axis.
+        if call.name == "id" and args and args[0].value_type == "nset":
+            return self._rewrite_id_axis(args[0])
+        converted: list[Expr] = []
+        for index, arg in enumerate(args):
+            param_index = min(index, len(signature.params) - 1)
+            param = signature.params[param_index]
+            if param == "object":
+                converted.append(arg)
+            elif param == "nset":
+                if arg.value_type != "nset":
+                    raise XPathTypeError(
+                        f"argument {index + 1} of {call.name}() must be a node-set"
+                    )
+                converted.append(arg)
+            else:
+                converted.append(_convert(arg, param))
+        call.args = converted
+        result = _typed(call, signature.returns)
+        if call.name == "boolean":
+            return self._lift_boolean_union(result)
+        return result
+
+    def _rewrite_id_axis(self, arg: Expr) -> Expr:
+        """``id(π)`` ≡ π extended with one ``id``-axis step (Section 4)."""
+        id_step = Step("id", NodeTest("node"))
+        id_step.value_type = "nset"
+        if isinstance(arg, Path):
+            arg.steps.append(id_step)
+            return _typed(arg, "nset")
+        # Union / constant node-set primary: root a new path at it.
+        return _typed(Path(primary=arg, steps=[id_step]), "nset")
+
+
+def _clone(expr: Expr) -> Expr:
+    """Deep-copy an already-normalized subtree with fresh uids.
+
+    Needed by the union-lifting rewrites, which duplicate the scalar side
+    of a comparison into both branches; sharing one AST object between two
+    parse-tree positions would confuse ``table(N)`` bookkeeping.
+    """
+    if isinstance(expr, NumberLiteral):
+        return _typed(NumberLiteral(expr.value), "num")
+    if isinstance(expr, StringLiteral):
+        return _typed(StringLiteral(expr.value), "str")
+    if isinstance(expr, ConstantNodeSet):
+        return _typed(ConstantNodeSet(expr.nodes), "nset")
+    if isinstance(expr, Negate):
+        return _typed(Negate(_clone(expr.operand)), expr.value_type)
+    if isinstance(expr, BinaryOp):
+        return _typed(BinaryOp(expr.op, _clone(expr.left), _clone(expr.right)), expr.value_type)
+    if isinstance(expr, Union):
+        return _typed(Union(_clone(expr.left), _clone(expr.right)), expr.value_type)
+    if isinstance(expr, FunctionCall):
+        return _typed(FunctionCall(expr.name, [_clone(a) for a in expr.args]), expr.value_type)
+    if isinstance(expr, Path):
+        clone = Path(
+            absolute=expr.absolute,
+            primary=_clone(expr.primary) if expr.primary is not None else None,
+            primary_predicates=[_clone(p) for p in expr.primary_predicates],
+            steps=[_clone_step(s) for s in expr.steps],
+        )
+        return _typed(clone, expr.value_type)
+    raise XPathTypeError(f"cannot clone node {expr!r}")
+
+
+def _clone_step(step: Step) -> Step:
+    clone = Step(step.axis, step.node_test, [_clone(p) for p in step.predicates])
+    clone.value_type = "nset"
+    return clone
+
+
+def normalize(expr: Expr, variables: dict[str, object] | None = None) -> Expr:
+    """Normalize a freshly parsed expression (see module docstring).
+
+    Args:
+        expr: AST from :func:`repro.xpath.parser.parse_xpath`.
+        variables: variable bindings (`$x` values): Python bool/float/str
+            or an iterable of nodes.
+
+    Returns the normalized, statically typed AST (shares mutated nodes
+    with the input — reparse rather than reuse the raw AST).
+    """
+    return _Normalizer(variables).normalize(expr)

@@ -1,0 +1,349 @@
+"""Recursive-descent parser for the full XPath 1.0 grammar.
+
+Accepts both the unabbreviated syntax the paper uses
+(``/descendant::*[position() > last()*0.5]``) and the abbreviated one
+(``//c[@id='12']``). Abbreviations are expanded during parsing, per the
+W3C rules:
+
+* ``//``   →  ``/descendant-or-self::node()/``
+* ``.``    →  ``self::node()``
+* ``..``   →  ``parent::node()``
+* ``@n``   →  ``attribute::n``
+* no axis  →  ``child::``
+
+Operator precedence (low to high): ``or``, ``and``, equality, relational,
+additive, multiplicative, unary minus, union ``|``, path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    BinaryOp,
+    Expr,
+    FunctionCall,
+    Negate,
+    NodeTest,
+    NumberLiteral,
+    Path,
+    Step,
+    StringLiteral,
+    Union,
+    VariableRef,
+)
+from repro.xpath.lexer import Token, TokenType, tokenize_xpath
+
+_AXES = frozenset(
+    {
+        "self",
+        "child",
+        "parent",
+        "descendant",
+        "ancestor",
+        "descendant-or-self",
+        "ancestor-or-self",
+        "following",
+        "preceding",
+        "following-sibling",
+        "preceding-sibling",
+        "attribute",
+        "namespace",
+    }
+)
+
+_NODE_TYPE_NAMES = frozenset({"node", "text", "comment", "processing-instruction"})
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize_xpath(source)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.END:
+            self.index += 1
+        return token
+
+    def accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.type is token_type and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self.accept(token_type, value)
+        if token is None:
+            actual = self.peek()
+            wanted = value or token_type.value
+            raise XPathSyntaxError(
+                f"expected {wanted!r}, found {actual.value!r}", actual.offset
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        trailing = self.peek()
+        if trailing.type is not TokenType.END:
+            raise XPathSyntaxError(
+                f"unexpected trailing input {trailing.value!r}", trailing.offset
+            )
+        return expr
+
+    # ------------------------------------------------------------------
+    # Expression levels
+    # ------------------------------------------------------------------
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept(TokenType.OPERATOR, "or"):
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_equality()
+        while self.accept(TokenType.OPERATOR, "and"):
+            left = BinaryOp("and", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> Expr:
+        left = self.parse_relational()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("=", "!="):
+                self.advance()
+                left = BinaryOp(token.value, left, self.parse_relational())
+            else:
+                return left
+
+    def parse_relational(self) -> Expr:
+        left = self.parse_additive()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("<", "<=", ">", ">="):
+                self.advance()
+                left = BinaryOp(token.value, left, self.parse_additive())
+            else:
+                return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                self.advance()
+                left = BinaryOp(token.value, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "div", "mod"):
+                self.advance()
+                left = BinaryOp(token.value, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept(TokenType.OPERATOR, "-"):
+            return Negate(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> Expr:
+        left = self.parse_path()
+        while self.accept(TokenType.OPERATOR, "|"):
+            left = Union(left, self.parse_path())
+        return left
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def parse_path(self) -> Expr:
+        """PathExpr: a location path, or a filter expression optionally
+        followed by '/' RelativeLocationPath."""
+        if self._starts_location_path():
+            return self.parse_location_path()
+        primary = self.parse_primary()
+        predicates: list[Expr] = []
+        while self.peek().type is TokenType.LBRACKET:
+            predicates.append(self.parse_predicate())
+        token = self.peek()
+        has_tail = token.type is TokenType.OPERATOR and token.value in ("/", "//")
+        if not predicates and not has_tail:
+            return primary
+        steps: list[Step] = []
+        if has_tail:
+            self.advance()
+            if token.value == "//":
+                steps.append(Step("descendant-or-self", NodeTest("node")))
+            steps.extend(self.parse_relative_steps())
+        return Path(primary=primary, primary_predicates=predicates, steps=steps)
+
+    def _starts_location_path(self) -> bool:
+        token = self.peek()
+        if token.type in (
+            TokenType.NAME,
+            TokenType.STAR,
+            TokenType.AXIS_NAME,
+            TokenType.AT,
+            TokenType.DOT,
+            TokenType.DOTDOT,
+        ):
+            return True
+        if token.type is TokenType.OPERATOR and token.value in ("/", "//"):
+            return True
+        # node-type tests lex as FUNCTION_NAME-free NAME except
+        # processing-instruction('x') which lexes as NAME + LPAREN; the
+        # lexer already keeps node types as NAME, so nothing more here.
+        return False
+
+    def parse_location_path(self) -> Path:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.value in ("/", "//"):
+            self.advance()
+            steps: list[Step] = []
+            if token.value == "//":
+                steps.append(Step("descendant-or-self", NodeTest("node")))
+                steps.extend(self.parse_relative_steps())
+            elif self._starts_step():
+                steps.extend(self.parse_relative_steps())
+            return Path(absolute=True, steps=steps)
+        return Path(steps=self.parse_relative_steps())
+
+    def _starts_step(self) -> bool:
+        token = self.peek()
+        return token.type in (
+            TokenType.NAME,
+            TokenType.STAR,
+            TokenType.AXIS_NAME,
+            TokenType.AT,
+            TokenType.DOT,
+            TokenType.DOTDOT,
+        )
+
+    def parse_relative_steps(self) -> list[Step]:
+        steps = [self.parse_step()]
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value == "/":
+                self.advance()
+                steps.append(self.parse_step())
+            elif token.type is TokenType.OPERATOR and token.value == "//":
+                self.advance()
+                steps.append(Step("descendant-or-self", NodeTest("node")))
+                steps.append(self.parse_step())
+            else:
+                return steps
+
+    def parse_step(self) -> Step:
+        if self.accept(TokenType.DOT):
+            return Step("self", NodeTest("node"))
+        if self.accept(TokenType.DOTDOT):
+            return Step("parent", NodeTest("node"))
+        axis = "child"
+        axis_token = self.accept(TokenType.AXIS_NAME)
+        if axis_token is not None:
+            if axis_token.value not in _AXES:
+                raise XPathSyntaxError(
+                    f"unknown axis {axis_token.value!r}", axis_token.offset
+                )
+            if axis_token.value == "namespace":
+                raise XPathSyntaxError(
+                    "the namespace axis is not supported (see DESIGN.md)",
+                    axis_token.offset,
+                )
+            axis = axis_token.value
+            self.expect(TokenType.COLONCOLON)
+        elif self.accept(TokenType.AT):
+            axis = "attribute"
+        node_test = self.parse_node_test()
+        predicates: list[Expr] = []
+        while self.peek().type is TokenType.LBRACKET:
+            predicates.append(self.parse_predicate())
+        return Step(axis, node_test, predicates)
+
+    def parse_node_test(self) -> NodeTest:
+        if self.accept(TokenType.STAR):
+            return NodeTest("wildcard")
+        token = self.peek()
+        if token.type is TokenType.NAME:
+            self.advance()
+            if token.value in _NODE_TYPE_NAMES and self.peek().type is TokenType.LPAREN:
+                self.advance()  # consume '('
+                if token.value == "processing-instruction":
+                    target = None
+                    literal = self.accept(TokenType.LITERAL)
+                    if literal is not None:
+                        target = literal.value
+                    self.expect(TokenType.RPAREN)
+                    return NodeTest("pi", target)
+                self.expect(TokenType.RPAREN)
+                if token.value == "node":
+                    return NodeTest("node")
+                return NodeTest(token.value)
+            return NodeTest("name", token.value)
+        raise XPathSyntaxError(f"expected a node test, found {token.value!r}", token.offset)
+
+    def parse_predicate(self) -> Expr:
+        self.expect(TokenType.LBRACKET)
+        expr = self.parse_or()
+        self.expect(TokenType.RBRACKET)
+        return expr
+
+    # ------------------------------------------------------------------
+    # Primaries
+    # ------------------------------------------------------------------
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.type is TokenType.VARIABLE:
+            self.advance()
+            return VariableRef(token.value)
+        if token.type is TokenType.LITERAL:
+            self.advance()
+            return StringLiteral(token.value)
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return NumberLiteral(float(token.value))
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            inner = self.parse_or()
+            self.expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.FUNCTION_NAME:
+            self.advance()
+            self.expect(TokenType.LPAREN)
+            args: list[Expr] = []
+            if self.peek().type is not TokenType.RPAREN:
+                args.append(self.parse_or())
+                while self.accept(TokenType.COMMA):
+                    args.append(self.parse_or())
+            self.expect(TokenType.RPAREN)
+            return FunctionCall(token.value, args)
+        raise XPathSyntaxError(f"unexpected token {token.value!r}", token.offset)
+
+
+def parse_xpath(source: str) -> Expr:
+    """Parse an XPath 1.0 expression string into an AST.
+
+    The result is *raw*: run :func:`repro.xpath.normalize.normalize` to
+    substitute variables, insert the explicit type conversions the paper
+    assumes, and annotate static types before handing it to an evaluator
+    (the engine does this for you).
+    """
+    return _Parser(source).parse()

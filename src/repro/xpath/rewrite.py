@@ -1,0 +1,317 @@
+"""Semantics-preserving query rewrites (optimizer pass).
+
+The paper's related-work section points at XPath query transformation and
+optimization ([5] "Symmetry in XPath", [12]); this module implements the
+classic algebraic rewrites that compose with the paper's algorithms, each
+guarded by the static analyses so it *provably* preserves semantics:
+
+* **Descendant fusion** — ``descendant-or-self::node()/child::t`` (the
+  expansion of ``//t``) fuses into the single step ``descendant::t``.
+  Guard: the child step's predicates must not use ``position()`` or
+  ``last()`` (fusion changes proximity groups: child positions are
+  per-parent, descendant positions per-origin), and the d-o-s step must
+  be bare. This saves a full intermediate node-set per ``//``.
+* **Self-step elision** — ``π1/self::node()/π2`` → ``π1/π2`` when the
+  self step has no predicates.
+* **Constant folding** — arithmetic, boolean connectives, comparisons,
+  and core functions over literal operands are evaluated at compile time
+  (numbers, strings, ``true()``/``false()``; never node-sets).
+* **Double negation** — ``not(not(e))`` → ``e``.
+* **Trivial predicate elimination** — a predicate that folded to the
+  constant ``true()`` is dropped; one that folded to ``false()`` marks
+  the step unsatisfiable, collapsing the whole path to the empty set
+  (represented as a never-matching step).
+
+The pass runs on *normalized* trees and re-annotates ``value_type``; the
+engine applies it when constructed with ``optimize=True``. Equivalence is
+enforced by the differential test suite
+(``tests/test_rewrite.py``) which runs rewritten and original queries
+through independent evaluators on a corpus of random documents.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.values import numbers as num
+from repro.values.compare import compare_values
+from repro.xpath.ast import (
+    BinaryOp,
+    ConstantNodeSet,
+    Expr,
+    FunctionCall,
+    Negate,
+    NodeTest,
+    NumberLiteral,
+    Path,
+    Step,
+    StringLiteral,
+    Union,
+)
+
+_CPCS = frozenset({"cp", "cs"})
+_COMPARISONS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+
+#: Core functions foldable over literal scalar arguments (pure, total).
+_FOLDABLE_FUNCTIONS = frozenset(
+    {
+        "concat",
+        "starts-with",
+        "contains",
+        "substring-before",
+        "substring-after",
+        "substring",
+        "string-length",
+        "normalize-space",
+        "translate",
+        "not",
+        "floor",
+        "ceiling",
+        "round",
+        "boolean",
+        "number",
+        "string",
+    }
+)
+
+
+class RewriteStats:
+    """What the pass did — surfaced by the CLI and the ablation bench."""
+
+    def __init__(self):
+        self.descendant_fusions = 0
+        self.self_elisions = 0
+        self.constants_folded = 0
+        self.predicates_eliminated = 0
+        self.double_negations = 0
+
+    def total(self) -> int:
+        return (
+            self.descendant_fusions
+            + self.self_elisions
+            + self.constants_folded
+            + self.predicates_eliminated
+            + self.double_negations
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RewriteStats(fusions={self.descendant_fusions}, "
+            f"self={self.self_elisions}, folds={self.constants_folded}, "
+            f"preds={self.predicates_eliminated}, notnot={self.double_negations})"
+        )
+
+
+def rewrite(expr: Expr, stats: RewriteStats | None = None) -> Expr:
+    """Apply all rewrites to a normalized, relevance-annotated tree.
+
+    Returns a tree that is semantically equivalent on every document and
+    context. Annotations (``value_type``; ``relev`` where unchanged) are
+    preserved; run :func:`repro.xpath.relevance.compute_relevance` again
+    afterwards if fresh relevance sets are needed (the engine does).
+    """
+    stats = stats if stats is not None else RewriteStats()
+    return _rewrite(expr, stats)
+
+
+def _rewrite(expr: Expr, stats: RewriteStats) -> Expr:
+    if isinstance(expr, (NumberLiteral, StringLiteral, ConstantNodeSet)):
+        return expr
+    if isinstance(expr, Negate):
+        expr.operand = _rewrite(expr.operand, stats)
+        return _fold_negate(expr, stats)
+    if isinstance(expr, Union):
+        expr.left = _rewrite(expr.left, stats)
+        expr.right = _rewrite(expr.right, stats)
+        return expr
+    if isinstance(expr, BinaryOp):
+        expr.left = _rewrite(expr.left, stats)
+        expr.right = _rewrite(expr.right, stats)
+        return _fold_binary(expr, stats)
+    if isinstance(expr, FunctionCall):
+        expr.args = [_rewrite(a, stats) for a in expr.args]
+        folded = _fold_call(expr, stats)
+        return folded
+    if isinstance(expr, Path):
+        return _rewrite_path(expr, stats)
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Path rewrites
+# ----------------------------------------------------------------------
+
+
+def _rewrite_path(path: Path, stats: RewriteStats) -> Path:
+    if path.primary is not None:
+        path.primary = _rewrite(path.primary, stats)
+    path.primary_predicates = [_rewrite(p, stats) for p in path.primary_predicates]
+    for step in path.steps:
+        step.predicates = [_rewrite(p, stats) for p in step.predicates]
+        step.predicates = _prune_predicates(step, stats)
+    path.steps = _fuse_steps(path.steps, stats)
+    return path
+
+
+def _prune_predicates(step: Step, stats: RewriteStats) -> list[Expr]:
+    """Drop predicates folded to true(); collapse the step on false()."""
+    kept: list[Expr] = []
+    for predicate in step.predicates:
+        constant = _boolean_constant(predicate)
+        if constant is True:
+            stats.predicates_eliminated += 1
+            continue
+        if constant is False:
+            # The step selects nothing, ever: make it a never-matching
+            # test (a processing-instruction with an impossible target on
+            # the same axis keeps axis/order semantics trivially empty).
+            stats.predicates_eliminated += 1
+            step.node_test = NodeTest("pi", "\x00never\x00")
+            return []
+        kept.append(predicate)
+    return kept
+
+
+def _fuse_steps(steps: list[Step], stats: RewriteStats) -> list[Step]:
+    fused: list[Step] = []
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        following = steps[index + 1] if index + 1 < len(steps) else None
+        # descendant-or-self::node() (bare) + child::t[preds without
+        # position/last]  →  descendant::t[preds].
+        if (
+            following is not None
+            and step.axis == "descendant-or-self"
+            and step.node_test.kind == "node"
+            and not step.predicates
+            and following.axis == "child"
+            and all(p.relev is not None and not (_CPCS & p.relev) for p in following.predicates)
+        ):
+            replacement = Step("descendant", following.node_test, following.predicates)
+            replacement.value_type = "nset"
+            replacement.relev = following.relev
+            fused.append(replacement)
+            stats.descendant_fusions += 1
+            index += 2
+            continue
+        # Bare self::node() between (or after) steps disappears.
+        if (
+            step.axis == "self"
+            and step.node_test.kind == "node"
+            and not step.predicates
+            and len(steps) > 1
+        ):
+            stats.self_elisions += 1
+            index += 1
+            continue
+        fused.append(step)
+        index += 1
+    # Never drop every step of a nonempty path: keep at least one.
+    if not fused and steps:
+        return [steps[0]]
+    return fused
+
+
+# ----------------------------------------------------------------------
+# Constant folding
+# ----------------------------------------------------------------------
+
+
+def _literal_value(expr: Expr):
+    """(value, type) for literal scalars, else None."""
+    if isinstance(expr, NumberLiteral):
+        return expr.value, "num"
+    if isinstance(expr, StringLiteral):
+        return expr.value, "str"
+    if isinstance(expr, FunctionCall) and expr.name in ("true", "false") and not expr.args:
+        return expr.name == "true", "bool"
+    return None
+
+
+def _boolean_constant(expr: Expr):
+    literal = _literal_value(expr)
+    if literal is not None and literal[1] == "bool":
+        return literal[0]
+    return None
+
+
+def _make_literal(value, stats: RewriteStats) -> Expr:
+    stats.constants_folded += 1
+    if isinstance(value, bool):
+        call = FunctionCall("true" if value else "false", [])
+        call.value_type = "bool"
+        call.relev = frozenset()
+        return call
+    if isinstance(value, float):
+        literal = NumberLiteral(value)
+    else:
+        literal = StringLiteral(value)
+    literal.value_type = "num" if isinstance(value, float) else "str"
+    literal.relev = frozenset()
+    return literal
+
+
+def _fold_negate(expr: Negate, stats: RewriteStats) -> Expr:
+    literal = _literal_value(expr.operand)
+    if literal is not None and literal[1] == "num":
+        return _make_literal(-literal[0], stats)
+    return expr
+
+
+def _fold_binary(expr: BinaryOp, stats: RewriteStats) -> Expr:
+    left = _literal_value(expr.left)
+    right = _literal_value(expr.right)
+    if expr.op in ("and", "or"):
+        # One-sided folding is sound: XPath has no evaluation errors to
+        # hide (div 0 is ±inf), so e and false() ≡ false().
+        for constant, other in ((left, expr.right), (right, expr.left)):
+            if constant is not None and constant[1] == "bool":
+                if expr.op == "and":
+                    return other if constant[0] else _make_literal(False, stats)
+                return _make_literal(True, stats) if constant[0] else other
+        return expr
+    if left is None or right is None:
+        return expr
+    if expr.op in _COMPARISONS:
+        return _make_literal(
+            compare_values(expr.op, left[0], left[1], right[0], right[1]), stats
+        )
+    # Arithmetic (operands are num after normalization).
+    a, b = left[0], right[0]
+    if expr.op == "+":
+        return _make_literal(a + b, stats)
+    if expr.op == "-":
+        return _make_literal(a - b, stats)
+    if expr.op == "*":
+        return _make_literal(float("nan") if math.isnan(a) or math.isnan(b) else a * b, stats)
+    if expr.op == "div":
+        return _make_literal(num.xpath_divide(a, b), stats)
+    if expr.op == "mod":
+        return _make_literal(num.xpath_modulo(a, b), stats)
+    return expr
+
+
+def _fold_call(expr: FunctionCall, stats: RewriteStats) -> Expr:
+    # not(not(e)) → e.
+    if (
+        expr.name == "not"
+        and len(expr.args) == 1
+        and isinstance(expr.args[0], FunctionCall)
+        and expr.args[0].name == "not"
+    ):
+        stats.double_negations += 1
+        return expr.args[0].args[0]
+    if expr.name not in _FOLDABLE_FUNCTIONS:
+        return expr
+    literals = [_literal_value(a) for a in expr.args]
+    if not expr.args or any(l is None for l in literals):
+        return expr
+    from repro.functions.library import apply_function
+
+    values = [l[0] for l in literals]
+    try:
+        result = apply_function(None, expr.name, values, None)
+    except Exception:  # pragma: no cover - stay safe, skip folding
+        return expr
+    return _make_literal(result, stats)

@@ -1,0 +1,143 @@
+"""Tests for axis semantics: per-node enumeration and set functions.
+
+Fixture tree (ids in brackets):
+
+    a[1]
+    ├── b[2]
+    │   ├── c[3]
+    │   └── c[4]  @x
+    ├── b[5]
+    │   └── d[6]
+    └── e[7]
+"""
+
+import pytest
+
+from repro.axes.axes import ALL_AXES, axis_nodes, axis_set, inverse_axis_set
+from repro.xml.parser import parse_document
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse_document(
+        '<a id="1">'
+        '<b id="2"><c id="3"/><c id="4" x="attr"/></b>'
+        '<b id="5"><d id="6"/></b>'
+        '<e id="7"/>'
+        "</a>"
+    )
+
+
+def by_id(doc, key):
+    return doc.element_by_id(key)
+
+
+def ids(nodes):
+    return sorted(n.xml_id for n in nodes)
+
+
+def test_self(doc):
+    node = by_id(doc, "3")
+    assert list(axis_nodes(doc, "self", node)) == [node]
+
+
+def test_child(doc):
+    assert ids(axis_nodes(doc, "child", by_id(doc, "1"))) == ["2", "5", "7"]
+    assert list(axis_nodes(doc, "child", by_id(doc, "3"))) == []
+
+
+def test_parent(doc):
+    assert list(axis_nodes(doc, "parent", by_id(doc, "3"))) == [by_id(doc, "2")]
+    assert list(axis_nodes(doc, "parent", doc.root)) == []
+
+
+def test_descendant_proximity_order(doc):
+    names = [n.xml_id for n in axis_nodes(doc, "descendant", by_id(doc, "1"))]
+    assert names == ["2", "3", "4", "5", "6", "7"]
+
+
+def test_descendant_excludes_attributes(doc):
+    nodes = list(axis_nodes(doc, "descendant", by_id(doc, "2")))
+    assert ids(nodes) == ["3", "4"]
+    assert not any(n.is_attribute for n in nodes)
+
+
+def test_ancestor_proximity_order(doc):
+    chain = list(axis_nodes(doc, "ancestor", by_id(doc, "3")))
+    assert [n.xml_id for n in chain[:2]] == ["2", "1"]
+    assert chain[-1].is_document
+
+
+def test_or_self_variants(doc):
+    node = by_id(doc, "2")
+    descendants = list(axis_nodes(doc, "descendant-or-self", node))
+    assert descendants[0] is node
+    ancestors = list(axis_nodes(doc, "ancestor-or-self", node))
+    assert ancestors[0] is node
+
+
+def test_siblings(doc):
+    b2 = by_id(doc, "2")
+    assert ids(axis_nodes(doc, "following-sibling", b2)) == ["5", "7"]
+    e = by_id(doc, "7")
+    preceding = list(axis_nodes(doc, "preceding-sibling", e))
+    # Proximity order: nearest sibling first.
+    assert [n.xml_id for n in preceding] == ["5", "2"]
+
+
+def test_attribute_has_no_siblings(doc):
+    attr = by_id(doc, "4").attributes[0]
+    assert list(axis_nodes(doc, "following-sibling", attr)) == []
+    assert list(axis_nodes(doc, "preceding-sibling", attr)) == []
+
+
+def test_following(doc):
+    assert ids(axis_nodes(doc, "following", by_id(doc, "2"))) == ["5", "6", "7"]
+    assert ids(axis_nodes(doc, "following", by_id(doc, "4"))) == ["5", "6", "7"]
+    assert list(axis_nodes(doc, "following", by_id(doc, "7"))) == []
+
+
+def test_preceding(doc):
+    assert ids(axis_nodes(doc, "preceding", by_id(doc, "7"))) == ["2", "3", "4", "5", "6"]
+    # Ancestors are not preceding.
+    assert ids(axis_nodes(doc, "preceding", by_id(doc, "3"))) == []
+    # Proximity order is reverse document order.
+    got = [n.xml_id for n in axis_nodes(doc, "preceding", by_id(doc, "6"))]
+    assert got == ["4", "3", "2"]
+
+
+def test_attribute_axis(doc):
+    assert [a.name for a in axis_nodes(doc, "attribute", by_id(doc, "4"))] == ["id", "x"]
+    assert [a.name for a in axis_nodes(doc, "attribute", by_id(doc, "3"))] == ["id"]
+    assert list(axis_nodes(doc, "attribute", doc.root)) == []
+
+
+def test_axis_set_matches_per_node_union(doc):
+    X = {by_id(doc, "2"), by_id(doc, "5")}
+    for axis in sorted(ALL_AXES - {"id"}):
+        expected = set()
+        for x in X:
+            expected.update(axis_nodes(doc, axis, x))
+        assert axis_set(doc, axis, X) == expected, axis
+
+
+def test_axis_set_empty_input(doc):
+    for axis in sorted(ALL_AXES - {"id"}):
+        assert axis_set(doc, axis, set()) == set(), axis
+
+
+def test_inverse_axis_definition(doc):
+    """χ⁻¹(Y) = {x | χ({x}) ∩ Y ≠ ∅} — checked literally for every axis."""
+    Y = {by_id(doc, "3"), by_id(doc, "6")}
+    for axis in sorted(ALL_AXES - {"id"}):
+        expected = {
+            x for x in doc.nodes if not set(axis_nodes(doc, axis, x)).isdisjoint(Y)
+        }
+        assert inverse_axis_set(doc, axis, Y) == expected, axis
+
+
+def test_unknown_axis_rejected(doc):
+    with pytest.raises(ValueError):
+        list(axis_nodes(doc, "sideways", doc.root))
+    with pytest.raises(ValueError):
+        axis_set(doc, "sideways", set())

@@ -1,0 +1,107 @@
+"""Tests for the command-line tool."""
+
+import pytest
+
+from repro.cli import main
+
+
+XML = '<a id="1"><b id="2">10</b><b id="3">20</b></a>'
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_basic_query_paths(capsys):
+    code, out, err = run(capsys, "//b", "--xml", XML)
+    assert code == 0
+    assert out.splitlines() == ["/a[1]/b[1]", "/a[1]/b[2]"]
+
+
+def test_output_xml(capsys):
+    code, out, _ = run(capsys, "//b[1]", "--xml", XML, "--output", "xml")
+    assert code == 0
+    assert out.strip() == '<b id="2">10</b>'
+
+
+def test_output_value(capsys):
+    code, out, _ = run(capsys, "//b", "--xml", XML, "--output", "value")
+    assert out.splitlines() == ["10", "20"]
+
+
+def test_scalar_result(capsys):
+    code, out, _ = run(capsys, "count(//b)", "--xml", XML)
+    assert code == 0
+    assert out.strip() == "2.0"
+
+
+def test_boolean_result_rendering(capsys):
+    _, out, _ = run(capsys, "boolean(//b)", "--xml", XML)
+    assert out.strip() == "true"
+
+
+def test_empty_node_set_message(capsys):
+    _, out, _ = run(capsys, "//missing", "--xml", XML)
+    assert "(empty node-set)" in out
+
+
+def test_algorithm_flag(capsys):
+    code, out, _ = run(capsys, "//b", "--xml", XML, "--algorithm", "mincontext")
+    assert code == 0
+    assert len(out.splitlines()) == 2
+
+
+def test_explain_output(capsys):
+    code, out, _ = run(capsys, "//b[position() = 1]", "--xml", XML, "--explain")
+    assert code == 0
+    assert "Core XPath:" in out
+    assert "Extended Wadler:" in out
+    assert "parse tree:" in out
+    assert "optmincontext" in out
+
+
+def test_compare_agreement(capsys):
+    code, out, err = run(capsys, "//b[. > 15]", "--xml", XML, "--compare")
+    assert code == 0
+    assert "AGREE" in err
+    assert out.count("---") >= 6  # at least three algorithm sections
+
+
+def test_file_input(tmp_path, capsys):
+    path = tmp_path / "doc.xml"
+    path.write_text(XML, encoding="utf-8")
+    code, out, _ = run(capsys, "//b", "--file", str(path))
+    assert code == 0
+    assert len(out.splitlines()) == 2
+
+
+def test_strip_whitespace_flag(capsys):
+    source = "<a>\n  <b>x</b>\n</a>"
+    _, out, _ = run(capsys, "count(/a/text())", "--xml", source)
+    assert out.strip() == "2.0"
+    _, out, _ = run(capsys, "count(/a/text())", "--xml", source, "--strip-whitespace")
+    assert out.strip() == "0.0"
+
+
+def test_error_reporting(capsys):
+    code, _, err = run(capsys, "//b[", "--xml", XML)
+    assert code == 1
+    assert "error:" in err
+    code, _, err = run(capsys, "//b", "--xml", "<a><unclosed>")
+    assert code == 1
+    assert "error:" in err
+
+
+def test_optimize_flag(capsys):
+    code, out, _ = run(capsys, "//b[1 = 1]", "--xml", XML, "--optimize", "--explain")
+    assert code == 0
+    assert "rewrites applied:" in out
+    assert "evaluation plan" in out
+
+
+def test_explain_shows_plan_strategies(capsys):
+    _, out, _ = run(capsys, "//b[. = 10]", "--xml", XML, "--explain")
+    assert "bottom-up" in out
+    assert "outermost-set" in out

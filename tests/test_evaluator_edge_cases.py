@@ -1,0 +1,196 @@
+"""Edge-case semantics: attribute nodes in paths, unicode, odd documents,
+deep nesting, and spec corner cases — each asserted against explicit
+expectations and cross-checked across algorithms."""
+
+import math
+
+import pytest
+
+from repro.engine import XPathEngine
+from repro.xml.parser import parse_document
+
+ALGORITHMS = ("naive", "topdown", "mincontext", "optmincontext")
+
+
+def make_engine(xml, **kw):
+    return XPathEngine(parse_document(xml, **kw))
+
+
+def evaluate_all(engine, query, **kw):
+    results = [engine.evaluate(query, algorithm=a, **kw) for a in ALGORITHMS]
+    first = results[0]
+    for algorithm, value in zip(ALGORITHMS[1:], results[1:]):
+        if isinstance(first, float) and math.isnan(first):
+            assert isinstance(value, float) and math.isnan(value), algorithm
+        else:
+            assert value == first, algorithm
+    return first
+
+
+# --- attributes in paths --------------------------------------------------------
+
+def test_attribute_then_parent():
+    engine = make_engine('<a><b k="1"/><b k="2"/></a>')
+    got = evaluate_all(engine, "//@k/..")
+    assert [n.name for n in got] == ["b", "b"]
+
+
+def test_attribute_string_and_number():
+    engine = make_engine('<a k="42"/>')
+    assert evaluate_all(engine, "number(//@k)") == 42.0
+    assert evaluate_all(engine, "string(/a/@k)") == "42"
+
+
+def test_attribute_positions():
+    engine = make_engine('<a x="1" y="2" z="3"/>')
+    got = evaluate_all(engine, "/a/attribute::*[2]")
+    assert [n.name for n in got] == ["y"]
+    assert evaluate_all(engine, "count(/a/@*)") == 3.0
+
+
+def test_attributes_not_children():
+    engine = make_engine('<a k="v"><b/></a>')
+    assert evaluate_all(engine, "count(/a/node())") == 1.0
+    assert evaluate_all(engine, "count(/a/descendant::node())") == 1.0
+
+
+def test_attribute_ancestors():
+    engine = make_engine('<a><b k="v"/></a>')
+    got = evaluate_all(engine, "//@k/ancestor::*")
+    assert [n.name for n in got] == ["a", "b"]
+
+
+def test_wildcard_on_attribute_axis_selects_attributes_only():
+    engine = make_engine('<a k="v">text</a>')
+    got = evaluate_all(engine, "/a/@*")
+    assert len(got) == 1 and got[0].is_attribute
+
+
+# --- unicode and odd content ------------------------------------------------------
+
+def test_unicode_content_and_comparison():
+    engine = make_engine("<r><w>héllo wörld</w><w>日本語</w></r>")
+    got = evaluate_all(engine, "//w[. = '日本語']")
+    assert len(got) == 1
+    assert evaluate_all(engine, "string-length(//w[1])") == 11.0
+
+
+def test_entity_decoded_values_in_queries():
+    engine = make_engine("<r><v>&lt;tag&gt;</v></r>")
+    got = evaluate_all(engine, "//v[. = '<tag>']")
+    assert len(got) == 1
+
+
+def test_whitespace_only_text_nodes_are_real_nodes():
+    engine = make_engine("<a> <b/> </a>")
+    assert evaluate_all(engine, "count(/a/text())") == 2.0
+    assert evaluate_all(engine, "normalize-space(/a)") == ""
+
+
+# --- numeric string-value corners ---------------------------------------------------
+
+def test_negative_numbers_in_content():
+    engine = make_engine("<r><n>-5</n><n>3</n></r>")
+    got = evaluate_all(engine, "//n[. < 0]")
+    assert len(got) == 1
+    assert evaluate_all(engine, "sum(//n)") == -2.0
+
+
+def test_decimal_strings():
+    engine = make_engine("<r><n>2.5</n></r>")
+    assert evaluate_all(engine, "//n > 2") is True
+    assert evaluate_all(engine, "floor(//n)") == 2.0
+
+
+def test_unparsable_numeric_comparisons_are_false():
+    engine = make_engine("<r><n>abc</n></r>")
+    assert evaluate_all(engine, "//n > 0") is False
+    assert evaluate_all(engine, "//n < 0") is False
+    assert evaluate_all(engine, "boolean(//n != 0)") is True  # NaN != 0
+
+
+# --- structure corners ---------------------------------------------------------------
+
+def test_single_element_document():
+    engine = make_engine("<only/>")
+    assert evaluate_all(engine, "count(//*)") == 1.0
+    assert evaluate_all(engine, "//only/following::*") == []
+    assert evaluate_all(engine, "name(/*)") == "only"
+
+
+def test_deeply_nested_query_on_deep_document():
+    depth = 30
+    xml = "".join(f"<l{i}>" for i in range(depth)) + "x" + "".join(
+        f"</l{i}>" for i in reversed(range(depth))
+    )
+    engine = make_engine(xml)
+    assert evaluate_all(engine, "count(//*)") == float(depth)
+    deepest = evaluate_all(engine, f"//l{depth - 1}")
+    assert len(deepest) == 1
+    assert evaluate_all(engine, f"count(//l{depth - 1}/ancestor::*)") == float(depth - 1)
+
+
+def test_absolute_path_from_deep_context():
+    engine = make_engine("<a><b><c/></b></a>")
+    c = engine.document.root_element.children[0].children[0]
+    got = evaluate_all(engine, "/a/b", context_node=c)
+    assert [n.name for n in got] == ["b"]
+
+
+def test_mixed_siblings_positions_by_kind():
+    engine = make_engine("<r>alpha<x/>beta<x/>gamma</r>")
+    # text() positions count text nodes only.
+    got = evaluate_all(engine, "/r/text()[2]")
+    assert got[0].value == "beta"
+    got = evaluate_all(engine, "/r/x[2]/preceding-sibling::text()[1]")
+    assert got[0].value == "beta"
+
+
+def test_following_crosses_subtrees():
+    engine = make_engine("<r><a><b/></a><c><d/></c></r>")
+    got = evaluate_all(engine, "//b/following::*")
+    assert [n.name for n in got] == ["c", "d"]
+    got = evaluate_all(engine, "//d/preceding::*")
+    assert [n.name for n in got] == ["a", "b"]
+
+
+# --- boolean/logic corners --------------------------------------------------------------
+
+def test_and_or_with_node_sets():
+    engine = make_engine("<r><a/><b/></r>")
+    assert evaluate_all(engine, "boolean(//a and //b)") is True
+    assert evaluate_all(engine, "boolean(//a and //zz)") is False
+    assert evaluate_all(engine, "boolean(//zz or //b)") is True
+
+
+def test_not_of_empty_set_is_true():
+    engine = make_engine("<r/>")
+    assert evaluate_all(engine, "not(//missing)") is True
+
+
+def test_predicates_on_multiple_axes_in_one_query():
+    engine = make_engine(
+        '<r><s><t id="1">5</t><t id="2">7</t></s><s><t id="3">7</t></s></r>'
+    )
+    got = evaluate_all(
+        engine, "//t[. = 7][parent::s[count(t) > 1]]/preceding-sibling::t"
+    )
+    assert [n.xml_id for n in got] == ["1"]
+
+
+def test_union_of_different_kinds():
+    engine = make_engine('<r k="v">text<!--c--></r>')
+    got = evaluate_all(engine, "/r/@k | /r/text() | /r/comment()")
+    kinds = [n.kind.value for n in got]
+    assert kinds == ["attribute", "text", "comment"]
+
+
+def test_last_on_empty_candidate_set():
+    engine = make_engine("<r/>")
+    assert evaluate_all(engine, "//missing[position() = last()]") == []
+
+
+def test_chained_predicates_with_last_arithmetic():
+    engine = make_engine("<r>" + "".join(f"<i>{k}</i>" for k in range(1, 8)) + "</r>")
+    got = evaluate_all(engine, "//i[position() > last() div 2][position() < last()]")
+    assert [n.string_value for n in got] == ["4", "5", "6"]

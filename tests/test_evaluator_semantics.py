@@ -1,0 +1,273 @@
+"""Black-box XPath semantics, asserted against explicit expected results
+and run through every algorithm (parametrized).
+
+Fixture document (ids shown):
+
+    <root id="r">
+      <sec id="s1" kind="intro">
+        <p id="p1">10</p>
+        <p id="p2">20</p>
+        <note id="n1">p3</note>
+      </sec>
+      <sec id="s2">
+        <p id="p3">30</p>
+        <quote id="q1">10</quote>
+      </sec>
+      text, comment and PI nodes appear inside s2.
+    </root>
+"""
+
+import math
+
+import pytest
+
+from repro.engine import XPathEngine
+from repro.xml.parser import parse_document
+
+ALGORITHMS = ("naive", "topdown", "mincontext", "optmincontext")
+
+SOURCE = (
+    '<root id="r">'
+    '<sec id="s1" kind="intro">'
+    '<p id="p1">10</p>'
+    '<p id="p2">20</p>'
+    '<note id="n1">p3</note>'
+    "</sec>"
+    '<sec id="s2">loose'
+    "<!--remark-->"
+    "<?marker data?>"
+    '<p id="p3">30</p>'
+    '<quote id="q1">10</quote>'
+    "</sec>"
+    "</root>"
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return XPathEngine(parse_document(SOURCE))
+
+
+@pytest.fixture(params=ALGORITHMS)
+def algorithm(request):
+    return request.param
+
+
+def ids(nodes):
+    return [n.xml_id for n in nodes]
+
+
+def q(engine, algorithm, query, **kw):
+    return engine.evaluate(query, algorithm=algorithm, **kw)
+
+
+# --- axes through real queries ------------------------------------------------
+
+def test_child_axis(engine, algorithm):
+    assert ids(q(engine, algorithm, "/root/sec")) == ["s1", "s2"]
+
+
+def test_descendant_wildcard_selects_elements_only(engine, algorithm):
+    got = q(engine, algorithm, "/descendant::*")
+    assert ids(got) == ["r", "s1", "p1", "p2", "n1", "s2", "p3", "q1"]
+
+
+def test_descendant_or_self_abbreviation(engine, algorithm):
+    assert ids(q(engine, algorithm, "//p")) == ["p1", "p2", "p3"]
+
+
+def test_parent_and_ancestor(engine, algorithm):
+    assert ids(q(engine, algorithm, "//p[. = 30]/parent::sec")) == ["s2"]
+    assert ids(q(engine, algorithm, "//quote/ancestor::*")) == ["r", "s2"]
+
+
+def test_following_and_preceding(engine, algorithm):
+    assert ids(q(engine, algorithm, "//note/following::*")) == ["s2", "p3", "q1"]
+    assert ids(q(engine, algorithm, "//p[. = 30]/preceding::p")) == ["p1", "p2"]
+
+
+def test_sibling_axes(engine, algorithm):
+    assert ids(q(engine, algorithm, "//p[@id = 'p1']/following-sibling::*")) == ["p2", "n1"]
+    assert ids(q(engine, algorithm, "//note/preceding-sibling::p")) == ["p1", "p2"]
+
+
+def test_attribute_axis(engine, algorithm):
+    got = q(engine, algorithm, "//sec/@kind")
+    assert [a.value for a in got] == ["intro"]
+    assert all(a.is_attribute for a in got)
+
+
+def test_self_axis_with_test(engine, algorithm):
+    assert ids(q(engine, algorithm, "//p/self::p")) == ["p1", "p2", "p3"]
+    assert q(engine, algorithm, "//p/self::quote") == []
+
+
+# --- node tests -------------------------------------------------------------------
+
+def test_text_node_test(engine, algorithm):
+    texts = q(engine, algorithm, "//p/text()")
+    assert [t.value for t in texts] == ["10", "20", "30"]
+
+
+def test_comment_and_pi_tests(engine, algorithm):
+    comments = q(engine, algorithm, "//comment()")
+    assert [c.value for c in comments] == ["remark"]
+    pis = q(engine, algorithm, "//processing-instruction()")
+    assert [p.name for p in pis] == ["marker"]
+    assert q(engine, algorithm, "//processing-instruction('other')") == []
+    hit = q(engine, algorithm, "//processing-instruction('marker')")
+    assert len(hit) == 1
+
+
+def test_node_test_matches_everything(engine, algorithm):
+    children = q(engine, algorithm, "/root/sec[2]/child::node()")
+    kinds = [type(n).__name__ for n in children]
+    assert len(children) == 5  # text, comment, pi, p, quote
+
+
+# --- positions -------------------------------------------------------------------
+
+def test_numeric_predicate(engine, algorithm):
+    assert ids(q(engine, algorithm, "//p[1]")) == ["p1", "p3"]
+    assert ids(q(engine, algorithm, "//p[2]")) == ["p2"]
+
+
+def test_position_last(engine, algorithm):
+    assert ids(q(engine, algorithm, "/root/sec/*[position() = last()]")) == ["n1", "q1"]
+    assert ids(q(engine, algorithm, "/root/sec/*[position() < 2]")) == ["p1", "p3"]
+
+
+def test_position_on_reverse_axis_counts_backwards(engine, algorithm):
+    # preceding-sibling positions count in reverse document order.
+    assert ids(q(engine, algorithm, "//note/preceding-sibling::*[1]")) == ["p2"]
+    assert ids(q(engine, algorithm, "//note/preceding-sibling::*[2]")) == ["p1"]
+
+
+def test_sequential_predicates_rerank(engine, algorithm):
+    # First predicate keeps p2/n1; second selects the first of those.
+    assert ids(q(engine, algorithm, "/root/sec[1]/*[position() > 1][1]")) == ["p2"]
+
+
+def test_position_in_filter_expression(engine, algorithm):
+    assert ids(q(engine, algorithm, "(//p)[2]")) == ["p2"]
+    assert ids(q(engine, algorithm, "(//p)[last()]")) == ["p3"]
+
+
+# --- values and comparisons ----------------------------------------------------------
+
+def test_value_comparison_with_number(engine, algorithm):
+    assert ids(q(engine, algorithm, "//p[. = 20]")) == ["p2"]
+    assert ids(q(engine, algorithm, "//p[. > 15]")) == ["p2", "p3"]
+
+
+def test_attribute_string_comparison(engine, algorithm):
+    assert ids(q(engine, algorithm, "//sec[@kind = 'intro']")) == ["s1"]
+    assert ids(q(engine, algorithm, "//sec[not(@kind)]")) == ["s2"]
+
+
+def test_nset_vs_nset_comparison(engine, algorithm):
+    # p (10) = quote (10) share the string value "10".
+    assert ids(q(engine, algorithm, "//sec[p = //quote]")) == ["s1"]
+
+
+def test_arithmetic_in_predicates(engine, algorithm):
+    assert ids(q(engine, algorithm, "//p[. mod 20 = 10]")) == ["p1", "p3"]
+    assert ids(q(engine, algorithm, "//p[. div 10 >= 2]")) == ["p2", "p3"]
+
+
+def test_scalar_results(engine, algorithm):
+    assert q(engine, algorithm, "count(//p)") == 3.0
+    assert q(engine, algorithm, "sum(//p)") == 60.0
+    assert q(engine, algorithm, "string(//p[2])") == "20"
+    assert q(engine, algorithm, "concat(string(count(//sec)), '!')") == "2!"
+    assert q(engine, algorithm, "boolean(//quote)") is True
+    assert q(engine, algorithm, "boolean(//missing)") is False
+    assert q(engine, algorithm, "1 + 2 * 3") == 7.0
+
+
+def test_string_value_of_element_with_mixed_content(engine, algorithm):
+    assert q(engine, algorithm, "string(/root/sec[2])") == "loose3010"
+
+
+# --- unions -----------------------------------------------------------------------
+
+def test_union_merges_and_orders(engine, algorithm):
+    got = q(engine, algorithm, "//quote | //note | //p[1]")
+    assert ids(got) == ["p1", "n1", "p3", "q1"]
+
+
+def test_union_inside_predicate(engine, algorithm):
+    assert ids(q(engine, algorithm, "//sec[quote | note]")) == ["s1", "s2"]
+
+
+# --- id() -----------------------------------------------------------------------
+
+def test_id_function_with_literal(engine, algorithm):
+    assert ids(q(engine, algorithm, "id('p1 q1')")) == ["p1", "q1"]
+
+
+def test_id_of_node_set(engine, algorithm):
+    # note's text is "p3": id(//note) dereferences it.
+    assert ids(q(engine, algorithm, "id(//note)")) == ["p3"]
+
+
+def test_id_with_tail_path(engine, algorithm):
+    assert ids(q(engine, algorithm, "id('s2')/p")) == ["p3"]
+
+
+# --- nested/absolute paths in predicates -------------------------------------------
+
+def test_absolute_path_in_predicate(engine, algorithm):
+    assert ids(q(engine, algorithm, "//p[/root/sec]")) == ["p1", "p2", "p3"]
+    assert q(engine, algorithm, "//p[/root/missing]") == []
+
+
+def test_relative_path_predicates(engine, algorithm):
+    assert ids(q(engine, algorithm, "//sec[note]")) == ["s1"]
+    assert ids(q(engine, algorithm, "//*[quote][p]")) == ["s2"]
+
+
+def test_deeply_nested_predicates(engine, algorithm):
+    assert ids(q(engine, algorithm, "//sec[p[. = 30]]")) == ["s2"]
+    assert ids(q(engine, algorithm, "/root[sec[p[. = 10]]]")) == ["r"]
+
+
+# --- context handling ---------------------------------------------------------------
+
+def test_relative_query_from_context_node(engine, algorithm):
+    s2 = engine.document.element_by_id("s2")
+    assert ids(q(engine, algorithm, "p", context_node=s2)) == ["p3"]
+    assert ids(q(engine, algorithm, "..", context_node=s2)) == ["r"]
+
+
+def test_outer_position_visible_to_scalar_query(engine, algorithm):
+    s2 = engine.document.element_by_id("s2")
+    value = q(
+        engine, algorithm, "position() + last()", context_node=s2,
+        context_position=2, context_size=5,
+    )
+    assert value == 7.0
+
+
+def test_dot_string_value(engine, algorithm):
+    p2 = engine.document.element_by_id("p2")
+    assert q(engine, algorithm, "string(.)", context_node=p2) == "20"
+    assert q(engine, algorithm, "number(.)", context_node=p2) == 20.0
+
+
+# --- empty results and edge cases --------------------------------------------------
+
+def test_empty_axis_results(engine, algorithm):
+    assert q(engine, algorithm, "/root/parent::*") == []
+    assert q(engine, algorithm, "//missing") == []
+    assert q(engine, algorithm, "count(//missing)") == 0.0
+
+
+def test_nan_arithmetic_result(engine, algorithm):
+    value = q(engine, algorithm, "number(//note)")
+    assert math.isnan(value)
+
+
+def test_root_only_query(engine, algorithm):
+    (root,) = q(engine, algorithm, "/")
+    assert root.is_document

@@ -1,0 +1,189 @@
+"""Tests for the fragment classifiers (Definition 12, Restrictions 1-3)
+and the bottom-up path discovery of Algorithm 8."""
+
+import pytest
+
+from repro.xpath.fragments import (
+    core_xpath_violation,
+    find_bottomup_paths,
+    is_bottomup_eligible,
+    is_core_xpath,
+    is_extended_wadler,
+    wadler_violation,
+)
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.relevance import compute_relevance
+from repro.xpath.unparse import unparse
+
+
+def analyzed(source):
+    expr = normalize(parse_xpath(source))
+    compute_relevance(expr)
+    return expr
+
+
+# --- Core XPath (Definition 12) ------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        "child::a",
+        "/child::a/descendant::b",
+        "//a/b",
+        "a[b]",
+        "a[b and not(c)]",
+        "a[b or c/d]",
+        "a[not(b[c])]",
+        "a[/b/c]",
+        "ancestor::*[following-sibling::a]",
+        "a[.]",  # self::node() is a path predicate
+    ],
+)
+def test_core_members(query):
+    assert is_core_xpath(analyzed(query)), core_xpath_violation(analyzed(query))
+
+
+@pytest.mark.parametrize(
+    "query,reason_part",
+    [
+        ("a[position() = 1]", "non-Core"),
+        ("a[1]", "non-Core"),  # numeric predicate becomes position() = 1
+        ("a[b = 1]", "non-Core"),
+        ("count(a)", "not a location path"),
+        ("a[count(b)]", "non-Core"),
+        ("a | b", "not a location path"),
+        ("id(a)", "id pseudo-axis"),
+        ("(a)[1]", "filter-expression"),
+        ("a['s']", "not a location path"),
+    ],
+)
+def test_core_non_members(query, reason_part):
+    violation = core_xpath_violation(analyzed(query))
+    assert violation is not None
+    assert reason_part in violation
+
+
+# --- Extended Wadler Fragment (Restrictions 1-3) -----------------------------------
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        # The paper's own showcase: Example 9's query Q.
+        "/child::a/descendant::*[boolean(following::d["
+        "(position() != last()) and (preceding-sibling::*/preceding::* = 100)"
+        "]/following::d)]",
+        # Wadler's original ingredients: paths + position/last arithmetic.
+        "a[position() > last()*0.5]",
+        "a[position() != last() and b = 100]",
+        "a[b = 'x']",
+        "a[2 < position()]",
+        "id('k1 k2')/child::a",
+        "a[id('k') = 3]",
+        "a | b",
+        "a[boolean(b | c)]",  # unions lifted into or
+        "a[string-length('abc') = position()]",  # data-free string measure
+        "/descendant::*[self::* >= 2]",
+    ],
+)
+def test_wadler_members(query):
+    expr = analyzed(query)
+    assert is_extended_wadler(expr), wadler_violation(expr)
+
+
+@pytest.mark.parametrize(
+    "query,restriction",
+    [
+        ("a[name() = 'b']", "Restriction 1"),
+        ("a[local-name(b) = 'b']", "Restriction 1"),
+        ("a[string(b) = 'x']", "Restriction 1"),
+        ("a[number(b) = 1]", "Restriction 1"),
+        ("a[b = c]", "Restriction 2"),
+        ("a[count(b) = 1]", "Restriction 2"),
+        ("sum(a)", "Restriction 2"),
+        ("a[b = position()]", "Restriction 2"),  # scalar depends on context
+        ("a[b = count(c)]", "Restriction 2"),
+        ("id(string(b))", "Restriction 1"),  # string(nset) inside id
+        ("id(concat('k', string(position())))", "Restriction 3"),
+    ],
+)
+def test_wadler_non_members(query, restriction):
+    violation = wadler_violation(analyzed(query))
+    assert violation is not None, query
+    assert restriction in violation or "Restriction" in violation
+
+
+def test_wadler_strict_mode_bans_string_measures():
+    expr = analyzed("a[string-length('abc') = position()]")
+    assert is_extended_wadler(expr)
+    assert not is_extended_wadler(expr, strict=True)
+
+
+def test_wadler_nset_in_bad_position():
+    violation = wadler_violation(analyzed("a[translate(b, 'a', 'b') = 'x']"))
+    # translate's argument is string(b): data selection.
+    assert violation is not None
+
+
+def test_core_is_contained_in_wadler():
+    """Theorem 13's proof sketch: Core XPath ⊆ the linear-space fragment."""
+    for query in ("a[b and not(c)]", "//a/b[c]", "/child::a[descendant::d]"):
+        expr = analyzed(query)
+        assert is_core_xpath(expr)
+        assert is_extended_wadler(expr)
+
+
+# --- bottom-up path discovery (Algorithm 8) ------------------------------------------
+
+
+def test_find_bottomup_paths_in_example9():
+    expr = analyzed(
+        "/child::a/descendant::*[boolean(following::d["
+        "(position() != last()) and (preceding-sibling::*/preceding::* = 100)"
+        "]/following::d)]"
+    )
+    found = find_bottomup_paths(expr)
+    assert len(found) == 2
+    # Innermost first: ρ = 100 before boolean(π).
+    assert unparse(found[0]).startswith("preceding-sibling::*")
+    assert unparse(found[1]).startswith("boolean(")
+
+
+def test_simple_predicate_is_bottomup():
+    expr = analyzed("a[b]")  # predicate normalizes to boolean(b)
+    found = find_bottomup_paths(expr)
+    assert len(found) == 1
+    assert is_bottomup_eligible(found[0])
+
+
+def test_comparison_with_context_free_scalar_is_eligible():
+    expr = analyzed("a[b = 1]")
+    assert len(find_bottomup_paths(expr)) == 1
+    expr = analyzed("a[1 = b]")  # path on the right
+    assert len(find_bottomup_paths(expr)) == 1
+
+
+def test_comparison_with_context_dependent_scalar_is_not_eligible():
+    expr = analyzed("a[b = position()]")
+    assert find_bottomup_paths(expr) == []
+
+
+def test_nset_vs_nset_not_eligible():
+    expr = analyzed("a[b = c]")
+    assert find_bottomup_paths(expr) == []
+
+
+def test_root_expression_itself_not_collected():
+    # The outermost path is evaluated forward, not bottom-up.
+    expr = analyzed("boolean(a)")
+    assert find_bottomup_paths(expr) == []
+
+
+def test_nested_bottomup_order_is_innermost_first():
+    expr = analyzed("a[b[c = 1] = 2]")
+    found = find_bottomup_paths(expr)
+    assert len(found) == 2
+    assert "c = 1" in unparse(found[0]) or unparse(found[0]).startswith("child::c")
+    assert "= 2" in unparse(found[1])

@@ -1,0 +1,129 @@
+"""Core library functions exercised end-to-end through queries (the unit
+tests in test_functions.py call implementations directly; these go
+through parsing, normalization — including the default-to-context-node
+expansion — and all evaluators)."""
+
+import math
+
+import pytest
+
+from repro.engine import XPathEngine
+from repro.xml.parser import parse_document
+
+ALGORITHMS = ("naive", "topdown", "mincontext", "optmincontext")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return XPathEngine(parse_document(
+        '<doc xml:lang="en">'
+        '<item id="i1" tag="alpha">  10  </item>'
+        '<item id="i2" tag="beta">twenty</item>'
+        '<section id="s1" xml:lang="de"><item id="i3">30</item></section>'
+        "</doc>"
+    ))
+
+
+def q(engine, query, **kw):
+    results = [engine.evaluate(query, algorithm=a, **kw) for a in ALGORITHMS]
+    first = results[0]
+    for value in results[1:]:
+        if isinstance(first, float) and math.isnan(first):
+            assert isinstance(value, float) and math.isnan(value)
+        else:
+            assert value == first
+    return first
+
+
+# --- default-to-context expansion -------------------------------------------------
+
+def test_string_defaults_to_context_node(engine):
+    item = engine.document.element_by_id("i2")
+    assert q(engine, "string()", context_node=item) == "twenty"
+
+
+def test_number_defaults_to_context_node(engine):
+    item = engine.document.element_by_id("i3")
+    assert q(engine, "number()", context_node=item) == 30.0
+
+
+def test_name_functions_default(engine):
+    section = engine.document.element_by_id("s1")
+    assert q(engine, "name()", context_node=section) == "section"
+    assert q(engine, "local-name()", context_node=section) == "section"
+    attr = section.attributes[0]
+    assert q(engine, "name()", context_node=attr) == "id"
+
+
+def test_string_length_defaults(engine):
+    item = engine.document.element_by_id("i2")
+    assert q(engine, "string-length()", context_node=item) == 6.0
+
+
+def test_normalize_space_defaults(engine):
+    item = engine.document.element_by_id("i1")
+    assert q(engine, "normalize-space()", context_node=item) == "10"
+
+
+def test_defaults_inside_predicates(engine):
+    got = q(engine, "//item[string-length(normalize-space()) = 2]")
+    assert [n.xml_id for n in got] == ["i1", "i3"]
+    got = q(engine, "//*[name() = 'section']")
+    assert [n.xml_id for n in got] == ["s1"]
+
+
+# --- lang() through queries -----------------------------------------------------------
+
+def test_lang_inherits_and_overrides(engine):
+    got = q(engine, "//item[lang('en')]")
+    assert [n.xml_id for n in got] == ["i1", "i2"]
+    got = q(engine, "//item[lang('de')]")
+    assert [n.xml_id for n in got] == ["i3"]
+    assert q(engine, "boolean(//section[lang('en')])") is False
+
+
+# --- string machinery in predicates -----------------------------------------------------
+
+def test_concat_translate_substring_pipeline(engine):
+    got = q(engine, "//item[starts-with(@tag, 'a')]")
+    assert [n.xml_id for n in got] == ["i1"]
+    got = q(engine, "//item[contains(@tag, 'et')]")
+    assert [n.xml_id for n in got] == ["i2"]
+    assert q(engine, "translate(string(//item[2]/@tag), 'abt', 'ABT')") == "BeTA"
+    assert q(engine, "substring-after(string(//item/@tag), 'al')") == "pha"
+    assert q(engine, "concat(name(/doc), '-', string(count(//item)))") == "doc-3"
+
+
+def test_numeric_functions_over_document_values(engine):
+    assert q(engine, "floor(sum(//item[. > 5]))") == 40.0
+    assert q(engine, "ceiling(number(//item[1]) div 3)") == 4.0
+    assert q(engine, "round(number(//item[1]) div 3)") == 3.0
+
+
+def test_nested_conversions(engine):
+    # number(string(boolean(...))) — conversion chain through all types.
+    assert q(engine, "string(boolean(//item))") == "true"
+    assert math.isnan(q(engine, "number(string(boolean(//item)))"))
+    assert q(engine, "number(boolean(//item))") == 1.0
+
+
+def test_count_and_sum_in_arithmetic(engine):
+    assert q(engine, "count(//item) * 2 - 1") == 5.0
+    value = q(engine, "sum(//item)")
+    assert math.isnan(value)  # "twenty" is NaN, poisoning the IEEE sum
+    assert q(engine, "sum(//item[number() >= 0])") == 40.0  # numeric-only
+
+
+def test_id_function_composes_with_everything(engine):
+    assert q(engine, "string(id('i3'))") == "30"
+    assert q(engine, "count(id('i1 i2 i3 nope'))") == 3.0
+    got = q(engine, "id('s1')/item")
+    assert [n.xml_id for n in got] == ["i3"]
+
+
+def test_boolean_functions_in_filters(engine):
+    got = q(engine, "//item[not(@tag)]")
+    assert [n.xml_id for n in got] == ["i3"]
+    got = q(engine, "//item[true()]")
+    assert len(got) == 3
+    assert q(engine, "//item[false()]") == []

@@ -1,0 +1,212 @@
+"""Tests for normalization: Section 2.2's assumptions made real."""
+
+import pytest
+
+from repro.errors import UnboundVariableError, XPathTypeError
+from repro.xpath.ast import (
+    BinaryOp,
+    ConstantNodeSet,
+    FunctionCall,
+    NumberLiteral,
+    Path,
+    StringLiteral,
+)
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.unparse import unparse
+
+
+def norm(source, variables=None):
+    return normalize(parse_xpath(source), variables)
+
+
+# --- static typing -----------------------------------------------------------
+
+def test_static_types():
+    assert norm("1").value_type == "num"
+    assert norm("'s'").value_type == "str"
+    assert norm("a/b").value_type == "nset"
+    assert norm("a | b").value_type == "nset"
+    assert norm("1 = 2").value_type == "bool"
+    assert norm("1 + 2").value_type == "num"
+    assert norm("count(a)").value_type == "num"
+    assert norm("true()").value_type == "bool"
+    assert norm("concat('a','b')").value_type == "str"
+
+
+# --- explicit conversions -------------------------------------------------------
+
+def test_numeric_predicate_becomes_position_test():
+    expr = norm("a[2]")
+    predicate = expr.steps[0].predicates[0]
+    assert isinstance(predicate, BinaryOp) and predicate.op == "="
+    assert isinstance(predicate.left, FunctionCall) and predicate.left.name == "position"
+    assert isinstance(predicate.right, NumberLiteral)
+
+
+def test_last_predicate_becomes_position_test():
+    expr = norm("a[last()]")
+    predicate = expr.steps[0].predicates[0]
+    assert unparse(predicate) == "position() = last()"
+
+
+def test_path_predicate_wrapped_in_boolean():
+    expr = norm("a[b]")
+    predicate = expr.steps[0].predicates[0]
+    assert isinstance(predicate, FunctionCall) and predicate.name == "boolean"
+    assert predicate.value_type == "bool"
+
+
+def test_string_predicate_wrapped_in_boolean():
+    expr = norm("a['s']")
+    predicate = expr.steps[0].predicates[0]
+    assert predicate.name == "boolean"
+
+
+def test_boolean_predicate_untouched():
+    expr = norm("a[true()]")
+    predicate = expr.steps[0].predicates[0]
+    assert predicate.name == "true"
+
+
+def test_and_or_operands_get_boolean():
+    expr = norm("a and 1")
+    assert expr.left.name == "boolean"
+    assert expr.right.name == "boolean"
+    both = norm("true() or false()")
+    assert both.left.name == "true"  # already boolean: no wrapper
+
+
+def test_arithmetic_operands_get_number():
+    expr = norm("'3' + a")
+    assert expr.left.name == "number"
+    assert expr.right.name == "number"
+    assert expr.right.args[0].value_type == "nset"
+
+
+def test_negate_operand_converted():
+    expr = norm("-'3'")
+    assert expr.operand.name == "number"
+
+
+def test_comparisons_not_converted():
+    expr = norm("a = 1")
+    assert expr.left.value_type == "nset"
+    assert expr.right.value_type == "num"
+
+
+def test_function_argument_conversions():
+    expr = norm("starts-with(a, 1)")
+    assert expr.args[0].name == "string"
+    assert expr.args[1].name == "string"
+
+
+def test_context_defaulting_functions_get_self_path():
+    expr = norm("string()")
+    (arg,) = expr.args
+    assert isinstance(arg, Path)
+    assert arg.steps[0].axis == "self"
+    lengths = norm("string-length()")
+    assert lengths.args[0].name == "string"  # string(self::node())
+
+
+def test_nset_argument_required():
+    with pytest.raises(XPathTypeError):
+        norm("count(1)")
+    with pytest.raises(XPathTypeError):
+        norm("sum('x')")
+
+
+def test_union_requires_node_sets():
+    with pytest.raises(XPathTypeError):
+        norm("a | 1")
+
+
+# --- id rewrite (Section 4) -----------------------------------------------------
+
+def test_id_of_path_becomes_id_step():
+    expr = norm("id(a/b)")
+    assert isinstance(expr, Path)
+    assert [s.axis for s in expr.steps] == ["child", "child", "id"]
+
+
+def test_nested_id_chain():
+    expr = norm("id(id(a))")
+    assert [s.axis for s in expr.steps] == ["child", "id", "id"]
+
+
+def test_id_of_scalar_stays_function():
+    expr = norm("id('k')")
+    assert isinstance(expr, FunctionCall) and expr.name == "id"
+    assert expr.value_type == "nset"
+
+
+def test_id_of_union_roots_path_at_primary():
+    expr = norm("id(a | b)")
+    assert isinstance(expr, Path)
+    assert expr.primary is not None
+    assert [s.axis for s in expr.steps] == ["id"]
+
+
+# --- union lifting ----------------------------------------------------------------
+
+def test_boolean_union_lifted_to_or():
+    expr = norm("a[b | c]")
+    predicate = expr.steps[0].predicates[0]
+    assert isinstance(predicate, BinaryOp) and predicate.op == "or"
+    assert predicate.left.name == "boolean"
+    assert predicate.right.name == "boolean"
+
+
+def test_comparison_union_lifted_to_or():
+    expr = norm("(a | b) = 1")
+    assert isinstance(expr, BinaryOp) and expr.op == "or"
+    assert expr.left.op == "="
+    assert expr.right.op == "="
+
+
+def test_lifting_is_recursive():
+    expr = norm("a[b | c | d]")
+    predicate = expr.steps[0].predicates[0]
+    # ((b|c)|d) lifts to (bool(b) or bool(c)) or bool(d).
+    assert predicate.op == "or"
+    assert predicate.left.op == "or"
+
+
+def test_lifted_clone_gets_fresh_uids():
+    expr = norm("(a | b) = count(c)")
+    left_scalar = expr.left.right
+    right_scalar = expr.right.right
+    assert left_scalar.uid != right_scalar.uid
+
+
+# --- variables ------------------------------------------------------------------
+
+def test_variable_substitution_scalars():
+    assert isinstance(norm("$x", {"x": 5}), NumberLiteral)
+    assert isinstance(norm("$x", {"x": "s"}), StringLiteral)
+    assert norm("$x", {"x": True}).name == "true"
+    assert norm("$x", {"x": False}).name == "false"
+
+
+def test_variable_substitution_node_set():
+    expr = norm("$x", {"x": []})
+    assert isinstance(expr, ConstantNodeSet)
+    assert expr.value_type == "nset"
+
+
+def test_unbound_variable_rejected():
+    with pytest.raises(UnboundVariableError):
+        norm("$nope")
+
+
+def test_unsupported_binding_type_rejected():
+    with pytest.raises(XPathTypeError):
+        norm("$x", {"x": object()})
+
+
+def test_variable_inside_expression():
+    expr = norm("a[position() = $n]", {"n": 2})
+    predicate = expr.steps[0].predicates[0]
+    assert isinstance(predicate.right, NumberLiteral)
+    assert predicate.right.value == 2.0

@@ -1,0 +1,89 @@
+"""Cell-complete reproduction of the remaining Figure 4 tables (N1, N2,
+N8, N9) and of the Example 4 simplification ("the result of the absolute
+location path e is the same for all possible contexts")."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.topdown import TopDownEvaluator
+from repro.engine import XPathEngine
+from repro.workloads.documents import running_example_document
+from repro.workloads.queries import running_example_query
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.relevance import compute_relevance
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return running_example_document()
+
+
+@pytest.fixture(scope="module")
+def engine(doc):
+    return XPathEngine(doc)
+
+
+def x(doc, number):
+    return doc.element_by_id(str(number))
+
+
+def test_figure4_n1_absolute_result_for_every_context(doc, engine):
+    """Table N1: the absolute path e gives the same node set for *every*
+    context node (the paper fills in only the first row for that reason)."""
+    expected = {"13", "14", "21", "22", "23", "24"}
+    for context in doc.elements():
+        got = engine.evaluate(
+            running_example_query(), context_node=context, algorithm="mincontext"
+        )
+        assert {n.xml_id for n in got} == expected, context.xml_id
+
+
+def test_figure4_n2_all_empty_rows(doc, engine):
+    """Table N2 is empty for every context node outside {x10, x11, x21} —
+    the rows the paper omits 'since they have no effect'."""
+    query = "descendant::*[position() > last()*0.5 or self::* = 100]"
+    nonempty = {"10": 5, "11": 2, "21": 2}
+    for element in doc.elements():
+        got = engine.evaluate(query, context_node=element, algorithm="topdown")
+        assert len(got) == nonempty.get(element.xml_id, 0), element.xml_id
+
+
+def test_figure4_n8_and_n9_tables(doc):
+    """N8 (self::*) maps each context to itself; N9 (100) is constant."""
+    ast = normalize(parse_xpath(running_example_query()))
+    compute_relevance(ast)
+    evaluator = TopDownEvaluator(doc)
+    tables = evaluator.trace_tables(ast, Context(doc.root, 1, 1))
+    n5 = ast.steps[1].predicates[0].right
+    n8, n9 = n5.left, n5.right
+    n8_rows = tables[n8.uid]
+    assert len(n8_rows) == 14  # same 14 contexts as N3
+    for context, value in n8_rows:
+        assert value == {context.node}
+    for _context, value in tables[n9.uid]:
+        assert value == 100.0
+
+
+def test_figure4_contexts_match_reachable_pairs(doc):
+    """The paper: 'the top-down evaluation guarantees that no
+    context-value table contains more than |dom|² entries, corresponding
+    to all possible pairs of a previous and a current context node'. The
+    predicate tables of e have exactly 14 rows — the reachable pairs."""
+    ast = normalize(parse_xpath(running_example_query()))
+    compute_relevance(ast)
+    evaluator = TopDownEvaluator(doc)
+    tables = evaluator.trace_tables(ast, Context(doc.root, 1, 1))
+    predicate = ast.steps[1].predicates[0]
+    assert len(tables[predicate.uid]) == 14
+    size = len(doc.nodes)
+    for node_tables in tables.values():
+        assert len(node_tables) <= size * size
+
+
+def test_example4_y_read_from_last_step_not_root(doc):
+    """Example 4: with outermost set treatment, the final result is read
+    from the last location step's set, and equals the paper's Y."""
+    engine = XPathEngine(doc)
+    got = engine.evaluate(running_example_query(), algorithm="optmincontext")
+    assert [n.xml_id for n in got] == ["13", "14", "21", "22", "23", "24"]

@@ -1,0 +1,103 @@
+"""Property-based tests for the XPath front end as a whole:
+unparse round-trips, rewrite is a semantics-preserving fixpoint, and the
+analyses are stable under re-parsing."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import random_document
+from repro.workloads.queries import random_query
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.relevance import compute_relevance
+from repro.xpath.rewrite import RewriteStats, rewrite
+from repro.xpath.unparse import unparse
+
+
+def _equal(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return a == b
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 100_000))
+def test_unparse_reparse_evaluates_identically(seed):
+    """unparse(parse(q)) must evaluate exactly like q."""
+    rng = random.Random(seed)
+    query = random_query(rng)
+    doc = random_document(rng, max_nodes=12)
+    engine = XPathEngine(doc)
+    round_tripped = unparse(parse_xpath(query))
+    original = engine.evaluate(query, algorithm="mincontext")
+    again = engine.evaluate(round_tripped, algorithm="mincontext")
+    assert _equal(again, original), (query, round_tripped)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000))
+def test_rewrite_is_idempotent(seed):
+    """Applying the optimizer twice changes nothing more."""
+    query = random_query(random.Random(seed))
+    expr = normalize(parse_xpath(query))
+    compute_relevance(expr)
+    once = rewrite(expr, RewriteStats())
+    compute_relevance(once)
+    first = unparse(once)
+    second_stats = RewriteStats()
+    twice = rewrite(once, second_stats)
+    assert unparse(twice) == first
+    assert second_stats.descendant_fusions == 0
+    assert second_stats.self_elisions == 0
+    assert second_stats.double_negations == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000), st.integers(0, 100_000))
+def test_rewrite_preserves_semantics(doc_seed, query_seed):
+    doc = random_document(random.Random(doc_seed), max_nodes=14)
+    query = random_query(random.Random(query_seed))
+    plain = XPathEngine(doc)
+    optimizing = XPathEngine(doc, optimize=True)
+    expected = plain.evaluate(query, algorithm="topdown")
+    got = optimizing.evaluate(query, algorithm="topdown")
+    assert _equal(got, expected), query
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 100_000))
+def test_analyses_are_reparse_stable(seed):
+    """Fragment classification and relevance must agree between a query
+    and its unparse (the analyses are functions of syntax alone)."""
+    from repro.xpath.fragments import core_xpath_violation, wadler_violation
+
+    query = random_query(random.Random(seed))
+    first = normalize(parse_xpath(query))
+    compute_relevance(first)
+    second = normalize(parse_xpath(unparse(parse_xpath(query))))
+    compute_relevance(second)
+    assert first.relev == second.relev
+    assert (core_xpath_violation(first) is None) == (core_xpath_violation(second) is None)
+    assert (wadler_violation(first) is None) == (wadler_violation(second) is None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_table_api_matches_pointwise_evaluation(seed):
+    """engine.table(q) == {n: evaluate(q, n)} for cn-only queries."""
+    rng = random.Random(seed)
+    doc = random_document(rng, max_nodes=10)
+    engine = XPathEngine(doc)
+    query = random_query(rng, max_steps=2, max_depth=1)
+    compiled = engine.compile(query)
+    if compiled.ast.relev and ({"cp", "cs"} & compiled.ast.relev):
+        return  # table() rejects those by design
+    table = engine.table(compiled)
+    for node in doc.nodes:
+        assert _equal(table[node], engine.evaluate(compiled, context_node=node)), (
+            query,
+            node.path(),
+        )

@@ -1,0 +1,119 @@
+"""Property-based tests of *semantic laws* the evaluation must satisfy,
+independent of any particular algorithm (run on OPTMINCONTEXT, which the
+differential suite already ties to the others)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import random_document
+from repro.workloads.queries import random_query
+
+
+def _engine(seed, size=14):
+    return XPathEngine(random_document(random.Random(seed), max_nodes=size))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100_000), st.integers(0, 100_000))
+def test_boolean_count_consistency(doc_seed, query_seed):
+    """boolean(π) ⟺ π nonempty ⟺ count(π) > 0."""
+    engine = _engine(doc_seed)
+    path = random_query(random.Random(query_seed), max_steps=3, max_depth=1)
+    nodes = engine.evaluate(path)
+    as_boolean = engine.evaluate(f"boolean({path})")
+    as_count = engine.evaluate(f"count({path})")
+    assert as_boolean == bool(nodes)
+    assert as_count == float(len(nodes))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100_000), st.integers(0, 100_000))
+def test_path_composition(doc_seed, query_seed):
+    """π1/π2 from c equals ∪ {π2 from y : y ∈ π1 from c}."""
+    rng = random.Random(query_seed)
+    engine = _engine(doc_seed)
+    left = random_query(rng, max_steps=2, max_depth=0)
+    right_steps = random_query(rng, max_steps=2, max_depth=0).lstrip("/")
+    composed = engine.evaluate(f"{left}/{right_steps}")
+    stage_one = engine.evaluate(left)
+    union = set()
+    for node in stage_one:
+        union.update(engine.evaluate(right_steps, context_node=node))
+    assert set(composed) == union, (left, right_steps)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100_000), st.integers(0, 100_000))
+def test_union_is_set_union(doc_seed, query_seed):
+    rng = random.Random(query_seed)
+    engine = _engine(doc_seed)
+    a = random_query(rng, max_steps=2, max_depth=0)
+    b = random_query(rng, max_steps=2, max_depth=0)
+    union = engine.evaluate(f"{a} | {b}")
+    assert set(union) == set(engine.evaluate(a)) | set(engine.evaluate(b))
+    # Document order and no duplicates at the boundary.
+    pres = [n.pre for n in union]
+    assert pres == sorted(pres)
+    assert len(pres) == len(set(pres))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100_000), st.integers(0, 100_000), st.integers(1, 4))
+def test_positional_predicate_selects_subset(doc_seed, query_seed, k):
+    engine = _engine(doc_seed)
+    path = random_query(random.Random(query_seed), max_steps=2, max_depth=0)
+    full = set(engine.evaluate(path))
+    at_k = set(engine.evaluate(f"{path}[{k}]"))
+    assert at_k <= full
+    first = engine.evaluate(f"({path})[1]")
+    if full:
+        # (π)[1] is the document-order-first node of the whole result.
+        assert first == [min(full, key=lambda n: n.pre)]
+    else:
+        assert first == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100_000), st.integers(0, 100_000))
+def test_predicate_filter_is_intersection(doc_seed, query_seed):
+    """π[p] ⊆ π, and every member of π[p] satisfies p at itself when p is
+    position-free."""
+    rng = random.Random(query_seed)
+    engine = _engine(doc_seed)
+    path = random_query(rng, max_steps=2, max_depth=0)
+    pred = random_query(rng, max_steps=1, max_depth=0).lstrip("/")
+    filtered = engine.evaluate(f"{path}[{pred}]")
+    full = set(engine.evaluate(path))
+    assert set(filtered) <= full
+    for node in filtered:
+        assert engine.evaluate(f"boolean({pred})", context_node=node) is True
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100_000))
+def test_double_negation_law(doc_seed):
+    engine = _engine(doc_seed)
+    for pred in ("//a", "//missing", "//*[. = '1']"):
+        direct = engine.evaluate(f"boolean({pred})")
+        doubled = engine.evaluate(f"not(not({pred}))")
+        assert direct == doubled
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_self_step_identity(doc_seed):
+    """π/self::node() ≡ π."""
+    engine = _engine(doc_seed)
+    for path in ("//a", "//*", "//text()"):
+        assert engine.evaluate(f"{path}/self::node()") == engine.evaluate(path)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_descendant_shortcut_law(doc_seed):
+    """//t ≡ /descendant::t (the fusion rewrite's foundation)."""
+    engine = _engine(doc_seed)
+    for tag in ("a", "b", "*"):
+        assert engine.evaluate(f"//{tag}") == engine.evaluate(f"/descendant::{tag}")

@@ -1,0 +1,115 @@
+"""Property-based tests for the value system (numbers, strings, compare)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.values.compare import compare_values
+from repro.values.numbers import (
+    number_to_string,
+    to_number,
+    xpath_ceiling,
+    xpath_floor,
+    xpath_round,
+)
+from repro.functions.library import apply_function
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+@given(finite_floats)
+def test_number_string_round_trip(value):
+    """to_number(number_to_string(v)) == v for finite doubles."""
+    text = number_to_string(value)
+    assert "e" not in text and "E" not in text
+    back = to_number(text)
+    assert back == value or math.isclose(back, value, rel_tol=1e-15)
+
+
+@given(finite_floats)
+def test_floor_ceiling_round_are_integral_and_ordered(value):
+    floor = xpath_floor(value)
+    ceiling = xpath_ceiling(value)
+    rounded = xpath_round(value)
+    assert floor == int(floor)
+    assert ceiling == int(ceiling)
+    assert floor <= value <= ceiling
+    assert floor <= rounded <= ceiling
+    assert abs(rounded - value) <= 0.5
+
+
+@given(st.text(max_size=30))
+def test_to_number_never_raises(text):
+    result = to_number(text)
+    assert isinstance(result, float)
+
+
+@given(st.text(max_size=20), st.text(max_size=5))
+def test_substring_before_after_partition(haystack, needle):
+    doc = None  # functions under test ignore the document
+    if needle and needle in haystack:
+        before = apply_function(doc, "substring-before", [haystack, needle])
+        after = apply_function(doc, "substring-after", [haystack, needle])
+        assert before + needle + after == haystack
+
+
+@given(st.text(max_size=30))
+def test_normalize_space_idempotent(text):
+    once = apply_function(None, "normalize-space", [text])
+    twice = apply_function(None, "normalize-space", [once])
+    assert once == twice
+    assert "  " not in once
+    assert once == once.strip()
+
+
+@given(st.text(max_size=15), st.text(max_size=6), st.text(max_size=6))
+def test_translate_output_alphabet(source, from_chars, to_chars):
+    result = apply_function(None, "translate", [source, from_chars, to_chars])
+    removed = set(from_chars[len(to_chars):])
+    kept_map = {f: t for f, t in zip(from_chars, to_chars)}
+    for char in result:
+        assert char not in removed or char in kept_map.values() or char not in from_chars
+
+
+@given(st.text(max_size=10), st.integers(-5, 15), st.integers(-5, 15))
+def test_substring_is_contiguous(source, start, length):
+    result = apply_function(None, "substring", [source, float(start), float(length)])
+    assert result in source  # contiguity: any substring output occurs verbatim
+
+
+_SCALARS = st.one_of(
+    st.booleans(),
+    finite_floats,
+    st.text(max_size=8),
+)
+
+
+def _type_of(value):
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, float):
+        return "num"
+    return "str"
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+@settings(max_examples=200)
+@given(_SCALARS, _SCALARS, st.sampled_from(sorted(_FLIP)))
+def test_scalar_comparison_flip_symmetry(left, right, op):
+    forward = compare_values(op, left, _type_of(left), right, _type_of(right))
+    backward = compare_values(_FLIP[op], right, _type_of(right), left, _type_of(left))
+    assert forward == backward
+
+
+@settings(max_examples=200)
+@given(_SCALARS, _SCALARS)
+def test_equality_and_inequality_complementary_without_nan(left, right):
+    if isinstance(left, float) and math.isnan(left):
+        return
+    if isinstance(right, float) and math.isnan(right):
+        return
+    eq = compare_values("=", left, _type_of(left), right, _type_of(right))
+    ne = compare_values("!=", left, _type_of(left), right, _type_of(right))
+    assert eq != ne

@@ -1,0 +1,100 @@
+"""Property-based round-trip tests for the XML substrate."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.documents import random_document
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+
+# Text/attribute alphabets including characters that need escaping.
+_TEXT = st.text(
+    alphabet=st.sampled_from(list("abc<>&\"' \n1")), max_size=12
+)
+_NAMES = st.sampled_from(["a", "b", "tag-1", "x_y", "n.s"])
+
+
+@st.composite
+def tree_specs(draw, depth=0):
+    """Random (name, attrs, children) element specs."""
+    name = draw(_NAMES)
+    n_attrs = draw(st.integers(0, 2))
+    attrs = {}
+    for index in range(n_attrs):
+        attrs[f"k{index}"] = draw(_TEXT)
+    children = []
+    if depth < 3:
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                children.append(draw(_TEXT))
+            else:
+                children.append(draw(tree_specs(depth=depth + 1)))
+    return (name, attrs, children)
+
+
+def _build_xml(spec) -> str:
+    from repro.xml.serializer import _escape_attribute, _escape_text
+
+    name, attrs, children = spec
+    pieces = [f"<{name}"]
+    for key, value in attrs.items():
+        pieces.append(f' {key}="{_escape_attribute(value)}"')
+    if not children:
+        pieces.append("/>")
+        return "".join(pieces)
+    pieces.append(">")
+    for child in children:
+        if isinstance(child, str):
+            pieces.append(_escape_text(child))
+        else:
+            pieces.append(_build_xml(child))
+    pieces.append(f"</{name}>")
+    return "".join(pieces)
+
+
+def _structure(node):
+    """Comparable shape: (kind, name, value, attrs, children)."""
+    return (
+        node.kind.value,
+        node.name,
+        node.value,
+        tuple((a.name, a.value) for a in node.attributes),
+        tuple(_structure(c) for c in node.children),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree_specs())
+def test_parse_serialize_round_trip(spec):
+    source = _build_xml(spec)
+    doc = parse_document(source)
+    out = serialize(doc)
+    doc2 = parse_document(out)
+    assert _structure(doc.root) == _structure(doc2.root)
+    # Serialization is a fixpoint after one round.
+    assert serialize(doc2) == out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 9999), st.integers(1, 40))
+def test_generated_documents_round_trip(seed, size):
+    doc = random_document(random.Random(seed), max_nodes=size)
+    out = serialize(doc)
+    doc2 = parse_document(out)
+    assert _structure(doc.root) == _structure(doc2.root)
+    assert len(doc2) == len(doc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 9999))
+def test_numbering_invariants(seed):
+    """pre is positional; sizes tile the tree exactly."""
+    doc = random_document(random.Random(seed), max_nodes=30)
+    for index, node in enumerate(doc.nodes):
+        assert node.pre == index
+    for node in doc.nodes:
+        span = sum(1 for other in doc.nodes if node.pre <= other.pre < node.pre + node.size)
+        assert span == node.size
+        children_plus_attrs = sum(c.size for c in node.children) + len(node.attributes)
+        assert node.size == 1 + children_plus_attrs

@@ -1,0 +1,113 @@
+"""Tests for Relev(N) — Section 3.1 rules, including the paper's Example 3."""
+
+import pytest
+
+from repro.errors import XPathTypeError
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.relevance import compute_relevance, project_context
+
+
+def analyzed(source):
+    expr = normalize(parse_xpath(source))
+    compute_relevance(expr)
+    return expr
+
+
+def relev(source):
+    return set(analyzed(source).relev)
+
+
+# --- base cases -----------------------------------------------------------
+
+def test_constants_have_empty_relevance():
+    assert relev("1") == set()
+    assert relev("'s'") == set()
+    assert relev("true()") == set()
+    assert relev("false()") == set()
+
+
+def test_position_and_last():
+    assert relev("position()") == {"cp"}
+    assert relev("last()") == {"cs"}
+
+
+def test_location_paths_are_cn():
+    assert relev("a/b") == {"cn"}
+    assert relev("/a") == {"cn"}  # paper keeps cn even for absolute paths
+    assert relev("a | b") == {"cn"}
+
+
+def test_context_defaulting_functions_are_cn():
+    # string() normalizes to string(self::node()) — cn via the path.
+    assert relev("string()") == {"cn"}
+    assert relev("number()") == {"cn"}
+    assert relev("name()") == {"cn"}
+
+
+def test_lang_is_cn_dependent():
+    assert relev("lang('en')") == {"cn"}
+    # even with a context-free argument — and unions with the argument's set
+    assert relev("lang(string(position()))") == {"cn", "cp"}
+
+
+# --- compound expressions -----------------------------------------------------
+
+def test_union_of_children():
+    assert relev("position() > last()") == {"cp", "cs"}
+    assert relev("position() + 1") == {"cp"}
+    assert relev("count(a) = position()") == {"cn", "cp"}
+    assert relev("concat('a', 'b')") == set()
+
+
+def test_example3_values(running_doc):
+    """Example 3: the Relev sets of every node of Figure 3's parse tree."""
+    expr = analyzed(
+        "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]"
+    )
+    # N1 (the whole path) and N2 (the second step): {'cn'}.
+    assert set(expr.relev) == {"cn"}
+    step2 = expr.steps[1]
+    assert set(step2.relev) == {"cn"}
+    # N3 = the or-predicate: {'cn','cp','cs'}.
+    predicate = step2.predicates[0]
+    assert set(predicate.relev) == {"cn", "cp", "cs"}
+    # N4 = position() > last()*0.5: {'cp','cs'}... plus nothing else.
+    n4 = predicate.left
+    assert set(n4.relev) == {"cp", "cs"}
+    # N5 = self::* = 100: {'cn'}.
+    n5 = predicate.right
+    assert set(n5.relev) == {"cn"}
+    # N6 position(): {'cp'}; N7 last()*0.5: {'cs'}; N8 self::*: {'cn'};
+    # N9 100: ∅.
+    assert set(n4.left.relev) == {"cp"}
+    assert set(n4.right.relev) == {"cs"}
+    assert set(n5.left.relev) == {"cn"}
+    assert set(n5.right.relev) == set()
+
+
+def test_predicates_do_not_leak_into_path_relevance():
+    # The predicate uses position/last; the path is still {'cn'}.
+    assert relev("a[position() = last()]") == {"cn"}
+
+
+def test_filter_primary_relevance_propagates():
+    # id(string(position()))/a genuinely depends on cp.
+    assert relev("id(string(position()))/child::a") == {"cn", "cp"}
+
+
+def test_raw_tree_rejected():
+    expr = parse_xpath("$x")
+    with pytest.raises(XPathTypeError):
+        compute_relevance(expr)
+
+
+# --- projection --------------------------------------------------------------
+
+def test_project_context():
+    assert project_context(frozenset(), "n", 1, 2) == ()
+    assert project_context(frozenset({"cn"}), "n", 1, 2) == ("n",)
+    assert project_context(frozenset({"cp"}), "n", 1, 2) == (1,)
+    assert project_context(frozenset({"cn", "cp", "cs"}), "n", 1, 2) == ("n", 1, 2)
+    # Order is canonical (cn, cp, cs) regardless of set iteration order.
+    assert project_context(frozenset({"cs", "cn"}), "n", 1, 2) == ("n", 2)

@@ -1,0 +1,205 @@
+"""Tests for the optimizer pass: each rewrite fires when (and only when)
+its guard allows, and rewritten queries are equivalent to the originals
+on a differential corpus."""
+
+import random
+
+import pytest
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import random_document
+from repro.workloads.queries import random_query
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.relevance import compute_relevance
+from repro.xpath.rewrite import RewriteStats, rewrite
+from repro.xpath.unparse import unparse
+
+
+def optimized(source):
+    expr = normalize(parse_xpath(source))
+    compute_relevance(expr)
+    stats = RewriteStats()
+    result = rewrite(expr, stats)
+    compute_relevance(result)
+    return result, stats
+
+
+# --- descendant fusion --------------------------------------------------------
+
+def test_double_slash_fuses_to_descendant():
+    expr, stats = optimized("//a")
+    assert stats.descendant_fusions == 1
+    assert unparse(expr) == "/descendant::a"
+
+
+def test_fusion_inside_longer_path():
+    expr, stats = optimized("a//b/c")
+    assert stats.descendant_fusions == 1
+    assert unparse(expr) == "child::a/descendant::b/child::c"
+
+
+def test_fusion_keeps_position_free_predicates():
+    expr, stats = optimized("//a[b = 1]")
+    assert stats.descendant_fusions == 1
+    assert unparse(expr).startswith("/descendant::a[")
+
+
+def test_fusion_blocked_by_position_predicate():
+    # //a[1] means "first a-child of each node", NOT "first descendant".
+    expr, stats = optimized("//a[1]")
+    assert stats.descendant_fusions == 0
+    assert "descendant-or-self::node()" in unparse(expr)
+
+
+def test_fusion_blocked_by_predicate_on_dos_step():
+    expr, stats = optimized("descendant-or-self::node()[b]/child::a")
+    assert stats.descendant_fusions == 0
+
+
+def test_fusion_only_for_child_followup():
+    expr, stats = optimized("descendant-or-self::node()/parent::a")
+    assert stats.descendant_fusions == 0
+
+
+# --- self-step elision -----------------------------------------------------------
+
+def test_self_node_elision():
+    expr, stats = optimized("a/./b")
+    assert stats.self_elisions == 1
+    assert unparse(expr) == "child::a/child::b"
+
+
+def test_lone_self_step_kept():
+    expr, stats = optimized(".")
+    assert stats.self_elisions == 0
+    assert unparse(expr) == "self::node()"
+
+
+def test_self_with_test_kept():
+    expr, stats = optimized("a/self::a/b")
+    assert stats.self_elisions == 0
+
+
+# --- constant folding -------------------------------------------------------------
+
+def test_arithmetic_folds():
+    expr, stats = optimized("1 + 2 * 3")
+    assert unparse(expr) == "7"
+    assert stats.constants_folded >= 2
+
+
+def test_comparison_folds():
+    expr, _ = optimized("2 > 1")
+    assert unparse(expr) == "true()"
+
+
+def test_boolean_shortcuts():
+    expr, _ = optimized("false() and a")
+    assert unparse(expr) == "false()"
+    expr, _ = optimized("true() and boolean(a)")
+    assert unparse(expr) == "boolean(child::a)"
+    expr, _ = optimized("true() or boolean(a)")
+    assert unparse(expr) == "true()"
+    expr, _ = optimized("boolean(a) or false()")
+    assert unparse(expr) == "boolean(child::a)"
+
+
+def test_string_functions_fold():
+    expr, _ = optimized("concat('a', 'b')")
+    assert unparse(expr) == "'ab'"
+    expr, _ = optimized("string-length('xyz')")
+    assert unparse(expr) == "3"
+    expr, _ = optimized("contains('hello', 'ell')")
+    assert unparse(expr) == "true()"
+
+
+def test_double_negation():
+    expr, stats = optimized("not(not(boolean(a)))")
+    assert stats.double_negations == 1
+    assert unparse(expr) == "boolean(child::a)"
+
+
+def test_folding_does_not_touch_node_sets():
+    expr, _ = optimized("count(a) + 1")
+    assert "count" in unparse(expr)
+
+
+# --- predicate elimination -----------------------------------------------------------
+
+def test_true_predicate_dropped():
+    expr, stats = optimized("a[1 < 2]")
+    assert stats.predicates_eliminated == 1
+    assert unparse(expr) == "child::a"
+
+
+def test_false_predicate_collapses_step():
+    expr, stats = optimized("a[1 > 2]")
+    assert stats.predicates_eliminated == 1
+    doc_engine = XPathEngine(
+        __import__("repro.xml.parser", fromlist=["parse_document"]).parse_document("<a/>")
+    )
+    # The collapsed step selects nothing on any document.
+    assert doc_engine.evaluate(unparse(expr)) == []
+
+
+# --- engine integration ----------------------------------------------------------------
+
+def test_engine_optimize_flag():
+    from repro.xml.parser import parse_document
+
+    doc = parse_document("<r><a>1</a><a>2</a></r>")
+    plain = XPathEngine(doc)
+    optimizing = XPathEngine(doc, optimize=True)
+    compiled = optimizing.compile("//a[1 = 1]")
+    assert compiled.rewrite_stats is not None
+    assert compiled.rewrite_stats.total() >= 2  # fold + predicate + fusion
+    assert plain.compile("//a").rewrite_stats is None
+    assert optimizing.evaluate("//a[1 = 1]") == plain.evaluate("//a[1 = 1]")
+
+
+def test_optimized_queries_can_become_core():
+    """Folding a constant predicate away can promote a query into Core
+    XPath, unlocking the linear-time evaluator."""
+    from repro.xml.parser import parse_document
+
+    doc = parse_document("<r><a><b/></a></r>")
+    engine = XPathEngine(doc, optimize=True)
+    compiled = engine.compile("//a[b][true()]")
+    assert compiled.is_core_xpath
+    assert compiled.best_algorithm() == "corexpath"
+
+
+# --- equivalence on a corpus -------------------------------------------------------------
+
+CORPUS = [
+    "//a", "//a[1]", "a//b//c", "//a[b = 1]", "//*[. = 100]/..",
+    "a/./b/.", "//a[not(not(b))]", "//a[1 + 1 = 2]", "//a[false() or b]",
+    "count(//a) * (1 + 0)", "//a[position() = 1 + 1]",
+    "//*[concat('x', 'y') = 'xy']",
+]
+
+
+@pytest.mark.parametrize("query", CORPUS)
+def test_rewrite_preserves_semantics_on_corpus(query):
+    rng = random.Random(hash(query) & 0xFFFF)
+    for _ in range(5):
+        doc = random_document(rng, max_nodes=15)
+        plain = XPathEngine(doc)
+        optimizing = XPathEngine(doc, optimize=True)
+        for algorithm in ("topdown", "optmincontext"):
+            assert optimizing.evaluate(query, algorithm=algorithm) == plain.evaluate(
+                query, algorithm=algorithm
+            ), (query, algorithm)
+
+
+def test_rewrite_preserves_semantics_fuzz():
+    rng = random.Random(42)
+    for _ in range(60):
+        doc = random_document(rng, max_nodes=12)
+        query = random_query(rng)
+        plain = XPathEngine(doc)
+        optimizing = XPathEngine(doc, optimize=True)
+        expected = plain.evaluate(query, algorithm="mincontext")
+        got = optimizing.evaluate(query, algorithm="mincontext")
+        assert got == expected, query

@@ -1,0 +1,197 @@
+"""Tests for the instrumentation hooks and the workload generators."""
+
+import random
+
+import pytest
+
+from repro import stats
+from repro.engine import XPathEngine
+from repro.workloads.documents import (
+    balanced_tree,
+    book_catalog,
+    deep_chain,
+    doubling_document,
+    numbered_line,
+    random_document,
+    running_example_document,
+    wide_tree,
+)
+from repro.workloads.queries import (
+    core_family,
+    doubling_query,
+    example9_query,
+    position_heavy_query,
+    random_query,
+    running_example_query,
+    wadler_family,
+)
+from repro.xpath.fragments import is_core_xpath, is_extended_wadler
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.relevance import compute_relevance
+
+
+# --- stats ----------------------------------------------------------------
+
+def test_collect_counts():
+    with stats.collect() as collected:
+        stats.count("things")
+        stats.count("things", 2)
+    assert collected.get("things") == 3
+    assert collected.get("missing") == 0
+
+
+def test_collectors_nest():
+    with stats.collect() as outer:
+        stats.count("x")
+        with stats.collect() as inner:
+            stats.count("x")
+        stats.count("x")
+    assert outer.get("x") == 3
+    assert inner.get("x") == 1
+
+
+def test_no_collector_is_noop():
+    stats.count("ignored")  # must not raise
+
+
+def test_table_cell_peak_tracking():
+    with stats.collect() as collected:
+        stats.table_cells_allocated(10)
+        stats.table_cells_allocated(5)
+        stats.table_cells_freed(12)
+        stats.table_cells_allocated(4)
+    assert collected.peak_table_cells == 15
+    assert collected.live_table_cells == 7
+    snapshot = collected.snapshot()
+    assert snapshot["peak_table_cells"] == 15
+
+
+def test_evaluation_populates_counters():
+    engine = XPathEngine(running_example_document())
+    with stats.collect() as collected:
+        engine.evaluate(running_example_query(), algorithm="mincontext")
+    assert collected.get("mincontext_contexts_evaluated") > 0
+    assert collected.get("axis_single_calls") > 0
+    assert collected.peak_table_cells > 0
+
+
+# --- document generators -----------------------------------------------------
+
+def test_balanced_tree_shape():
+    doc = balanced_tree(depth=3, fanout=2)
+    assert len(doc.elements()) == 7  # 1 + 2 + 4
+    assert doc.root_element.name == "a"
+    assert doc.root_element.children[0].name == "b"
+
+
+def test_deep_chain_shape():
+    doc = deep_chain(5)
+    node = doc.root_element
+    depth = 1
+    while node.children and node.children[0].is_element:
+        node = node.children[0]
+        depth += 1
+    assert depth == 5
+    assert node.string_value == "100"
+
+
+def test_wide_tree_shape():
+    doc = wide_tree(10)
+    assert len(doc.root_element.children) == 10
+    assert doc.root_element.children[3].string_value == "3"
+
+
+def test_numbered_line_values():
+    doc = numbered_line(4)
+    assert [c.string_value for c in doc.root_element.children] == ["1", "2", "3", "4"]
+
+
+def test_book_catalog_structure():
+    doc = book_catalog(books=3)
+    engine = XPathEngine(doc)
+    assert engine.evaluate("count(//book)") == 3.0
+    assert engine.evaluate("count(//chapter)") == 9.0
+    # Cross references point at the previous book.
+    refs = engine.evaluate("id(//ref)")
+    assert {n.xml_id for n in refs} == {"bk1", "bk2"}
+
+
+def test_doubling_document_minimal():
+    doc = doubling_document()
+    assert len(doc.elements()) == 3
+
+
+def test_random_document_determinism():
+    a = random_document(random.Random(5), max_nodes=12)
+    b = random_document(random.Random(5), max_nodes=12)
+    from repro.xml.serializer import serialize
+
+    assert serialize(a) == serialize(b)
+
+
+def test_random_document_respects_bound():
+    doc = random_document(random.Random(1), max_nodes=10)
+    assert 1 <= len(doc.elements()) <= 10
+
+
+# --- query generators -----------------------------------------------------------
+
+def _analyzed(query):
+    expr = normalize(parse_xpath(query))
+    compute_relevance(expr)
+    return expr
+
+
+def test_core_family_is_core():
+    for depth in (1, 3, 5):
+        assert is_core_xpath(_analyzed(core_family(depth)))
+
+
+def test_wadler_family_is_wadler_not_core():
+    for levels in (1, 2, 3):
+        expr = _analyzed(wadler_family(levels))
+        assert is_extended_wadler(expr)
+        assert not is_core_xpath(expr)
+
+
+def test_position_heavy_family_outside_wadler():
+    expr = _analyzed(position_heavy_query(2))
+    assert not is_extended_wadler(expr)
+    assert not is_core_xpath(expr)
+
+
+def test_doubling_query_grows_linearly():
+    q2 = doubling_query(2)
+    q4 = doubling_query(4)
+    assert q4.count("parent::a") == 4
+    assert len(q4) > len(q2)
+
+
+def test_doubling_query_explodes_naive_workload():
+    """The naive engine's step-context count doubles per pair; the
+    polynomial algorithms' stays flat — the EXP-X1 mechanism in miniature."""
+    from repro import stats
+
+    engine = XPathEngine(doubling_document())
+    counts = []
+    for pairs in (2, 4, 6):
+        with stats.collect() as collected:
+            engine.evaluate(doubling_query(pairs), algorithm="naive")
+        counts.append(collected.get("naive_step_contexts"))
+    assert counts[1] > 3 * counts[0]
+    assert counts[2] > 3 * counts[1]
+    with stats.collect() as collected:
+        engine.evaluate(doubling_query(6), algorithm="mincontext")
+    assert collected.get("mincontext_contexts_evaluated") < counts[0] * 4
+
+
+def test_paper_queries_parse():
+    _analyzed(running_example_query())
+    _analyzed(example9_query())
+
+
+def test_random_query_always_valid():
+    rng = random.Random(99)
+    for _ in range(100):
+        _analyzed(random_query(rng))

@@ -1,0 +1,122 @@
+"""Tests for the persistent document store (paper §7 future work)."""
+
+import json
+import random
+
+import pytest
+
+from repro.engine import XPathEngine
+from repro.workloads.documents import book_catalog, random_document, running_example_document
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+from repro.xml.store import DocumentStore, DocumentStoreError
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return DocumentStore(tmp_path / "store.json")
+
+
+def test_save_and_load_round_trip(store):
+    original = parse_document('<a id="1"><b k="v">text<!--c--><?p d?></b></a>')
+    store.save("doc", original)
+    loaded = store.load("doc")
+    assert serialize(loaded) == serialize(original)
+    assert len(loaded) == len(original)
+    # Pre-order numbering identical node for node.
+    for a, b in zip(original.nodes, loaded.nodes):
+        assert (a.kind, a.name, a.value, a.pre, a.size) == (b.kind, b.name, b.value, b.pre, b.size)
+
+
+def test_loaded_document_queries_identically(store):
+    original = running_example_document()
+    store.save("paper", original)
+    loaded = store.load("paper")
+    query = "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]"
+    expected = [n.xml_id for n in XPathEngine(original).evaluate(query)]
+    got = [n.xml_id for n in XPathEngine(loaded).evaluate(query)]
+    assert got == expected == ["13", "14", "21", "22", "23", "24"]
+
+
+def test_store_persists_across_instances(store, tmp_path):
+    store.save("one", parse_document("<a/>"))
+    reopened = DocumentStore(tmp_path / "store.json")
+    assert "one" in reopened
+    assert reopened.load("one").root_element.name == "a"
+
+
+def test_multiple_documents(store):
+    store.save("a", parse_document("<a/>"))
+    store.save("b", parse_document("<b><c/></b>"))
+    assert store.names() == ["a", "b"]
+    assert len(store) == 2
+    assert store.load("b").root_element.children[0].name == "c"
+
+
+def test_overwrite(store):
+    store.save("x", parse_document("<a/>"))
+    store.save("x", parse_document("<b/>"))
+    assert store.load("x").root_element.name == "b"
+    assert len(store) == 1
+
+
+def test_delete(store):
+    store.save("x", parse_document("<a/>"))
+    store.delete("x")
+    assert "x" not in store
+    with pytest.raises(DocumentStoreError):
+        store.delete("x")
+
+
+def test_missing_document(store):
+    with pytest.raises(DocumentStoreError):
+        store.load("nope")
+
+
+def test_custom_id_attribute_preserved(store):
+    original = parse_document('<a key="k1"/>', id_attribute="key")
+    store.save("doc", original)
+    loaded = store.load("doc")
+    assert loaded.element_by_id("k1") is loaded.root_element
+
+
+def test_corrupt_file_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("not json at all", encoding="utf-8")
+    with pytest.raises(DocumentStoreError):
+        DocumentStore(path)
+    path.write_text('{"something": "else"}', encoding="utf-8")
+    with pytest.raises(DocumentStoreError):
+        DocumentStore(path)
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text('{"version": 99, "documents": {}}', encoding="utf-8")
+    with pytest.raises(DocumentStoreError):
+        DocumentStore(path)
+
+
+def test_corrupt_node_table_rejected(store, tmp_path):
+    store.save("x", parse_document("<a/>"))
+    raw = json.loads((tmp_path / "store.json").read_text())
+    raw["documents"]["x"]["nodes"][1][0] = "Z"  # unknown kind code
+    (tmp_path / "store.json").write_text(json.dumps(raw))
+    reopened = DocumentStore(tmp_path / "store.json")
+    with pytest.raises(DocumentStoreError):
+        reopened.load("x")
+
+
+def test_random_documents_round_trip(store):
+    rng = random.Random(11)
+    for index in range(10):
+        doc = random_document(rng, max_nodes=25)
+        store.save(f"doc{index}", doc)
+        assert serialize(store.load(f"doc{index}")) == serialize(doc)
+
+
+def test_catalog_round_trip_and_query(store):
+    doc = book_catalog(books=4)
+    store.save("catalog", doc)
+    loaded = store.load("catalog")
+    assert XPathEngine(loaded).evaluate("count(//book)") == 4.0

@@ -1,0 +1,79 @@
+"""Tests for unparse (AST → string) and the tree dump."""
+
+import pytest
+
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.relevance import compute_relevance
+from repro.xpath.unparse import dump_tree, unparse
+
+
+def round_trip(source):
+    """unparse must re-parse to an equivalent tree (checked via a second
+    unparse fixpoint)."""
+    first = unparse(parse_xpath(source))
+    second = unparse(parse_xpath(first))
+    assert first == second
+    return first
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("child::a", "child::a"),
+        ("//b", "/descendant-or-self::node()/child::b"),
+        (".", "self::node()"),
+        ("..", "parent::node()"),
+        ("@x", "attribute::x"),
+        ("a[1]", "child::a[1]"),
+        ("1+2*3", "1 + 2 * 3"),
+        ("(1+2)*3", "(1 + 2) * 3"),
+        ("1 - (2 - 3)", "1 - (2 - 3)"),
+        ("-a", "-child::a"),
+        ("a|b", "child::a | child::b"),
+        ("'it'", "'it'"),
+        ('"don\'t"', '"don\'t"'),
+        ("f:g(a)", "f:g(child::a)"),
+        ("processing-instruction('x')", "child::processing-instruction('x')"),
+        ("a and b or c", "child::a and child::b or child::c"),
+        ("a and (b or c)", "child::a and (child::b or child::c)"),
+    ],
+)
+def test_unparse_forms(source, expected):
+    got = unparse(parse_xpath(source))
+    assert got == expected
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]",
+        "a[b = 1][position() != last()]/c",
+        "count(//a) + sum(//b) * 2",
+        "(a | b)[1]/c",
+        "id('x')/a[@k = 'v']",
+        "not(a) and true()",
+        "substring('12345', 2, 3)",
+        "a[.. = 1]",
+    ],
+)
+def test_unparse_round_trip(source):
+    round_trip(source)
+
+
+def test_dump_tree_contains_annotations():
+    expr = normalize(parse_xpath("a[position() = 1]"))
+    compute_relevance(expr)
+    dump = dump_tree(expr)
+    assert "nset" in dump
+    assert "Relev={cn}" in dump
+    assert "Relev={cp}" in dump
+    assert "position()" in dump
+    # One line per parse-tree node (path, step, predicate, position, 1).
+    assert len(dump.splitlines()) == 5
+
+
+def test_dump_tree_marks_empty_relevance():
+    expr = normalize(parse_xpath("1"))
+    compute_relevance(expr)
+    assert "Relev=∅" in dump_tree(expr)

@@ -1,0 +1,183 @@
+"""Tests for conversions (Figure 1's boolean/string/number rows) and the
+comparison dispatch (§3.4 / Figure 1 RelOp/EqOp/GtOp rows)."""
+
+import math
+
+import pytest
+
+from repro.values.coerce import convert, to_boolean, to_number_value, to_string_value
+from repro.values.compare import compare_values
+from repro.xml.parser import parse_document
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse_document('<r><a id="1">10</a><a id="2">20</a><a id="3">x</a></r>')
+
+
+def nodes(doc, *keys):
+    return {doc.element_by_id(k) for k in keys}
+
+
+# --- boolean() ------------------------------------------------------------
+
+def test_boolean_of_numbers():
+    assert to_boolean(1.0, "num") is True
+    assert to_boolean(-0.5, "num") is True
+    assert to_boolean(0.0, "num") is False
+    assert to_boolean(-0.0, "num") is False
+    assert to_boolean(float("nan"), "num") is False
+    assert to_boolean(float("inf"), "num") is True
+
+
+def test_boolean_of_strings():
+    assert to_boolean("", "str") is False
+    assert to_boolean("0", "str") is True  # nonempty, even though numerically 0
+    assert to_boolean("false", "str") is True
+
+
+def test_boolean_of_node_sets(doc):
+    assert to_boolean(set(), "nset") is False
+    assert to_boolean(nodes(doc, "1"), "nset") is True
+
+
+# --- string() --------------------------------------------------------------
+
+def test_string_of_node_set_takes_first_in_document_order(doc):
+    assert to_string_value(nodes(doc, "2", "1"), "nset") == "10"
+    assert to_string_value(set(), "nset") == ""
+
+
+def test_string_of_scalars():
+    assert to_string_value(4.0, "num") == "4"
+    assert to_string_value(True, "bool") == "true"
+    assert to_string_value(False, "bool") == "false"
+    assert to_string_value("x", "str") == "x"
+
+
+# --- number() ----------------------------------------------------------------
+
+def test_number_of_scalars():
+    assert to_number_value("12", "str") == 12.0
+    assert math.isnan(to_number_value("x", "str"))
+    assert to_number_value(True, "bool") == 1.0
+    assert to_number_value(False, "bool") == 0.0
+
+
+def test_number_of_node_set_goes_through_string(doc):
+    assert to_number_value(nodes(doc, "1"), "nset") == 10.0
+    assert math.isnan(to_number_value(nodes(doc, "3"), "nset"))
+    assert math.isnan(to_number_value(set(), "nset"))
+
+
+def test_convert_dispatch(doc):
+    assert convert(5.0, "num", "str") == "5"
+    assert convert("", "str", "bool") is False
+    assert convert(nodes(doc, "1"), "nset", "num") == 10.0
+    with pytest.raises(ValueError):
+        convert("x", "str", "nset")
+
+
+# --- scalar comparisons --------------------------------------------------------
+
+def test_equality_bool_dominates():
+    # bool vs anything: other side converted to boolean.
+    assert compare_values("=", True, "bool", "nonempty", "str") is True
+    assert compare_values("=", False, "bool", "", "str") is True
+    assert compare_values("=", True, "bool", 0.0, "num") is False
+    assert compare_values("!=", True, "bool", 0.0, "num") is True
+
+
+def test_equality_num_dominates_over_string():
+    assert compare_values("=", 10.0, "num", "10", "str") is True
+    assert compare_values("=", 10.0, "num", "x", "str") is False
+    assert compare_values("!=", 10.0, "num", "x", "str") is True  # NaN != anything
+
+
+def test_string_equality():
+    assert compare_values("=", "a", "str", "a", "str") is True
+    assert compare_values("!=", "a", "str", "b", "str") is True
+
+
+def test_relational_always_numeric():
+    # '10' < '9' as strings would be True lexicographically; XPath says
+    # convert both to number: 10 < 9 is False.
+    assert compare_values("<", "10", "str", "9", "str") is False
+    assert compare_values(">", "10", "str", "9", "str") is True
+    assert compare_values("<=", True, "bool", 1.0, "num") is True
+
+
+def test_nan_relational_false():
+    assert compare_values("<", "x", "str", "1", "str") is False
+    assert compare_values(">=", "x", "str", "1", "str") is False
+
+
+# --- node-set comparisons ----------------------------------------------------
+
+def test_nset_vs_num_existential(doc):
+    S = nodes(doc, "1", "2")
+    assert compare_values("=", S, "nset", 20.0, "num") is True
+    assert compare_values("=", S, "nset", 30.0, "num") is False
+    assert compare_values("<", S, "nset", 15.0, "num") is True  # 10 < 15
+    assert compare_values(">", S, "nset", 15.0, "num") is True  # 20 > 15
+    assert compare_values(">", S, "nset", 25.0, "num") is False
+
+
+def test_nset_with_unparsable_member(doc):
+    S = nodes(doc, "3")  # strval "x" -> NaN
+    assert compare_values("=", S, "nset", 0.0, "num") is False
+    assert compare_values("!=", S, "nset", 0.0, "num") is True  # NaN != 0
+
+
+def test_nset_vs_str(doc):
+    S = nodes(doc, "1", "3")
+    assert compare_values("=", S, "nset", "x", "str") is True
+    assert compare_values("=", S, "nset", "y", "str") is False
+    assert compare_values("!=", S, "nset", "x", "str") is True  # "10" != "x"
+    # Relational vs string goes numeric: only "10" parses.
+    assert compare_values("<", S, "nset", "11", "str") is True
+    assert compare_values(">", S, "nset", "11", "str") is False
+
+
+def test_nset_vs_bool(doc):
+    assert compare_values("=", nodes(doc, "1"), "nset", True, "bool") is True
+    assert compare_values("=", set(), "nset", False, "bool") is True
+    assert compare_values("!=", set(), "nset", True, "bool") is True
+
+
+def test_empty_nset_comparisons_always_false(doc):
+    assert compare_values("=", set(), "nset", 0.0, "num") is False
+    assert compare_values("!=", set(), "nset", 0.0, "num") is False
+    assert compare_values("=", set(), "nset", "", "str") is False
+
+
+def test_nset_vs_nset_equality(doc):
+    S1 = nodes(doc, "1", "2")  # {"10","20"}
+    S2 = nodes(doc, "2", "3")  # {"20","x"}
+    assert compare_values("=", S1, "nset", S2, "nset") is True  # share "20"
+    assert compare_values("=", nodes(doc, "1"), "nset", nodes(doc, "3"), "nset") is False
+
+
+def test_nset_vs_nset_inequality_subtleties(doc):
+    one = nodes(doc, "1")
+    also_one = {next(iter(nodes(doc, "1")))}
+    assert compare_values("!=", one, "nset", also_one, "nset") is False  # "10" != "10" has no witness
+    assert compare_values("!=", nodes(doc, "1", "2"), "nset", one, "nset") is True
+
+
+def test_nset_vs_nset_relational(doc):
+    S1 = nodes(doc, "1")  # 10
+    S2 = nodes(doc, "2")  # 20
+    assert compare_values("<", S1, "nset", S2, "nset") is True
+    assert compare_values(">", S1, "nset", S2, "nset") is False
+    assert compare_values(">", S2, "nset", S1, "nset") is True
+    # NaN members contribute nothing.
+    assert compare_values("<", nodes(doc, "3"), "nset", S2, "nset") is False
+
+
+def test_flipped_operand_order(doc):
+    S = nodes(doc, "1", "2")
+    # scalar RelOp nset must mirror nset RelOp scalar with flipped op.
+    assert compare_values("<", 15.0, "num", S, "nset") is True  # 15 < 20
+    assert compare_values(">", 25.0, "num", S, "nset") is True  # 25 > 10
+    assert compare_values(">", 5.0, "num", S, "nset") is False

@@ -1,0 +1,136 @@
+"""Tests for XPath number semantics (parsing, printing, rounding, mod/div)."""
+
+import math
+
+import pytest
+
+from repro.values.numbers import (
+    number_to_string,
+    to_number,
+    xpath_ceiling,
+    xpath_divide,
+    xpath_floor,
+    xpath_modulo,
+    xpath_round,
+)
+
+
+# --- to_number: the XPath Number grammar --------------------------------
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("1", 1.0),
+        ("12.5", 12.5),
+        (".5", 0.5),
+        ("5.", 5.0),
+        ("-3", -3.0),
+        ("-0.25", -0.25),
+        ("  7  ", 7.0),
+        ("\t\n42\r", 42.0),
+    ],
+)
+def test_to_number_valid(text, expected):
+    assert to_number(text) == expected
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["", " ", "+1", "1e3", "0x10", "Infinity", "NaN", "1 2", "--1", "1.2.3", "abc"],
+)
+def test_to_number_invalid_is_nan(text):
+    assert math.isnan(to_number(text))
+
+
+# --- number_to_string ----------------------------------------------------
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (4.0, "4"),
+        (-4.0, "-4"),
+        (0.0, "0"),
+        (-0.0, "0"),
+        (0.5, "0.5"),
+        (-2.25, "-2.25"),
+        (float("nan"), "NaN"),
+        (float("inf"), "Infinity"),
+        (float("-inf"), "-Infinity"),
+        (1e16, "10000000000000000"),
+    ],
+)
+def test_number_to_string(value, expected):
+    assert number_to_string(value) == expected
+
+
+def test_number_to_string_small_magnitude_no_exponent():
+    text = number_to_string(1e-7)
+    assert "e" not in text and "E" not in text
+    assert float(text) == pytest.approx(1e-7)
+
+
+def test_string_round_trip_for_integers():
+    for value in (-5.0, 0.0, 3.0, 123456.0):
+        assert to_number(number_to_string(value)) == value
+
+
+# --- floor / ceiling / round ---------------------------------------------
+
+def test_floor_ceiling_basics():
+    assert xpath_floor(2.7) == 2.0
+    assert xpath_floor(-2.1) == -3.0
+    assert xpath_ceiling(2.1) == 3.0
+    assert xpath_ceiling(-2.7) == -2.0
+
+
+def test_floor_ceiling_pass_through_specials():
+    assert math.isnan(xpath_floor(float("nan")))
+    assert xpath_ceiling(float("inf")) == float("inf")
+
+
+def test_round_half_toward_positive_infinity():
+    assert xpath_round(0.5) == 1.0
+    assert xpath_round(1.5) == 2.0
+    assert xpath_round(-1.5) == -1.0
+    assert xpath_round(2.4) == 2.0
+    assert xpath_round(-2.6) == -3.0
+
+
+def test_round_negative_half_is_negative_zero():
+    result = xpath_round(-0.5)
+    assert result == 0.0
+    assert math.copysign(1.0, result) == -1.0
+
+
+def test_round_passes_specials():
+    assert math.isnan(xpath_round(float("nan")))
+    assert xpath_round(float("-inf")) == float("-inf")
+
+
+# --- div / mod ------------------------------------------------------------
+
+def test_divide_by_zero_gives_infinities():
+    assert xpath_divide(1.0, 0.0) == float("inf")
+    assert xpath_divide(-1.0, 0.0) == float("-inf")
+    assert math.isnan(xpath_divide(0.0, 0.0))
+
+
+def test_divide_regular():
+    assert xpath_divide(7.0, 2.0) == 3.5
+
+
+def test_mod_sign_follows_dividend():
+    assert xpath_modulo(5.0, 2.0) == 1.0
+    assert xpath_modulo(5.0, -2.0) == 1.0
+    assert xpath_modulo(-5.0, 2.0) == -1.0
+    assert xpath_modulo(-5.0, -2.0) == -1.0
+
+
+def test_mod_fractional():
+    assert xpath_modulo(5.5, 2.0) == pytest.approx(1.5)
+
+
+def test_mod_edge_cases():
+    assert math.isnan(xpath_modulo(1.0, 0.0))
+    assert math.isnan(xpath_modulo(float("inf"), 2.0))
+    assert xpath_modulo(5.0, float("inf")) == 5.0

@@ -1,0 +1,127 @@
+"""Tests for the XML tree parser (structural well-formedness, node kinds)."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xml.document import NodeKind
+from repro.xml.parser import parse_document, parse_fragment
+
+
+def test_root_element_and_document_node():
+    doc = parse_document("<a/>")
+    assert doc.root.is_document
+    assert doc.root_element is not None
+    assert doc.root_element.name == "a"
+    assert doc.root_element.parent is doc.root
+
+
+def test_nested_structure():
+    doc = parse_document("<a><b><c/></b><d/></a>")
+    a = doc.root_element
+    assert [child.name for child in a.children] == ["b", "d"]
+    b = a.children[0]
+    assert [child.name for child in b.children] == ["c"]
+    assert b.children[0].parent is b
+
+
+def test_text_nodes():
+    doc = parse_document("<a>hi <b>there</b> end</a>")
+    a = doc.root_element
+    kinds = [child.kind for child in a.children]
+    assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+    assert a.children[0].value == "hi "
+    assert a.children[2].value == " end"
+
+
+def test_adjacent_text_and_cdata_merge_into_one_node():
+    doc = parse_document("<a>one<![CDATA[ two ]]>three</a>")
+    (text,) = doc.root_element.children
+    assert text.kind is NodeKind.TEXT
+    assert text.value == "one two three"
+
+
+def test_attributes_become_attribute_nodes():
+    doc = parse_document('<a x="1" y="2"/>')
+    a = doc.root_element
+    assert [(attr.name, attr.value) for attr in a.attributes] == [("x", "1"), ("y", "2")]
+    assert all(attr.parent is a for attr in a.attributes)
+    assert all(attr.is_attribute for attr in a.attributes)
+
+
+def test_comment_and_pi_nodes():
+    doc = parse_document("<a><!--note--><?pi data?></a>")
+    comment, pi = doc.root_element.children
+    assert comment.kind is NodeKind.COMMENT
+    assert comment.value == "note"
+    assert pi.kind is NodeKind.PROCESSING_INSTRUCTION
+    assert pi.name == "pi"
+    assert pi.value == "data"
+
+
+def test_comments_outside_root_allowed():
+    doc = parse_document("<!--before--><a/><!--after-->")
+    kinds = [child.kind for child in doc.root.children]
+    assert kinds == [NodeKind.COMMENT, NodeKind.ELEMENT, NodeKind.COMMENT]
+
+
+def test_whitespace_stripping_mode():
+    source = "<a>\n  <b/>\n  <c>kept</c>\n</a>"
+    kept = parse_document(source)
+    stripped = parse_document(source, keep_whitespace_text=False)
+    assert any(child.is_text for child in kept.root_element.children)
+    assert not any(child.is_text for child in stripped.root_element.children)
+    # Non-whitespace text survives stripping.
+    c = stripped.root_element.children[-1]
+    assert c.children[0].value == "kept"
+
+
+def test_mismatched_end_tag_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a><b></a></b>")
+
+
+def test_unclosed_element_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a><b>")
+
+
+def test_stray_end_tag_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a/></a>")
+
+
+def test_two_root_elements_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a/><b/>")
+
+
+def test_text_outside_root_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a/>junk")
+
+
+def test_empty_document_rejected():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("   ")
+
+
+def test_declaration_must_precede_root():
+    with pytest.raises(XMLSyntaxError):
+        parse_document('<a/><?xml version="1.0"?>')
+
+
+def test_parse_fragment_wraps():
+    doc = parse_fragment("<x/><y/>")
+    assert doc.root_element.name == "fragment"
+    assert [child.name for child in doc.root_element.children] == ["x", "y"]
+
+
+def test_custom_id_attribute():
+    doc = parse_document('<a key="k1"><b key="k2"/></a>', id_attribute="key")
+    assert doc.element_by_id("k2").name == "b"
+
+
+def test_document_is_finalized():
+    doc = parse_document("<a/>")
+    assert doc.is_finalized
+    assert len(doc) == 2  # document node + element

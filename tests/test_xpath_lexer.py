@@ -1,0 +1,134 @@
+"""Tests for the XPath tokenizer, especially the §3.7 disambiguation rules."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import TokenType, tokenize_xpath
+
+
+def tokens(source):
+    return tokenize_xpath(source)[:-1]  # drop END sentinel
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokens(source)]
+
+
+def test_simple_step():
+    assert kinds("child::a") == [
+        (TokenType.AXIS_NAME, "child"),
+        (TokenType.COLONCOLON, "::"),
+        (TokenType.NAME, "a"),
+    ]
+
+
+def test_star_after_coloncolon_is_wildcard():
+    got = kinds("descendant::*")
+    assert got[-1] == (TokenType.STAR, "*")
+
+
+def test_star_after_expression_is_multiplication():
+    got = kinds("last()*0.5")
+    assert (TokenType.OPERATOR, "*") in got
+    assert got[-1] == (TokenType.NUMBER, "0.5")
+
+
+def test_star_at_start_is_wildcard():
+    assert kinds("*")[0] == (TokenType.STAR, "*")
+
+
+def test_star_after_open_paren_and_bracket_is_wildcard():
+    assert kinds("(*")[-1] == (TokenType.STAR, "*")
+    assert kinds("a[*")[-1] == (TokenType.STAR, "*")
+
+
+def test_star_after_operator_is_wildcard():
+    got = kinds("a | *")
+    assert got[-1] == (TokenType.STAR, "*")
+
+
+def test_and_or_div_mod_in_operator_position():
+    got = kinds("1 and 2 or 3 div 4 mod 5")
+    ops = [v for t, v in got if t is TokenType.OPERATOR]
+    assert ops == ["and", "or", "div", "mod"]
+
+
+def test_and_as_name_test_in_name_position():
+    # At expression start, 'and' is a name test, not an operator.
+    got = kinds("and")
+    assert got == [(TokenType.NAME, "and")]
+
+
+def test_div_as_element_name_after_slash():
+    got = kinds("a/div")
+    assert got[-1] == (TokenType.NAME, "div")
+
+
+def test_unexpected_name_in_operator_position_rejected():
+    with pytest.raises(XPathSyntaxError):
+        tokenize_xpath("1 frob 2")
+
+
+def test_function_name_classification():
+    got = kinds("count(a)")
+    assert got[0] == (TokenType.FUNCTION_NAME, "count")
+
+
+def test_node_type_names_stay_names():
+    got = kinds("node()")
+    assert got[0] == (TokenType.NAME, "node")
+    got = kinds("text()")
+    assert got[0] == (TokenType.NAME, "text")
+
+
+def test_axis_name_classification_with_whitespace():
+    got = kinds("child :: a")
+    assert got[0] == (TokenType.AXIS_NAME, "child")
+
+
+def test_number_forms():
+    assert kinds("1")[0] == (TokenType.NUMBER, "1")
+    assert kinds("1.5")[0] == (TokenType.NUMBER, "1.5")
+    assert kinds(".5")[0] == (TokenType.NUMBER, ".5")
+    assert kinds("12.")[0] == (TokenType.NUMBER, "12.")
+
+
+def test_dot_and_dotdot():
+    assert kinds(".")[0][0] is TokenType.DOT
+    assert kinds("..")[0][0] is TokenType.DOTDOT
+    # '.5' must not lex as DOT NUMBER.
+    assert kinds(".5") == [(TokenType.NUMBER, ".5")]
+
+
+def test_literals_both_quotes():
+    assert kinds("'abc'")[0] == (TokenType.LITERAL, "abc")
+    assert kinds('"a\'b"')[0] == (TokenType.LITERAL, "a'b")
+
+
+def test_unterminated_literal_rejected():
+    with pytest.raises(XPathSyntaxError):
+        tokenize_xpath("'oops")
+
+
+def test_variable_reference():
+    assert kinds("$foo")[0] == (TokenType.VARIABLE, "foo")
+    with pytest.raises(XPathSyntaxError):
+        tokenize_xpath("$ ")
+
+
+def test_two_char_operators():
+    got = kinds("a != b <= c >= d // e")
+    ops = [v for t, v in got if t is TokenType.OPERATOR]
+    assert ops == ["!=", "<=", ">=", "//"]
+
+
+def test_offsets_recorded():
+    toks = tokens("ab + cd")
+    assert toks[0].offset == 0
+    assert toks[1].offset == 3
+    assert toks[2].offset == 5
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(XPathSyntaxError):
+        tokenize_xpath("a # b")

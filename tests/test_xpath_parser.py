@@ -1,0 +1,210 @@
+"""Tests for the XPath 1.0 grammar: structure, precedence, abbreviations."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    BinaryOp,
+    FunctionCall,
+    Negate,
+    NumberLiteral,
+    Path,
+    StringLiteral,
+    Union,
+    VariableRef,
+)
+from repro.xpath.parser import parse_xpath
+
+
+def steps_of(expr):
+    assert isinstance(expr, Path)
+    return [(s.axis, s.node_test.kind, s.node_test.name) for s in expr.steps]
+
+
+def test_relative_path():
+    expr = parse_xpath("child::a/descendant::b")
+    assert isinstance(expr, Path)
+    assert not expr.absolute
+    assert steps_of(expr) == [("child", "name", "a"), ("descendant", "name", "b")]
+
+
+def test_absolute_path_and_bare_slash():
+    assert parse_xpath("/child::a").absolute
+    root_only = parse_xpath("/")
+    assert root_only.absolute and root_only.steps == []
+
+
+def test_abbreviations():
+    expr = parse_xpath("//b")
+    assert steps_of(expr) == [
+        ("descendant-or-self", "node", None),
+        ("child", "name", "b"),
+    ]
+    assert steps_of(parse_xpath("."))[0] == ("self", "node", None)
+    assert steps_of(parse_xpath(".."))[0] == ("parent", "node", None)
+    assert steps_of(parse_xpath("@x"))[0] == ("attribute", "name", "x")
+    assert steps_of(parse_xpath("a//b")) == [
+        ("child", "name", "a"),
+        ("descendant-or-self", "node", None),
+        ("child", "name", "b"),
+    ]
+
+
+def test_default_axis_is_child():
+    assert steps_of(parse_xpath("a"))[0] == ("child", "name", "a")
+
+
+def test_node_tests():
+    assert steps_of(parse_xpath("child::*"))[0] == ("child", "wildcard", None)
+    assert steps_of(parse_xpath("child::node()"))[0] == ("child", "node", None)
+    assert steps_of(parse_xpath("child::text()"))[0] == ("child", "text", None)
+    assert steps_of(parse_xpath("child::comment()"))[0] == ("child", "comment", None)
+    assert steps_of(parse_xpath("child::processing-instruction()"))[0] == ("child", "pi", None)
+    assert steps_of(parse_xpath("child::processing-instruction('t')"))[0] == (
+        "child",
+        "pi",
+        "t",
+    )
+
+
+def test_predicates_attach_to_steps():
+    expr = parse_xpath("child::a[1][position() = 2]")
+    (step,) = expr.steps
+    assert len(step.predicates) == 2
+    assert isinstance(step.predicates[0], NumberLiteral)
+    assert isinstance(step.predicates[1], BinaryOp)
+
+
+def test_precedence_or_and():
+    expr = parse_xpath("1 or 2 and 3")
+    assert isinstance(expr, BinaryOp) and expr.op == "or"
+    assert isinstance(expr.right, BinaryOp) and expr.right.op == "and"
+
+
+def test_precedence_comparison_vs_arithmetic():
+    expr = parse_xpath("1 + 2 = 3 * 4")
+    assert expr.op == "="
+    assert expr.left.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_precedence_equality_vs_relational():
+    expr = parse_xpath("1 < 2 = 3 > 4")
+    # '=' binds loosest: (1<2) = (3>4).
+    assert expr.op == "="
+    assert expr.left.op == "<"
+    assert expr.right.op == ">"
+
+
+def test_left_associativity():
+    expr = parse_xpath("10 - 4 - 3")
+    assert expr.op == "-"
+    assert expr.left.op == "-"
+    assert isinstance(expr.right, NumberLiteral)
+
+
+def test_unary_minus():
+    expr = parse_xpath("-5")
+    assert isinstance(expr, Negate)
+    nested = parse_xpath("--5")
+    assert isinstance(nested.operand, Negate)
+    # Unary binds tighter than binary minus: 1 - -2.
+    mixed = parse_xpath("1 - -2")
+    assert mixed.op == "-"
+    assert isinstance(mixed.right, Negate)
+
+
+def test_union():
+    expr = parse_xpath("a | b | c")
+    assert isinstance(expr, Union)
+    assert isinstance(expr.left, Union)
+
+
+def test_function_calls():
+    expr = parse_xpath("concat('a', 'b', 'c')")
+    assert isinstance(expr, FunctionCall)
+    assert expr.name == "concat"
+    assert len(expr.args) == 3
+    empty = parse_xpath("last()")
+    assert empty.args == []
+
+
+def test_variable_reference():
+    expr = parse_xpath("$x + 1")
+    assert isinstance(expr.left, VariableRef)
+    assert expr.left.name == "x"
+
+
+def test_literals():
+    assert isinstance(parse_xpath("'s'"), StringLiteral)
+    assert parse_xpath("0.5").value == 0.5
+
+
+def test_filter_expression_with_predicate():
+    expr = parse_xpath("(a | b)[1]")
+    assert isinstance(expr, Path)
+    assert isinstance(expr.primary, Union)
+    assert len(expr.primary_predicates) == 1
+    assert expr.steps == []
+
+
+def test_filter_expression_with_tail_path():
+    expr = parse_xpath("id('x')/child::a")
+    assert isinstance(expr, Path)
+    assert isinstance(expr.primary, FunctionCall)
+    assert steps_of(expr) == [("child", "name", "a")]
+
+
+def test_filter_expression_with_double_slash_tail():
+    expr = parse_xpath("id('x')//a")
+    assert steps_of(expr) == [
+        ("descendant-or-self", "node", None),
+        ("child", "name", "a"),
+    ]
+
+
+def test_parenthesized_expression_unwraps():
+    expr = parse_xpath("(1 + 2)")
+    assert isinstance(expr, BinaryOp)
+
+
+def test_paper_running_example_parses():
+    expr = parse_xpath(
+        "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]"
+    )
+    assert isinstance(expr, Path)
+    assert expr.absolute
+    assert len(expr.steps) == 2
+    predicate = expr.steps[1].predicates[0]
+    assert predicate.op == "or"
+
+
+def test_nested_predicates():
+    expr = parse_xpath("a[b[c]]")
+    inner = expr.steps[0].predicates[0]
+    assert isinstance(inner, Path)
+    assert isinstance(inner.steps[0].predicates[0], Path)
+
+
+def test_namespace_axis_rejected():
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("namespace::x")
+
+
+def test_unknown_axis_rejected():
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("sideways::x")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", "child::", "a[", "a]", "f(", "1 +", "/..../", "a b", "()", "a[]"],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath(bad)
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("a b c")
