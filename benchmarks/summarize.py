@@ -3,11 +3,13 @@
 Run after the benchmark suite:
 
     pytest benchmarks/ --benchmark-only
-    python benchmarks/summarize.py          # prints + writes results/ALL.txt
+    python benchmarks/summarize.py               # prints + writes results/ALL.txt
+    python benchmarks/summarize.py --plan-cache  # just the plan-cache hit rates
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -16,10 +18,40 @@ ORDER = [
     "exp_f4", "exp_f5", "exp_e9",
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
+    "exp_svc",
 ]
 
 
-def main() -> None:
+def plan_cache_lines() -> list[str]:
+    """The cache hit-rate and speedup lines from the EXP-SVC report
+    (written by bench_plan_cache.py)."""
+    path = RESULTS_DIR / "exp_svc.txt"
+    if not path.exists():
+        return []
+    markers = ("hit rate:", "speedup = ")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--plan-cache",
+        action="store_true",
+        help="print only the plan-cache hit rates and speedups (EXP-SVC)",
+    )
+    args = parser.parse_args(argv)
+    if args.plan_cache:
+        lines = plan_cache_lines()
+        if not lines:
+            raise SystemExit(
+                "no plan-cache results yet — run: python benchmarks/bench_plan_cache.py"
+            )
+        print("\n".join(lines))
+        return
     if not RESULTS_DIR.exists():
         raise SystemExit("no results yet — run: pytest benchmarks/ --benchmark-only")
     sections = []

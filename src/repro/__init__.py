@@ -9,48 +9,94 @@ A complete, from-scratch XPath 1.0 query evaluation stack:
   ``Relev`` analysis — :mod:`repro.xpath`;
 * five evaluation algorithms, from the exponential "contemporary engine"
   baseline to the paper's MINCONTEXT and OPTMINCONTEXT — :mod:`repro.core`;
-* an engine facade with fragment-aware dispatch — :mod:`repro.engine`.
+* an engine facade with fragment-aware dispatch — :mod:`repro.engine`;
+* a service layer with a compiled-plan LRU cache and a batch evaluation
+  API — :mod:`repro.service`.
 
-Quickstart::
+Quickstart (one document, one query at a time)::
 
     from repro import XPathEngine, parse_document
 
     doc = parse_document("<lib><book year='2001'/><book year='2003'/></lib>")
     engine = XPathEngine(doc)
     recent = engine.evaluate("//book[@year > 2002]")
+
+Serving workloads — the service layer
+-------------------------------------
+
+The paper's complexity theorems bound *evaluation* cost; the per-call
+frontend pipeline (parse → normalize → rewrite → relevance → fragment
+dispatch) is pure overhead on repeated queries. :class:`QueryService`
+amortizes it: each distinct ``(query, options)`` pair is compiled once
+into a :class:`CompiledPlan` held in an LRU cache, and each document gets
+a session that memoizes ``(plan, context) → result``. The batch API
+evaluates whole workloads in one call::
+
+    from repro import QueryService, parse_document
+
+    service = QueryService(plan_capacity=128)
+    documents = [parse_document(source) for source in sources]
+    batch = service.evaluate_many(
+        ["//book/title", "//book[price > 20]", "//book/title"],  # dupes are free
+        documents,
+    )
+    batch.value(0, 1)          # document 0, second query
+    batch.algorithms           # resolved per-query algorithm (fragment dispatch)
+    service.cache_stats()      # {'plan_cache': {...hits/misses/hit_rate...}, ...}
+
+The same machinery backs the CLI's ``plan`` (inspect a compiled plan)
+and ``batch`` (evaluate many queries × many documents, with cache
+statistics) subcommands — see ``python -m repro plan --help``.
 """
 
-from repro.engine import ALGORITHMS, CompiledQuery, XPathEngine
+from repro.engine import ALGORITHMS, CompiledPlan, CompiledQuery, XPathEngine
 from repro.errors import (
     EvaluationError,
     FragmentViolationError,
     ReproError,
     UnboundVariableError,
+    UnknownAlgorithmError,
     UnknownFunctionError,
     XMLSyntaxError,
     XPathSyntaxError,
     XPathTypeError,
 )
 from repro.core.context import Context
+from repro.service import (
+    BatchResult,
+    DocumentSession,
+    PlanCache,
+    PlanOptions,
+    QueryPlanner,
+    QueryService,
+)
 from repro.xml.builder import DocumentBuilder, element, text
 from repro.xml.document import Document, Node, NodeKind
 from repro.xml.parser import parse_document, parse_fragment
 from repro.xml.serializer import serialize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
+    "BatchResult",
+    "CompiledPlan",
     "CompiledQuery",
     "Context",
     "Document",
     "DocumentBuilder",
+    "DocumentSession",
     "EvaluationError",
     "FragmentViolationError",
     "Node",
     "NodeKind",
+    "PlanCache",
+    "PlanOptions",
+    "QueryPlanner",
+    "QueryService",
     "ReproError",
     "UnboundVariableError",
+    "UnknownAlgorithmError",
     "UnknownFunctionError",
     "XMLSyntaxError",
     "XPathEngine",

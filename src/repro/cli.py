@@ -1,15 +1,31 @@
 """Command-line XPath tool: ``repro-xpath`` / ``python -m repro``.
 
+Three modes:
+
+* the default (legacy) mode evaluates one query against one document;
+* ``repro-xpath plan QUERY`` compiles a query and prints its plan —
+  normalized form, fragment classification, and the algorithm ``auto``
+  dispatch selects — without needing a document;
+* ``repro-xpath batch`` evaluates many queries against many documents
+  through :class:`repro.service.QueryService`, sharing the compiled-plan
+  cache and per-document caches, and can report cache statistics.
+
 Examples::
 
     repro-xpath --file doc.xml "//book[price > 20]/title"
     repro-xpath --xml "<a><b/></a>" --explain "/child::a/child::b"
     repro-xpath --file doc.xml --compare "//a[position() = last()]"
+    repro-xpath plan "//a[position() = last()]"
+    repro-xpath batch --xml "<a><b/></a>" --xml "<a/>" -q "//b" -q "count(//b)" --stats
 
 ``--explain`` prints the normalized parse tree with static types and
 ``Relev`` sets plus fragment classification; ``--compare`` runs all
 polynomial algorithms (and, for small inputs, the naive baseline) and
 reports agreement — a one-shot differential check.
+
+Exit codes: 0 success (and, for ``--compare``, agreement), 1 for any
+library error (malformed query/document, fragment violations), 2 for
+``--compare`` disagreement or bad batch invocations.
 """
 
 from __future__ import annotations
@@ -19,6 +35,7 @@ import sys
 
 from repro.engine import ALGORITHMS, XPathEngine
 from repro.errors import ReproError
+from repro.service import QueryService, compile_plan
 from repro.xml.document import Node
 from repro.xml.parser import parse_document
 from repro.xml.serializer import serialize_node
@@ -48,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-xpath",
         description="Evaluate an XPath 1.0 query with the Gottlob/Koch/Pichler algorithms.",
+        epilog=(
+            "Subcommands: 'repro-xpath plan QUERY' compiles and prints a query "
+            "plan; 'repro-xpath batch ...' evaluates many queries x many "
+            "documents through the plan cache (each has its own --help). They "
+            "are recognized only as the first argument — to evaluate a query "
+            "literally named 'plan' or 'batch', put an option first "
+            "(repro-xpath --xml '<r/>' plan) or write it as child::plan."
+        ),
     )
     parser.add_argument("query", help="XPath 1.0 query (abbreviated syntax accepted)")
     source = parser.add_mutually_exclusive_group(required=True)
@@ -91,7 +116,221 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ----------------------------------------------------------------------
+# plan subcommand
+# ----------------------------------------------------------------------
+
+
+def build_plan_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath plan",
+        description="Compile a query and print its evaluation plan (no document needed).",
+    )
+    parser.add_argument("query", help="XPath 1.0 query to compile")
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="apply the semantics-preserving rewrite pass",
+    )
+    parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the normalized parse tree and per-subexpression strategies",
+    )
+    return parser
+
+
+def plan_main(argv: list[str]) -> int:
+    args = build_plan_parser().parse_args(argv)
+    try:
+        plan = compile_plan(args.query, optimize=args.optimize)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    core = "yes" if plan.is_core_xpath else f"no ({plan.core_violation})"
+    wadler = "yes" if plan.is_extended_wadler else f"no ({plan.wadler_violation})"
+    print("query:           ", plan.source)
+    print("normalized query:", unparse(plan.ast))
+    print("result type:     ", plan.result_type)
+    print("Core XPath:      ", core)
+    print("Extended Wadler: ", wadler)
+    print("bottom-up paths: ", plan.bottomup_path_count)
+    print("algorithm:       ", plan.algorithm)
+    if plan.rewrite_stats is not None:
+        print("rewrites applied:", plan.rewrite_stats.total())
+    if args.tree:
+        print("parse tree:")
+        print(dump_tree(plan.ast, indent="    "))
+        print("evaluation plan (per-subexpression strategy, Corollary 11):")
+        print(explain_text(plan.ast))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# batch subcommand
+# ----------------------------------------------------------------------
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath batch",
+        description="Evaluate many queries against many documents through the "
+        "plan-caching query service.",
+    )
+    parser.add_argument(
+        "--query",
+        "-q",
+        action="append",
+        default=[],
+        metavar="QUERY",
+        help="a query to evaluate (repeatable)",
+    )
+    parser.add_argument(
+        "--queries-file",
+        help="file with one query per line (blank lines and # comments skipped)",
+    )
+    parser.add_argument(
+        "--xml",
+        action="append",
+        default=[],
+        metavar="XML",
+        help="an inline XML document (repeatable)",
+    )
+    parser.add_argument(
+        "--file",
+        "-f",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="an XML document file (repeatable)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        "-a",
+        choices=ALGORITHMS,
+        default="auto",
+        help="evaluation algorithm for every query (default: auto)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        choices=("path", "xml", "value"),
+        default="path",
+        help="node rendering: debug path, serialized XML, or string value",
+    )
+    parser.add_argument(
+        "--strip-whitespace",
+        action="store_true",
+        help="drop whitespace-only text nodes while parsing",
+    )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="apply the semantics-preserving rewrite pass when compiling plans",
+    )
+    parser.add_argument(
+        "--plan-capacity",
+        type=int,
+        default=256,
+        help="LRU capacity of the compiled-plan cache (default: 256)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print plan-cache and result-cache statistics after the batch",
+    )
+    return parser
+
+
+def _load_batch_queries(args) -> list[str]:
+    queries = list(args.query)
+    if args.queries_file:
+        with open(args.queries_file, encoding="utf-8") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if stripped and not stripped.startswith("#"):
+                    queries.append(stripped)
+    return queries
+
+
+def batch_main(argv: list[str]) -> int:
+    parser = build_batch_parser()
+    args = parser.parse_args(argv)
+    try:
+        queries = _load_batch_queries(args)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if not queries:
+        print("error: no queries given (use -q or --queries-file)", file=sys.stderr)
+        return 2
+    if not args.xml and not args.file:
+        print("error: no documents given (use --xml or --file)", file=sys.stderr)
+        return 2
+    if args.plan_capacity < 1:
+        print("error: --plan-capacity must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        labels = []
+        documents = []
+        for inline in args.xml:
+            labels.append(f"xml[{len(documents)}]")
+            documents.append(
+                parse_document(inline, keep_whitespace_text=not args.strip_whitespace)
+            )
+        for path in args.file:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+            labels.append(path)
+            documents.append(
+                parse_document(source, keep_whitespace_text=not args.strip_whitespace)
+            )
+        service = QueryService(plan_capacity=args.plan_capacity, optimize=args.optimize)
+        batch = service.evaluate_many(queries, documents, algorithm=args.algorithm)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for doc_index, label in enumerate(labels):
+        for query_index, query in enumerate(queries):
+            algorithm = batch.algorithms[query_index]
+            print(f"=== {label} :: {query} [{algorithm}] ===")
+            print(_render_result(batch.value(doc_index, query_index), args.output))
+    if args.stats:
+        plan_stats = batch.plan_stats
+        result_stats = batch.result_stats
+        print(
+            "plan cache:   "
+            f"hits={plan_stats['hits']} misses={plan_stats['misses']} "
+            f"evictions={plan_stats['evictions']} "
+            f"hit rate={plan_stats['hit_rate']:.1%}",
+            file=sys.stderr,
+        )
+        print(
+            "result cache: "
+            f"hits={result_stats['hits']} misses={result_stats['misses']} "
+            f"hit rate={result_stats['hit_rate']:.1%}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Subcommands are recognized only in first position, so queries that
+    # are literally "plan"/"batch" stay reachable: lead with any option
+    # (repro-xpath --xml '<r/>' plan) or spell the step out (child::plan).
+    if argv and argv[0] == "plan":
+        return plan_main(argv[1:])
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.file:

@@ -1,8 +1,9 @@
 """Public engine facade.
 
-:class:`XPathEngine` ties the pipeline together: parse → normalize
+:class:`XPathEngine` is a thin per-document convenience wrapper over the
+planner (:mod:`repro.service.planner`): compilation — parse → normalize
 (variables substituted, conversions explicit) → relevance analysis →
-fragment classification → algorithm dispatch. ``algorithm='auto'`` picks
+fragment classification — lives there, and ``algorithm='auto'`` picks
 the best algorithm the paper provides for the query's fragment:
 
 * whole-query Core XPath (Definition 12)  → ``corexpath``  (Theorem 13)
@@ -11,6 +12,10 @@ the best algorithm the paper provides for the query's fragment:
 The slower algorithms (``naive``, ``bottomup``, ``topdown``,
 ``mincontext``) remain selectable — the benchmark harness and the
 differential test suite exercise all of them on the same queries.
+
+For serving many queries over many documents with plan/result caching,
+use :class:`repro.service.QueryService`; the engine keeps only a simple
+unbounded per-engine plan memo.
 
 Example::
 
@@ -24,78 +29,19 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.bottomup import BottomUpEvaluator
 from repro.core.context import Context
-from repro.core.corexpath import CoreXPathEvaluator
 from repro.core.mincontext import MinContextEvaluator
-from repro.core.naive import NaiveEvaluator
-from repro.core.optmincontext import OptMinContextEvaluator
-from repro.core.topdown import TopDownEvaluator
-from repro.errors import FragmentViolationError, ReproError
+from repro.errors import ReproError
+from repro.service.plan import CompiledPlan, CompiledQuery
+from repro.service.planner import (
+    ALGORITHMS,
+    QueryPlanner,
+    make_evaluator,
+    resolve_algorithm,
+)
 from repro.xml.document import Document, Node
-from repro.xpath.ast import Expr, Path
-from repro.xpath.fragments import (
-    core_xpath_violation,
-    find_bottomup_paths,
-    wadler_violation,
-)
-from repro.xpath.normalize import normalize
-from repro.xpath.parser import parse_xpath
-from repro.xpath.relevance import compute_relevance
-from repro.xpath.rewrite import RewriteStats, rewrite
 
-#: The selectable evaluation algorithms.
-ALGORITHMS = (
-    "auto",
-    "naive",
-    "bottomup",
-    "topdown",
-    "mincontext",
-    "optmincontext",
-    "corexpath",
-)
-
-
-@dataclass
-class CompiledQuery:
-    """A parsed, normalized, analyzed query, reusable across evaluations.
-
-    Attributes:
-        source: the original query string.
-        ast: normalized AST with ``value_type`` and ``relev`` annotations.
-        result_type: static type of the whole query.
-        core_violation: why the query is outside Core XPath (None if in).
-        wadler_violation: why it is outside the Extended Wadler Fragment.
-        bottomup_path_count: number of subexpressions OPTMINCONTEXT will
-            evaluate bottom-up.
-    """
-
-    source: str
-    ast: Expr
-    result_type: str
-    core_violation: str | None
-    wadler_violation: str | None
-    bottomup_path_count: int
-    variables: dict[str, object] = field(default_factory=dict, repr=False)
-    #: What the optimizer pass did (None when the engine was built with
-    #: optimize=False).
-    rewrite_stats: RewriteStats | None = None
-
-    @property
-    def is_core_xpath(self) -> bool:
-        return self.core_violation is None
-
-    @property
-    def is_extended_wadler(self) -> bool:
-        return self.wadler_violation is None
-
-    def best_algorithm(self) -> str:
-        """The algorithm ``auto`` dispatches to."""
-        if self.is_core_xpath:
-            return "corexpath"
-        return "optmincontext"
+__all__ = ["ALGORITHMS", "CompiledPlan", "CompiledQuery", "XPathEngine"]
 
 
 class XPathEngine:
@@ -112,33 +58,18 @@ class XPathEngine:
         self.document = document
         self.variables = dict(variables or {})
         self.optimize = optimize
-        self._cache: dict[str, CompiledQuery] = {}
+        self._planner = QueryPlanner()
+        self._cache: dict[str, CompiledPlan] = {}
 
     # ------------------------------------------------------------------
 
-    def compile(self, query: str) -> CompiledQuery:
+    def compile(self, query: str) -> CompiledPlan:
         """Parse + normalize (+ optionally rewrite) + analyze a query
         (cached per engine)."""
         cached = self._cache.get(query)
         if cached is not None:
             return cached
-        ast = normalize(parse_xpath(query), self.variables)
-        compute_relevance(ast)
-        rewrite_stats = None
-        if self.optimize:
-            rewrite_stats = RewriteStats()
-            ast = rewrite(ast, rewrite_stats)
-            compute_relevance(ast)
-        compiled = CompiledQuery(
-            source=query,
-            ast=ast,
-            result_type=ast.value_type or "nset",
-            core_violation=core_xpath_violation(ast),
-            wadler_violation=wadler_violation(ast),
-            bottomup_path_count=len(find_bottomup_paths(ast)),
-            variables=dict(self.variables),
-            rewrite_stats=rewrite_stats,
-        )
+        compiled = self._planner.compile(query, self.variables, self.optimize)
         self._cache[query] = compiled
         return compiled
 
@@ -146,7 +77,7 @@ class XPathEngine:
 
     def evaluate(
         self,
-        query: str | CompiledQuery,
+        query: str | CompiledPlan,
         context_node: Node | None = None,
         context_position: int = 1,
         context_size: int = 1,
@@ -159,7 +90,8 @@ class XPathEngine:
             query: query string or a :meth:`compile` result.
             context_node: defaults to the document node (so absolute and
                 relative queries both behave naturally at the top level).
-            algorithm: one of :data:`ALGORITHMS`.
+            algorithm: one of :data:`ALGORITHMS`; unknown names raise
+                :class:`repro.errors.UnknownAlgorithmError`.
 
         Returns:
             A document-ordered ``list[Node]`` for node-set queries, or a
@@ -169,31 +101,14 @@ class XPathEngine:
         if context_node is None:
             context_node = self.document.root
         context = Context(context_node, context_position, context_size)
-        if algorithm not in ALGORITHMS:
-            raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
-        if algorithm == "auto":
-            algorithm = compiled.best_algorithm()
-        if algorithm == "corexpath":
-            if not compiled.is_core_xpath:
-                raise FragmentViolationError(
-                    f"query is not in Core XPath: {compiled.core_violation}"
-                )
-            return CoreXPathEvaluator(self.document).evaluate(compiled.ast, context)
-        if algorithm == "naive":
-            return NaiveEvaluator(self.document).evaluate(compiled.ast, context)
-        if algorithm == "topdown":
-            return TopDownEvaluator(self.document).evaluate(compiled.ast, context)
-        if algorithm == "bottomup":
-            return BottomUpEvaluator(self.document).evaluate(compiled.ast, context)
-        if algorithm == "mincontext":
-            return MinContextEvaluator(self.document).evaluate(compiled.ast, context)
-        return OptMinContextEvaluator(self.document).evaluate(compiled.ast, context)
+        resolved = resolve_algorithm(compiled, algorithm)
+        return make_evaluator(self.document, resolved).evaluate(compiled.ast, context)
 
     # ------------------------------------------------------------------
 
     def table(
         self,
-        query: str | CompiledQuery,
+        query: str | CompiledPlan,
         nodes=None,
         use_bottomup: bool = True,
     ) -> dict[Node, object]:
@@ -241,7 +156,7 @@ class XPathEngine:
             result[context_node] = value
         return result
 
-    def select(self, query: str | CompiledQuery, **kwargs) -> list[Node]:
+    def select(self, query: str | CompiledPlan, **kwargs) -> list[Node]:
         """Like :meth:`evaluate`, but asserts a node-set result."""
         result = self.evaluate(query, **kwargs)
         if not isinstance(result, list):

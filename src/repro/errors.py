@@ -101,3 +101,23 @@ class FragmentViolationError(ReproError):
     For example, requesting ``algorithm='corexpath'`` for a query that uses
     ``position()`` (not in Core XPath, Definition 12 of the paper).
     """
+
+
+class UnknownAlgorithmError(ReproError, ValueError):
+    """Raised when evaluation is requested with an algorithm name that is
+    not in :data:`repro.engine.ALGORITHMS`.
+
+    Also subclasses :class:`ValueError` so callers that predate the typed
+    hierarchy keep working. Carries the offending ``algorithm`` and the
+    valid ``choices``.
+    """
+
+    def __init__(self, algorithm: str, choices):
+        self.algorithm = algorithm
+        self.choices = tuple(choices)
+        # args mirror the constructor signature so pickling/copying works
+        # (worker pools re-raise exceptions across process boundaries).
+        super().__init__(algorithm, self.choices)
+
+    def __str__(self) -> str:
+        return f"unknown algorithm {self.algorithm!r}; choose from {self.choices}"

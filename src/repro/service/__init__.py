@@ -1,0 +1,52 @@
+"""The service layer: compiled-plan caching and batch evaluation.
+
+The paper's algorithms bound *evaluation* cost; this package amortizes
+everything that happens before evaluation. Structure:
+
+* :mod:`repro.service.plan` — :class:`CompiledPlan` (the reusable
+  artifact) and :class:`PlanOptions` (its cache-key options);
+* :mod:`repro.service.planner` — the frontend pipeline and algorithm
+  dispatch, shared by the engine facade and the service;
+* :mod:`repro.service.cache` — the exact-accounting LRU
+  :class:`PlanCache`;
+* :mod:`repro.service.service` — :class:`QueryService` /
+  :class:`DocumentSession` / :class:`BatchResult`, the compile-once,
+  evaluate-many entry points.
+
+Quickstart::
+
+    from repro import QueryService, parse_document
+
+    service = QueryService(plan_capacity=128)
+    docs = [parse_document(x) for x in sources]
+    batch = service.evaluate_many(["//book/title", "//book[price > 20]"], docs)
+    batch.value(0, 1)                      # doc 0, second query
+    service.cache_stats()["plan_cache"]    # hits / misses / hit_rate
+"""
+
+from repro.service.cache import PlanCache
+from repro.service.plan import CompiledPlan, CompiledQuery, PlanOptions, plan_key
+from repro.service.planner import (
+    ALGORITHMS,
+    QueryPlanner,
+    compile_plan,
+    make_evaluator,
+    resolve_algorithm,
+)
+from repro.service.service import BatchResult, DocumentSession, QueryService
+
+__all__ = [
+    "ALGORITHMS",
+    "BatchResult",
+    "CompiledPlan",
+    "CompiledQuery",
+    "DocumentSession",
+    "PlanCache",
+    "PlanOptions",
+    "QueryPlanner",
+    "QueryService",
+    "compile_plan",
+    "make_evaluator",
+    "plan_key",
+    "resolve_algorithm",
+]

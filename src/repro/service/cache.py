@@ -1,0 +1,96 @@
+"""An exact-accounting LRU cache for compiled plans.
+
+``OrderedDict``-based: a hit moves the entry to the MRU end, an insert
+beyond capacity evicts from the LRU end. Every lookup is counted as
+exactly one hit or one miss on the attached
+:class:`repro.stats.CacheStats`, and every capacity overflow as exactly
+one eviction — the plan-cache tests assert these counters literally.
+
+The cache is value-agnostic (it stores whatever the factory returns), but
+in practice the keys are :func:`repro.service.plan.plan_key` tuples and
+the values :class:`repro.service.plan.CompiledPlan` instances.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterator
+
+from repro.stats import CacheStats
+
+
+class PlanCache:
+    """LRU cache keyed by ``(query, options)`` with exact statistics."""
+
+    def __init__(self, capacity: int = 256, name: str = "plan_cache"):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats(name=name, capacity=capacity)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable):
+        """The cached value, refreshed to MRU, or ``None`` on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.miss()
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hit()
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.eviction()
+
+    def pop_lru(self) -> tuple:
+        """Remove and return the least-recently-used ``(key, value)`` pair
+        (counted as an eviction). Raises ``KeyError`` when empty."""
+        key, value = self._entries.popitem(last=False)
+        self.stats.eviction()
+        return key, value
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], object]):
+        """One-lookup combination of :meth:`get` and :meth:`put`.
+
+        The factory runs only on a miss; a factory that raises leaves the
+        cache unchanged (the miss is still counted — the lookup happened).
+        """
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.miss()
+            value = factory()
+            self.put(key, value)
+            return value
+        self._entries.move_to_end(key)
+        self.stats.hit()
+        return value
+
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are retained)."""
+        self._entries.clear()
+
+    def keys(self) -> Iterator[Hashable]:
+        """Keys from LRU to MRU."""
+        return iter(self._entries)
+
+    def values(self) -> Iterator[object]:
+        """Values from LRU to MRU (no recency update)."""
+        return iter(self._entries.values())
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

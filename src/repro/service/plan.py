@@ -1,0 +1,123 @@
+"""Compiled query plans and their cache keys.
+
+A :class:`CompiledPlan` is everything the frontend pipeline produces for
+one query string: the normalized (and optionally rewritten) AST with
+``value_type``/``Relev`` annotations, the fragment classification
+(Definitions 12 and Section 4 of the paper), the bottom-up path count,
+and the algorithm ``auto`` dispatch selects. Building one costs a full
+parse → normalize → relevance → rewrite → classify pass; evaluating one
+is pure — the plan never changes and may be shared freely across
+documents, contexts, and threads of evaluation. That asymmetry is the
+whole point of the service layer: compile once, evaluate many times
+(Theorems 7/10/13 bound the *evaluation* cost; the frontend cost is
+amortized away by :class:`repro.service.cache.PlanCache`).
+
+:class:`PlanOptions` captures the compile-time knobs that change the
+produced AST — the rewrite flag and the variable bindings — so the cache
+key ``(query, options)`` never conflates distinct plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xpath.ast import Expr
+from repro.xpath.rewrite import RewriteStats
+
+
+def freeze_variables(variables: dict[str, object] | None) -> tuple:
+    """A hashable signature of a variable binding for plan-cache keys.
+
+    Scalars key by value; node-set bindings key by member identity (two
+    bindings to the same nodes are the same plan; the plan itself retains
+    the real dict, so the signature only ever has to separate plans).
+    """
+    if not variables:
+        return ()
+    items = []
+    for name in sorted(variables):
+        value = variables[name]
+        if isinstance(value, (str, float, int, bool)) or value is None:
+            # type name included: True == 1 in Python, but string($v)
+            # is 'true' vs '1' — they must be distinct plans.
+            items.append((name, type(value).__name__, value))
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            items.append((name, "nset", tuple(sorted(id(member) for member in value))))
+        else:
+            items.append((name, "object", id(value)))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class PlanOptions:
+    """Compile-time options that select *which* plan a query maps to."""
+
+    optimize: bool = False
+    variables_signature: tuple = ()
+
+    @classmethod
+    def make(
+        cls, variables: dict[str, object] | None = None, optimize: bool = False
+    ) -> "PlanOptions":
+        return cls(optimize=bool(optimize), variables_signature=freeze_variables(variables))
+
+
+def plan_key(query: str, options: PlanOptions) -> tuple:
+    """The plan-cache key: the exact query text plus its compile options."""
+    return (query, options)
+
+
+@dataclass
+class CompiledPlan:
+    """A parsed, normalized, analyzed query, reusable across evaluations.
+
+    Attributes:
+        source: the original query string.
+        ast: normalized AST with ``value_type`` and ``relev`` annotations.
+        result_type: static type of the whole query.
+        core_violation: why the query is outside Core XPath (None if in).
+        wadler_violation: why it is outside the Extended Wadler Fragment.
+        bottomup_path_count: number of subexpressions OPTMINCONTEXT will
+            evaluate bottom-up.
+        options: the compile-time options this plan was built under.
+    """
+
+    source: str
+    ast: Expr
+    result_type: str
+    core_violation: str | None
+    wadler_violation: str | None
+    bottomup_path_count: int
+    variables: dict[str, object] = field(default_factory=dict, repr=False)
+    #: What the optimizer pass did (None when compiled with optimize=False).
+    rewrite_stats: RewriteStats | None = None
+    options: PlanOptions = field(default_factory=PlanOptions)
+
+    @property
+    def is_core_xpath(self) -> bool:
+        return self.core_violation is None
+
+    @property
+    def is_extended_wadler(self) -> bool:
+        return self.wadler_violation is None
+
+    def best_algorithm(self) -> str:
+        """The algorithm ``auto`` dispatches to."""
+        if self.is_core_xpath:
+            return "corexpath"
+        return "optmincontext"
+
+    @property
+    def algorithm(self) -> str:
+        """Alias for :meth:`best_algorithm` — derived, never stored, so it
+        cannot drift from the fragment classification."""
+        return self.best_algorithm()
+
+    @property
+    def cache_key(self) -> tuple:
+        return plan_key(self.source, self.options)
+
+
+#: Backward-compatible alias — the engine facade predates the service
+#: layer and exported this name.
+CompiledQuery = CompiledPlan

@@ -1,0 +1,135 @@
+"""The query planner: frontend pipeline + algorithm dispatch in one place.
+
+This module owns the pipeline that used to live inside
+``XPathEngine.compile``/``evaluate``:
+
+* :func:`compile_plan` — parse → normalize (variables substituted,
+  conversions explicit) → relevance analysis → optional rewrite →
+  fragment classification, producing a :class:`~repro.service.plan.CompiledPlan`;
+* :func:`resolve_algorithm` — validate an algorithm name, apply the
+  ``auto`` fragment dispatch (Core XPath → Theorem 13's linear-time
+  evaluator, everything else → OPTMINCONTEXT), and enforce fragment
+  membership for forced choices;
+* :func:`make_evaluator` — instantiate the chosen evaluator for a
+  document.
+
+:class:`XPathEngine <repro.engine.XPathEngine>` and
+:class:`QueryService <repro.service.service.QueryService>` are both thin
+clients of these three functions.
+"""
+
+from __future__ import annotations
+
+from repro import stats
+from repro.core.bottomup import BottomUpEvaluator
+from repro.core.corexpath import CoreXPathEvaluator
+from repro.core.mincontext import MinContextEvaluator
+from repro.core.naive import NaiveEvaluator
+from repro.core.optmincontext import OptMinContextEvaluator
+from repro.core.topdown import TopDownEvaluator
+from repro.errors import FragmentViolationError, UnknownAlgorithmError
+from repro.service.plan import CompiledPlan, PlanOptions
+from repro.xml.document import Document
+from repro.xpath.fragments import (
+    core_xpath_violation,
+    find_bottomup_paths,
+    wadler_violation,
+)
+from repro.xpath.normalize import normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.relevance import compute_relevance
+from repro.xpath.rewrite import RewriteStats, rewrite
+
+#: The selectable evaluation algorithms.
+ALGORITHMS = (
+    "auto",
+    "naive",
+    "bottomup",
+    "topdown",
+    "mincontext",
+    "optmincontext",
+    "corexpath",
+)
+
+_EVALUATOR_CLASSES = {
+    "naive": NaiveEvaluator,
+    "bottomup": BottomUpEvaluator,
+    "topdown": TopDownEvaluator,
+    "mincontext": MinContextEvaluator,
+    "optmincontext": OptMinContextEvaluator,
+    "corexpath": CoreXPathEvaluator,
+}
+
+#: Evaluators that keep no per-evaluation state: one instance per
+#: document can serve any number of plans and contexts. The table-based
+#: evaluators (bottomup, mincontext, optmincontext) are single-use per
+#: evaluation, as their docstrings require.
+REUSABLE_ALGORITHMS = frozenset({"naive", "topdown", "corexpath"})
+
+
+def compile_plan(
+    query: str,
+    variables: dict[str, object] | None = None,
+    optimize: bool = False,
+) -> CompiledPlan:
+    """Run the full frontend pipeline on one query string."""
+    stats.count("plans_compiled")
+    bindings = dict(variables or {})
+    ast = normalize(parse_xpath(query), bindings)
+    compute_relevance(ast)
+    rewrite_stats = None
+    if optimize:
+        rewrite_stats = RewriteStats()
+        ast = rewrite(ast, rewrite_stats)
+        compute_relevance(ast)
+    return CompiledPlan(
+        source=query,
+        ast=ast,
+        result_type=ast.value_type or "nset",
+        core_violation=core_xpath_violation(ast),
+        wadler_violation=wadler_violation(ast),
+        bottomup_path_count=len(find_bottomup_paths(ast)),
+        variables=bindings,
+        rewrite_stats=rewrite_stats,
+        options=PlanOptions.make(bindings, optimize),
+    )
+
+
+class QueryPlanner:
+    """Stateless compiler facade (kept as a class so services can swap in
+    instrumented or restricted planners later)."""
+
+    def compile(
+        self,
+        query: str,
+        variables: dict[str, object] | None = None,
+        optimize: bool = False,
+    ) -> CompiledPlan:
+        return compile_plan(query, variables, optimize)
+
+
+def resolve_algorithm(plan: CompiledPlan, algorithm: str = "auto") -> str:
+    """Validate and resolve an algorithm name for a plan.
+
+    Raises :class:`repro.errors.UnknownAlgorithmError` for names outside
+    :data:`ALGORITHMS` and :class:`repro.errors.FragmentViolationError`
+    when ``corexpath`` is forced onto a query outside Core XPath.
+    """
+    if algorithm not in ALGORITHMS:
+        raise UnknownAlgorithmError(algorithm, ALGORITHMS)
+    if algorithm == "auto":
+        algorithm = plan.best_algorithm()
+    if algorithm == "corexpath" and not plan.is_core_xpath:
+        raise FragmentViolationError(
+            f"query is not in Core XPath: {plan.core_violation}"
+        )
+    return algorithm
+
+
+def make_evaluator(document: Document, algorithm: str):
+    """Instantiate the evaluator for a resolved (non-``auto``) algorithm."""
+    try:
+        evaluator_class = _EVALUATOR_CLASSES[algorithm]
+    except KeyError:
+        raise UnknownAlgorithmError(algorithm, ALGORITHMS) from None
+    return evaluator_class(document)

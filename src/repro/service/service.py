@@ -1,0 +1,298 @@
+"""The query service: compile once, evaluate many times, across documents.
+
+:class:`QueryService` is the production-facing entry point this
+reproduction grows toward (see ROADMAP.md): a long-lived object that
+
+* compiles each distinct ``(query, options)`` pair exactly once into a
+  :class:`~repro.service.plan.CompiledPlan`, held in an LRU
+  :class:`~repro.service.cache.PlanCache`;
+* keeps one :class:`DocumentSession` per served document, which reuses
+  stateless evaluator instances and memoizes ``(plan, context)`` results
+  — evaluation is pure, so repeated identical requests are dictionary
+  lookups;
+* exposes :meth:`QueryService.evaluate_many`, the batch API: all queries
+  × all documents in one call, sharing the plan cache across documents
+  and each document's session caches across queries.
+
+The per-call frontend cost (parse → normalize → rewrite → relevance →
+fragment classification) is exactly the overhead the paper's algorithms
+do *not* bound — Theorems 7/10/13 speak about evaluation. The service
+layer amortizes it away, which is what turns the worst-case-optimal
+algorithms into a fast system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.context import Context
+from repro.errors import ReproError
+from repro.service.cache import PlanCache
+from repro.service.plan import CompiledPlan, PlanOptions, plan_key
+from repro.service.planner import (
+    QueryPlanner,
+    REUSABLE_ALGORITHMS,
+    make_evaluator,
+    resolve_algorithm,
+)
+from repro.stats import CacheStats
+from repro.xml.document import Document, Node
+
+
+def _copy_result(value):
+    """Node-set results are lists; hand out a fresh list per call so
+    callers can mutate their copy without corrupting the memo."""
+    if isinstance(value, list):
+        return list(value)
+    return value
+
+
+class DocumentSession:
+    """Per-document evaluation state shared across queries.
+
+    Holds reusable evaluator instances for the stateless algorithms and a
+    ``(plan, algorithm, context) → result`` memo. Both caches are sound
+    because documents are finalized (immutable) and plans are never
+    mutated after compilation.
+    """
+
+    #: Default bound on the per-session result memo; when full the memo
+    #: is flushed wholesale (results are recomputable, so a flush only
+    #: costs time, and wholesale beats per-entry LRU bookkeeping on the
+    #: hot path).
+    DEFAULT_RESULT_CAPACITY = 1024
+
+    def __init__(self, document: Document, result_capacity: int | None = None):
+        if not document.is_finalized:
+            raise ReproError("document must be finalized before building a session")
+        self.document = document
+        self.result_capacity = (
+            self.DEFAULT_RESULT_CAPACITY if result_capacity is None else result_capacity
+        )
+        if self.result_capacity < 1:
+            raise ValueError(
+                f"result capacity must be >= 1, got {self.result_capacity}"
+            )
+        self._evaluators: dict[str, object] = {}
+        self._results: dict[tuple, object] = {}
+        self.result_stats = CacheStats(name="result_cache", capacity=self.result_capacity)
+
+    # ------------------------------------------------------------------
+
+    def evaluator(self, algorithm: str):
+        """An evaluator for a resolved algorithm; instances of stateless
+        algorithms are reused, table-based ones are built fresh."""
+        if algorithm in REUSABLE_ALGORITHMS:
+            instance = self._evaluators.get(algorithm)
+            if instance is None:
+                instance = make_evaluator(self.document, algorithm)
+                self._evaluators[algorithm] = instance
+            return instance
+        return make_evaluator(self.document, algorithm)
+
+    def evaluate(
+        self,
+        plan: CompiledPlan,
+        algorithm: str = "auto",
+        context_node: Node | None = None,
+        context_position: int = 1,
+        context_size: int = 1,
+        cached: bool = True,
+    ):
+        """Evaluate a compiled plan against this session's document.
+
+        ``cached=False`` bypasses the result memo (used by benchmarks to
+        time real evaluation work).
+        """
+        resolved = resolve_algorithm(plan, algorithm)
+        node = context_node if context_node is not None else self.document.root
+        if not cached:
+            context = Context(node, context_position, context_size)
+            return self.evaluator(resolved).evaluate(plan.ast, context)
+        key = (plan.ast.uid, resolved, node, context_position, context_size)
+        if key in self._results:
+            self.result_stats.hit()
+            return _copy_result(self._results[key])
+        self.result_stats.miss()
+        context = Context(node, context_position, context_size)
+        value = self.evaluator(resolved).evaluate(plan.ast, context)
+        if len(self._results) >= self.result_capacity:
+            self._results.clear()
+            self.result_stats.eviction(self.result_capacity)
+        self._results[key] = value
+        return _copy_result(value)
+
+    def clear(self) -> None:
+        self._evaluators.clear()
+        self._results.clear()
+
+
+def _stats_delta(before: dict, after: dict) -> dict:
+    """Per-batch cache statistics: the difference of two cumulative
+    snapshots, with the hit rate recomputed over the delta."""
+    delta = dict(after)
+    for key in ("hits", "misses", "evictions"):
+        delta[key] = after[key] - before[key]
+    lookups = delta["hits"] + delta["misses"]
+    delta["hit_rate"] = delta["hits"] / lookups if lookups else 0.0
+    return delta
+
+
+@dataclass
+class BatchResult:
+    """The outcome of one :meth:`QueryService.evaluate_many` call.
+
+    ``values[d][q]`` is the result of ``queries[q]`` on document ``d``;
+    ``algorithms[q]`` is the resolved algorithm per query (fragment
+    dispatch is document-independent). ``plan_stats``/``result_stats``
+    cover *this batch only* (deltas, not service-lifetime totals — those
+    live on :meth:`QueryService.cache_stats`).
+    """
+
+    queries: list[str]
+    document_count: int
+    values: list[list[object]]
+    algorithms: list[str]
+    plan_stats: dict = field(default_factory=dict)
+    result_stats: dict = field(default_factory=dict)
+
+    def value(self, document_index: int, query_index: int):
+        return self.values[document_index][query_index]
+
+
+class QueryService:
+    """Compile-once, evaluate-many XPath service over the paper's algorithms."""
+
+    def __init__(
+        self,
+        plan_capacity: int = 256,
+        session_capacity: int = 64,
+        result_capacity: int | None = None,
+        optimize: bool = False,
+        variables: dict[str, object] | None = None,
+    ):
+        self.planner = QueryPlanner()
+        self.plans = PlanCache(plan_capacity)
+        self.optimize = optimize
+        self.variables = dict(variables or {})
+        self.result_capacity = result_capacity
+        # Sessions are LRU-bounded too: a long-lived service must not
+        # retain every document tree it has ever served. Evicting a
+        # session drops its document reference and result memo; its
+        # hit/miss counts are folded into _retired_result_stats so
+        # aggregate statistics stay exact.
+        self._sessions = PlanCache(session_capacity, name="session_cache")
+        self._retired_result_stats = CacheStats(name="result_cache")
+
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        query: str,
+        variables: dict[str, object] | None = None,
+        optimize: bool | None = None,
+    ) -> CompiledPlan:
+        """The compiled plan for a query, through the LRU cache."""
+        bindings = self.variables if variables is None else variables
+        wants_rewrite = self.optimize if optimize is None else optimize
+        key = plan_key(query, PlanOptions.make(bindings, wants_rewrite))
+        return self.plans.get_or_create(
+            key, lambda: self.planner.compile(query, bindings, wants_rewrite)
+        )
+
+    def session(self, document: Document) -> DocumentSession:
+        """The (lazily created, LRU-bounded) per-document session."""
+        session = self._sessions.get(document)
+        if session is None:
+            session = DocumentSession(document, result_capacity=self.result_capacity)
+            while len(self._sessions) >= self._sessions.capacity:
+                _, evicted = self._sessions.pop_lru()
+                self._retired_result_stats.absorb(evicted.result_stats)
+            self._sessions.put(document, session)
+        return session
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: str | CompiledPlan,
+        document: Document,
+        context_node: Node | None = None,
+        context_position: int = 1,
+        context_size: int = 1,
+        algorithm: str = "auto",
+        cached: bool = True,
+    ):
+        """Evaluate one query against one document through both caches."""
+        plan = self.plan(query) if isinstance(query, str) else query
+        return self.session(document).evaluate(
+            plan,
+            algorithm=algorithm,
+            context_node=context_node,
+            context_position=context_position,
+            context_size=context_size,
+            cached=cached,
+        )
+
+    def evaluate_many(
+        self,
+        queries,
+        documents,
+        algorithm: str = "auto",
+    ) -> BatchResult:
+        """Evaluate every query against every document.
+
+        Plans are compiled (at most) once per distinct query; each
+        document's session caches are shared across the whole batch, so
+        duplicate queries cost one evaluation per document.
+        """
+        query_list = list(queries)
+        document_list = list(documents)
+        plan_stats_before = self.plans.stats.snapshot()
+        result_stats_before = self.result_cache_stats()
+        plans = [self.plan(query) for query in query_list]
+        algorithms = [resolve_algorithm(plan, algorithm) for plan in plans]
+        values: list[list[object]] = []
+        for document in document_list:
+            session = self.session(document)
+            values.append(
+                [
+                    session.evaluate(plan, algorithm=resolved)
+                    for plan, resolved in zip(plans, algorithms)
+                ]
+            )
+        return BatchResult(
+            queries=query_list,
+            document_count=len(document_list),
+            values=values,
+            algorithms=algorithms,
+            plan_stats=_stats_delta(plan_stats_before, self.plans.stats.snapshot()),
+            result_stats=_stats_delta(result_stats_before, self.result_cache_stats()),
+        )
+
+    # ------------------------------------------------------------------
+
+    def result_cache_stats(self) -> dict:
+        """Aggregated result-memo statistics across all sessions, live and
+        evicted."""
+        merged = CacheStats(name="result_cache")
+        merged.absorb(self._retired_result_stats)
+        for session in self._sessions.values():
+            merged.absorb(session.result_stats)
+        return merged.snapshot()
+
+    def cache_stats(self) -> dict:
+        """One dict with both cache layers, for CLI/monitoring output."""
+        return {
+            "plan_cache": self.plans.stats.snapshot(),
+            "result_cache": self.result_cache_stats(),
+            "sessions": len(self._sessions),
+        }
+
+    def clear(self) -> None:
+        """Drop all cached plans and sessions (statistics are retained)."""
+        self.plans.clear()
+        for session in self._sessions.values():
+            self._retired_result_stats.absorb(session.result_stats)
+            session.clear()
+        self._sessions.clear()

@@ -10,6 +10,11 @@ operation counts, which are immune to interpreter noise:
   live context-value-table cells, maintaining a peak. This is the space
   measure in the paper's space bounds (each table entry is one unit;
   Theorem 7's ``O(|D|^2·|Q|^2)`` counts exactly these).
+* :class:`CacheStats` — hit/miss/eviction accounting for the service
+  layer's plan and result caches (:mod:`repro.service`). Every event is
+  mirrored into the active collectors as ``<name>_hits`` /
+  ``<name>_misses`` / ``<name>_evictions`` counters, so one
+  :func:`collect` block sees evaluation work and cache traffic together.
 
 Collection is opt-in and nestable::
 
@@ -55,6 +60,61 @@ class Stats:
         merged["live_table_cells"] = self.live_table_cells
         merged["peak_table_cells"] = self.peak_table_cells
         return merged
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction bookkeeping for one cache instance.
+
+    The counters are exact (every lookup is either a hit or a miss, every
+    capacity overflow is an eviction) — the plan-cache tests assert on
+    them literally.
+    """
+
+    name: str = "cache"
+    capacity: int | None = None
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def hit(self, amount: int = 1) -> None:
+        self.hits += amount
+        count(f"{self.name}_hits", amount)
+
+    def miss(self, amount: int = 1) -> None:
+        self.misses += amount
+        count(f"{self.name}_misses", amount)
+
+    def eviction(self, amount: int = 1) -> None:
+        self.evictions += amount
+        count(f"{self.name}_evictions", amount)
+
+    def absorb(self, other: "CacheStats") -> None:
+        """Fold another instance's counters into this one (used when
+        aggregating across sessions and when retiring evicted ones)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
 
 
 # Active collectors; almost always empty, occasionally one deep.

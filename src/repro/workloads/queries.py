@@ -149,6 +149,52 @@ def _random_path(rng: random.Random, max_steps: int, depth: int, absolute: bool)
     return ("/" + body) if absolute else body
 
 
+def random_core_query(
+    rng: random.Random,
+    max_steps: int = 4,
+    max_depth: int = 2,
+) -> str:
+    """Generate a random query inside Core XPath (Definition 12).
+
+    The grammar is exactly the fragment's: absolute location paths whose
+    step predicates are and/or/not combinations of (relative or absolute)
+    location paths — no position(), no functions, no comparisons. Every
+    generated query is therefore evaluable by all six algorithms,
+    including the linear-time ``corexpath`` evaluator, which makes this
+    the generator behind the six-way differential fuzz suite.
+    """
+    return _random_core_path(rng, max_steps, max_depth, absolute=True)
+
+
+def _random_core_path(
+    rng: random.Random, max_steps: int, depth: int, absolute: bool
+) -> str:
+    steps = []
+    for _ in range(rng.randint(1, max(1, max_steps))):
+        axis = rng.choice(
+            _AXES
+            if rng.random() < 0.4
+            else ("child", "descendant", "descendant-or-self", "self")
+        )
+        step = f"{axis}::{rng.choice(_TESTS)}"
+        if depth > 0 and rng.random() < 0.4:
+            step += f"[{_random_core_predicate(rng, depth - 1)}]"
+        steps.append(step)
+    body = "/".join(steps)
+    return ("/" + body) if absolute else body
+
+
+def _random_core_predicate(rng: random.Random, depth: int) -> str:
+    choice = rng.random()
+    if choice < 0.55 or depth <= 0:
+        return _random_core_path(rng, 2, depth, absolute=rng.random() < 0.15)
+    if choice < 0.75:
+        left = _random_core_predicate(rng, depth - 1)
+        right = _random_core_predicate(rng, depth - 1)
+        return f"{left} {rng.choice(('and', 'or'))} {right}"
+    return f"not({_random_core_predicate(rng, depth - 1)})"
+
+
 def _random_predicate(rng: random.Random, depth: int) -> str:
     choice = rng.random()
     if choice < 0.3:

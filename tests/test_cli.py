@@ -105,3 +105,156 @@ def test_explain_shows_plan_strategies(capsys):
     _, out, _ = run(capsys, "//b[. = 10]", "--xml", XML, "--explain")
     assert "bottom-up" in out
     assert "outermost-set" in out
+
+
+# ----------------------------------------------------------------------
+# plan subcommand
+# ----------------------------------------------------------------------
+
+
+def test_plan_subcommand_core_query(capsys):
+    code, out, _ = run(capsys, "plan", "//b")
+    assert code == 0
+    assert "normalized query:" in out
+    assert "Core XPath:       yes" in out
+    assert "algorithm:        corexpath" in out
+
+
+def test_plan_subcommand_full_xpath_query(capsys):
+    code, out, _ = run(capsys, "plan", "//b[position() = last()]")
+    assert code == 0
+    assert "Core XPath:       no" in out
+    assert "algorithm:        optmincontext" in out
+
+
+def test_plan_subcommand_tree_flag(capsys):
+    code, out, _ = run(capsys, "plan", "//b[. = 10]", "--tree")
+    assert code == 0
+    assert "parse tree:" in out
+    assert "evaluation plan" in out
+
+
+def test_plan_subcommand_optimize_flag(capsys):
+    code, out, _ = run(capsys, "plan", "//b[1 = 1]", "--optimize")
+    assert code == 0
+    assert "rewrites applied:" in out
+
+
+def test_plan_subcommand_malformed_query_exit_code(capsys):
+    code, _, err = run(capsys, "plan", "//b[")
+    assert code == 1
+    assert "error:" in err
+
+
+def test_plan_subcommand_unbound_variable_exit_code(capsys):
+    code, _, err = run(capsys, "plan", "//b[. > $nope]")
+    assert code == 1
+    assert "error:" in err
+
+
+def test_query_literally_named_plan_stays_reachable(capsys):
+    """'plan' dispatches to the subcommand only in first position; leading
+    with an option keeps it usable as a plain query."""
+    code, out, _ = run(capsys, "--xml", "<plan id='1'><x/></plan>", "plan")
+    assert code == 0
+    assert out.strip() == "/plan[1]"
+
+
+# ----------------------------------------------------------------------
+# batch subcommand
+# ----------------------------------------------------------------------
+
+
+def test_batch_subcommand_multiple_queries_and_documents(capsys):
+    code, out, _ = run(
+        capsys,
+        "batch",
+        "--xml", XML,
+        "--xml", "<a><b>30</b></a>",
+        "-q", "//b",
+        "-q", "count(//b)",
+    )
+    assert code == 0
+    assert out.count("=== ") == 4  # 2 docs x 2 queries, one header each
+    assert "[corexpath]" in out
+    assert "2.0" in out and "1.0" in out
+
+
+def test_batch_subcommand_stats_output(capsys):
+    code, out, err = run(
+        capsys,
+        "batch",
+        "--xml", XML,
+        "-q", "//b",
+        "-q", "//b",          # duplicate: one plan-cache + one result-cache hit
+        "--stats",
+    )
+    assert code == 0
+    assert "plan cache:" in err
+    assert "hits=1" in err
+    assert "hit rate=50.0%" in err
+    assert "result cache:" in err
+
+
+def test_batch_subcommand_queries_file(tmp_path, capsys):
+    queries = tmp_path / "queries.txt"
+    queries.write_text("//b\n\n# a comment\ncount(//b)\n", encoding="utf-8")
+    code, out, _ = run(
+        capsys, "batch", "--xml", XML, "--queries-file", str(queries)
+    )
+    assert code == 0
+    assert out.count("=== ") == 2  # two queries ran, the comment was skipped
+
+
+def test_batch_subcommand_file_documents(tmp_path, capsys):
+    path = tmp_path / "doc.xml"
+    path.write_text(XML, encoding="utf-8")
+    code, out, _ = run(capsys, "batch", "--file", str(path), "-q", "//b")
+    assert code == 0
+    assert str(path) in out
+
+
+def test_batch_subcommand_malformed_query_exit_code(capsys):
+    code, _, err = run(capsys, "batch", "--xml", XML, "-q", "//b[")
+    assert code == 1
+    assert "error:" in err
+
+
+def test_batch_subcommand_malformed_document_exit_code(capsys):
+    code, _, err = run(capsys, "batch", "--xml", "<a><unclosed>", "-q", "//b")
+    assert code == 1
+    assert "error:" in err
+
+
+def test_batch_subcommand_missing_queries_exit_code(capsys):
+    code, _, err = run(capsys, "batch", "--xml", XML)
+    assert code == 2
+    assert "no queries" in err
+
+
+def test_batch_subcommand_missing_documents_exit_code(capsys):
+    code, _, err = run(capsys, "batch", "-q", "//b")
+    assert code == 2
+    assert "no documents" in err
+
+
+def test_batch_subcommand_invalid_plan_capacity_exit_code(capsys):
+    code, _, err = run(capsys, "batch", "--xml", XML, "-q", "//b", "--plan-capacity", "0")
+    assert code == 2
+    assert "--plan-capacity" in err
+
+
+def test_batch_subcommand_forced_algorithm(capsys):
+    code, out, _ = run(
+        capsys, "batch", "--xml", XML, "-q", "//b", "-a", "mincontext"
+    )
+    assert code == 0
+    assert "[mincontext]" in out
+
+
+def test_batch_subcommand_fragment_violation_exit_code(capsys):
+    code, _, err = run(
+        capsys, "batch", "--xml", XML, "-q", "//b[position() = 1]", "-a", "corexpath"
+    )
+    assert code == 1
+    assert "Core XPath" in err

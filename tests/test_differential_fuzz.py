@@ -1,0 +1,127 @@
+"""Differential fuzzing over the Core XPath grammar — all six algorithms.
+
+:func:`repro.workloads.queries.random_core_query` draws queries from
+exactly Definition 12's grammar (location paths whose predicates are
+and/or/not combinations of location paths), so every generated query is
+evaluable by *all six* algorithms — including the linear-time
+``corexpath`` evaluator, which the general fuzz loop in
+``test_differential.py`` can only exercise opportunistically. The naive
+recursive interpreter is the oracle: the other five must match it on
+every case.
+
+The suite is deterministic (fixed seed) and generates ~200 cases across
+hand-built and random workload documents. It is marked ``slow`` — deselect
+with ``pytest -m "not slow"`` for the quick tier.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import XPathEngine
+from repro.service import QueryService
+from repro.workloads.documents import (
+    random_document,
+    running_example_document,
+    wide_tree,
+)
+from repro.workloads.queries import random_core_query
+from repro.xml.parser import parse_document
+
+pytestmark = pytest.mark.slow
+
+SEED = 20030612
+CASES_PER_DOCUMENT = 20
+RANDOM_DOCUMENTS = 7
+
+#: The oracle first; the five others must agree with it.
+SIX = ("naive", "bottomup", "topdown", "mincontext", "optmincontext", "corexpath")
+
+
+def _fixed_documents():
+    return [
+        running_example_document(),
+        wide_tree(width=6),
+        parse_document(
+            '<a id="1">x<b id="2"><a id="3">100</a>y</b>'
+            '<c id="4" kind="k"><b id="5">1</b><b id="6">2</b><b id="7">2</b></c>'
+            '<!--comment--><d id="8"/></a>'
+        ),
+    ]
+
+
+def _check_six_way(engine, query):
+    compiled = engine.compile(query)
+    assert compiled.is_core_xpath, (
+        f"generator escaped the Core XPath grammar: {query!r} "
+        f"({compiled.core_violation})"
+    )
+    oracle = engine.evaluate(compiled, algorithm=SIX[0])
+    for name in SIX[1:]:
+        got = engine.evaluate(compiled, algorithm=name)
+        assert got == oracle, (
+            f"{name} disagrees with {SIX[0]} on {query!r}: {got!r} != {oracle!r}"
+        )
+    return oracle
+
+
+def test_six_way_agreement_on_fixed_documents():
+    rng = random.Random(SEED)
+    cases = 0
+    for document in _fixed_documents():
+        engine = XPathEngine(document)
+        for _ in range(CASES_PER_DOCUMENT):
+            _check_six_way(engine, random_core_query(rng))
+            cases += 1
+    assert cases == CASES_PER_DOCUMENT * 3
+
+
+def test_six_way_agreement_on_random_documents():
+    rng = random.Random(SEED + 1)
+    cases = 0
+    for _ in range(RANDOM_DOCUMENTS):
+        document = random_document(rng, max_nodes=14)
+        engine = XPathEngine(document)
+        for _ in range(CASES_PER_DOCUMENT):
+            _check_six_way(engine, random_core_query(rng))
+            cases += 1
+    assert cases == CASES_PER_DOCUMENT * RANDOM_DOCUMENTS
+
+
+def test_six_way_agreement_from_varied_context_nodes():
+    """Core XPath agreement must hold from any element context node."""
+    rng = random.Random(SEED + 2)
+    document = random_document(rng, max_nodes=12)
+    engine = XPathEngine(document)
+    elements = document.elements()
+    for _ in range(CASES_PER_DOCUMENT):
+        query = random_core_query(rng, max_steps=3)
+        context = rng.choice(elements)
+        compiled = engine.compile(query)
+        oracle = engine.evaluate(compiled, context_node=context, algorithm=SIX[0])
+        for name in SIX[1:]:
+            got = engine.evaluate(compiled, context_node=context, algorithm=name)
+            assert got == oracle, (query, context.path(), name)
+
+
+def test_fuzz_corpus_through_the_service_layer():
+    """The cached service path returns byte-identical results to the
+    fresh-engine path on the fuzz corpus (plans and results both reused)."""
+    rng = random.Random(SEED + 3)
+    document = random_document(rng, max_nodes=14)
+    engine = XPathEngine(document)
+    service = QueryService(plan_capacity=32)
+    queries = [random_core_query(rng) for _ in range(30)]
+    for query in queries + queries:  # second pass: all cache hits
+        assert service.evaluate(query, document) == engine.evaluate(query)
+    assert service.plans.stats.hits >= len(queries)
+
+
+def test_fuzz_is_deterministic():
+    """Same seed, same corpus — reproducibility of failures matters more
+    than breadth here."""
+    def corpus(seed):
+        rng = random.Random(seed)
+        return [random_core_query(rng) for _ in range(10)]
+
+    assert corpus(SEED) == corpus(SEED)

@@ -7,6 +7,7 @@ from repro.errors import (
     FragmentViolationError,
     ReproError,
     UnboundVariableError,
+    UnknownAlgorithmError,
     XPathSyntaxError,
 )
 from repro.xml.document import Document
@@ -47,6 +48,30 @@ def test_corexpath_rejected_outside_fragment(engine):
 def test_unknown_algorithm_rejected(engine):
     with pytest.raises(ValueError):
         engine.evaluate("//b", algorithm="quantum")
+
+
+def test_unknown_algorithm_raises_typed_repro_error(engine):
+    """Regression: unknown algorithm names must raise a single typed
+    ReproError subclass, not a bare ValueError — so `except ReproError`
+    callers (the CLI) report it instead of crashing."""
+    with pytest.raises(UnknownAlgorithmError) as excinfo:
+        engine.evaluate("//b", algorithm="quantum")
+    assert isinstance(excinfo.value, ReproError)
+    assert excinfo.value.algorithm == "quantum"
+    assert excinfo.value.choices == ALGORITHMS
+    assert "quantum" in str(excinfo.value)
+
+
+def test_unknown_algorithm_error_survives_pickling(engine):
+    """Worker pools re-raise exceptions across process boundaries."""
+    import pickle
+
+    with pytest.raises(UnknownAlgorithmError) as excinfo:
+        engine.evaluate("//b", algorithm="quantum")
+    roundtripped = pickle.loads(pickle.dumps(excinfo.value))
+    assert roundtripped.algorithm == "quantum"
+    assert roundtripped.choices == ALGORITHMS
+    assert str(roundtripped) == str(excinfo.value)
 
 
 def test_all_declared_algorithms_run(engine):
