@@ -1,0 +1,214 @@
+"""EXP-SHARD — sharded batch execution: N workers vs one, exact stats merge.
+
+The service layer's scaling step (ROADMAP: "sharding documents across
+workers"): :class:`ShardedExecutor` partitions a batch's documents into
+shards and evaluates them in parallel worker processes, each with its own
+:class:`QueryService`. The mixed workload pairs the paper's query
+families (Core chains, the Wadler line family, position-heavy full
+XPath, the running-example query) with documents of deliberately uneven
+shape and size (catalogs, balanced trees, a line, a star, a chain), so
+``size-balanced`` sharding has real skew to correct.
+
+Three gates, two of them machine-independent:
+
+* **value gate** — sharded results (thread and process backends) are
+  identical to the sequential ``evaluate_many`` path, node-sets rebound
+  to the parent's documents;
+* **stats gate** — the merged batch ``CacheStats`` (hits + misses +
+  evictions, plan and result caches) exactly equal the sums of the
+  per-shard counters;
+* **speedup gate** — ``WORKERS``-process throughput >= 1.5x the
+  single-worker throughput. Parallel wall-clock speedup requires
+  parallel hardware, so this gate is enforced only when the host grants
+  >= 2 usable CPUs; on a 1-CPU host it is reported as SKIPPED (the run
+  still prints the measured — there, necessarily <= 1x — ratio, because
+  hiding it would misreport the machine).
+
+The script exits nonzero if any enforced gate fails. Run with::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_batch.py
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import sys
+import time
+
+from harness import ExperimentReport
+
+from repro.service import QueryService, ShardedExecutor
+from repro.workloads.documents import (
+    balanced_tree,
+    book_catalog,
+    deep_chain,
+    numbered_line,
+    wide_tree,
+)
+from repro.workloads.queries import (
+    core_family,
+    position_heavy_query,
+    running_example_query,
+    wadler_family,
+)
+
+WORKERS = 4
+PASSES = 5
+WARMUP_PASSES = 1
+SPEEDUP_GATE = 1.5
+
+
+def mixed_workload():
+    """The mixed workload: uneven document shapes x paper query families."""
+    # Heavier documents improve the parallel payoff: evaluation cost is
+    # polynomial in |D| while the process backend's serialize + rebuild
+    # overhead is linear, so size buys signal.
+    documents = [
+        book_catalog(books=45, chapters_per_book=4),
+        book_catalog(books=25),
+        balanced_tree(depth=5, fanout=3),
+        numbered_line(170),
+        wide_tree(220),
+        deep_chain(70),
+        book_catalog(books=15),
+        balanced_tree(depth=4, fanout=4),
+    ]
+    queries = [
+        core_family(4),
+        core_family(8),
+        wadler_family(2),
+        position_heavy_query(2),
+        running_example_query(),
+        "//book[price > 20]/title",
+        "count(//*)",
+        "//b/c[. > 20]",
+    ]
+    return queries, documents
+
+
+def _median_pass_seconds(run_pass) -> float:
+    for _ in range(WARMUP_PASSES):
+        run_pass()
+    times = []
+    for _ in range(PASSES):
+        started = time.perf_counter()
+        run_pass()
+        times.append(time.perf_counter() - started)
+    return statistics.median(times)
+
+
+def _stats_merge_exact(batch) -> bool:
+    """True iff the merged counters equal the per-shard sums, exactly."""
+    for stats_name in ("plan_stats", "result_stats"):
+        merged = getattr(batch, stats_name)
+        for counter in ("hits", "misses", "evictions"):
+            total = sum(shard[stats_name][counter] for shard in batch.shards)
+            if merged[counter] != total:
+                return False
+    return True
+
+
+def main() -> int:
+    queries, documents = mixed_workload()
+    evaluations = len(queries) * len(documents)
+    usable_cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+
+    sequential = QueryService().evaluate_many(queries, documents)
+    process_executor = ShardedExecutor(
+        workers=WORKERS, backend="process", shard_by="size-balanced"
+    )
+    thread_executor = ShardedExecutor(
+        workers=WORKERS, backend="thread", shard_by="size-balanced"
+    )
+    process_batch = process_executor.execute(queries, documents)
+    thread_batch = thread_executor.execute(queries, documents)
+
+    value_gate = (
+        process_batch.values == sequential.values
+        and thread_batch.values == sequential.values
+    )
+    stats_gate = _stats_merge_exact(process_batch) and _stats_merge_exact(thread_batch)
+
+    single = _median_pass_seconds(
+        lambda: QueryService().evaluate_many(queries, documents)
+    )
+    multi = _median_pass_seconds(
+        lambda: process_executor.execute(queries, documents)
+    )
+    threaded = _median_pass_seconds(
+        lambda: thread_executor.execute(queries, documents)
+    )
+    speedup = single / multi
+    speedup_enforced = usable_cpus >= 2
+    speedup_ok = speedup >= SPEEDUP_GATE
+
+    report = ExperimentReport(
+        "EXP-SHARD", "sharded batch execution (N workers vs one, stats merge)"
+    )
+    report.note(
+        f"workload: {len(queries)} paper-family queries x {len(documents)} "
+        f"mixed-shape documents = {evaluations} evaluations/pass; "
+        f"median of {PASSES} passes; host grants {usable_cpus} usable CPU(s)"
+    )
+    report.table(
+        ["configuration", "median pass (ms)", "throughput (eval/s)", "vs 1 worker"],
+        [
+            ["1 worker (sequential)", single * 1e3, evaluations / single, 1.0],
+            [
+                f"{WORKERS} workers (process, size-balanced)",
+                multi * 1e3,
+                evaluations / multi,
+                speedup,
+            ],
+            [
+                f"{WORKERS} workers (thread, GIL-bound; context)",
+                threaded * 1e3,
+                evaluations / threaded,
+                single / threaded,
+            ],
+        ],
+    )
+    report.note()
+    merged = process_batch.plan_stats
+    shard_sums = {
+        counter: sum(s["plan_stats"][counter] for s in process_batch.shards)
+        for counter in ("hits", "misses", "evictions")
+    }
+    report.note(
+        f"shards: {process_batch.workers}; merged plan cache "
+        f"hits={merged['hits']} misses={merged['misses']} "
+        f"evictions={merged['evictions']} vs per-shard sums {shard_sums}"
+    )
+    report.note(
+        "value gate:   sharded values identical to sequential (both backends) — "
+        + ("PASS" if value_gate else "FAIL")
+    )
+    report.note(
+        "stats gate:   merged CacheStats == sum of per-shard counters — "
+        + ("PASS" if stats_gate else "FAIL")
+    )
+    if speedup_enforced:
+        report.note(
+            f"speedup gate: {WORKERS}-worker over 1-worker throughput = "
+            f"{speedup:.2f}x (need >= {SPEEDUP_GATE}x) — "
+            + ("PASS" if speedup_ok else "FAIL")
+        )
+    else:
+        report.note(
+            f"speedup gate: SKIPPED — 1 usable CPU cannot exhibit parallel "
+            f"speedup (measured {speedup:.2f}x, gate needs >= {SPEEDUP_GATE}x "
+            "on >= 2 CPUs)"
+        )
+    report.finish()
+    if not value_gate or not stats_gate:
+        return 1
+    if speedup_enforced and not speedup_ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

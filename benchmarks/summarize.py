@@ -5,6 +5,7 @@ Run after the benchmark suite:
     pytest benchmarks/ --benchmark-only
     python benchmarks/summarize.py               # prints + writes results/ALL.txt
     python benchmarks/summarize.py --plan-cache  # just the plan-cache hit rates
+    python benchmarks/summarize.py --sharded     # just the sharding gates/speedup
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ ORDER = [
     "exp_f4", "exp_f5", "exp_e9",
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
-    "exp_svc",
+    "exp_svc", "exp_shard",
 ]
 
 
@@ -36,6 +37,20 @@ def plan_cache_lines() -> list[str]:
     ]
 
 
+def sharded_batch_lines() -> list[str]:
+    """The gate and throughput lines from the EXP-SHARD report (written
+    by bench_sharded_batch.py)."""
+    path = RESULTS_DIR / "exp_shard.txt"
+    if not path.exists():
+        return []
+    markers = ("gate:", "vs 1 worker", "workers (", "1 worker (", "shards:")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -43,12 +58,26 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="print only the plan-cache hit rates and speedups (EXP-SVC)",
     )
+    parser.add_argument(
+        "--sharded",
+        action="store_true",
+        help="print only the sharded-batch gates and throughputs (EXP-SHARD)",
+    )
     args = parser.parse_args(argv)
     if args.plan_cache:
         lines = plan_cache_lines()
         if not lines:
             raise SystemExit(
                 "no plan-cache results yet — run: python benchmarks/bench_plan_cache.py"
+            )
+        print("\n".join(lines))
+        return
+    if args.sharded:
+        lines = sharded_batch_lines()
+        if not lines:
+            raise SystemExit(
+                "no sharded-batch results yet — run: "
+                "python benchmarks/bench_sharded_batch.py"
             )
         print("\n".join(lines))
         return

@@ -47,6 +47,19 @@ evaluates whole workloads in one call::
 The same machinery backs the CLI's ``plan`` (inspect a compiled plan)
 and ``batch`` (evaluate many queries × many documents, with cache
 statistics) subcommands — see ``python -m repro plan --help``.
+
+Scaling out — sharded execution
+-------------------------------
+
+Batches shard by document: ``evaluate_many(..., workers=4,
+shard_by="size-balanced", backend="process")`` partitions the documents
+across workers (round-robin, or balanced on node count), evaluates the
+shards concurrently — threads for in-process overlap, processes for true
+parallelism (documents are rebuilt per worker from serialized markup and
+node-set results rebound to the caller's trees) — and merges the
+per-shard results with exact cache-statistics aggregation. The CLI
+exposes the same knobs: ``repro-xpath batch ... --workers 4 --shard-by
+size-balanced --backend process``. See :mod:`repro.service.executor`.
 """
 
 from repro.engine import ALGORITHMS, CompiledPlan, CompiledQuery, XPathEngine
@@ -69,6 +82,7 @@ from repro.service import (
     PlanOptions,
     QueryPlanner,
     QueryService,
+    ShardedExecutor,
 )
 from repro.xml.builder import DocumentBuilder, element, text
 from repro.xml.document import Document, Node, NodeKind
@@ -95,6 +109,7 @@ __all__ = [
     "QueryPlanner",
     "QueryService",
     "ReproError",
+    "ShardedExecutor",
     "UnboundVariableError",
     "UnknownAlgorithmError",
     "UnknownFunctionError",

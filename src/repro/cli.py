@@ -23,9 +23,16 @@ Examples::
 polynomial algorithms (and, for small inputs, the naive baseline) and
 reports agreement — a one-shot differential check.
 
-Exit codes: 0 success (and, for ``--compare``, agreement), 1 for any
-library error (malformed query/document, fragment violations), 2 for
-``--compare`` disagreement or bad batch invocations.
+Exit codes are distinct per error family, so scripts can tell a bad
+query from a bad document from a bad invocation:
+
+* 0 — success (and, for ``--compare``, agreement);
+* 1 — any other library error (:data:`EXIT_ERROR`);
+* 2 — bad invocation, or ``--compare`` disagreement (:data:`EXIT_USAGE`);
+* 3 — unparsable/ill-typed query (:data:`EXIT_QUERY`);
+* 4 — malformed XML document (:data:`EXIT_DOCUMENT`);
+* 5 — fragment violation, e.g. ``corexpath`` forced onto a query outside
+  Core XPath (:data:`EXIT_FRAGMENT`).
 """
 
 from __future__ import annotations
@@ -34,13 +41,60 @@ import argparse
 import sys
 
 from repro.engine import ALGORITHMS, XPathEngine
-from repro.errors import ReproError
-from repro.service import QueryService, compile_plan
+from repro.errors import (
+    FragmentViolationError,
+    ReproError,
+    XMLSyntaxError,
+    XPathSyntaxError,
+    XPathTypeError,
+)
+from repro.service import (
+    EXECUTOR_BACKENDS,
+    SHARD_STRATEGIES,
+    QueryService,
+    compile_plan,
+    resolve_algorithm,
+)
 from repro.xml.document import Node
 from repro.xml.parser import parse_document
 from repro.xml.serializer import serialize_node
 from repro.xpath.explain import explain_text
 from repro.xpath.unparse import dump_tree, unparse
+
+
+#: Exit codes, one per error family (see the module docstring).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_QUERY = 3
+EXIT_DOCUMENT = 4
+EXIT_FRAGMENT = 5
+
+#: Most-specific-first mapping from error class to exit code.
+#: UnboundVariableError and the function-call errors subclass
+#: XPathTypeError or ReproError and fall through to EXIT_QUERY or
+#: EXIT_ERROR accordingly.
+_ERROR_EXITS = (
+    (XPathSyntaxError, EXIT_QUERY),
+    (XPathTypeError, EXIT_QUERY),
+    (XMLSyntaxError, EXIT_DOCUMENT),
+    (FragmentViolationError, EXIT_FRAGMENT),
+)
+
+
+def error_exit_code(error: ReproError) -> int:
+    """The exit code for a library error: distinct nonzero codes per
+    family, :data:`EXIT_ERROR` for anything unclassified."""
+    for error_class, code in _ERROR_EXITS:
+        if isinstance(error, error_class):
+            return code
+    return EXIT_ERROR
+
+
+def _fail(message: str, code: int) -> int:
+    """Print a one-line error and return the exit code."""
+    print(f"error: {message}", file=sys.stderr)
+    return code
 
 
 def _render_node(node: Node, style: str) -> str:
@@ -145,8 +199,7 @@ def plan_main(argv: list[str]) -> int:
     try:
         plan = compile_plan(args.query, optimize=args.optimize)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return _fail(str(error), error_exit_code(error))
     core = "yes" if plan.is_core_xpath else f"no ({plan.core_violation})"
     wadler = "yes" if plan.is_extended_wadler else f"no ({plan.wadler_violation})"
     print("query:           ", plan.source)
@@ -235,6 +288,28 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="LRU capacity of the compiled-plan cache (default: 256)",
     )
     parser.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=1,
+        help="shard the documents across this many workers (default: 1, "
+        "no sharding)",
+    )
+    parser.add_argument(
+        "--shard-by",
+        choices=SHARD_STRATEGIES,
+        default="round-robin",
+        help="document partitioning strategy for --workers > 1 "
+        "(size-balanced weighs documents by node count)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=EXECUTOR_BACKENDS,
+        default="thread",
+        help="worker backend for --workers > 1 (process gives true "
+        "parallelism; documents are rebuilt per worker)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print plan-cache and result-cache statistics after the batch",
@@ -259,40 +334,60 @@ def batch_main(argv: list[str]) -> int:
     try:
         queries = _load_batch_queries(args)
     except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return _fail(str(error), EXIT_ERROR)
     if not queries:
-        print("error: no queries given (use -q or --queries-file)", file=sys.stderr)
-        return 2
+        return _fail("no queries given (use -q or --queries-file)", EXIT_USAGE)
     if not args.xml and not args.file:
-        print("error: no documents given (use --xml or --file)", file=sys.stderr)
-        return 2
+        return _fail("no documents given (use --xml or --file)", EXIT_USAGE)
     if args.plan_capacity < 1:
-        print("error: --plan-capacity must be >= 1", file=sys.stderr)
-        return 2
-    try:
-        labels = []
-        documents = []
-        for inline in args.xml:
-            labels.append(f"xml[{len(documents)}]")
+        return _fail("--plan-capacity must be >= 1", EXIT_USAGE)
+    if args.workers < 1:
+        return _fail("--workers must be >= 1", EXIT_USAGE)
+    labels = []
+    documents = []
+    for inline in args.xml:
+        label = f"xml[{len(documents)}]"
+        try:
             documents.append(
                 parse_document(inline, keep_whitespace_text=not args.strip_whitespace)
             )
-        for path in args.file:
+        except ReproError as error:
+            return _fail(f"document {label}: {error}", error_exit_code(error))
+        labels.append(label)
+    for path in args.file:
+        try:
             with open(path, encoding="utf-8") as handle:
                 source = handle.read()
-            labels.append(path)
             documents.append(
                 parse_document(source, keep_whitespace_text=not args.strip_whitespace)
             )
-        service = QueryService(plan_capacity=args.plan_capacity, optimize=args.optimize)
-        batch = service.evaluate_many(queries, documents, algorithm=args.algorithm)
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        except OSError as error:
+            return _fail(str(error), EXIT_ERROR)
+        except ReproError as error:
+            return _fail(f"document {path}: {error}", error_exit_code(error))
+        labels.append(path)
+    service = QueryService(plan_capacity=args.plan_capacity, optimize=args.optimize)
+    # Compile every query up front so an unparsable query mid-list fails
+    # with a one-line message *naming the query* (and, for sharded runs,
+    # before any worker spawns). Validation uses a throwaway compile, not
+    # the service's cache, so the batch's --stats still report the real
+    # compile misses.
+    for query in dict.fromkeys(queries):  # dedupe, keep first-error order
+        try:
+            resolve_algorithm(compile_plan(query, optimize=args.optimize), args.algorithm)
+        except ReproError as error:
+            return _fail(f"query {query!r}: {error}", error_exit_code(error))
+    try:
+        batch = service.evaluate_many(
+            queries,
+            documents,
+            algorithm=args.algorithm,
+            workers=args.workers,
+            shard_by=args.shard_by,
+            backend=args.backend,
+        )
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return _fail(str(error), error_exit_code(error))
     for doc_index, label in enumerate(labels):
         for query_index, query in enumerate(queries):
             algorithm = batch.algorithms[query_index]
@@ -301,6 +396,13 @@ def batch_main(argv: list[str]) -> int:
     if args.stats:
         plan_stats = batch.plan_stats
         result_stats = batch.result_stats
+        if args.workers > 1:
+            print(
+                f"shards:       {batch.workers} "
+                f"(backend={args.backend}, strategy={args.shard_by}, "
+                "stats are exact sums over shards)",
+                file=sys.stderr,
+            )
         print(
             "plan cache:   "
             f"hits={plan_stats['hits']} misses={plan_stats['misses']} "
@@ -382,8 +484,7 @@ def main(argv: list[str] | None = None) -> int:
         print(_render_result(result, args.output))
         return 0
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return _fail(str(error), error_exit_code(error))
 
 
 if __name__ == "__main__":  # pragma: no cover

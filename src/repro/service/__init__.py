@@ -11,7 +11,12 @@ everything that happens before evaluation. Structure:
   :class:`PlanCache`;
 * :mod:`repro.service.service` — :class:`QueryService` /
   :class:`DocumentSession` / :class:`BatchResult`, the compile-once,
-  evaluate-many entry points.
+  evaluate-many entry points;
+* :mod:`repro.service.shard` — deterministic shard planning
+  (round-robin and size-balanced document partitioning);
+* :mod:`repro.service.executor` — :class:`ShardedExecutor`, concurrent
+  per-shard evaluation (thread or process backend) with exact
+  cache-statistics merging.
 
 Quickstart::
 
@@ -22,9 +27,22 @@ Quickstart::
     batch = service.evaluate_many(["//book/title", "//book[price > 20]"], docs)
     batch.value(0, 1)                      # doc 0, second query
     service.cache_stats()["plan_cache"]    # hits / misses / hit_rate
+
+Scaling out, same API — shard the batch across workers::
+
+    batch = service.evaluate_many(queries, docs, workers=4,
+                                  shard_by="size-balanced", backend="process")
+    batch.workers        # shards actually used
+    batch.shards         # per-shard documents, weights, stats snapshots
+    batch.plan_stats     # exact sum of the per-shard counters
 """
 
 from repro.service.cache import PlanCache
+from repro.service.executor import (
+    EXECUTOR_BACKENDS,
+    ShardedExecutor,
+    merge_stats_snapshots,
+)
 from repro.service.plan import CompiledPlan, CompiledQuery, PlanOptions, plan_key
 from repro.service.planner import (
     ALGORITHMS,
@@ -34,6 +52,7 @@ from repro.service.planner import (
     resolve_algorithm,
 )
 from repro.service.service import BatchResult, DocumentSession, QueryService
+from repro.service.shard import SHARD_STRATEGIES, Shard, plan_shards
 
 __all__ = [
     "ALGORITHMS",
@@ -41,12 +60,18 @@ __all__ = [
     "CompiledPlan",
     "CompiledQuery",
     "DocumentSession",
+    "EXECUTOR_BACKENDS",
     "PlanCache",
     "PlanOptions",
     "QueryPlanner",
     "QueryService",
+    "SHARD_STRATEGIES",
+    "Shard",
+    "ShardedExecutor",
     "compile_plan",
     "make_evaluator",
+    "merge_stats_snapshots",
     "plan_key",
+    "plan_shards",
     "resolve_algorithm",
 ]

@@ -43,12 +43,23 @@ class PlanCache:
         return value
 
     def put(self, key: Hashable, value) -> None:
-        """Insert (or refresh) an entry, evicting LRU entries over capacity."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        """Insert (or refresh) an entry, evicting LRU entries over capacity.
+
+        Single-lookup insert path: assigning into the ``OrderedDict``
+        already appends new keys at the MRU end, so only the refresh of a
+        *pre-existing* key (detected by the length not growing) needs an
+        explicit ``move_to_end`` — no separate membership probe, no
+        double hash. This also keeps eviction counters exact when a
+        ``get_or_create`` factory recursively inserts entries (including
+        the same key) before the outer insert lands.
+        """
+        entries = self._entries
+        size_before = len(entries)
+        entries[key] = value
+        if len(entries) == size_before:
+            entries.move_to_end(key)
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
             self.stats.eviction()
 
     def pop_lru(self) -> tuple:

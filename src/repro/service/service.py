@@ -109,17 +109,26 @@ class DocumentSession:
         if not cached:
             context = Context(node, context_position, context_size)
             return self.evaluator(resolved).evaluate(plan.ast, context)
-        key = (plan.ast.uid, resolved, node, context_position, context_size)
-        if key in self._results:
+        # Keyed by the plan's *stable* cache key, not the AST's identity:
+        # a plan evicted from the LRU and recompiled gets a fresh AST (and
+        # uid), but it is the same plan — its memo entries must stay
+        # reachable, not leak until the wholesale flush. Each entry also
+        # stores the plan itself: the key's variables signature identifies
+        # node-set/object bindings by id(), which is only sound while the
+        # bound objects are alive, so the entry pins them (via the plan's
+        # variables dict) for exactly as long as the key can match.
+        key = (plan.cache_key, resolved, node, context_position, context_size)
+        entry = self._results.get(key)
+        if entry is not None:
             self.result_stats.hit()
-            return _copy_result(self._results[key])
+            return _copy_result(entry[1])
         self.result_stats.miss()
         context = Context(node, context_position, context_size)
         value = self.evaluator(resolved).evaluate(plan.ast, context)
         if len(self._results) >= self.result_capacity:
             self._results.clear()
             self.result_stats.eviction(self.result_capacity)
-        self._results[key] = value
+        self._results[key] = (plan, value)
         return _copy_result(value)
 
     def clear(self) -> None:
@@ -147,6 +156,11 @@ class BatchResult:
     dispatch is document-independent). ``plan_stats``/``result_stats``
     cover *this batch only* (deltas, not service-lifetime totals — those
     live on :meth:`QueryService.cache_stats`).
+
+    Sharded runs (``workers > 1``) additionally report ``workers`` (the
+    number of shards actually used) and ``shards`` (per-shard document
+    indices, weights, and unmerged stats snapshots); the top-level stats
+    are then the exact sums of the per-shard counters.
     """
 
     queries: list[str]
@@ -155,6 +169,8 @@ class BatchResult:
     algorithms: list[str]
     plan_stats: dict = field(default_factory=dict)
     result_stats: dict = field(default_factory=dict)
+    workers: int = 1
+    shards: list = field(default_factory=list)
 
     def value(self, document_index: int, query_index: int):
         return self.values[document_index][query_index]
@@ -239,13 +255,34 @@ class QueryService:
         queries,
         documents,
         algorithm: str = "auto",
+        workers: int = 1,
+        shard_by: str = "round-robin",
+        backend: str = "thread",
     ) -> BatchResult:
         """Evaluate every query against every document.
 
         Plans are compiled (at most) once per distinct query; each
         document's session caches are shared across the whole batch, so
         duplicate queries cost one evaluation per document.
+
+        With ``workers > 1`` the batch is sharded by document and
+        delegated to a :class:`~repro.service.executor.ShardedExecutor`
+        (``shard_by`` picks the partitioning strategy, ``backend`` picks
+        threads or processes). Each worker runs a fresh service built
+        from this service's configuration, so this service's own caches
+        are neither consulted nor populated; the returned batch stats are
+        the exact sums of the per-shard counters (see ``BatchResult``).
         """
+        if workers > 1:
+            from repro.service.executor import ShardedExecutor
+
+            executor = ShardedExecutor(
+                workers=workers,
+                backend=backend,
+                shard_by=shard_by,
+                **self.config(),
+            )
+            return executor.execute(queries, documents, algorithm=algorithm)
         query_list = list(queries)
         document_list = list(documents)
         plan_stats_before = self.plans.stats.snapshot()
@@ -271,6 +308,18 @@ class QueryService:
         )
 
     # ------------------------------------------------------------------
+
+    def config(self) -> dict:
+        """The constructor arguments that reproduce this service's
+        configuration — used to build per-worker services for sharded
+        execution (and handy for spawning read-replicas in general)."""
+        return {
+            "plan_capacity": self.plans.capacity,
+            "session_capacity": self._sessions.capacity,
+            "result_capacity": self.result_capacity,
+            "optimize": self.optimize,
+            "variables": dict(self.variables),
+        }
 
     def result_cache_stats(self) -> dict:
         """Aggregated result-memo statistics across all sessions, live and

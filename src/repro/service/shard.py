@@ -1,0 +1,119 @@
+"""Shard planning: partition a batch's documents across workers.
+
+Sharding is *by document* — each document's evaluation is independent
+(plans are shared read-only, sessions are per-document), so a batch of
+``Q`` queries × ``D`` documents splits cleanly into per-worker sub-batches
+of ``Q × D_i`` with no cross-shard coordination. The planner only decides
+*which* documents go together; execution strategy (threads vs processes)
+is :mod:`repro.service.executor`'s concern, which keeps this layer
+reusable for an async front end later (a coroutine scheduler needs the
+same shard plans).
+
+Two strategies:
+
+* ``round-robin`` — document ``i`` goes to shard ``i mod workers``.
+  O(D), no document inspection; right when documents are similar in size
+  or arrival order already interleaves big and small.
+* ``size-balanced`` — greedy longest-processing-time assignment on each
+  document's node count (``|dom|``, the measure
+  :mod:`repro.xml.statistics` reports as ``total_nodes``): documents are
+  sorted by weight (descending) and each goes to the currently lightest
+  shard. The paper's bounds are polynomial in ``|D|``, so node count is
+  the principled proxy for per-document cost; LPT keeps the makespan
+  within 4/3 of optimal.
+
+Both strategies are deterministic, and every shard records the original
+document indices so the executor can merge per-shard results back into
+batch order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.xml.document import Document
+
+#: The selectable shard-planning strategies.
+SHARD_STRATEGIES = ("round-robin", "size-balanced")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of a batch.
+
+    Attributes:
+        index: the worker slot this shard is assigned to.
+        document_indices: positions (into the batch's document list) of
+            the documents this shard evaluates, in batch order.
+        weight: total node count of the shard's documents (``size-balanced``)
+            or the document count (``round-robin``) — whatever the planner
+            balanced on, kept for reporting.
+    """
+
+    index: int
+    document_indices: tuple[int, ...]
+    weight: int
+
+
+def document_weight(document: Document) -> int:
+    """The cost proxy ``size-balanced`` sharding balances on: ``|dom|``,
+    the total node count — identical to
+    :class:`repro.xml.statistics.DocumentStatistics.total_nodes`, but
+    read in O(1) from the finalized document's numbering instead of
+    re-walking the tree per batch. Swap in a fuller
+    :func:`~repro.xml.statistics.document_statistics` shape measure
+    (depth, fanout, text volume) here if plain size ever mis-balances a
+    workload."""
+    return len(document)
+
+
+def plan_shards(
+    documents,
+    workers: int,
+    strategy: str = "round-robin",
+) -> list[Shard]:
+    """Partition ``documents`` into at most ``workers`` shards.
+
+    Returns one :class:`Shard` per *non-empty* worker slot (fewer
+    documents than workers means fewer shards, never empty ones). Raises
+    ``ValueError`` for ``workers < 1`` or an unknown strategy.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if strategy not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"unknown shard strategy {strategy!r}; choose from {SHARD_STRATEGIES}"
+        )
+    document_list = list(documents)
+    if strategy == "round-robin":
+        buckets: list[list[int]] = [[] for _ in range(workers)]
+        for index in range(len(document_list)):
+            buckets[index % workers].append(index)
+        return [
+            Shard(index=slot, document_indices=tuple(indices), weight=len(indices))
+            for slot, indices in enumerate(buckets)
+            if indices
+        ]
+    # size-balanced: greedy LPT over |dom| weights. The heap is keyed by
+    # (current weight, slot) so ties break deterministically.
+    weights = [document_weight(document) for document in document_list]
+    order = sorted(range(len(document_list)), key=lambda i: (-weights[i], i))
+    heap = [(0, slot) for slot in range(workers)]
+    heapq.heapify(heap)
+    assigned: dict[int, list[int]] = {slot: [] for slot in range(workers)}
+    totals: dict[int, int] = {slot: 0 for slot in range(workers)}
+    for index in order:
+        total, slot = heapq.heappop(heap)
+        assigned[slot].append(index)
+        totals[slot] = total + weights[index]
+        heapq.heappush(heap, (totals[slot], slot))
+    return [
+        Shard(
+            index=slot,
+            document_indices=tuple(sorted(assigned[slot])),
+            weight=totals[slot],
+        )
+        for slot in range(workers)
+        if assigned[slot]
+    ]

@@ -8,7 +8,9 @@ Each family is keyed to one experiment in DESIGN.md §4:
 * :func:`position_heavy_query` — EXP-T7, full-XPath MINCONTEXT;
 * :func:`running_example_query` / :func:`example9_query` — the paper's
   worked examples;
-* :func:`random_query` — the differential-testing fuzzer.
+* :func:`random_query` — the differential-testing fuzzer;
+* :func:`random_core_query` / :func:`random_full_query` — the Core-only
+  and full-XPath grammars behind the six-way differential fuzz suite.
 """
 
 from __future__ import annotations
@@ -166,9 +168,16 @@ def random_core_query(
     return _random_core_path(rng, max_steps, max_depth, absolute=True)
 
 
-def _random_core_path(
-    rng: random.Random, max_steps: int, depth: int, absolute: bool
+def _random_grammar_path(
+    rng: random.Random,
+    max_steps: int,
+    depth: int,
+    absolute: bool,
+    predicate_fn,
+    predicate_probability: float,
 ) -> str:
+    """Shared step/axis shape of the Core and full grammars; only the
+    predicate pool (and how often one is attached) differs."""
     steps = []
     for _ in range(rng.randint(1, max(1, max_steps))):
         axis = rng.choice(
@@ -177,11 +186,19 @@ def _random_core_path(
             else ("child", "descendant", "descendant-or-self", "self")
         )
         step = f"{axis}::{rng.choice(_TESTS)}"
-        if depth > 0 and rng.random() < 0.4:
-            step += f"[{_random_core_predicate(rng, depth - 1)}]"
+        if depth > 0 and rng.random() < predicate_probability:
+            step += f"[{predicate_fn(rng, depth - 1)}]"
         steps.append(step)
     body = "/".join(steps)
     return ("/" + body) if absolute else body
+
+
+def _random_core_path(
+    rng: random.Random, max_steps: int, depth: int, absolute: bool
+) -> str:
+    return _random_grammar_path(
+        rng, max_steps, depth, absolute, _random_core_predicate, 0.4
+    )
 
 
 def _random_core_predicate(rng: random.Random, depth: int) -> str:
@@ -193,6 +210,93 @@ def _random_core_predicate(rng: random.Random, depth: int) -> str:
         right = _random_core_predicate(rng, depth - 1)
         return f"{left} {rng.choice(('and', 'or'))} {right}"
     return f"not({_random_core_predicate(rng, depth - 1)})"
+
+
+def random_full_query(
+    rng: random.Random,
+    max_steps: int = 4,
+    max_depth: int = 2,
+) -> str:
+    """Generate a random full-XPath query: the Core grammar of
+    :func:`random_core_query` extended with ``position()``/``last()``
+    (including ``+ - * div mod`` arithmetic), ``count()``, and the string
+    function library (``contains``, ``starts-with``, ``substring``,
+    ``string-length``, ``normalize-space``, ``concat``, ``translate``).
+
+    Every query is grammatical and type-correct, so it is evaluable by
+    the five full-XPath algorithms; a fraction of the distribution stays
+    inside Core XPath (predicates drawn from the core pool), so the
+    differential fuzz suite can apply a *corexpath-aware skip* — run all
+    six algorithms when the compiled plan classifies as Core, five
+    otherwise — instead of partitioning the corpus by generator.
+    """
+    return _random_full_path(rng, max_steps, max_depth, absolute=True)
+
+
+def _random_full_path(
+    rng: random.Random, max_steps: int, depth: int, absolute: bool
+) -> str:
+    return _random_grammar_path(
+        rng, max_steps, depth, absolute, _random_full_predicate, 0.45
+    )
+
+
+#: String constants the string-function predicates probe for; chosen to
+#: sometimes match the workload documents' text/ids ('1', '100', 'x', ...).
+_FULL_STRINGS = ("1", "2", "100", "x", "0")
+
+
+def _random_full_predicate(rng: random.Random, depth: int) -> str:
+    choice = rng.random()
+    if choice < 0.30:
+        # Stay inside Core XPath — keeps the corpus straddling the
+        # fragment boundary so the six-way check still gets exercised.
+        return _random_core_predicate(rng, depth)
+    if choice < 0.45:
+        comparator = rng.choice(("=", "!=", "<", ">", "<=", ">="))
+        return f"position() {comparator} {rng.randint(1, 4)}"
+    if choice < 0.57:
+        return rng.choice(
+            (
+                "position() = last()",
+                "position() >= last() - 1",
+                "position() * 2 <= last() + 1",
+                f"position() + {rng.randint(0, 2)} != last()",
+                "position() mod 2 = 1",
+                "floor(position() div 2) >= 1",
+            )
+        )
+    if choice < 0.70:
+        path = _random_core_path(rng, 2, 0, absolute=rng.random() < 0.15)
+        if rng.random() < 0.5:
+            comparator = rng.choice(("=", ">", "<", ">="))
+            return f"count({path}) {comparator} {rng.randint(0, 3)}"
+        return f"count({path}) + {rng.randint(0, 2)} > position()"
+    if choice < 0.85:
+        subject = rng.choice(
+            (
+                "string(self::node())",
+                "string(child::*)",
+                "string(descendant-or-self::text())",
+            )
+        )
+        constant = rng.choice(_FULL_STRINGS)
+        return rng.choice(
+            (
+                f"contains({subject}, '{constant}')",
+                f"starts-with({subject}, '{constant}')",
+                f"string-length({subject}) {rng.choice(('=', '>', '<'))} {rng.randint(0, 3)}",
+                f"normalize-space({subject}) != ''",
+                f"substring({subject}, 1, 2) = '{constant}'",
+                f"concat('{constant}', {subject}) != '{constant}'",
+                f"translate({subject}, '12', 'xy') = '{constant}'",
+            )
+        )
+    if depth > 0 and choice < 0.95:
+        left = _random_full_predicate(rng, depth - 1)
+        right = _random_full_predicate(rng, depth - 1)
+        return f"{left} {rng.choice(('and', 'or'))} {right}"
+    return f"not({_random_full_predicate(rng, max(0, depth - 1))})"
 
 
 def _random_predicate(rng: random.Random, depth: int) -> str:

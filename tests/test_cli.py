@@ -87,10 +87,10 @@ def test_strip_whitespace_flag(capsys):
 
 def test_error_reporting(capsys):
     code, _, err = run(capsys, "//b[", "--xml", XML)
-    assert code == 1
+    assert code == 3  # EXIT_QUERY: unparsable query
     assert "error:" in err
     code, _, err = run(capsys, "//b", "--xml", "<a><unclosed>")
-    assert code == 1
+    assert code == 4  # EXIT_DOCUMENT: malformed XML
     assert "error:" in err
 
 
@@ -142,7 +142,7 @@ def test_plan_subcommand_optimize_flag(capsys):
 
 def test_plan_subcommand_malformed_query_exit_code(capsys):
     code, _, err = run(capsys, "plan", "//b[")
-    assert code == 1
+    assert code == 3  # EXIT_QUERY
     assert "error:" in err
 
 
@@ -216,14 +216,27 @@ def test_batch_subcommand_file_documents(tmp_path, capsys):
 
 def test_batch_subcommand_malformed_query_exit_code(capsys):
     code, _, err = run(capsys, "batch", "--xml", XML, "-q", "//b[")
-    assert code == 1
+    assert code == 3  # EXIT_QUERY
     assert "error:" in err
+
+
+def test_batch_subcommand_unparsable_query_mid_list_names_the_query(capsys):
+    """A bad query after good ones fails with one line naming it, before
+    any evaluation output is produced."""
+    code, out, err = run(
+        capsys, "batch", "--xml", XML, "-q", "//b", "-q", "//b[", "-q", "//a"
+    )
+    assert code == 3
+    assert "'//b['" in err
+    assert len(err.strip().splitlines()) == 1
+    assert out == ""  # nothing evaluated or printed
 
 
 def test_batch_subcommand_malformed_document_exit_code(capsys):
     code, _, err = run(capsys, "batch", "--xml", "<a><unclosed>", "-q", "//b")
-    assert code == 1
+    assert code == 4  # EXIT_DOCUMENT
     assert "error:" in err
+    assert "xml[0]" in err  # names the offending document
 
 
 def test_batch_subcommand_missing_queries_exit_code(capsys):
@@ -256,5 +269,48 @@ def test_batch_subcommand_fragment_violation_exit_code(capsys):
     code, _, err = run(
         capsys, "batch", "--xml", XML, "-q", "//b[position() = 1]", "-a", "corexpath"
     )
-    assert code == 1
+    assert code == 5  # EXIT_FRAGMENT
     assert "Core XPath" in err
+
+
+def test_batch_subcommand_unbound_variable_falls_back_to_generic_code(capsys):
+    code, _, err = run(capsys, "batch", "--xml", XML, "-q", "//b[. > $nope]")
+    assert code == 1  # EXIT_ERROR: not one of the mapped families
+    assert "$nope" in err
+
+
+# ----------------------------------------------------------------------
+# batch subcommand: sharded execution
+# ----------------------------------------------------------------------
+
+
+def test_batch_subcommand_workers_thread_backend(capsys):
+    sequential = run(
+        capsys, "batch", "--xml", XML, "--xml", "<a><b>30</b></a>", "-q", "//b",
+        "-q", "count(//b)",
+    )
+    sharded = run(
+        capsys, "batch", "--xml", XML, "--xml", "<a><b>30</b></a>", "-q", "//b",
+        "-q", "count(//b)", "--workers", "2",
+    )
+    assert sharded[0] == 0
+    assert sharded[1] == sequential[1]  # identical output, batch order kept
+
+
+def test_batch_subcommand_workers_stats_reports_shards(capsys):
+    code, _, err = run(
+        capsys, "batch", "--xml", XML, "--xml", "<a><b>30</b></a>", "-q", "//b",
+        "--workers", "2", "--shard-by", "size-balanced", "--stats",
+    )
+    assert code == 0
+    assert "shards:       2" in err
+    assert "strategy=size-balanced" in err
+    assert "plan cache:" in err
+
+
+def test_batch_subcommand_invalid_workers_exit_code(capsys):
+    code, _, err = run(
+        capsys, "batch", "--xml", XML, "-q", "//b", "--workers", "0"
+    )
+    assert code == 2
+    assert "--workers" in err

@@ -25,7 +25,7 @@ from repro.workloads.documents import (
     running_example_document,
     wide_tree,
 )
-from repro.workloads.queries import random_core_query
+from repro.workloads.queries import random_core_query, random_full_query
 from repro.xml.parser import parse_document
 
 pytestmark = pytest.mark.slow
@@ -102,6 +102,87 @@ def test_six_way_agreement_from_varied_context_nodes():
         for name in SIX[1:]:
             got = engine.evaluate(compiled, context_node=context, algorithm=name)
             assert got == oracle, (query, context.path(), name)
+
+
+def _check_differential(engine, query):
+    """Differential check with a corexpath-aware skip: queries inside
+    Core XPath go through all six algorithms, the rest through the five
+    full-XPath ones (corexpath's fragment precondition doesn't hold).
+    Returns the compiled plan so callers can count fragment coverage."""
+    compiled = engine.compile(query)
+    names = SIX if compiled.is_core_xpath else SIX[:-1]
+    oracle = engine.evaluate(compiled, algorithm=names[0])
+    for name in names[1:]:
+        got = engine.evaluate(compiled, algorithm=name)
+        assert got == oracle, (
+            f"{name} disagrees with {names[0]} on {query!r}: {got!r} != {oracle!r}"
+        )
+    return compiled
+
+
+def test_full_grammar_differential_on_fixed_documents():
+    """random_full_query extends the grammar with position()/last()
+    arithmetic, count(), and string functions; the five full-XPath
+    algorithms must agree on every case, all six on the cases that stay
+    inside Core XPath."""
+    rng = random.Random(SEED + 10)
+    core_cases = 0
+    full_cases = 0
+    for document in _fixed_documents():
+        engine = XPathEngine(document)
+        for _ in range(CASES_PER_DOCUMENT):
+            compiled = _check_differential(engine, random_full_query(rng))
+            if compiled.is_core_xpath:
+                core_cases += 1
+            else:
+                full_cases += 1
+    # The distribution must straddle the fragment boundary, or the
+    # corexpath-aware skip (and the six-way check) would be vacuous.
+    assert core_cases > 0
+    assert full_cases > 0
+
+
+def test_full_grammar_differential_on_random_documents():
+    rng = random.Random(SEED + 11)
+    cases = 0
+    for _ in range(RANDOM_DOCUMENTS):
+        document = random_document(rng, max_nodes=14)
+        engine = XPathEngine(document)
+        for _ in range(CASES_PER_DOCUMENT):
+            _check_differential(engine, random_full_query(rng))
+            cases += 1
+    assert cases == CASES_PER_DOCUMENT * RANDOM_DOCUMENTS
+
+
+def test_full_grammar_exercises_the_new_constructs():
+    """The extended generator actually emits what it advertises."""
+    rng = random.Random(SEED + 12)
+    corpus = [random_full_query(rng) for _ in range(120)]
+    text = "\n".join(corpus)
+    assert "position()" in text
+    assert "last()" in text
+    assert "count(" in text
+    assert any(op in text for op in (" + ", " - ", " * ", " div ", " mod "))
+    assert any(
+        fn in text
+        for fn in ("contains(", "starts-with(", "substring(", "string-length(")
+    )
+
+
+def test_full_grammar_through_the_sharded_service():
+    """Sharded evaluation returns byte-identical results to a fresh
+    engine on the full-grammar corpus — the executor is grammar-blind."""
+    rng = random.Random(SEED + 13)
+    documents = [random_document(rng, max_nodes=12) for _ in range(4)]
+    queries = [random_full_query(rng, max_steps=3) for _ in range(12)]
+    service = QueryService()
+    batch = service.evaluate_many(queries, documents, workers=2)
+    for doc_index, document in enumerate(documents):
+        engine = XPathEngine(document)
+        for query_index, query in enumerate(queries):
+            assert batch.value(doc_index, query_index) == engine.evaluate(query), (
+                query,
+            )
 
 
 def test_fuzz_corpus_through_the_service_layer():

@@ -201,6 +201,30 @@ def test_session_capacity_bounds_document_retention():
     assert service.cache_stats()["result_cache"]["misses"] == 5
 
 
+def test_result_memo_survives_plan_eviction_and_recompile():
+    """Regression: the result memo is keyed by the plan's stable cache
+    key, not the AST's per-compilation uid. A plan evicted from the LRU
+    and recompiled must still hit its old memo entries — under the uid
+    key every eviction made them permanently unreachable (silent full
+    re-evaluations plus dead entries pinning node lists until the
+    wholesale flush)."""
+    document = parse_document('<a id="1"><b id="2">10</b><c id="3">20</c></a>')
+    service = QueryService(plan_capacity=1)
+    session = service.session(document)
+    rounds = 3
+    for _ in range(rounds):
+        service.evaluate("//b", document)  # evicts //c's plan
+        service.evaluate("//c", document)  # evicts //b's plan
+    # The plan cache thrashes by construction...
+    assert service.plans.stats.misses == 2 * rounds
+    assert service.plans.stats.evictions == 2 * rounds - 1
+    # ...but the result memo keeps hitting across recompilations.
+    assert session.result_stats.misses == 2
+    assert session.result_stats.hits == 2 * (rounds - 1)
+    # No unreachable-entry growth: one memo entry per distinct request.
+    assert len(session._results) == 2
+
+
 def test_result_memo_flushes_at_capacity():
     document = parse_document("<a><b>1</b><c>2</c><d>3</d></a>")
     service = QueryService(result_capacity=2)
@@ -221,6 +245,49 @@ def test_get_or_create_factory_runs_once():
     assert value == "v"
     assert calls == [1]
     assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+
+def test_get_or_create_factory_with_recursive_inserts_keeps_counters_exact():
+    """The unified insert path must stay exact when the factory itself
+    populates the cache: 3 entries through a capacity-2 cache is exactly
+    one eviction, and the outer value lands at the MRU end."""
+    cache = PlanCache(capacity=2)
+
+    def factory():
+        cache.put("x", "inner-1")
+        cache.put("y", "inner-2")
+        return "outer"
+
+    assert cache.get_or_create("k", factory) == "outer"
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1          # "x" (LRU) and nothing else
+    assert list(cache.keys()) == ["y", "k"]
+    assert cache.get("k") == "outer"
+
+
+def test_get_or_create_factory_inserting_the_same_key_is_not_an_eviction():
+    """A factory that inserts the contested key itself: the outer insert
+    overwrites in place — no spurious eviction, no duplicate entry."""
+    cache = PlanCache(capacity=2)
+
+    def factory():
+        cache.put("k", "inner")
+        return "outer"
+
+    assert cache.get_or_create("k", factory) == "outer"
+    assert len(cache) == 1
+    assert cache.stats.evictions == 0
+    assert cache.get("k") == "outer"
+
+
+def test_put_refreshes_existing_key_to_mru():
+    cache = PlanCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)            # refresh must move "a" to the MRU end
+    cache.put("c", 3)             # so this evicts "b", not "a"
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.stats.evictions == 1
 
 
 def test_capacity_must_be_positive():
