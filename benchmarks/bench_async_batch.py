@@ -1,0 +1,205 @@
+"""EXP-ASYNC — the async front end: value identity, exact stats, streaming latency.
+
+PR 3's scheduler abstraction put an asyncio backend behind the same
+prepare → dispatch → merge seam as the sync backends. Three gates:
+
+* **value gate** — the async backend's merged ``BatchResult`` is
+  value-identical (same cells, same order) to *every* sync backend
+  (serial, thread, process) and to the sequential ``evaluate_many``
+  path;
+* **stats gate** — every backend's merged ``CacheStats`` are the exact
+  sums of its per-shard counters, and the streaming path's incremental
+  merge reaches the identical totals;
+* **latency gate** — on a deliberately skewed workload (one document
+  ~10^3× the node count of its peers, size-balanced sharding putting it
+  alone in its shard), the streaming front end's **time-to-first-result
+  must be ≤ 0.5× the full-batch barrier time**. This is the point of
+  streaming: the small shards' results surface while the big shard is
+  still evaluating, instead of everyone waiting behind it.
+
+The latency gate is a *ratio on one machine*, so it is enforced
+everywhere — including 1-CPU hosts, where the GIL timeslices the shards:
+the skew is sized so the big shard needs hundreds of milliseconds while
+every small shard fits in the first scheduler rotation. Run with::
+
+    PYTHONPATH=src python benchmarks/bench_async_batch.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import sys
+import time
+
+from harness import ExperimentReport
+
+from repro.service import AsyncQueryService, QueryService, ShardedExecutor
+from repro.workloads.documents import balanced_tree
+from repro.workloads.queries import core_family, position_heavy_query
+from repro.xml.parser import parse_document
+
+WORKERS = 4
+PASSES = 5
+WARMUP_PASSES = 1
+TTFR_GATE = 0.5  # time-to-first-result ≤ 0.5× the barrier time
+SYNC_BACKENDS = ("serial", "thread", "process")
+
+
+def skewed_workload():
+    """One heavy document (~9k nodes) plus six trivial ones: under
+    size-balanced LPT sharding the heavy document is a shard of its own,
+    so the batch's barrier time ≈ the big shard's time while the other
+    shards are effectively instant — maximal streaming headroom."""
+    big = balanced_tree(depth=8, fanout=3)
+    smalls = [parse_document(f"<a><b>{i}</b><c>{i * 7}</c></a>") for i in range(6)]
+    queries = [
+        "/descendant::*[position() > count(child::*)]",
+        "count(//*)",
+        position_heavy_query(2),
+        core_family(6),
+        "//c[. > 15]",
+        "/descendant::*[position() = last()]",
+    ]
+    return queries, [big] + smalls
+
+
+def _median(samples: list[float]) -> float:
+    return statistics.median(samples)
+
+
+def _stats_merge_exact(batch) -> bool:
+    for stats_name in ("plan_stats", "result_stats"):
+        merged = getattr(batch, stats_name)
+        for counter in ("hits", "misses", "evictions"):
+            total = sum(shard[stats_name][counter] for shard in batch.shards)
+            if merged[counter] != total:
+                return False
+    return True
+
+
+def _measure_stream(service: AsyncQueryService, queries, documents):
+    """One streaming pass: (time to first item, time to exhaustion, stream)."""
+
+    async def run():
+        stream = service.stream_many(
+            queries, documents, workers=WORKERS, shard_by="size-balanced"
+        )
+        started = time.perf_counter()
+        first = None
+        async for _ in stream:
+            if first is None:
+                first = time.perf_counter() - started
+        return first, time.perf_counter() - started, stream
+
+    return asyncio.run(run())
+
+
+def _measure_barrier(queries, documents) -> float:
+    """One barrier pass through the same async scheduler (await
+    evaluate_many): nothing surfaces until every shard is merged."""
+
+    async def run():
+        service = AsyncQueryService()
+        started = time.perf_counter()
+        await service.evaluate_many(
+            queries, documents, workers=WORKERS, shard_by="size-balanced"
+        )
+        return time.perf_counter() - started
+
+    return asyncio.run(run())
+
+
+def main() -> int:
+    queries, documents = skewed_workload()
+    evaluations = len(queries) * len(documents)
+
+    # --- value + stats gates -----------------------------------------
+    sequential = QueryService().evaluate_many(queries, documents)
+    async_batch = ShardedExecutor(
+        workers=WORKERS, backend="async", shard_by="size-balanced"
+    ).execute(queries, documents)
+    sync_batches = {
+        backend: ShardedExecutor(
+            workers=WORKERS, backend=backend, shard_by="size-balanced"
+        ).execute(queries, documents)
+        for backend in SYNC_BACKENDS
+    }
+    value_gate = async_batch.values == sequential.values and all(
+        batch.values == async_batch.values for batch in sync_batches.values()
+    )
+    stats_gate = _stats_merge_exact(async_batch) and all(
+        _stats_merge_exact(batch) for batch in sync_batches.values()
+    )
+
+    # The streamed batch must merge to the same values and identical
+    # exactly-summed stats as the barrier async batch.
+    service = AsyncQueryService()
+    _, _, stream = _measure_stream(service, queries, documents)
+    streamed = stream.batch()
+    stream_gate = (
+        streamed.values == sequential.values
+        and _stats_merge_exact(streamed)
+        and {
+            key: streamed.plan_stats[key]
+            for key in ("hits", "misses", "evictions")
+        }
+        == {key: async_batch.plan_stats[key] for key in ("hits", "misses", "evictions")}
+    )
+
+    # --- latency gate -------------------------------------------------
+    for _ in range(WARMUP_PASSES):
+        _measure_barrier(queries, documents)
+        _measure_stream(AsyncQueryService(), queries, documents)
+    barrier_times, first_times, drain_times = [], [], []
+    for _ in range(PASSES):
+        barrier_times.append(_measure_barrier(queries, documents))
+        first, drained, _ = _measure_stream(AsyncQueryService(), queries, documents)
+        first_times.append(first)
+        drain_times.append(drained)
+    barrier = _median(barrier_times)
+    first = _median(first_times)
+    drained = _median(drain_times)
+    ratio = first / barrier
+    latency_ok = ratio <= TTFR_GATE
+
+    report = ExperimentReport(
+        "EXP-ASYNC", "async front end (streaming latency, value/stats identity)"
+    )
+    report.note(
+        f"workload: {len(queries)} queries x {len(documents)} documents "
+        f"({evaluations} evaluations/pass), skew {len(documents[0])} vs "
+        f"{len(documents[1])} nodes; {WORKERS} workers, size-balanced "
+        f"(big document is its own shard); median of {PASSES} passes"
+    )
+    report.table(
+        ["configuration", "median (ms)", "vs barrier"],
+        [
+            ["async barrier (await evaluate_many)", barrier * 1e3, 1.0],
+            ["stream: first result", first * 1e3, ratio],
+            ["stream: fully drained", drained * 1e3, drained / barrier],
+        ],
+    )
+    report.note()
+    report.note(
+        "value gate:   async values identical to sequential + "
+        f"{'/'.join(SYNC_BACKENDS)} — " + ("PASS" if value_gate else "FAIL")
+    )
+    report.note(
+        "stats gate:   merged CacheStats == per-shard sums on every backend — "
+        + ("PASS" if stats_gate else "FAIL")
+    )
+    report.note(
+        "stream gate:  streamed batch == barrier batch (values + incremental "
+        "stats totals) — " + ("PASS" if stream_gate else "FAIL")
+    )
+    report.note(
+        f"latency gate: time-to-first-result = {ratio:.2f}x barrier "
+        f"(need <= {TTFR_GATE}x) — " + ("PASS" if latency_ok else "FAIL")
+    )
+    report.finish()
+    return 0 if (value_gate and stats_gate and stream_gate and latency_ok) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ Run after the benchmark suite:
     python benchmarks/summarize.py               # prints + writes results/ALL.txt
     python benchmarks/summarize.py --plan-cache  # just the plan-cache hit rates
     python benchmarks/summarize.py --sharded     # just the sharding gates/speedup
+    python benchmarks/summarize.py --async-batch # just the async/streaming gates
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ ORDER = [
     "exp_f4", "exp_f5", "exp_e9",
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
-    "exp_svc", "exp_shard",
+    "exp_svc", "exp_shard", "exp_async",
 ]
 
 
@@ -51,6 +52,20 @@ def sharded_batch_lines() -> list[str]:
     ]
 
 
+def async_batch_lines() -> list[str]:
+    """The gate and latency lines from the EXP-ASYNC report (written by
+    bench_async_batch.py)."""
+    path = RESULTS_DIR / "exp_async.txt"
+    if not path.exists():
+        return []
+    markers = ("gate:", "barrier", "stream:")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -62,6 +77,11 @@ def main(argv: list[str] | None = None) -> None:
         "--sharded",
         action="store_true",
         help="print only the sharded-batch gates and throughputs (EXP-SHARD)",
+    )
+    parser.add_argument(
+        "--async-batch",
+        action="store_true",
+        help="print only the async/streaming gates and latencies (EXP-ASYNC)",
     )
     args = parser.parse_args(argv)
     if args.plan_cache:
@@ -78,6 +98,15 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(
                 "no sharded-batch results yet — run: "
                 "python benchmarks/bench_sharded_batch.py"
+            )
+        print("\n".join(lines))
+        return
+    if args.async_batch:
+        lines = async_batch_lines()
+        if not lines:
+            raise SystemExit(
+                "no async-batch results yet — run: "
+                "python benchmarks/bench_async_batch.py"
             )
         print("\n".join(lines))
         return

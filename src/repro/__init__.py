@@ -48,18 +48,32 @@ The same machinery backs the CLI's ``plan`` (inspect a compiled plan)
 and ``batch`` (evaluate many queries × many documents, with cache
 statistics) subcommands — see ``python -m repro plan --help``.
 
-Scaling out — sharded execution
--------------------------------
+Scaling out — sharded execution and the scheduler seam
+------------------------------------------------------
 
 Batches shard by document: ``evaluate_many(..., workers=4,
 shard_by="size-balanced", backend="process")`` partitions the documents
 across workers (round-robin, or balanced on node count), evaluates the
-shards concurrently — threads for in-process overlap, processes for true
-parallelism (documents are rebuilt per worker from serialized markup and
-node-set results rebound to the caller's trees) — and merges the
-per-shard results with exact cache-statistics aggregation. The CLI
-exposes the same knobs: ``repro-xpath batch ... --workers 4 --shard-by
-size-balanced --backend process``. See :mod:`repro.service.executor`.
+shards concurrently, and merges the per-shard results with exact
+cache-statistics aggregation. The *backend* names a pluggable
+:class:`~repro.service.scheduler.Scheduler` — ``serial`` (reference),
+``thread`` (in-process overlap), ``process`` (true parallelism;
+documents are rebuilt per worker from serialized markup and node-set
+results rebound to the caller's trees), or ``async`` (a coroutine
+scheduler). The CLI exposes the same knobs: ``repro-xpath batch ...
+--workers 4 --shard-by size-balanced --backend process``. See
+:mod:`repro.service.scheduler`.
+
+Serving from an event loop — the async front end
+------------------------------------------------
+
+:class:`QueryService` is thread-safe, and :class:`AsyncQueryService`
+puts coroutines in front of it: ``await evaluate(...)``, ``await
+evaluate_many(..., workers=4)``, and ``stream_many(...)`` — an async
+iterator that yields each (query, document) result as its shard
+completes, so consumers see first results while the slowest shard is
+still evaluating. ``repro-xpath batch ... --backend async --stream`` is
+the CLI form. See :mod:`repro.service.async_service`.
 """
 
 from repro.engine import ALGORITHMS, CompiledPlan, CompiledQuery, XPathEngine
@@ -76,13 +90,16 @@ from repro.errors import (
 )
 from repro.core.context import Context
 from repro.service import (
+    AsyncQueryService,
     BatchResult,
+    BatchStream,
     DocumentSession,
     PlanCache,
     PlanOptions,
     QueryPlanner,
     QueryService,
     ShardedExecutor,
+    StreamItem,
 )
 from repro.xml.builder import DocumentBuilder, element, text
 from repro.xml.document import Document, Node, NodeKind
@@ -93,7 +110,9 @@ __version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AsyncQueryService",
     "BatchResult",
+    "BatchStream",
     "CompiledPlan",
     "CompiledQuery",
     "Context",
@@ -110,6 +129,7 @@ __all__ = [
     "QueryService",
     "ReproError",
     "ShardedExecutor",
+    "StreamItem",
     "UnboundVariableError",
     "UnknownAlgorithmError",
     "UnknownFunctionError",

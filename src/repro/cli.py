@@ -9,6 +9,10 @@ Three modes:
 * ``repro-xpath batch`` evaluates many queries against many documents
   through :class:`repro.service.QueryService`, sharing the compiled-plan
   cache and per-document caches, and can report cache statistics.
+  ``--workers N --backend {serial,thread,process,async}`` shards the
+  documents across workers; ``--backend async --stream`` prints each
+  (document, query) result as its shard completes instead of waiting for
+  the whole batch.
 
 Examples::
 
@@ -17,6 +21,8 @@ Examples::
     repro-xpath --file doc.xml --compare "//a[position() = last()]"
     repro-xpath plan "//a[position() = last()]"
     repro-xpath batch --xml "<a><b/></a>" --xml "<a/>" -q "//b" -q "count(//b)" --stats
+    repro-xpath batch -f big.xml -f small.xml -q "//b" --workers 2 \\
+        --backend async --stream
 
 ``--explain`` prints the normalized parse tree with static types and
 ``Relev`` sets plus fragment classification; ``--compare`` runs all
@@ -38,6 +44,7 @@ query from a bad document from a bad invocation:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 
 from repro.engine import ALGORITHMS, XPathEngine
@@ -51,6 +58,7 @@ from repro.errors import (
 from repro.service import (
     EXECUTOR_BACKENDS,
     SHARD_STRATEGIES,
+    AsyncQueryService,
     QueryService,
     compile_plan,
     resolve_algorithm,
@@ -307,7 +315,14 @@ def build_batch_parser() -> argparse.ArgumentParser:
         choices=EXECUTOR_BACKENDS,
         default="thread",
         help="worker backend for --workers > 1 (process gives true "
-        "parallelism; documents are rebuilt per worker)",
+        "parallelism — documents are rebuilt per worker; async runs a "
+        "coroutine scheduler and enables --stream)",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="with --backend async: print each result as its shard "
+        "completes (completion order) instead of waiting for the batch",
     )
     parser.add_argument(
         "--stats",
@@ -328,6 +343,63 @@ def _load_batch_queries(args) -> list[str]:
     return queries
 
 
+def _print_batch_stats(plan_stats: dict, result_stats: dict, shards_line: str | None):
+    """The --stats footer, shared by the barrier and streaming paths."""
+    if shards_line is not None:
+        print(shards_line, file=sys.stderr)
+    print(
+        "plan cache:   "
+        f"hits={plan_stats['hits']} misses={plan_stats['misses']} "
+        f"evictions={plan_stats['evictions']} "
+        f"hit rate={plan_stats['hit_rate']:.1%}",
+        file=sys.stderr,
+    )
+    print(
+        "result cache: "
+        f"hits={result_stats['hits']} misses={result_stats['misses']} "
+        f"hit rate={result_stats['hit_rate']:.1%}",
+        file=sys.stderr,
+    )
+
+
+def _stream_batch(args, queries: list[str], documents: list, labels: list[str]) -> int:
+    """Drive the async streaming front end: results print as their shard
+    completes (completion order, not batch order — every block is
+    labeled, so the output is self-describing)."""
+    async_service = AsyncQueryService(
+        plan_capacity=args.plan_capacity, optimize=args.optimize
+    )
+    stream = async_service.stream_many(
+        queries,
+        documents,
+        algorithm=args.algorithm,
+        workers=args.workers,
+        shard_by=args.shard_by,
+    )
+
+    async def drive() -> None:
+        async for item in stream:
+            print(
+                f"=== {labels[item.document_index]} :: {item.query} "
+                f"[{item.algorithm}] ==="
+            )
+            print(_render_result(item.value, args.output))
+
+    try:
+        asyncio.run(drive())
+    except ReproError as error:
+        return _fail(str(error), error_exit_code(error))
+    if args.stats:
+        _print_batch_stats(
+            stream.plan_stats,
+            stream.result_stats,
+            f"shards:       {len(stream.shards)} "
+            f"(backend=async --stream, strategy={args.shard_by}, "
+            "stats are exact sums over shards)",
+        )
+    return 0
+
+
 def batch_main(argv: list[str]) -> int:
     parser = build_batch_parser()
     args = parser.parse_args(argv)
@@ -343,6 +415,8 @@ def batch_main(argv: list[str]) -> int:
         return _fail("--plan-capacity must be >= 1", EXIT_USAGE)
     if args.workers < 1:
         return _fail("--workers must be >= 1", EXIT_USAGE)
+    if args.stream and args.backend != "async":
+        return _fail("--stream requires --backend async", EXIT_USAGE)
     labels = []
     documents = []
     for inline in args.xml:
@@ -366,7 +440,6 @@ def batch_main(argv: list[str]) -> int:
         except ReproError as error:
             return _fail(f"document {path}: {error}", error_exit_code(error))
         labels.append(path)
-    service = QueryService(plan_capacity=args.plan_capacity, optimize=args.optimize)
     # Compile every query up front so an unparsable query mid-list fails
     # with a one-line message *naming the query* (and, for sharded runs,
     # before any worker spawns). Validation uses a throwaway compile, not
@@ -377,6 +450,9 @@ def batch_main(argv: list[str]) -> int:
             resolve_algorithm(compile_plan(query, optimize=args.optimize), args.algorithm)
         except ReproError as error:
             return _fail(f"query {query!r}: {error}", error_exit_code(error))
+    if args.stream:
+        return _stream_batch(args, queries, documents, labels)
+    service = QueryService(plan_capacity=args.plan_capacity, optimize=args.optimize)
     try:
         batch = service.evaluate_many(
             queries,
@@ -394,28 +470,14 @@ def batch_main(argv: list[str]) -> int:
             print(f"=== {label} :: {query} [{algorithm}] ===")
             print(_render_result(batch.value(doc_index, query_index), args.output))
     if args.stats:
-        plan_stats = batch.plan_stats
-        result_stats = batch.result_stats
+        shards_line = None
         if args.workers > 1:
-            print(
+            shards_line = (
                 f"shards:       {batch.workers} "
                 f"(backend={args.backend}, strategy={args.shard_by}, "
-                "stats are exact sums over shards)",
-                file=sys.stderr,
+                "stats are exact sums over shards)"
             )
-        print(
-            "plan cache:   "
-            f"hits={plan_stats['hits']} misses={plan_stats['misses']} "
-            f"evictions={plan_stats['evictions']} "
-            f"hit rate={plan_stats['hit_rate']:.1%}",
-            file=sys.stderr,
-        )
-        print(
-            "result cache: "
-            f"hits={result_stats['hits']} misses={result_stats['misses']} "
-            f"hit rate={result_stats['hit_rate']:.1%}",
-            file=sys.stderr,
-        )
+        _print_batch_stats(batch.plan_stats, batch.result_stats, shards_line)
     return 0
 
 

@@ -1,22 +1,47 @@
-"""The service layer: compiled-plan caching and batch evaluation.
+"""The service layer: compiled-plan caching, batch evaluation, scheduling.
 
 The paper's algorithms bound *evaluation* cost; this package amortizes
-everything that happens before evaluation. Structure:
+everything that happens before evaluation, then keeps the evaluators
+saturated. A batch flows through three layers:
 
-* :mod:`repro.service.plan` — :class:`CompiledPlan` (the reusable
-  artifact) and :class:`PlanOptions` (its cache-key options);
+1. **planner** — each distinct ``(query, options)`` pair is compiled
+   once (parse → normalize → rewrite → relevance → fragment
+   classification) into a :class:`CompiledPlan`, held in the
+   exact-accounting LRU :class:`PlanCache`; shard planning
+   (:mod:`repro.service.shard`) partitions the batch's documents across
+   workers. Both are deterministic and backend-independent.
+2. **scheduler** — the pluggable middle layer
+   (:mod:`repro.service.scheduler`): ``dispatch`` evaluates the planned
+   shards. This is the only layer a backend replaces —
+   :class:`SerialScheduler` (one-after-another reference),
+   :class:`ThreadScheduler` (``ThreadPoolExecutor`` overlap),
+   :class:`ProcessScheduler` (true parallelism; documents rebuilt per
+   worker, node-sets rebound by pre-order index), and
+   :class:`AsyncScheduler` (asyncio coroutine-per-shard, bounded
+   semaphore, thread offload — also the only backend that can *stream*
+   shard outcomes as they complete).
+3. **merge** — per-shard values reassembled into batch order and cache
+   counters summed exactly (:func:`merge_stats_snapshots`; incremental
+   form: :meth:`repro.stats.CacheStats.absorb_snapshot`), producing one
+   :class:`BatchResult` regardless of backend.
+
+Modules:
+
+* :mod:`repro.service.plan` — :class:`CompiledPlan` / :class:`PlanOptions`;
 * :mod:`repro.service.planner` — the frontend pipeline and algorithm
-  dispatch, shared by the engine facade and the service;
-* :mod:`repro.service.cache` — the exact-accounting LRU
+  dispatch;
+* :mod:`repro.service.cache` — the thread-safe, exact-accounting LRU
   :class:`PlanCache`;
 * :mod:`repro.service.service` — :class:`QueryService` /
-  :class:`DocumentSession` / :class:`BatchResult`, the compile-once,
-  evaluate-many entry points;
-* :mod:`repro.service.shard` — deterministic shard planning
-  (round-robin and size-balanced document partitioning);
-* :mod:`repro.service.executor` — :class:`ShardedExecutor`, concurrent
-  per-shard evaluation (thread or process backend) with exact
-  cache-statistics merging.
+  :class:`DocumentSession` / :class:`BatchResult` (thread-safe: one
+  service may be shared across concurrent drivers);
+* :mod:`repro.service.shard` — deterministic shard planning;
+* :mod:`repro.service.scheduler` — the :class:`Scheduler` seam and its
+  four backends;
+* :mod:`repro.service.executor` — :class:`ShardedExecutor`, the
+  backward-compatible facade that selects a scheduler by backend name;
+* :mod:`repro.service.async_service` — :class:`AsyncQueryService` /
+  :class:`BatchStream`, the coroutine front end.
 
 Quickstart::
 
@@ -35,8 +60,22 @@ Scaling out, same API — shard the batch across workers::
     batch.workers        # shards actually used
     batch.shards         # per-shard documents, weights, stats snapshots
     batch.plan_stats     # exact sum of the per-shard counters
+
+Serving from an event loop — the async front end::
+
+    from repro.service import AsyncQueryService
+
+    async_service = AsyncQueryService(service)       # shares the caches
+    value = await async_service.evaluate("//b", doc)
+    batch = await async_service.evaluate_many(queries, docs, workers=4)
+    stream = async_service.stream_many(queries, docs, workers=4,
+                                       shard_by="size-balanced")
+    async for item in stream:            # results as shards complete
+        print(item.document_index, item.query, item.value)
+    stream.batch()                       # merged BatchResult, exact stats
 """
 
+from repro.service.async_service import AsyncQueryService, BatchStream, StreamItem
 from repro.service.cache import PlanCache
 from repro.service.executor import (
     EXECUTOR_BACKENDS,
@@ -51,25 +90,46 @@ from repro.service.planner import (
     make_evaluator,
     resolve_algorithm,
 )
+from repro.service.scheduler import (
+    SCHEDULER_BACKENDS,
+    AsyncScheduler,
+    PreparedBatch,
+    ProcessScheduler,
+    Scheduler,
+    SerialScheduler,
+    ThreadScheduler,
+    make_scheduler,
+)
 from repro.service.service import BatchResult, DocumentSession, QueryService
 from repro.service.shard import SHARD_STRATEGIES, Shard, plan_shards
 
 __all__ = [
     "ALGORITHMS",
+    "AsyncQueryService",
+    "AsyncScheduler",
     "BatchResult",
+    "BatchStream",
     "CompiledPlan",
     "CompiledQuery",
     "DocumentSession",
     "EXECUTOR_BACKENDS",
     "PlanCache",
     "PlanOptions",
+    "PreparedBatch",
+    "ProcessScheduler",
     "QueryPlanner",
     "QueryService",
+    "SCHEDULER_BACKENDS",
     "SHARD_STRATEGIES",
+    "Scheduler",
+    "SerialScheduler",
     "Shard",
     "ShardedExecutor",
+    "StreamItem",
+    "ThreadScheduler",
     "compile_plan",
     "make_evaluator",
+    "make_scheduler",
     "merge_stats_snapshots",
     "plan_key",
     "plan_shards",

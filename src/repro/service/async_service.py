@@ -1,0 +1,263 @@
+"""The async front end: ``await``-able evaluation over :class:`QueryService`.
+
+:class:`AsyncQueryService` is the coroutine-facing face of the service
+layer (ROADMAP: "an async front end over QueryService"). It owns a
+thread-safe :class:`~repro.service.service.QueryService` and exposes
+
+* ``await evaluate(query, document)`` — one evaluation, offloaded to a
+  worker thread so the event loop never blocks on the GIL-bound work;
+* ``await evaluate_many(queries, documents, workers=...)`` — the batch
+  API on an :class:`~repro.service.scheduler.AsyncScheduler`
+  (coroutine-per-shard, bounded semaphore, thread offload), returning
+  the same merged :class:`~repro.service.service.BatchResult` as every
+  sync backend: value-identical, stats exactly summed;
+* ``stream_many(queries, documents, ...)`` — a :class:`BatchStream`,
+  the async iterator that yields per-``(query, document)``
+  :class:`StreamItem` results *as shards complete* instead of
+  barriering on the slowest shard. On a skewed workload the first
+  results arrive while the big shard is still evaluating — that
+  time-to-first-result win is gated by ``benchmarks/bench_async_batch.py``
+  (EXP-ASYNC).
+
+Streaming keeps exact statistics incrementally: each completed shard's
+counters are folded into running :class:`~repro.stats.CacheStats`
+mergers (:meth:`~repro.stats.CacheStats.absorb_snapshot`), so at any
+point mid-stream ``stream.plan_stats`` is the exact sum over the shards
+seen so far, and after exhaustion :meth:`BatchStream.batch` returns a
+``BatchResult`` indistinguishable from the barrier path's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.service.scheduler import AsyncScheduler, PreparedBatch
+from repro.service.service import BatchResult, QueryService
+from repro.stats import CacheStats
+from repro.xml.document import Document, Node
+
+
+@dataclass(frozen=True)
+class StreamItem:
+    """One streamed result cell: ``queries[query_index]`` evaluated on
+    ``documents[document_index]``, plus which shard produced it. Cells
+    arrive grouped by shard, shards in completion order."""
+
+    document_index: int
+    query_index: int
+    query: str
+    algorithm: str
+    value: object
+    shard_index: int
+
+
+class BatchStream:
+    """Async iterator over a sharded batch's results, in completion order.
+
+    Iterate to drive the shards::
+
+        stream = async_service.stream_many(queries, documents, workers=4)
+        async for item in stream:          # StreamItem per (query, document)
+            handle(item)
+        batch = stream.batch()             # merged BatchResult, exact stats
+
+    While (and after) iterating, ``plan_stats``/``result_stats`` hold the
+    exact counter sums over the shards completed *so far* — the
+    incremental form of the barrier merge. ``batch()`` is available once
+    the stream is exhausted; breaking out early cancels the remaining
+    shard tasks (see :meth:`AsyncScheduler.stream`).
+    """
+
+    def __init__(self, scheduler: AsyncScheduler, prepared: PreparedBatch):
+        self._scheduler = scheduler
+        self._prepared = prepared
+        self._generator = self._run()
+        self._plan_stats = CacheStats(
+            name="plan_cache", capacity=scheduler.service_config["plan_capacity"]
+        )
+        self._result_stats = CacheStats(name="result_cache")
+        #: Per-shard report entries (same shape as ``BatchResult.shards``),
+        #: appended as each shard completes.
+        self.shards: list[dict] = []
+        self._values: list[list[object] | None] = [None] * len(prepared.documents)
+        self._exhausted = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queries(self) -> list[str]:
+        return self._prepared.queries
+
+    @property
+    def algorithms(self) -> list[str]:
+        """Resolved per-query algorithms (known up front: resolution is a
+        pure function of the compiled plan, done in the prepare phase)."""
+        return self._prepared.algorithms
+
+    @property
+    def plan_stats(self) -> dict:
+        """Exact plan-cache counter sums over the shards completed so far."""
+        return self._plan_stats.snapshot()
+
+    @property
+    def result_stats(self) -> dict:
+        """Exact result-memo counter sums over the shards completed so far."""
+        return self._result_stats.snapshot()
+
+    def batch(self) -> BatchResult:
+        """The merged :class:`BatchResult` — values in batch order, stats
+        the exact shard sums. Only available after the stream has been
+        fully consumed (a partial batch would have holes)."""
+        if not self._exhausted:
+            raise RuntimeError(
+                "batch() needs the stream fully consumed; iterate it to the end first"
+            )
+        return BatchResult(
+            queries=self._prepared.queries,
+            document_count=len(self._prepared.documents),
+            values=self._values,
+            algorithms=self._prepared.algorithms,
+            plan_stats=self.plan_stats,
+            result_stats=self.result_stats,
+            workers=len(self._prepared.shards),
+            shards=list(self.shards),
+        )
+
+    # ------------------------------------------------------------------
+
+    async def _run(self):
+        async for shard, outcome in self._scheduler.stream(self._prepared):
+            self._plan_stats.absorb_snapshot(outcome["plan_stats"])
+            self._result_stats.absorb_snapshot(outcome["result_stats"])
+            self.shards.append(self._scheduler.shard_report(shard, outcome))
+            for document_index, row in zip(shard.document_indices, outcome["values"]):
+                self._values[document_index] = row
+                for query_index, value in enumerate(row):
+                    yield StreamItem(
+                        document_index=document_index,
+                        query_index=query_index,
+                        query=self._prepared.queries[query_index],
+                        algorithm=self._prepared.algorithms[query_index],
+                        value=value,
+                        shard_index=shard.index,
+                    )
+        self._exhausted = True
+
+    def __aiter__(self) -> "BatchStream":
+        return self
+
+    async def __anext__(self) -> StreamItem:
+        return await self._generator.__anext__()
+
+    async def aclose(self) -> None:
+        """Cancel the in-flight shards and close the stream."""
+        await self._generator.aclose()
+
+
+class AsyncQueryService:
+    """Async facade over a (thread-safe) :class:`QueryService`.
+
+    Pass an existing service to share its caches with synchronous
+    callers, or construction keyword arguments to build a private one.
+    Single evaluations go through the shared service's plan/result caches
+    (offloaded to a thread); sharded batches build one fresh service per
+    shard from the same configuration, exactly like the sync backends, so
+    async results and statistics are comparable counter-for-counter.
+    """
+
+    def __init__(self, service: QueryService | None = None, **config):
+        if service is not None and config:
+            raise ValueError(
+                "pass either an existing QueryService or constructor "
+                "arguments for a new one, not both"
+            )
+        self.service = service if service is not None else QueryService(**config)
+
+    # ------------------------------------------------------------------
+
+    async def evaluate(
+        self,
+        query,
+        document: Document,
+        context_node: Node | None = None,
+        context_position: int = 1,
+        context_size: int = 1,
+        algorithm: str = "auto",
+        cached: bool = True,
+    ):
+        """One evaluation through the shared service's caches, offloaded
+        to a worker thread (the evaluation work is GIL-bound Python; the
+        event loop stays free while it runs)."""
+        return await asyncio.to_thread(
+            self.service.evaluate,
+            query,
+            document,
+            context_node=context_node,
+            context_position=context_position,
+            context_size=context_size,
+            algorithm=algorithm,
+            cached=cached,
+        )
+
+    async def evaluate_many(
+        self,
+        queries,
+        documents,
+        algorithm: str = "auto",
+        workers: int = 1,
+        shard_by: str = "round-robin",
+        max_concurrency: int | None = None,
+    ) -> BatchResult:
+        """Every query against every document — the barrier form.
+
+        ``workers <= 1`` offloads the whole sequential batch (through the
+        shared service's caches) to one thread; ``workers > 1`` shards by
+        document onto an :class:`AsyncScheduler` and merges, returning a
+        ``BatchResult`` value-identical to every sync backend with stats
+        that are the exact per-shard sums.
+
+        Note that unsharded (``workers <= 1``) batches report per-batch
+        stats as deltas of the shared service's lifetime counters, so
+        *concurrent* unsharded batches on one service attribute each
+        other's lookups (see :class:`QueryService`); sharded batches use
+        fresh per-shard services and are exact under any concurrency.
+        """
+        if workers <= 1:
+            return await asyncio.to_thread(
+                self.service.evaluate_many, queries, documents, algorithm=algorithm
+            )
+        scheduler = self._scheduler(workers, shard_by, max_concurrency)
+        prepared = scheduler.prepare(queries, documents, algorithm)
+        outcomes = await scheduler.dispatch_async(prepared)
+        return scheduler.merge(prepared, outcomes)
+
+    def stream_many(
+        self,
+        queries,
+        documents,
+        algorithm: str = "auto",
+        workers: int = 2,
+        shard_by: str = "round-robin",
+        max_concurrency: int | None = None,
+    ) -> BatchStream:
+        """The streaming form: a :class:`BatchStream` yielding results as
+        shards complete. Query compilation and shard planning happen
+        *here*, synchronously, so syntax/fragment errors surface before
+        any iteration starts; no work is dispatched until the stream is
+        first awaited."""
+        scheduler = self._scheduler(workers, shard_by, max_concurrency)
+        prepared = scheduler.prepare(queries, documents, algorithm)
+        return BatchStream(scheduler, prepared)
+
+    # ------------------------------------------------------------------
+
+    def _scheduler(
+        self, workers: int, shard_by: str, max_concurrency: int | None
+    ) -> AsyncScheduler:
+        return AsyncScheduler(
+            workers=workers,
+            shard_by=shard_by,
+            max_concurrency=max_concurrency,
+            **self.service.config(),
+        )

@@ -1,224 +1,47 @@
-"""Sharded batch execution: evaluate a batch's shards concurrently.
+"""Sharded batch execution — the compatibility facade over the schedulers.
 
-:class:`ShardedExecutor` is the scaling step the service layer was built
-for (ROADMAP: "sharding documents across workers"): it takes the same
-``queries × documents`` batch as :meth:`QueryService.evaluate_many`,
-splits the documents into shards (:mod:`repro.service.shard`), evaluates
-each shard in its own worker with its own :class:`QueryService`, and
-merges the per-shard :class:`BatchResult`\\ s — values back into batch
-order, cache statistics by exact counter summation.
+:class:`ShardedExecutor` was PR 2's entry point for concurrent per-shard
+evaluation; its middle layer (how shards are dispatched) has since been
+extracted into the pluggable :mod:`repro.service.scheduler` abstraction
+— ``prepare → dispatch → merge`` with ``serial``/``thread``/``process``/
+``async`` backends. This module keeps the original construction-time API
+(``ShardedExecutor(workers=, backend=, shard_by=, ...)``) as a thin
+wrapper that builds the named scheduler and delegates ``execute`` to it,
+so every PR 2 call site keeps working unchanged.
 
-Backends
---------
-
-* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor` over the
-  in-process documents. Zero serialization cost, results are the
-  original :class:`~repro.xml.document.Node` objects, and workers are
-  seeded with the parent's compiled plans (plans are immutable and
-  thread-shareable, so nothing is compiled twice). CPython's GIL
-  serializes the pure-Python evaluation work, though, so this backend is
-  about isolation and latency overlap (e.g. interleaving many small
-  shards behind one slow one), not CPU parallelism.
-* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor` for
-  true parallelism. Documents cross the process boundary as serialized
-  markup (:func:`repro.xml.serializer.serialize`) and are rebuilt by each
-  worker's parser; for data-model-canonical documents (no adjacent text
-  nodes — every parser-produced document) the round trip is
-  node-isomorphic, so pre-order numbering is identical on both sides and
-  workers return node-sets as lists of ``Node.pre`` indices, which the
-  parent decodes back into *its* documents' node objects. A shard
-  containing a non-canonical (builder-constructed) document falls back
-  to in-parent evaluation — correct, just not parallel — because its
-  reparse would renumber nodes and the index decoding would rebind
-  results to the wrong parents. Each process worker recompiles its
-  queries (an AST is cheap to rebuild, expensive to pickle). Worth it
-  when per-shard evaluation cost dominates the serialize + rebuild +
-  spawn overhead; pointless for tiny batches.
-
-Statistics-merge semantics
---------------------------
-
-Each worker's :class:`QueryService` is fresh, so its per-batch stats
-deltas equal its lifetime counters. The merged ``plan_stats`` /
-``result_stats`` are the *exact* sums of the per-shard hit/miss/eviction
-counters (hit rate recomputed over the summed lookups), and the
-unmerged per-shard snapshots are kept on ``BatchResult.shards`` so
-nothing is lost in aggregation. Note what summation means here: the
-merged counters describe the fleet, not one cache — under the process
-backend each worker compiles its own plans, so a query evaluated on
-``k`` shards contributes ``k`` plan-cache misses; under the thread
-backend workers start with the parent's plans already cached, so the
-same lookups are ``k`` (honest, warm) hits.
-
-Each worker resolves each query's evaluation algorithm itself, but
-resolution is deterministic (fragment classification is a pure function
-of the compiled AST), so the parent's resolution — done up front, which
-also surfaces syntax and fragment errors *before* any worker spawns —
-always matches the workers'.
-
-The shard-planning / execution / stats-merge split is deliberate: an
-async front end can reuse :func:`repro.service.shard.plan_shards` and
-:func:`merge_stats_snapshots` unchanged and only swap the middle layer
-for a coroutine scheduler.
+The worker entry points (``_evaluate_shard``,
+``_evaluate_shard_serialized``, canonicality screen, value codecs) and
+:func:`merge_stats_snapshots` now live in the scheduler module and are
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from repro.service.scheduler import (  # noqa: F401  (re-exports)
+    SCHEDULER_BACKENDS,
+    Scheduler,
+    _decode_value,
+    _document_is_canonical,
+    _encode_value,
+    _evaluate_shard,
+    _evaluate_shard_serialized,
+    make_scheduler,
+    merge_stats_snapshots,
+)
 
-from repro.service.plan import CompiledPlan
-from repro.service.planner import compile_plan, resolve_algorithm
-from repro.service.shard import SHARD_STRATEGIES, Shard, plan_shards
-from repro.xml.document import Document
-from repro.xml.parser import parse_document
-from repro.xml.serializer import serialize
-
-#: The selectable execution backends.
-EXECUTOR_BACKENDS = ("thread", "process")
-
-
-def merge_stats_snapshots(snapshots, name: str, capacity=None) -> dict:
-    """Sum hit/miss/eviction counters across per-shard stats snapshots.
-
-    The sums are exact (each worker counts every lookup exactly once and
-    the shards are disjoint); the hit rate is recomputed over the summed
-    lookups rather than averaged, so it is the fleet-wide rate.
-    """
-    merged = {"name": name, "capacity": capacity, "hits": 0, "misses": 0, "evictions": 0}
-    for snapshot in snapshots:
-        for key in ("hits", "misses", "evictions"):
-            merged[key] += snapshot.get(key, 0)
-    lookups = merged["hits"] + merged["misses"]
-    merged["hit_rate"] = merged["hits"] / lookups if lookups else 0.0
-    return merged
-
-
-# ----------------------------------------------------------------------
-# Worker entry points (module-level so the process backend can import
-# them by reference in spawned interpreters).
-# ----------------------------------------------------------------------
-
-
-def _evaluate_shard(
-    config: dict, queries: list[str], documents, algorithm: str, plans=None
-):
-    """Run one shard's sub-batch in a fresh service (thread backend).
-
-    ``plans`` seeds the worker's plan cache with already-compiled plans —
-    :class:`CompiledPlan` is immutable and freely shareable across
-    threads, so in-process workers reuse the parent's compilations
-    instead of redoing the frontend pipeline per worker."""
-    from repro.service.service import QueryService
-
-    service = QueryService(**config)
-    for plan in plans or ():
-        service.plans.put(plan.cache_key, plan)
-    return service.evaluate_many(queries, documents, algorithm=algorithm)
-
-
-def _document_is_canonical(document: Document) -> bool:
-    """Conservative check that the serialize → parse round trip is
-    node-isomorphic (same pre-order numbering on both sides), which the
-    process backend's index decoding relies on. Parser-produced documents
-    always pass; the builder can construct trees that don't:
-
-    * adjacent text-node children — the reparse merges the run (the XPath
-      data model requires merged text), removing nodes;
-    * a comment containing ``--`` (or ending with ``-``) — serializes to
-      markup that is not well-formed;
-    * processing-instruction data containing ``?>`` — serializes to a PI
-      that terminates early and leaves trailing nodes.
-
-    This is the cheap known-hazard screen; the worker independently
-    verifies the rebuilt node counts (see
-    :func:`_evaluate_shard_serialized`), so anything that slips past
-    falls back to in-parent evaluation rather than mis-binding results.
-    """
-    for node in document.nodes:
-        if node.is_comment:
-            value = node.value or ""
-            if "--" in value or value.endswith("-"):
-                return False
-        elif node.is_processing_instruction:
-            if "?>" in (node.value or ""):
-                return False
-        previous_was_text = False
-        for child in node.children:
-            is_text = child.is_text
-            if is_text and previous_was_text:
-                return False
-            previous_was_text = is_text
-    return True
-
-
-def _encode_value(value):
-    """Make one result cell picklable without shipping the tree back:
-    node-sets become pre-order index lists, scalars pass through."""
-    if isinstance(value, list):
-        return ("nset", [node.pre for node in value])
-    return ("scalar", value)
-
-
-def _decode_value(encoded, document: Document):
-    """Rebind an encoded cell to the parent process's document."""
-    tag, payload = encoded
-    if tag == "nset":
-        nodes = document.nodes
-        return [nodes[pre] for pre in payload]
-    return payload
-
-
-def _evaluate_shard_serialized(payload: dict) -> dict:
-    """Process-backend worker: rebuild the shard's documents from markup,
-    evaluate, and return an index-encoded result.
-
-    Before evaluating, the rebuilt trees are verified against the parent's
-    node counts: index decoding is only sound if the round trip preserved
-    the pre-order numbering, so any mismatch (or a reparse failure) is
-    reported as a fallback request instead of a result — the parent then
-    evaluates that shard in-process. Mis-binding silently is the one
-    outcome this layer must never produce."""
-    from repro.errors import XMLSyntaxError
-
-    try:
-        documents = [
-            parse_document(source, id_attribute=id_attribute)
-            for source, id_attribute in payload["documents"]
-        ]
-    except XMLSyntaxError as error:
-        return {"fallback": f"shard document does not reparse: {error}"}
-    for document, expected in zip(documents, payload["node_counts"]):
-        if len(document) != expected:
-            return {
-                "fallback": "serialize/parse round trip is not node-isomorphic "
-                f"({expected} nodes became {len(document)})"
-            }
-    batch = _evaluate_shard(
-        payload["config"], payload["queries"], documents, payload["algorithm"]
-    )
-    return {
-        "values": [[_encode_value(value) for value in row] for row in batch.values],
-        "plan_stats": batch.plan_stats,
-        "result_stats": batch.result_stats,
-    }
-
-
-# ----------------------------------------------------------------------
+#: The selectable execution backends (scheduler names).
+EXECUTOR_BACKENDS = SCHEDULER_BACKENDS
 
 
 class ShardedExecutor:
     """Partition a batch across workers and merge the shard results.
 
-    Construction takes the same cache/compilation knobs as
-    :class:`~repro.service.service.QueryService` — each worker builds its
-    own service from them. ``workers`` is the maximum shard count;
-    batches with fewer documents use fewer workers (never empty shards).
-
-    The process backend requires scalar variable bindings: node-set and
-    object bindings are bound to the parent's trees, and shipping them
-    would pickle tree copies whose nodes then decode against the wrong
-    document. Enforced at construction — use the thread backend for
-    non-scalar bindings.
+    A thin facade: ``backend`` names the :class:`Scheduler` that does the
+    work (see :data:`EXECUTOR_BACKENDS`); construction takes the same
+    cache/compilation knobs as :class:`~repro.service.service.QueryService`
+    — each worker builds its own service from them. ``workers`` is the
+    maximum shard count; batches with fewer documents use fewer shards
+    (never empty ones).
     """
 
     def __init__(
@@ -232,169 +55,20 @@ class ShardedExecutor:
         optimize: bool = False,
         variables: dict[str, object] | None = None,
     ):
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        if backend not in EXECUTOR_BACKENDS:
-            raise ValueError(
-                f"unknown executor backend {backend!r}; choose from {EXECUTOR_BACKENDS}"
-            )
-        if shard_by not in SHARD_STRATEGIES:
-            raise ValueError(
-                f"unknown shard strategy {shard_by!r}; choose from {SHARD_STRATEGIES}"
-            )
-        if backend == "process":
-            non_scalar = [
-                name
-                for name, value in (variables or {}).items()
-                if not (value is None or isinstance(value, (str, float, int, bool)))
-            ]
-            if non_scalar:
-                raise ValueError(
-                    "process backend requires scalar variable bindings; "
-                    f"non-scalar bindings {sorted(non_scalar)} are bound to the "
-                    "parent's trees and cannot cross the process boundary — "
-                    "use the thread backend"
-                )
+        self.scheduler = make_scheduler(
+            backend,
+            workers=workers,
+            shard_by=shard_by,
+            plan_capacity=plan_capacity,
+            session_capacity=session_capacity,
+            result_capacity=result_capacity,
+            optimize=optimize,
+            variables=variables,
+        )
         self.workers = workers
         self.backend = backend
         self.shard_by = shard_by
-        self.service_config = {
-            "plan_capacity": plan_capacity,
-            "session_capacity": session_capacity,
-            "result_capacity": result_capacity,
-            "optimize": optimize,
-            "variables": dict(variables or {}),
-        }
-
-    # ------------------------------------------------------------------
-
-    def _resolve_algorithms(
-        self, queries: list[str], algorithm: str
-    ) -> tuple[list[str], list[CompiledPlan]]:
-        """Compile each distinct query once in the parent and resolve its
-        algorithm — surfacing syntax/fragment errors before any worker
-        starts, and fixing the merged result's ``algorithms`` list. The
-        plans are returned so in-process workers can reuse them instead
-        of recompiling (process workers must recompile: an AST is cheap
-        to rebuild but expensive to pickle)."""
-        plans: dict[str, CompiledPlan] = {}
-        resolved = []
-        for query in queries:
-            plan = plans.get(query)
-            if plan is None:
-                plan = compile_plan(
-                    query,
-                    self.service_config["variables"],
-                    self.service_config["optimize"],
-                )
-                plans[query] = plan
-            resolved.append(resolve_algorithm(plan, algorithm))
-        return resolved, list(plans.values())
-
-    def _run_shard_local(
-        self, shard: Shard, queries: list[str], documents: list, algorithm: str, plans
-    ) -> dict:
-        """Evaluate one shard in-process (thread workers, and the process
-        backend's fallback for non-canonical documents)."""
-        batch = _evaluate_shard(
-            self.service_config,
-            queries,
-            [documents[i] for i in shard.document_indices],
-            algorithm,
-            plans=plans,
-        )
-        return {
-            "values": batch.values,
-            "plan_stats": batch.plan_stats,
-            "result_stats": batch.result_stats,
-        }
-
-    def _run_shards(
-        self,
-        shards: list[Shard],
-        queries: list[str],
-        documents: list,
-        algorithm: str,
-        plans,
-    ) -> list[dict]:
-        """Evaluate every shard concurrently; returns, per shard, a dict
-        with decoded ``values`` rows plus the shard's stats snapshots."""
-        if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
-                futures = [
-                    pool.submit(
-                        self._run_shard_local, shard, queries, documents, algorithm, plans
-                    )
-                    for shard in shards
-                ]
-                return [future.result() for future in futures]
-        # Process backend. A shard is shipped only if every one of its
-        # documents round-trips node-isomorphically through serialize →
-        # parse; otherwise the pre-index decoding would rebind results to
-        # the wrong parent nodes, so the shard is evaluated in-parent
-        # instead (correct, just not parallel — and only reachable with
-        # builder-constructed trees that violate the merged-text
-        # invariant; parsed documents always ship).
-        shippable = {
-            shard.index: all(
-                _document_is_canonical(documents[i]) for i in shard.document_indices
-            )
-            for shard in shards
-        }
-        outcomes: dict[int, dict] = {}
-        with ProcessPoolExecutor(
-            max_workers=max(1, sum(shippable.values()))
-        ) as pool:
-            futures = {
-                shard.index: pool.submit(
-                    _evaluate_shard_serialized,
-                    {
-                        "config": self.service_config,
-                        "queries": queries,
-                        "algorithm": algorithm,
-                        "documents": [
-                            (serialize(documents[i]), documents[i].id_attribute)
-                            for i in shard.document_indices
-                        ],
-                        "node_counts": [
-                            len(documents[i]) for i in shard.document_indices
-                        ],
-                    },
-                )
-                for shard in shards
-                if shippable[shard.index]
-            }
-            # Evaluate the unshippable shards here while the pool works.
-            for shard in shards:
-                if not shippable[shard.index]:
-                    outcome = self._run_shard_local(
-                        shard, queries, documents, algorithm, plans
-                    )
-                    outcome["local_fallback"] = "document is not round-trip canonical"
-                    outcomes[shard.index] = outcome
-            for shard in shards:
-                if shippable[shard.index]:
-                    outcome = futures[shard.index].result()
-                    if "fallback" in outcome:
-                        # The worker refused the shard (reparse failed or
-                        # renumbered nodes); evaluate it here instead.
-                        reason = outcome["fallback"]
-                        outcome = self._run_shard_local(
-                            shard, queries, documents, algorithm, plans
-                        )
-                        outcome["local_fallback"] = reason
-                    else:
-                        outcome["values"] = [
-                            [
-                                _decode_value(encoded, documents[doc_index])
-                                for encoded in row
-                            ]
-                            for doc_index, row in zip(
-                                shard.document_indices, outcome["values"]
-                            )
-                        ]
-                    outcomes[shard.index] = outcome
-        return [outcomes[shard.index] for shard in shards]
+        self.service_config = self.scheduler.service_config
 
     def execute(self, queries, documents, algorithm: str = "auto"):
         """Evaluate every query against every document, sharded.
@@ -405,54 +79,4 @@ class ShardedExecutor:
         documents), ``plan_stats``/``result_stats`` summed exactly across
         shards, and per-shard snapshots on ``shards``.
         """
-        from repro.service.service import BatchResult
-
-        query_list = list(queries)
-        document_list = list(documents)
-        algorithms, plans = self._resolve_algorithms(query_list, algorithm)
-        plan_capacity = self.service_config["plan_capacity"]
-        if not document_list:
-            return BatchResult(
-                queries=query_list,
-                document_count=0,
-                values=[],
-                algorithms=algorithms,
-                plan_stats=merge_stats_snapshots([], "plan_cache", plan_capacity),
-                result_stats=merge_stats_snapshots([], "result_cache"),
-                workers=0,
-                shards=[],
-            )
-        shards = plan_shards(document_list, self.workers, self.shard_by)
-        outcomes = self._run_shards(shards, query_list, document_list, algorithm, plans)
-        values: list[list[object] | None] = [None] * len(document_list)
-        for shard, outcome in zip(shards, outcomes):
-            for doc_index, row in zip(shard.document_indices, outcome["values"]):
-                values[doc_index] = row
-        return BatchResult(
-            queries=query_list,
-            document_count=len(document_list),
-            values=values,
-            algorithms=algorithms,
-            plan_stats=merge_stats_snapshots(
-                [outcome["plan_stats"] for outcome in outcomes],
-                "plan_cache",
-                plan_capacity,
-            ),
-            result_stats=merge_stats_snapshots(
-                [outcome["result_stats"] for outcome in outcomes], "result_cache"
-            ),
-            workers=len(shards),
-            shards=[
-                {
-                    "shard": shard.index,
-                    "backend": self.backend,
-                    "strategy": self.shard_by,
-                    "documents": list(shard.document_indices),
-                    "weight": shard.weight,
-                    "local_fallback": outcome.get("local_fallback", False),
-                    "plan_stats": outcome["plan_stats"],
-                    "result_stats": outcome["result_stats"],
-                }
-                for shard, outcome in zip(shards, outcomes)
-            ],
-        )
+        return self.scheduler.execute(queries, documents, algorithm=algorithm)

@@ -1,0 +1,578 @@
+"""The scheduler abstraction: pluggable middle layers for sharded batches.
+
+PR 2's :class:`~repro.service.executor.ShardedExecutor` hard-wired its
+middle layer to ``concurrent.futures`` pools. This module extracts that
+layer into a backend-agnostic :class:`Scheduler` with three phases:
+
+1. **prepare** — compile/resolve every query in the parent (surfacing
+   syntax and fragment errors before any worker starts) and plan the
+   document shards (:func:`repro.service.shard.plan_shards`);
+2. **dispatch** — evaluate the shards; *this is the only phase a backend
+   overrides*;
+3. **merge** — reassemble per-shard values into batch order and sum the
+   per-shard cache counters exactly (:func:`merge_stats_snapshots`).
+
+Backends
+--------
+
+* :class:`SerialScheduler` — shards run one after another in the calling
+  thread. The semantics baseline: zero concurrency, zero overhead, and
+  the reference the differential scheduler suite compares everything
+  against.
+* :class:`ThreadScheduler` — a ``ThreadPoolExecutor``, one worker per
+  shard. In-process overlap (latency hiding behind a slow shard), no
+  serialization, workers seeded with the parent's compiled plans;
+  CPython's GIL still serializes the evaluation work.
+* :class:`ProcessScheduler` — a ``ProcessPoolExecutor`` for true
+  parallelism. Documents cross the boundary as serialized markup and are
+  rebuilt per worker; node-set results return as pre-order indices and
+  are rebound to the parent's trees. Shards whose documents do not
+  round-trip node-isomorphically fall back to in-parent evaluation.
+* :class:`AsyncScheduler` — asyncio: one coroutine per shard, a bounded
+  semaphore capping in-flight shards, with the GIL-bound evaluation work
+  offloaded to threads (``asyncio.to_thread``). Same overlap profile as
+  the thread backend, but it composes with an event loop — it powers
+  :class:`~repro.service.async_service.AsyncQueryService`, including
+  :meth:`AsyncScheduler.stream`, which yields shard outcomes *as they
+  complete* instead of barriering on the slowest shard.
+
+Statistics-merge semantics
+--------------------------
+
+Each worker's :class:`QueryService` is fresh, so its per-batch stats
+deltas equal its lifetime counters. The merged ``plan_stats`` /
+``result_stats`` are the *exact* sums of the per-shard hit/miss/eviction
+counters (hit rate recomputed over the summed lookups), and the unmerged
+per-shard snapshots are kept on ``BatchResult.shards`` so nothing is
+lost in aggregation. Summation describes the fleet, not one cache: under
+the process backend each worker compiles its own plans, so a query
+evaluated on ``k`` shards contributes ``k`` plan-cache misses; in-process
+backends seed workers with the parent's plans, so the same lookups are
+``k`` (honest, warm) hits.
+
+Each worker resolves each query's evaluation algorithm itself, but
+resolution is deterministic (fragment classification is a pure function
+of the compiled AST), so the parent's up-front resolution always matches
+the workers'.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.service.plan import CompiledPlan
+from repro.service.planner import compile_plan, resolve_algorithm
+from repro.service.shard import SHARD_STRATEGIES, Shard, plan_shards
+from repro.stats import CacheStats
+from repro.xml.document import Document
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+
+
+def merge_stats_snapshots(snapshots, name: str, capacity=None) -> dict:
+    """Sum hit/miss/eviction counters across per-shard stats snapshots.
+
+    The sums are exact (each worker counts every lookup exactly once and
+    the shards are disjoint); the hit rate is recomputed over the summed
+    lookups rather than averaged, so it is the fleet-wide rate. This is
+    the barrier form; the streaming front end folds the same snapshots in
+    one at a time via :meth:`repro.stats.CacheStats.absorb_snapshot` and
+    reaches the identical totals.
+    """
+    merged = CacheStats(name=name, capacity=capacity)
+    for snapshot in snapshots:
+        merged.absorb_snapshot(snapshot)
+    return merged.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module-level so the process backend can import
+# them by reference in spawned interpreters).
+# ----------------------------------------------------------------------
+
+
+def _evaluate_shard(
+    config: dict, queries: list[str], documents, algorithm: str, plans=None
+):
+    """Run one shard's sub-batch in a fresh service (in-process workers).
+
+    ``plans`` seeds the worker's plan cache with already-compiled plans —
+    :class:`CompiledPlan` is immutable and freely shareable across
+    threads, so in-process workers reuse the parent's compilations
+    instead of redoing the frontend pipeline per worker."""
+    from repro.service.service import QueryService
+
+    service = QueryService(**config)
+    for plan in plans or ():
+        service.plans.put(plan.cache_key, plan)
+    return service.evaluate_many(queries, documents, algorithm=algorithm)
+
+
+def _document_is_canonical(document: Document) -> bool:
+    """Conservative check that the serialize → parse round trip is
+    node-isomorphic (same pre-order numbering on both sides), which the
+    process backend's index decoding relies on. Parser-produced documents
+    always pass; the builder can construct trees that don't:
+
+    * adjacent text-node children — the reparse merges the run (the XPath
+      data model requires merged text), removing nodes;
+    * a comment containing ``--`` (or ending with ``-``) — serializes to
+      markup that is not well-formed;
+    * processing-instruction data containing ``?>`` — serializes to a PI
+      that terminates early and leaves trailing nodes.
+
+    This is the cheap known-hazard screen; the worker independently
+    verifies the rebuilt node counts (see
+    :func:`_evaluate_shard_serialized`), so anything that slips past
+    falls back to in-parent evaluation rather than mis-binding results.
+    """
+    for node in document.nodes:
+        if node.is_comment:
+            value = node.value or ""
+            if "--" in value or value.endswith("-"):
+                return False
+        elif node.is_processing_instruction:
+            if "?>" in (node.value or ""):
+                return False
+        previous_was_text = False
+        for child in node.children:
+            is_text = child.is_text
+            if is_text and previous_was_text:
+                return False
+            previous_was_text = is_text
+    return True
+
+
+def _encode_value(value):
+    """Make one result cell picklable without shipping the tree back:
+    node-sets become pre-order index lists, scalars pass through."""
+    if isinstance(value, list):
+        return ("nset", [node.pre for node in value])
+    return ("scalar", value)
+
+
+def _decode_value(encoded, document: Document):
+    """Rebind an encoded cell to the parent process's document."""
+    tag, payload = encoded
+    if tag == "nset":
+        nodes = document.nodes
+        return [nodes[pre] for pre in payload]
+    return payload
+
+
+def _evaluate_shard_serialized(payload: dict) -> dict:
+    """Process-backend worker: rebuild the shard's documents from markup,
+    evaluate, and return an index-encoded result.
+
+    Before evaluating, the rebuilt trees are verified against the parent's
+    node counts: index decoding is only sound if the round trip preserved
+    the pre-order numbering, so any mismatch (or a reparse failure) is
+    reported as a fallback request instead of a result — the parent then
+    evaluates that shard in-process. Mis-binding silently is the one
+    outcome this layer must never produce."""
+    from repro.errors import XMLSyntaxError
+
+    try:
+        documents = [
+            parse_document(source, id_attribute=id_attribute)
+            for source, id_attribute in payload["documents"]
+        ]
+    except XMLSyntaxError as error:
+        return {"fallback": f"shard document does not reparse: {error}"}
+    for document, expected in zip(documents, payload["node_counts"]):
+        if len(document) != expected:
+            return {
+                "fallback": "serialize/parse round trip is not node-isomorphic "
+                f"({expected} nodes became {len(document)})"
+            }
+    batch = _evaluate_shard(
+        payload["config"], payload["queries"], documents, payload["algorithm"]
+    )
+    return {
+        "values": [[_encode_value(value) for value in row] for row in batch.values],
+        "plan_stats": batch.plan_stats,
+        "result_stats": batch.result_stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# The scheduler seam
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PreparedBatch:
+    """Everything the prepare phase produces: the immutable input to
+    ``dispatch`` and ``merge``. Shards are planned and every query is
+    compiled and algorithm-resolved, so a prepared batch can no longer
+    fail on query errors — only on evaluation itself."""
+
+    queries: list[str]
+    documents: list
+    algorithm: str
+    algorithms: list[str] = field(default_factory=list)
+    plans: list[CompiledPlan] = field(default_factory=list)
+    shards: list[Shard] = field(default_factory=list)
+
+
+class Scheduler:
+    """Backend-agnostic sharded batch evaluation: prepare → dispatch → merge.
+
+    Construction takes the same cache/compilation knobs as
+    :class:`~repro.service.service.QueryService` — each worker builds its
+    own service from them. ``workers`` is the maximum shard count;
+    batches with fewer documents use fewer shards (never empty ones).
+
+    Subclasses override :meth:`dispatch` (and nothing else): it receives
+    a :class:`PreparedBatch` and returns one outcome dict per shard, in
+    shard order, each with ``values`` rows (decoded, parent-tree nodes)
+    plus ``plan_stats``/``result_stats`` snapshots.
+    """
+
+    #: Backend name, reported on ``BatchResult.shards`` entries.
+    name = "scheduler"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        shard_by: str = "round-robin",
+        plan_capacity: int = 256,
+        session_capacity: int = 64,
+        result_capacity: int | None = None,
+        optimize: bool = False,
+        variables: dict[str, object] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_by not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard strategy {shard_by!r}; choose from {SHARD_STRATEGIES}"
+            )
+        self.workers = workers
+        self.shard_by = shard_by
+        self.service_config = {
+            "plan_capacity": plan_capacity,
+            "session_capacity": session_capacity,
+            "result_capacity": result_capacity,
+            "optimize": optimize,
+            "variables": dict(variables or {}),
+        }
+
+    # ------------------------------------------------------------------
+    # Phase 1: prepare
+
+    def prepare(self, queries, documents, algorithm: str = "auto") -> PreparedBatch:
+        """Compile each distinct query once, resolve its algorithm, and
+        plan the shards — surfacing syntax/fragment errors before any
+        worker starts, and fixing the merged result's ``algorithms``
+        list. The plans are kept so in-process workers can reuse them
+        instead of recompiling (process workers must recompile: an AST is
+        cheap to rebuild but expensive to pickle)."""
+        prepared = PreparedBatch(
+            queries=list(queries), documents=list(documents), algorithm=algorithm
+        )
+        plans: dict[str, CompiledPlan] = {}
+        for query in prepared.queries:
+            plan = plans.get(query)
+            if plan is None:
+                plan = compile_plan(
+                    query,
+                    self.service_config["variables"],
+                    self.service_config["optimize"],
+                )
+                plans[query] = plan
+            prepared.algorithms.append(resolve_algorithm(plan, algorithm))
+        prepared.plans = list(plans.values())
+        if prepared.documents:
+            prepared.shards = plan_shards(
+                prepared.documents, self.workers, self.shard_by
+            )
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Phase 2: dispatch (the backend seam)
+
+    def dispatch(self, prepared: PreparedBatch) -> list[dict]:
+        """Evaluate every shard; returns, per shard (in shard order), a
+        dict with decoded ``values`` rows plus the shard's stats
+        snapshots. The one method a backend overrides."""
+        raise NotImplementedError
+
+    def run_shard(self, shard: Shard, prepared: PreparedBatch) -> dict:
+        """Evaluate one shard in-process (the in-process backends' worker
+        body, and the process backend's fallback path)."""
+        batch = _evaluate_shard(
+            self.service_config,
+            prepared.queries,
+            [prepared.documents[i] for i in shard.document_indices],
+            prepared.algorithm,
+            plans=prepared.plans,
+        )
+        return {
+            "values": batch.values,
+            "plan_stats": batch.plan_stats,
+            "result_stats": batch.result_stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Phase 3: merge
+
+    def shard_report(self, shard: Shard, outcome: dict) -> dict:
+        """One ``BatchResult.shards`` entry: the shard's identity and its
+        unmerged stats snapshots. Shared by the barrier merge and the
+        streaming front end so the two report shapes cannot drift."""
+        return {
+            "shard": shard.index,
+            "backend": self.name,
+            "strategy": self.shard_by,
+            "documents": list(shard.document_indices),
+            "weight": shard.weight,
+            "local_fallback": outcome.get("local_fallback", False),
+            "plan_stats": outcome["plan_stats"],
+            "result_stats": outcome["result_stats"],
+        }
+
+    def merge(self, prepared: PreparedBatch, outcomes: list[dict]):
+        """Reassemble shard outcomes into one merged
+        :class:`~repro.service.service.BatchResult`: ``values`` in batch
+        order (indistinguishable from the sequential path),
+        ``plan_stats``/``result_stats`` summed exactly across shards, and
+        per-shard snapshots on ``shards``."""
+        from repro.service.service import BatchResult
+
+        values: list[list[object] | None] = [None] * len(prepared.documents)
+        for shard, outcome in zip(prepared.shards, outcomes):
+            for doc_index, row in zip(shard.document_indices, outcome["values"]):
+                values[doc_index] = row
+        return BatchResult(
+            queries=prepared.queries,
+            document_count=len(prepared.documents),
+            values=values,
+            algorithms=prepared.algorithms,
+            plan_stats=merge_stats_snapshots(
+                [outcome["plan_stats"] for outcome in outcomes],
+                "plan_cache",
+                self.service_config["plan_capacity"],
+            ),
+            result_stats=merge_stats_snapshots(
+                [outcome["result_stats"] for outcome in outcomes], "result_cache"
+            ),
+            workers=len(prepared.shards),
+            shards=[
+                self.shard_report(shard, outcome)
+                for shard, outcome in zip(prepared.shards, outcomes)
+            ],
+        )
+
+    # ------------------------------------------------------------------
+
+    def execute(self, queries, documents, algorithm: str = "auto"):
+        """Prepare, dispatch, and merge one batch — the sync entry point."""
+        prepared = self.prepare(queries, documents, algorithm)
+        return self.merge(prepared, self.dispatch(prepared))
+
+
+class SerialScheduler(Scheduler):
+    """Shards run one after another in the calling thread — the zero-
+    concurrency reference backend the scheduler suite diffs against."""
+
+    name = "serial"
+
+    def dispatch(self, prepared: PreparedBatch) -> list[dict]:
+        return [self.run_shard(shard, prepared) for shard in prepared.shards]
+
+
+class ThreadScheduler(Scheduler):
+    """One ``ThreadPoolExecutor`` worker per shard: in-process latency
+    overlap (the GIL serializes the evaluation work itself)."""
+
+    name = "thread"
+
+    def dispatch(self, prepared: PreparedBatch) -> list[dict]:
+        with ThreadPoolExecutor(max_workers=len(prepared.shards) or 1) as pool:
+            futures = [
+                pool.submit(self.run_shard, shard, prepared)
+                for shard in prepared.shards
+            ]
+            return [future.result() for future in futures]
+
+
+class ProcessScheduler(Scheduler):
+    """A ``ProcessPoolExecutor`` for true parallelism; documents are
+    rebuilt per worker from serialized markup and node-set results
+    rebound to the parent's trees via pre-order indices.
+
+    Requires scalar variable bindings: node-set and object bindings are
+    bound to the parent's trees, and shipping them would pickle tree
+    copies whose nodes then decode against the wrong document. Enforced
+    at construction — use an in-process backend for non-scalar bindings.
+    """
+
+    name = "process"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        non_scalar = [
+            name
+            for name, value in self.service_config["variables"].items()
+            if not (value is None or isinstance(value, (str, float, int, bool)))
+        ]
+        if non_scalar:
+            raise ValueError(
+                "process backend requires scalar variable bindings; "
+                f"non-scalar bindings {sorted(non_scalar)} are bound to the "
+                "parent's trees and cannot cross the process boundary — "
+                "use the thread, serial, or async backend"
+            )
+
+    def dispatch(self, prepared: PreparedBatch) -> list[dict]:
+        # A shard is shipped only if every one of its documents
+        # round-trips node-isomorphically through serialize → parse;
+        # otherwise the pre-index decoding would rebind results to the
+        # wrong parent nodes, so the shard is evaluated in-parent instead
+        # (correct, just not parallel — and only reachable with
+        # builder-constructed trees that violate the merged-text
+        # invariant; parsed documents always ship).
+        documents = prepared.documents
+        shippable = {
+            shard.index: all(
+                _document_is_canonical(documents[i]) for i in shard.document_indices
+            )
+            for shard in prepared.shards
+        }
+        outcomes: dict[int, dict] = {}
+        with ProcessPoolExecutor(
+            max_workers=max(1, sum(shippable.values()))
+        ) as pool:
+            futures = {
+                shard.index: pool.submit(
+                    _evaluate_shard_serialized,
+                    {
+                        "config": self.service_config,
+                        "queries": prepared.queries,
+                        "algorithm": prepared.algorithm,
+                        "documents": [
+                            (serialize(documents[i]), documents[i].id_attribute)
+                            for i in shard.document_indices
+                        ],
+                        "node_counts": [
+                            len(documents[i]) for i in shard.document_indices
+                        ],
+                    },
+                )
+                for shard in prepared.shards
+                if shippable[shard.index]
+            }
+            # Evaluate the unshippable shards here while the pool works.
+            for shard in prepared.shards:
+                if not shippable[shard.index]:
+                    outcome = self.run_shard(shard, prepared)
+                    outcome["local_fallback"] = "document is not round-trip canonical"
+                    outcomes[shard.index] = outcome
+            for shard in prepared.shards:
+                if shippable[shard.index]:
+                    outcome = futures[shard.index].result()
+                    if "fallback" in outcome:
+                        # The worker refused the shard (reparse failed or
+                        # renumbered nodes); evaluate it here instead.
+                        reason = outcome["fallback"]
+                        outcome = self.run_shard(shard, prepared)
+                        outcome["local_fallback"] = reason
+                    else:
+                        outcome["values"] = [
+                            [
+                                _decode_value(encoded, documents[doc_index])
+                                for encoded in row
+                            ]
+                            for doc_index, row in zip(
+                                shard.document_indices, outcome["values"]
+                            )
+                        ]
+                    outcomes[shard.index] = outcome
+        return [outcomes[shard.index] for shard in prepared.shards]
+
+
+class AsyncScheduler(Scheduler):
+    """Coroutine-per-shard on asyncio: in-flight shards are bounded by a
+    semaphore and the GIL-bound evaluation work is offloaded to threads
+    (``asyncio.to_thread``), so the event loop stays responsive.
+
+    Two async entry points beyond the sync :meth:`dispatch` bridge:
+    :meth:`dispatch_async` (barrier, for ``await evaluate_many``) and
+    :meth:`stream` (an async generator yielding ``(shard, outcome)``
+    pairs in *completion* order — small shards surface while the big one
+    is still running, which is the whole point of streaming).
+    """
+
+    name = "async"
+
+    def __init__(self, *args, max_concurrency: int | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if max_concurrency is not None and max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        self.max_concurrency = max_concurrency
+
+    def _semaphore(self, shard_count: int) -> asyncio.Semaphore:
+        limit = self.max_concurrency or max(1, shard_count)
+        return asyncio.Semaphore(limit)
+
+    def dispatch(self, prepared: PreparedBatch) -> list[dict]:
+        """Sync bridge: run the async dispatch on a private event loop
+        (used when an async batch is requested from synchronous code,
+        e.g. ``evaluate_many(backend="async")`` or the CLI)."""
+        return asyncio.run(self.dispatch_async(prepared))
+
+    async def dispatch_async(self, prepared: PreparedBatch) -> list[dict]:
+        """Evaluate every shard concurrently; outcomes in shard order."""
+        semaphore = self._semaphore(len(prepared.shards))
+
+        async def run(shard: Shard) -> dict:
+            async with semaphore:
+                return await asyncio.to_thread(self.run_shard, shard, prepared)
+
+        return list(await asyncio.gather(*(run(shard) for shard in prepared.shards)))
+
+    async def stream(self, prepared: PreparedBatch):
+        """Async generator of ``(shard, outcome)`` pairs in completion
+        order. Early exit (``break``/``aclose``) cancels the not-yet-
+        finished shard tasks; already-offloaded evaluations run to
+        completion in their worker threads but their results are dropped.
+        """
+        semaphore = self._semaphore(len(prepared.shards))
+
+        async def run(shard: Shard) -> tuple[Shard, dict]:
+            async with semaphore:
+                return shard, await asyncio.to_thread(self.run_shard, shard, prepared)
+
+        tasks = [asyncio.ensure_future(run(shard)) for shard in prepared.shards]
+        try:
+            for future in asyncio.as_completed(tasks):
+                yield await future
+        finally:
+            for task in tasks:
+                task.cancel()
+
+
+#: The selectable scheduler backends, by name.
+SCHEDULERS = {
+    scheduler.name: scheduler
+    for scheduler in (SerialScheduler, ThreadScheduler, ProcessScheduler, AsyncScheduler)
+}
+
+SCHEDULER_BACKENDS = tuple(SCHEDULERS)
+
+
+def make_scheduler(backend: str = "thread", **kwargs) -> Scheduler:
+    """Instantiate the scheduler for a backend name (the seam the service
+    and CLI select on). Raises ``ValueError`` for unknown names."""
+    try:
+        scheduler_class = SCHEDULERS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend {backend!r}; choose from {SCHEDULER_BACKENDS}"
+        ) from None
+    return scheduler_class(**kwargs)

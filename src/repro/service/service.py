@@ -23,6 +23,7 @@ algorithms into a fast system.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.context import Context
@@ -54,6 +55,13 @@ class DocumentSession:
     ``(plan, algorithm, context) → result`` memo. Both caches are sound
     because documents are finalized (immutable) and plans are never
     mutated after compilation.
+
+    Thread safety: memo lookups (with their hit/miss accounting) and
+    inserts run under one lock, while the evaluation itself runs outside
+    it — so concurrent drivers of one session never lose a counter or
+    corrupt the memo, but also never serialize the expensive work. Two
+    threads that miss the same key both evaluate (pure, so both compute
+    the same value) and the second insert is a harmless overwrite.
     """
 
     #: Default bound on the per-session result memo; when full the memo
@@ -75,6 +83,7 @@ class DocumentSession:
             )
         self._evaluators: dict[str, object] = {}
         self._results: dict[tuple, object] = {}
+        self._lock = threading.RLock()
         self.result_stats = CacheStats(name="result_cache", capacity=self.result_capacity)
 
     # ------------------------------------------------------------------
@@ -83,11 +92,12 @@ class DocumentSession:
         """An evaluator for a resolved algorithm; instances of stateless
         algorithms are reused, table-based ones are built fresh."""
         if algorithm in REUSABLE_ALGORITHMS:
-            instance = self._evaluators.get(algorithm)
-            if instance is None:
-                instance = make_evaluator(self.document, algorithm)
-                self._evaluators[algorithm] = instance
-            return instance
+            with self._lock:
+                instance = self._evaluators.get(algorithm)
+                if instance is None:
+                    instance = make_evaluator(self.document, algorithm)
+                    self._evaluators[algorithm] = instance
+                return instance
         return make_evaluator(self.document, algorithm)
 
     def evaluate(
@@ -118,22 +128,25 @@ class DocumentSession:
         # bound objects are alive, so the entry pins them (via the plan's
         # variables dict) for exactly as long as the key can match.
         key = (plan.cache_key, resolved, node, context_position, context_size)
-        entry = self._results.get(key)
-        if entry is not None:
-            self.result_stats.hit()
-            return _copy_result(entry[1])
-        self.result_stats.miss()
+        with self._lock:
+            entry = self._results.get(key)
+            if entry is not None:
+                self.result_stats.hit()
+                return _copy_result(entry[1])
+            self.result_stats.miss()
         context = Context(node, context_position, context_size)
         value = self.evaluator(resolved).evaluate(plan.ast, context)
-        if len(self._results) >= self.result_capacity:
-            self._results.clear()
-            self.result_stats.eviction(self.result_capacity)
-        self._results[key] = (plan, value)
+        with self._lock:
+            if len(self._results) >= self.result_capacity:
+                self._results.clear()
+                self.result_stats.eviction(self.result_capacity)
+            self._results[key] = (plan, value)
         return _copy_result(value)
 
     def clear(self) -> None:
-        self._evaluators.clear()
-        self._results.clear()
+        with self._lock:
+            self._evaluators.clear()
+            self._results.clear()
 
 
 def _stats_delta(before: dict, after: dict) -> dict:
@@ -177,7 +190,23 @@ class BatchResult:
 
 
 class QueryService:
-    """Compile-once, evaluate-many XPath service over the paper's algorithms."""
+    """Compile-once, evaluate-many XPath service over the paper's algorithms.
+
+    One instance is safe to share across threads (and across the async
+    front end's offload threads): the plan cache, the session map, and
+    every :class:`~repro.stats.CacheStats` counter are lock-protected, so
+    concurrent drivers observe exact hit/miss/eviction totals and never
+    lose an eviction. Evaluation itself runs outside the locks —
+    documents and plans are immutable, so it needs no synchronization.
+
+    One accounting caveat: the *per-batch* stats an unsharded
+    :meth:`evaluate_many` reports are deltas of the service-lifetime
+    counters, so two unsharded batches running concurrently on one
+    shared service attribute each other's interleaved lookups (values
+    are still correct, and the lifetime totals in :meth:`cache_stats`
+    stay exact). Sharded and streamed batches are immune — each shard
+    runs a fresh service and the merged stats are per-shard sums.
+    """
 
     def __init__(
         self,
@@ -199,6 +228,10 @@ class QueryService:
         # aggregate statistics stay exact.
         self._sessions = PlanCache(session_capacity, name="session_cache")
         self._retired_result_stats = CacheStats(name="result_cache")
+        # Guards the compound session-map operations (lookup + create +
+        # evict must be atomic, or racing threads leak sessions and lose
+        # retired counters). Re-entrant: clear() absorbs stats while held.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
 
@@ -218,14 +251,15 @@ class QueryService:
 
     def session(self, document: Document) -> DocumentSession:
         """The (lazily created, LRU-bounded) per-document session."""
-        session = self._sessions.get(document)
-        if session is None:
-            session = DocumentSession(document, result_capacity=self.result_capacity)
-            while len(self._sessions) >= self._sessions.capacity:
-                _, evicted = self._sessions.pop_lru()
-                self._retired_result_stats.absorb(evicted.result_stats)
-            self._sessions.put(document, session)
-        return session
+        with self._lock:
+            session = self._sessions.get(document)
+            if session is None:
+                session = DocumentSession(document, result_capacity=self.result_capacity)
+                while len(self._sessions) >= self._sessions.capacity:
+                    _, evicted = self._sessions.pop_lru()
+                    self._retired_result_stats.absorb(evicted.result_stats)
+                self._sessions.put(document, session)
+            return session
 
     # ------------------------------------------------------------------
 
@@ -268,8 +302,10 @@ class QueryService:
         With ``workers > 1`` the batch is sharded by document and
         delegated to a :class:`~repro.service.executor.ShardedExecutor`
         (``shard_by`` picks the partitioning strategy, ``backend`` picks
-        threads or processes). Each worker runs a fresh service built
-        from this service's configuration, so this service's own caches
+        the scheduler: ``serial``, ``thread``, ``process``, or ``async``
+        — see :mod:`repro.service.scheduler`). Each worker runs a fresh
+        service built from this service's configuration, so this
+        service's own caches
         are neither consulted nor populated; the returned batch stats are
         the exact sums of the per-shard counters (see ``BatchResult``).
         """
@@ -325,9 +361,10 @@ class QueryService:
         """Aggregated result-memo statistics across all sessions, live and
         evicted."""
         merged = CacheStats(name="result_cache")
-        merged.absorb(self._retired_result_stats)
-        for session in self._sessions.values():
-            merged.absorb(session.result_stats)
+        with self._lock:
+            merged.absorb(self._retired_result_stats)
+            for session in self._sessions.values():
+                merged.absorb(session.result_stats)
         return merged.snapshot()
 
     def cache_stats(self) -> dict:
@@ -341,7 +378,8 @@ class QueryService:
     def clear(self) -> None:
         """Drop all cached plans and sessions (statistics are retained)."""
         self.plans.clear()
-        for session in self._sessions.values():
-            self._retired_result_stats.absorb(session.result_stats)
-            session.clear()
-        self._sessions.clear()
+        with self._lock:
+            for session in self._sessions.values():
+                self._retired_result_stats.absorb(session.result_stats)
+                session.clear()
+            self._sessions.clear()

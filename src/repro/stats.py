@@ -29,6 +29,7 @@ on a module-level list).
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass, field
 
 
@@ -68,7 +69,11 @@ class CacheStats:
 
     The counters are exact (every lookup is either a hit or a miss, every
     capacity overflow is an eviction) — the plan-cache tests assert on
-    them literally.
+    them literally. Exactness must survive concurrent drivers (one
+    :class:`~repro.service.QueryService` shared across threads, or the
+    async front end offloading to a thread pool), so every counter update
+    happens inside the instance's lock; ``+=`` on a shared int is a
+    read-modify-write that loses increments under interleaving.
     """
 
     name: str = "cache"
@@ -76,25 +81,42 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def hit(self, amount: int = 1) -> None:
-        self.hits += amount
+        with self._lock:
+            self.hits += amount
         count(f"{self.name}_hits", amount)
 
     def miss(self, amount: int = 1) -> None:
-        self.misses += amount
+        with self._lock:
+            self.misses += amount
         count(f"{self.name}_misses", amount)
 
     def eviction(self, amount: int = 1) -> None:
-        self.evictions += amount
+        with self._lock:
+            self.evictions += amount
         count(f"{self.name}_evictions", amount)
 
     def absorb(self, other: "CacheStats") -> None:
         """Fold another instance's counters into this one (used when
         aggregating across sessions and when retiring evicted ones)."""
-        self.hits += other.hits
-        self.misses += other.misses
-        self.evictions += other.evictions
+        self.absorb_snapshot(other.snapshot())
+
+    def absorb_snapshot(self, snapshot: dict) -> None:
+        """Fold a counter snapshot (a :meth:`snapshot` dict, or a shard's
+        merged stats) into this instance — the incremental form of the
+        scheduler layer's barrier merge. The streaming front end calls
+        this once per completed shard and reaches totals identical to
+        merging all snapshots at the end: addition is associative and
+        each shard's counters are folded exactly once.
+        """
+        with self._lock:
+            self.hits += snapshot.get("hits", 0)
+            self.misses += snapshot.get("misses", 0)
+            self.evictions += snapshot.get("evictions", 0)
 
     @property
     def lookups(self) -> int:
@@ -107,13 +129,18 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def snapshot(self) -> dict[str, object]:
+        """A consistent point-in-time copy of the counters (taken under
+        the lock, so a concurrent hit/miss can't tear the dict)."""
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+        lookups = hits + misses
         return {
             "name": self.name,
             "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": hits / lookups if lookups else 0.0,
         }
 
 

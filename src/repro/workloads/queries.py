@@ -216,38 +216,105 @@ def random_full_query(
     rng: random.Random,
     max_steps: int = 4,
     max_depth: int = 2,
+    variables: dict[str, object] | None = None,
 ) -> str:
     """Generate a random full-XPath query: the Core grammar of
     :func:`random_core_query` extended with ``position()``/``last()``
-    (including ``+ - * div mod`` arithmetic), ``count()``, and the string
+    (including ``+ - * div mod`` arithmetic), ``count()``, the string
     function library (``contains``, ``starts-with``, ``substring``,
-    ``string-length``, ``normalize-space``, ``concat``, ``translate``).
+    ``string-length``, ``normalize-space``, ``concat``, ``translate``),
+    top-level union (``path | path``), and — when ``variables`` is given
+    — ``$v`` variable references.
+
+    ``variables`` is a *mutable* dict the generator both reads and
+    writes: the first time a name is drawn, a scalar binding (number or
+    string, matched to the reference's type context) is generated into
+    the dict; later draws of the same name reuse the recorded value, so
+    one dict accumulated across a corpus stays consistent for every
+    query in it. Callers evaluate the corpus with exactly that dict as
+    the engine/service bindings. ``None`` (the default) disables
+    variable references entirely, keeping the pre-existing grammar.
 
     Every query is grammatical and type-correct, so it is evaluable by
     the five full-XPath algorithms; a fraction of the distribution stays
     inside Core XPath (predicates drawn from the core pool), so the
     differential fuzz suite can apply a *corexpath-aware skip* — run all
     six algorithms when the compiled plan classifies as Core, five
-    otherwise — instead of partitioning the corpus by generator.
+    otherwise — instead of partitioning the corpus by generator. The new
+    forms never misclassify: a top-level union normalizes to a
+    :class:`~repro.xpath.ast.Union` (not a location path, hence outside
+    Core), and variable references only occur inside full-pool
+    comparison predicates, which are non-Core already.
     """
-    return _random_full_path(rng, max_steps, max_depth, absolute=True)
+    query = _random_full_path(rng, max_steps, max_depth, absolute=True, variables=variables)
+    if rng.random() < 0.18:
+        query += " | " + _random_full_path(
+            rng, max(1, max_steps - 1), max_depth, absolute=True, variables=variables
+        )
+    return query
 
 
 def _random_full_path(
-    rng: random.Random, max_steps: int, depth: int, absolute: bool
+    rng: random.Random,
+    max_steps: int,
+    depth: int,
+    absolute: bool,
+    variables: dict[str, object] | None = None,
 ) -> str:
-    return _random_grammar_path(
-        rng, max_steps, depth, absolute, _random_full_predicate, 0.45
-    )
+    def predicate(rng: random.Random, depth: int) -> str:
+        return _random_full_predicate(rng, depth, variables)
+
+    return _random_grammar_path(rng, max_steps, depth, absolute, predicate, 0.45)
 
 
 #: String constants the string-function predicates probe for; chosen to
 #: sometimes match the workload documents' text/ids ('1', '100', 'x', ...).
 _FULL_STRINGS = ("1", "2", "100", "x", "0")
 
+#: Variable-name pools for the fuzz grammar, split by the type of scalar
+#: bound to them (so a reference always lands in a matching context).
+_NUMERIC_VARIABLES = ("v", "w", "lim")
+_STRING_VARIABLES = ("s", "t")
 
-def _random_full_predicate(rng: random.Random, depth: int) -> str:
+
+def _random_variable_predicate(
+    rng: random.Random, variables: dict[str, object]
+) -> str:
+    """A predicate referencing a ``$``-variable, generating (or reusing)
+    its scalar binding in ``variables``. Numeric names bind small
+    numbers, string names bind :data:`_FULL_STRINGS` members."""
+    if rng.random() < 0.6:
+        name = rng.choice(_NUMERIC_VARIABLES)
+        if name not in variables:
+            variables[name] = float(rng.randint(1, 4))
+        comparator = rng.choice(("=", "!=", "<", ">", "<=", ">="))
+        return rng.choice(
+            (
+                f"position() {comparator} ${name}",
+                f"self::* {comparator} ${name}",
+                f"count(child::*) {comparator} ${name}",
+                f"position() + ${name} >= last()",
+            )
+        )
+    name = rng.choice(_STRING_VARIABLES)
+    if name not in variables:
+        variables[name] = rng.choice(_FULL_STRINGS)
+    return rng.choice(
+        (
+            f"contains(string(self::node()), ${name})",
+            f"starts-with(string(child::*), ${name})",
+            f"string(child::*) = ${name}",
+            f"concat(${name}, 'z') != string(self::node())",
+        )
+    )
+
+
+def _random_full_predicate(
+    rng: random.Random, depth: int, variables: dict[str, object] | None = None
+) -> str:
     choice = rng.random()
+    if variables is not None and choice < 0.12:
+        return _random_variable_predicate(rng, variables)
     if choice < 0.30:
         # Stay inside Core XPath — keeps the corpus straddling the
         # fragment boundary so the six-way check still gets exercised.
@@ -293,10 +360,10 @@ def _random_full_predicate(rng: random.Random, depth: int) -> str:
             )
         )
     if depth > 0 and choice < 0.95:
-        left = _random_full_predicate(rng, depth - 1)
-        right = _random_full_predicate(rng, depth - 1)
+        left = _random_full_predicate(rng, depth - 1, variables)
+        right = _random_full_predicate(rng, depth - 1, variables)
         return f"{left} {rng.choice(('and', 'or'))} {right}"
-    return f"not({_random_full_predicate(rng, max(0, depth - 1))})"
+    return f"not({_random_full_predicate(rng, max(0, depth - 1), variables)})"
 
 
 def _random_predicate(rng: random.Random, depth: int) -> str:

@@ -1,0 +1,234 @@
+"""The async front end: awaitable evaluation, streaming, exact stats.
+
+No pytest-asyncio in the toolchain — every test drives its coroutine
+with ``asyncio.run`` explicitly, which also mirrors how the CLI's
+``--stream`` path runs (a private event loop per invocation).
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.engine import XPathEngine
+from repro.errors import XPathSyntaxError
+from repro.service import AsyncQueryService, BatchStream, QueryService, StreamItem
+from repro.workloads.documents import (
+    balanced_tree,
+    book_catalog,
+    running_example_document,
+    wide_tree,
+)
+from repro.xml.parser import parse_document
+
+QUERIES = ["//b", "count(//*)", "/descendant::*[position() = last()]"]
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return [
+        running_example_document(),
+        book_catalog(books=3),
+        wide_tree(width=8),
+        parse_document("<a><b>7</b><b>9</b></a>"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sequential(documents):
+    return QueryService().evaluate_many(QUERIES, documents)
+
+
+def test_await_evaluate_matches_the_sync_engine(documents):
+    service = AsyncQueryService()
+
+    async def main():
+        return await service.evaluate("count(//*)", documents[0])
+
+    assert asyncio.run(main()) == XPathEngine(documents[0]).evaluate("count(//*)")
+    # The shared sync service's caches were used (and its counters moved).
+    assert service.service.plans.stats.misses == 1
+
+
+def test_await_evaluate_many_unsharded_and_sharded(documents, sequential):
+    async def main():
+        service = AsyncQueryService()
+        unsharded = await service.evaluate_many(QUERIES, documents)
+        sharded = await service.evaluate_many(QUERIES, documents, workers=3)
+        return unsharded, sharded
+
+    unsharded, sharded = asyncio.run(main())
+    assert unsharded.values == sequential.values
+    assert sharded.values == sequential.values
+    assert sharded.workers == 3
+    assert sharded.algorithms == sequential.algorithms
+
+
+def test_async_service_shares_an_existing_service(documents):
+    sync_service = QueryService(plan_capacity=8)
+    service = AsyncQueryService(sync_service)
+    assert service.service is sync_service
+
+    async def main():
+        return await service.evaluate("//b", documents[3])
+
+    asyncio.run(main())
+    assert sync_service.plans.stats.lookups == 1
+    with pytest.raises(ValueError, match="not both"):
+        AsyncQueryService(sync_service, plan_capacity=8)
+
+
+def test_stream_many_yields_every_cell_exactly_once(documents, sequential):
+    service = AsyncQueryService()
+    stream = service.stream_many(QUERIES, documents, workers=3)
+    assert isinstance(stream, BatchStream)
+
+    async def main():
+        return [item async for item in stream]
+
+    items = asyncio.run(main())
+    assert all(isinstance(item, StreamItem) for item in items)
+    seen = {(item.document_index, item.query_index) for item in items}
+    assert len(items) == len(seen) == len(QUERIES) * len(documents)
+    for item in items:
+        assert item.value == sequential.values[item.document_index][item.query_index]
+        assert item.query == QUERIES[item.query_index]
+        assert item.algorithm == sequential.algorithms[item.query_index]
+
+
+def test_stream_batch_equals_the_barrier_batch(documents, sequential):
+    """After exhaustion, the stream's merged batch is indistinguishable
+    from the barrier path: same values, exactly-summed stats."""
+    service = AsyncQueryService()
+    stream = service.stream_many(QUERIES, documents, workers=3, shard_by="size-balanced")
+
+    async def main():
+        async for _ in stream:
+            pass
+
+    asyncio.run(main())
+    batch = stream.batch()
+    assert batch.values == sequential.values
+    assert batch.workers == len(stream.shards) == 3
+    for stats_name in ("plan_stats", "result_stats"):
+        merged = getattr(batch, stats_name)
+        for counter in ("hits", "misses", "evictions"):
+            total = sum(shard[stats_name][counter] for shard in batch.shards)
+            assert merged[counter] == total, (stats_name, counter)
+
+
+def test_stream_stats_accumulate_incrementally(documents):
+    """Mid-stream, the counters cover exactly the shards seen so far."""
+    service = AsyncQueryService()
+    stream = service.stream_many(QUERIES, documents, workers=2)
+    checkpoints = []
+
+    async def main():
+        seen_shards = set()
+        async for item in stream:
+            if item.shard_index not in seen_shards:
+                seen_shards.add(item.shard_index)
+                plan = stream.plan_stats
+                checkpoints.append((len(stream.shards), plan["hits"] + plan["misses"]))
+
+    asyncio.run(main())
+    # One checkpoint per shard; completed-shard count and folded lookup
+    # totals are both monotonic, and the first checkpoint covers at least
+    # its own shard's lookups (each shard looks up every query).
+    assert len(checkpoints) == 2
+    assert checkpoints[0][0] <= checkpoints[1][0] == 2
+    assert checkpoints[0][1] >= len(QUERIES)
+    assert checkpoints[1][1] >= checkpoints[0][1]
+
+
+def test_stream_batch_before_exhaustion_raises(documents):
+    service = AsyncQueryService()
+    stream = service.stream_many(QUERIES, documents, workers=2)
+    with pytest.raises(RuntimeError, match="fully consumed"):
+        stream.batch()
+
+    async def drain():
+        async for _ in stream:
+            pass
+
+    asyncio.run(drain())
+    assert stream.batch().values  # now available
+
+
+def test_stream_early_close_cancels_cleanly(documents):
+    """Breaking out of the stream must not hang or leak the loop."""
+    service = AsyncQueryService()
+    stream = service.stream_many(QUERIES, documents, workers=3)
+
+    async def main():
+        async for _ in stream:
+            break
+        await stream.aclose()
+
+    asyncio.run(main())  # completing (not hanging) is the assertion
+    with pytest.raises(RuntimeError, match="fully consumed"):
+        stream.batch()
+
+
+def test_stream_surfaces_query_errors_at_prepare_time(documents):
+    service = AsyncQueryService()
+    with pytest.raises(XPathSyntaxError):
+        service.stream_many(["//b["], documents, workers=2)
+
+
+def test_streaming_yields_small_shards_before_the_big_one_finishes():
+    """The point of streaming: on a skewed workload, results from small
+    shards arrive while the heavy shard is still evaluating. Timing-free
+    check: the big document's shard is not the first to surface."""
+    # The skew must dwarf the GIL's ~5ms switch quantum: on a 1-CPU host
+    # all shards timeslice, so a small big-shard (tens of ms) finishes
+    # inside the first rotation and the completion order degenerates.
+    # ~9k nodes × several heavy queries puts the big shard at hundreds
+    # of ms while the small shards need ~1ms each.
+    big = balanced_tree(depth=8, fanout=3)
+    smalls = [parse_document(f"<a><b>{i}</b></a>") for i in range(6)]
+    documents = [big] + smalls
+    queries = [
+        "/descendant::*[position() > count(child::*)]",
+        "count(//*)",
+        "/descendant::*[position() = last()]",
+        "//c[. > 15]",
+    ]
+    service = AsyncQueryService()
+    stream = service.stream_many(
+        queries, documents, workers=4, shard_by="size-balanced"
+    )
+
+    async def main():
+        first = None
+        async for item in stream:
+            if first is None:
+                first = item
+        return first
+
+    first = asyncio.run(main())
+    # Size-balanced LPT puts the big document alone in its shard; a small
+    # shard must complete (and stream) first.
+    assert first.document_index != 0
+
+
+def test_async_evaluate_runs_off_the_event_loop_thread(documents):
+    """The offload really leaves the loop thread (the loop stays free)."""
+    service = AsyncQueryService()
+    loop_thread = threading.current_thread()
+    ticks = []
+
+    async def ticker():
+        for _ in range(3):
+            ticks.append(time.monotonic())
+            await asyncio.sleep(0)
+
+    async def main():
+        await asyncio.gather(
+            service.evaluate("count(//*)", documents[0]), ticker()
+        )
+
+    asyncio.run(main())
+    assert threading.current_thread() is loop_thread
+    assert len(ticks) == 3

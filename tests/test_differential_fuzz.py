@@ -157,7 +157,8 @@ def test_full_grammar_differential_on_random_documents():
 def test_full_grammar_exercises_the_new_constructs():
     """The extended generator actually emits what it advertises."""
     rng = random.Random(SEED + 12)
-    corpus = [random_full_query(rng) for _ in range(120)]
+    bindings: dict = {}
+    corpus = [random_full_query(rng, variables=bindings) for _ in range(120)]
     text = "\n".join(corpus)
     assert "position()" in text
     assert "last()" in text
@@ -167,6 +168,57 @@ def test_full_grammar_exercises_the_new_constructs():
         fn in text
         for fn in ("contains(", "starts-with(", "substring(", "string-length(")
     )
+    # The PR 3 frontier: top-level unions and $-variable references.
+    assert " | " in text
+    assert "$" in text
+    assert bindings, "variable references must record their bindings"
+    assert all(
+        isinstance(value, (str, float, int, bool)) for value in bindings.values()
+    ), "generated bindings must be scalars (process-backend shippable)"
+
+
+def test_full_grammar_unions_and_variables_differential():
+    """The union/variable extension holds the five-way agreement (six-way
+    when a case lands inside Core XPath), with the corexpath-aware skip
+    driven purely by the compiled plan's classification — a top-level
+    union is not a location path, so it must classify outside Core."""
+    rng = random.Random(SEED + 14)
+    bindings: dict = {}
+    # Generate the whole corpus first: the bindings dict accumulates as a
+    # side effect, and the engines must be built with the final dict
+    # (XPathEngine copies its variables at construction).
+    corpus = [random_full_query(rng, variables=bindings) for _ in range(60)]
+    assert any(" | " in query for query in corpus)
+    assert any("$" in query for query in corpus)
+    union_cases = 0
+    for document in _fixed_documents():
+        engine = XPathEngine(document, variables=bindings)
+        for query in corpus:
+            compiled = _check_differential(engine, query)
+            if " | " in query:
+                union_cases += 1
+                assert not compiled.is_core_xpath, query
+    assert union_cases > 0
+
+
+def test_variable_corpus_through_the_sharded_service():
+    """Scalar fuzz bindings ship through every scheduler backend — the
+    generated bindings are scalars by construction, so even the process
+    backend (which rejects node-set bindings) accepts the corpus."""
+    from repro.service import ShardedExecutor
+
+    rng = random.Random(SEED + 15)
+    bindings: dict = {}
+    queries = [
+        random_full_query(rng, max_steps=3, variables=bindings) for _ in range(10)
+    ]
+    documents = [random_document(rng, max_nodes=12) for _ in range(4)]
+    sequential = QueryService(variables=bindings).evaluate_many(queries, documents)
+    for backend in ("serial", "thread", "process", "async"):
+        batch = ShardedExecutor(
+            workers=2, backend=backend, variables=bindings
+        ).execute(queries, documents)
+        assert batch.values == sequential.values, backend
 
 
 def test_full_grammar_through_the_sharded_service():

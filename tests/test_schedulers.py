@@ -1,0 +1,187 @@
+"""The scheduler seam: one canonical batch through all four backends.
+
+The contract: every scheduler — serial, thread, process, async — is an
+implementation detail of the *dispatch* phase only. Prepare and merge
+are shared, so for one canonical batch all four must produce
+byte-identical values, identical result ordering, identical resolved
+algorithms, and merged statistics that are the exact sums of their
+per-shard counters. The serial scheduler is the reference (zero
+concurrency, nothing to race), and the sequential ``evaluate_many``
+path anchors all of them to the unsharded semantics.
+"""
+
+import pytest
+
+from repro.service import (
+    SCHEDULER_BACKENDS,
+    AsyncScheduler,
+    ProcessScheduler,
+    QueryService,
+    Scheduler,
+    SerialScheduler,
+    ThreadScheduler,
+    make_scheduler,
+)
+from repro.workloads.documents import (
+    book_catalog,
+    numbered_line,
+    running_example_document,
+    wide_tree,
+)
+from repro.xml.parser import parse_document
+
+#: The canonical batch: duplicate queries (cache hits inside shards),
+#: node-set and scalar results, Core and full-XPath fragments.
+QUERIES = [
+    "//b",
+    "count(//*)",
+    "/descendant::*[position() = last()]",
+    "//b",
+    "//c[. > 15]",
+]
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return [
+        running_example_document(),
+        book_catalog(books=4),
+        wide_tree(width=12),
+        parse_document('<a id="1"><b id="2">10</b><c id="3">20</c></a>'),
+        numbered_line(9),
+        parse_document("<a><b>99</b></a>"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sequential(documents):
+    return QueryService().evaluate_many(QUERIES, documents)
+
+
+def test_backend_registry_is_complete():
+    assert SCHEDULER_BACKENDS == ("serial", "thread", "process", "async")
+    for backend, scheduler_class in zip(
+        SCHEDULER_BACKENDS,
+        (SerialScheduler, ThreadScheduler, ProcessScheduler, AsyncScheduler),
+    ):
+        scheduler = make_scheduler(backend, workers=2)
+        assert type(scheduler) is scheduler_class
+        assert scheduler.name == backend
+        assert isinstance(scheduler, Scheduler)
+    with pytest.raises(ValueError, match="fiber"):
+        make_scheduler("fiber")
+
+
+@pytest.mark.parametrize("backend", SCHEDULER_BACKENDS)
+@pytest.mark.parametrize("strategy", ("round-robin", "size-balanced"))
+def test_all_schedulers_match_the_sequential_path(
+    documents, sequential, backend, strategy
+):
+    """Byte-identical values in identical order, whatever dispatches."""
+    scheduler = make_scheduler(backend, workers=3, shard_by=strategy)
+    batch = scheduler.execute(QUERIES, documents)
+    assert batch.values == sequential.values
+    assert batch.algorithms == sequential.algorithms
+    assert batch.queries == list(QUERIES)
+    assert batch.document_count == len(documents)
+    # Node-set cells must hold the *parent's* node objects (the process
+    # backend decodes indices back into the caller's trees).
+    for row, sequential_row in zip(batch.values, sequential.values):
+        for value, sequential_value in zip(row, sequential_row):
+            if isinstance(value, list):
+                assert all(a is b for a, b in zip(value, sequential_value))
+
+
+@pytest.mark.parametrize("backend", SCHEDULER_BACKENDS)
+def test_all_schedulers_merge_stats_exactly(documents, backend):
+    """Merged counters == per-shard sums, for both cache layers."""
+    scheduler = make_scheduler(backend, workers=3, plan_capacity=4)
+    batch = scheduler.execute(QUERIES, documents)
+    assert len(batch.shards) == batch.workers > 1
+    for stats_name in ("plan_stats", "result_stats"):
+        merged = getattr(batch, stats_name)
+        for counter in ("hits", "misses", "evictions"):
+            total = sum(shard[stats_name][counter] for shard in batch.shards)
+            assert merged[counter] == total, (backend, stats_name, counter)
+    for shard in batch.shards:
+        assert shard["backend"] == backend
+
+
+@pytest.mark.parametrize("backend", ("thread", "async"))
+def test_in_process_backends_report_stats_identical_to_serial(documents, backend):
+    """Serial, thread, and async all seed workers with the parent's
+    compiled plans and shard identically, so their merged counters must
+    be *equal*, not merely internally consistent — the async backend is
+    indistinguishable from the sync ones counter-for-counter."""
+    serial = make_scheduler("serial", workers=3).execute(QUERIES, documents)
+    other = make_scheduler(backend, workers=3).execute(QUERIES, documents)
+    counters = ("hits", "misses", "evictions")
+    for stats_name in ("plan_stats", "result_stats"):
+        serial_stats = getattr(serial, stats_name)
+        other_stats = getattr(other, stats_name)
+        assert {key: other_stats[key] for key in counters} == {
+            key: serial_stats[key] for key in counters
+        }, (backend, stats_name)
+
+
+@pytest.mark.parametrize("backend", SCHEDULER_BACKENDS)
+def test_all_schedulers_agree_on_the_empty_batch(backend):
+    batch = make_scheduler(backend, workers=4).execute(QUERIES, [])
+    assert batch.values == []
+    assert batch.workers == 0
+    assert batch.shards == []
+    assert batch.plan_stats["hits"] == batch.plan_stats["misses"] == 0
+
+
+@pytest.mark.parametrize("backend", SCHEDULER_BACKENDS)
+def test_all_schedulers_surface_query_errors_before_dispatch(documents, backend):
+    """Prepare runs in the parent: bad queries fail fast, no workers."""
+    from repro.errors import FragmentViolationError, XPathSyntaxError
+
+    scheduler = make_scheduler(backend, workers=2)
+    with pytest.raises(XPathSyntaxError):
+        scheduler.execute(["//b["], documents)
+    with pytest.raises(FragmentViolationError):
+        scheduler.execute(["//b[position() = 1]"], documents, algorithm="corexpath")
+
+
+def test_prepare_dispatch_merge_phases_compose(documents, sequential):
+    """The seam itself: a caller can run the three phases separately and
+    get the same merged batch execute() produces."""
+    scheduler = SerialScheduler(workers=3, shard_by="size-balanced")
+    prepared = scheduler.prepare(QUERIES, documents)
+    assert len(prepared.shards) == 3
+    assert prepared.algorithms == sequential.algorithms
+    outcomes = scheduler.dispatch(prepared)
+    assert len(outcomes) == len(prepared.shards)
+    batch = scheduler.merge(prepared, outcomes)
+    assert batch.values == sequential.values
+
+
+def test_async_scheduler_semaphore_bounds_concurrency(documents, sequential):
+    """max_concurrency=1 degrades the async backend to serial dispatch —
+    results unchanged, which pins down that the semaphore path is live."""
+    scheduler = AsyncScheduler(workers=4, max_concurrency=1)
+    batch = scheduler.execute(QUERIES, documents)
+    assert batch.values == sequential.values
+    with pytest.raises(ValueError, match="max_concurrency"):
+        AsyncScheduler(workers=2, max_concurrency=0)
+
+
+def test_scheduler_rejects_bad_construction():
+    with pytest.raises(ValueError, match="workers"):
+        SerialScheduler(workers=0)
+    with pytest.raises(ValueError, match="shard strategy"):
+        ThreadScheduler(shard_by="by-vibes")
+
+
+def test_process_scheduler_rejects_node_set_bindings(documents):
+    node = documents[0].root
+    with pytest.raises(ValueError, match="scalar"):
+        ProcessScheduler(workers=2, variables={"v": [node]})
+    # In-process backends accept the same bindings.
+    for backend in ("serial", "thread", "async"):
+        batch = make_scheduler(backend, workers=2, variables={"v": [node]}).execute(
+            ["$v"], documents[:2]
+        )
+        assert batch.values[0][0] == [node]

@@ -1,0 +1,200 @@
+"""Concurrency hammer: one shared QueryService under many threads.
+
+PR 3's thread-safety contract: :class:`PlanCache`, :class:`CacheStats`,
+and the :class:`QueryService` session/memo maps are lock-protected, so a
+single service driven from many threads (the thread scheduler's seeding
+path, the async front end's offload pool, or plain user threads) keeps
+*exact* counters — every lookup counted exactly once, every capacity
+overflow counted as an eviction, nothing lost to torn ``+=`` updates —
+and returns correct values throughout.
+
+The assertions are deliberately exact (``==``, not ``>=``): before the
+locks, losing increments under an 8-thread hammer was the overwhelmingly
+likely outcome, so equality is the regression signal.
+"""
+
+import threading
+
+from repro.engine import XPathEngine
+from repro.service import PlanCache, QueryService
+from repro.stats import CacheStats
+from repro.workloads.documents import book_catalog, running_example_document, wide_tree
+from repro.xml.parser import parse_document
+
+THREADS = 8
+ROUNDS = 60
+
+
+def _hammer(worker, threads=THREADS):
+    """Run ``worker(thread_index)`` on N threads through a start barrier
+    (maximizing interleaving) and re-raise the first worker error."""
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def body(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except Exception as error:  # pragma: no cover - only on regression
+            errors.append(error)
+
+    pool = [threading.Thread(target=body, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def test_cache_stats_counters_are_exact_under_contention():
+    stats = CacheStats(name="hammer")
+
+    def worker(_):
+        for _ in range(1000):
+            stats.hit()
+            stats.miss()
+            stats.eviction()
+
+    _hammer(worker)
+    assert stats.hits == THREADS * 1000
+    assert stats.misses == THREADS * 1000
+    assert stats.evictions == THREADS * 1000
+    assert stats.lookups == 2 * THREADS * 1000
+
+
+def test_plan_cache_accounting_is_exact_under_contention():
+    """Interleaved get_or_create over more keys than capacity: every
+    lookup is one hit or one miss, every insert past capacity evicts,
+    and the cache never exceeds capacity — all exactly."""
+    cache = PlanCache(capacity=5)
+    keys = [f"q{i}" for i in range(12)]
+
+    def worker(index):
+        for round_number in range(ROUNDS):
+            key = keys[(index + round_number) % len(keys)]
+            value = cache.get_or_create(key, lambda k=key: ("plan", k))
+            assert value == ("plan", key)
+
+    _hammer(worker)
+    stats = cache.stats
+    total_lookups = THREADS * ROUNDS
+    assert stats.hits + stats.misses == total_lookups
+    # Every miss inserted a brand-new key (the factory runs under the
+    # lock, so racing callers of one key produce one miss, then hits);
+    # keys only leave via counted evictions.
+    assert stats.misses - stats.evictions == len(cache)
+    assert len(cache) == cache.capacity
+
+
+def test_shared_query_service_is_exact_and_correct_under_8_threads():
+    """The satellite's headline scenario: one QueryService, 8 concurrent
+    drivers, a plan cache small enough to thrash. Values stay correct and
+    both cache layers' counters add up exactly."""
+    documents = [
+        running_example_document(),
+        book_catalog(books=3),
+        wide_tree(width=10),
+        parse_document("<a><b>1</b><b>2</b><c>3</c></a>"),
+    ]
+    queries = [
+        "//b",
+        "count(//*)",
+        "/descendant::*[position() = last()]",
+        "//c",
+        "/child::*/child::*",
+        "//b[1]",
+    ]
+    expected = {
+        (q, id(d)): XPathEngine(d).evaluate(q) for q in queries for d in documents
+    }
+    # plan_capacity=4 < 6 distinct queries: constant eviction pressure.
+    service = QueryService(plan_capacity=4)
+
+    def worker(index):
+        for round_number in range(ROUNDS):
+            query = queries[(index + round_number) % len(queries)]
+            document = documents[(index * 3 + round_number) % len(documents)]
+            assert service.evaluate(query, document) == expected[(query, id(document))]
+
+    _hammer(worker)
+    evaluations = THREADS * ROUNDS
+    plan = service.plans.stats
+    # Exactly one plan-cache lookup per evaluate() call, none lost.
+    assert plan.hits + plan.misses == evaluations
+    # Keys leave the plan cache only via counted evictions.
+    assert plan.misses - plan.evictions == len(service.plans)
+    assert len(service.plans) <= 4
+    # Exactly one result-memo lookup per evaluate() call, aggregated
+    # across live and retired sessions, none lost.
+    result = service.result_cache_stats()
+    assert result["hits"] + result["misses"] == evaluations
+    assert service.cache_stats()["sessions"] == len(documents)
+
+
+def test_shared_service_session_eviction_loses_no_counters():
+    """Session-capacity thrash from many threads: retired sessions fold
+    their memo counters into the aggregate, so totals stay exact even
+    while sessions are evicted and rebuilt concurrently."""
+    documents = [parse_document(f"<a><b>{i}</b></a>") for i in range(6)]
+    service = QueryService(session_capacity=2)
+
+    def worker(index):
+        for round_number in range(ROUNDS):
+            document = documents[(index + round_number) % len(documents)]
+            assert isinstance(service.evaluate("//b", document), list)
+
+    _hammer(worker)
+    evaluations = THREADS * ROUNDS
+    result = service.result_cache_stats()
+    assert result["hits"] + result["misses"] == evaluations
+    assert len(service._sessions) <= 2
+
+
+def test_concurrent_drivers_through_the_async_front_end():
+    """The async facade's offload pool is just another set of concurrent
+    drivers; the shared service's counters must stay exact through it."""
+    import asyncio
+
+    from repro.service import AsyncQueryService
+
+    documents = [parse_document(f"<a><b>{i}</b></a>") for i in range(4)]
+    service = AsyncQueryService(QueryService(plan_capacity=2))
+    queries = ["//b", "count(//*)", "//b[. > 1]"]
+
+    async def main():
+        jobs = [
+            service.evaluate(queries[i % len(queries)], documents[i % len(documents)])
+            for i in range(48)
+        ]
+        return await asyncio.gather(*jobs)
+
+    values = asyncio.run(main())
+    assert len(values) == 48
+    plan = service.service.plans.stats
+    assert plan.hits + plan.misses == 48
+    assert plan.misses - plan.evictions == len(service.service.plans)
+
+
+def test_plan_cache_iteration_is_safe_during_mutation():
+    """keys()/values() hand out point-in-time copies, so a monitoring
+    thread can walk the cache while drivers mutate it."""
+    cache = PlanCache(capacity=8)
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            for _ in cache.values():
+                pass
+            for _ in cache.keys():
+                pass
+
+    monitor = threading.Thread(target=reader)
+    monitor.start()
+    try:
+        for i in range(2000):
+            cache.put(i, i)
+    finally:
+        stop.set()
+        monitor.join()
+    assert len(cache) == 8
