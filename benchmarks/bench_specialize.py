@@ -1,0 +1,229 @@
+"""EXP-SPEC — per-document physical specialization vs static dispatch.
+
+The two-stage compiler's payoff claim (ISSUE 4): on a mixed serving
+workload — small and large documents, Core and non-Core queries — the
+cost-driven specializer picks a cheaper evaluator per (query, document)
+than the static fragment dispatch (Core → corexpath, else →
+optmincontext), without changing a single result byte.
+
+The workload deliberately mixes the regimes the cost model separates:
+
+* small/mid catalogs, where MINCONTEXT's constants beat both the Core
+  XPath sweep (on Core chains) and OPTMINCONTEXT's whole-document
+  bottom-up pass (on selective predicates);
+* a sibling line, where positional-sibling loops × high fanout make
+  OPTMINCONTEXT the right call (the specializer must *keep* the static
+  choice there);
+* position-heavy and aggregate queries, where the candidates tie and
+  any choice is fine.
+
+Three gates, two of them machine-independent:
+
+* **value gate** — specialized ``auto`` results are byte-identical to
+  the static path's *and* to a fresh per-document engine's, for every
+  (query, document) cell;
+* **stats gate** — the plan cache counts exactly one lookup per distinct
+  query, and the specializer memo exactly one lookup per ``auto``
+  resolution (misses = distinct (plan, profile) pairs) — the two-stage
+  split must not lose or invent a counter;
+* **speedup gate** — specialized end-to-end batch time >= 1.2x the
+  static dispatch's. Like EXP-SHARD's speedup gate it is host-gated:
+  enforced when the host grants >= 2 usable CPUs (CI runners), reported
+  but not enforced on 1-CPU containers, where shared-host noise
+  dominates single-run timings. The measured ratio prints either way.
+
+The script exits nonzero if any enforced gate fails. Run with::
+
+    PYTHONPATH=src python benchmarks/bench_specialize.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from harness import ExperimentReport
+
+from repro.engine import XPathEngine
+from repro.service import QueryService
+from repro.workloads.documents import (
+    balanced_tree,
+    book_catalog,
+    numbered_line,
+)
+from repro.workloads.queries import (
+    core_family,
+    position_heavy_query,
+    wadler_family,
+)
+
+PASSES = 5
+WARMUP_PASSES = 1
+SPEEDUP_GATE = 1.2
+
+
+def mixed_workload():
+    """Small + large documents × Core + non-Core query families."""
+    documents = [
+        book_catalog(books=3),
+        book_catalog(books=5),
+        book_catalog(books=8),
+        book_catalog(books=15),
+        book_catalog(books=20),
+        balanced_tree(depth=4, fanout=4),
+        book_catalog(books=30, chapters_per_book=3),
+        book_catalog(books=45, chapters_per_book=4),
+        numbered_line(120),  # fanout 120: the keep-OPTMINCONTEXT regime
+    ]
+    queries = [
+        core_family(4),                     # Core XPath
+        core_family(6),                     # Core XPath
+        core_family(8),                     # Core XPath, deeper
+        "//book[price > 20]/title",         # selective, no position
+        "//b/c[. > 20]",                    # selective, no position
+        wadler_family(2),                   # positional sibling loops
+        position_heavy_query(2),            # positional, non-sibling
+        "count(//*)",                       # aggregate, candidates tie
+    ]
+    return queries, documents
+
+
+def _best_batch_seconds(specialize: bool, queries, documents) -> float:
+    """Best-of-passes end-to-end time of a fresh-service batch (cold
+    result memos: every cell is a real evaluation; plan compiles cost
+    the same on both sides). Best-of-N, like ``harness.time_query``,
+    because both sides at their least-interfered-with pass is the
+    noise-robust estimate of the intrinsic cost ratio on shared hosts."""
+
+    def run_pass():
+        QueryService(specialize=specialize).evaluate_many(queries, documents)
+
+    for _ in range(WARMUP_PASSES):
+        run_pass()
+    times = []
+    for _ in range(PASSES):
+        started = time.perf_counter()
+        run_pass()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def main() -> int:
+    queries, documents = mixed_workload()
+    evaluations = len(queries) * len(documents)
+    usable_cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+
+    # ------------------------------------------------------------------
+    # Value gate: specialized == static == fresh engine, cell for cell.
+    specialized_service = QueryService()
+    static_service = QueryService(specialize=False)
+    specialized = specialized_service.evaluate_many(queries, documents)
+    static = static_service.evaluate_many(queries, documents)
+    value_gate = specialized.values == static.values
+    if value_gate:
+        for doc_index, document in enumerate(documents):
+            engine = XPathEngine(document)
+            for query_index, query in enumerate(queries):
+                if specialized.value(doc_index, query_index) != engine.evaluate(query):
+                    value_gate = False
+
+    # ------------------------------------------------------------------
+    # Stats gate: exact counters through the two-stage split.
+    plan_stats = specialized_service.plans.stats
+    spec_stats = specialized_service.specializer.stats
+    distinct_queries = len(set(queries))
+    profiles = {
+        specialized_service.session(document).profile.key for document in documents
+    }
+    stats_gate = (
+        plan_stats.hits + plan_stats.misses == len(queries)
+        and plan_stats.misses == distinct_queries
+        # One memo lookup per auto resolution: len(queries) static
+        # resolutions happen outside the memo; each (query, document)
+        # cell resolves through it exactly once.
+        and spec_stats.hits + spec_stats.misses == evaluations
+        and spec_stats.misses == distinct_queries * len(profiles)
+        and "specialize_cache" not in static_service.cache_stats()
+    )
+
+    # ------------------------------------------------------------------
+    # Speedup gate: end-to-end batch time, fresh service per pass.
+    static_seconds = _best_batch_seconds(False, queries, documents)
+    specialized_seconds = _best_batch_seconds(True, queries, documents)
+    speedup = static_seconds / specialized_seconds
+    speedup_enforced = usable_cpus >= 2
+    speedup_ok = speedup >= SPEEDUP_GATE
+
+    # ------------------------------------------------------------------
+    report = ExperimentReport(
+        "EXP-SPEC", "per-document specialization vs static auto dispatch"
+    )
+    report.note(
+        f"workload: {len(queries)} queries x {len(documents)} documents = "
+        f"{evaluations} evaluations/pass ({distinct_queries} distinct queries, "
+        f"{len(profiles)} distinct profiles); best of {PASSES} passes; "
+        f"host grants {usable_cpus} usable CPU(s)"
+    )
+    report.table(
+        ["configuration", "best batch (ms)", "throughput (eval/s)", "speedup"],
+        [
+            [
+                "static dispatch (--no-specialize)",
+                static_seconds * 1e3,
+                evaluations / static_seconds,
+                1.0,
+            ],
+            [
+                "specialized (cost-driven, per document)",
+                specialized_seconds * 1e3,
+                evaluations / specialized_seconds,
+                speedup,
+            ],
+        ],
+    )
+    choices = {}
+    for document in documents:
+        session = specialized_service.session(document)
+        for query in queries:
+            plan = specialized_service.plan(query)
+            chosen = session.resolve(plan)
+            static_choice = plan.best_algorithm()
+            key = (static_choice, chosen)
+            choices[key] = choices.get(key, 0) + 1
+    report.note()
+    report.note("static -> specialized choice matrix (cells):")
+    for (static_choice, chosen), count in sorted(choices.items()):
+        marker = "kept" if static_choice == chosen else "switched"
+        report.note(f"  {static_choice:13s} -> {chosen:13s} {count:3d}  ({marker})")
+    report.note()
+    report.note(
+        "value gate:   specialized == static == fresh engine, every cell — "
+        + ("PASS" if value_gate else "FAIL")
+    )
+    report.note(
+        "stats gate:   plan cache + specializer memo counters exact — "
+        + ("PASS" if stats_gate else "FAIL")
+    )
+    if speedup_enforced:
+        report.note(
+            f"speedup gate: specialized over static = {speedup:.2f}x "
+            f"(need >= {SPEEDUP_GATE}x) — " + ("PASS" if speedup_ok else "FAIL")
+        )
+    else:
+        report.note(
+            f"speedup gate: SKIPPED — 1-CPU host (measured {speedup:.2f}x, "
+            f"gate needs >= {SPEEDUP_GATE}x on >= 2-CPU hosts)"
+        )
+    report.finish()
+    if not value_gate or not stats_gate:
+        return 1
+    if speedup_enforced and not speedup_ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Run after the benchmark suite:
     python benchmarks/summarize.py --plan-cache  # just the plan-cache hit rates
     python benchmarks/summarize.py --sharded     # just the sharding gates/speedup
     python benchmarks/summarize.py --async-batch # just the async/streaming gates
+    python benchmarks/summarize.py --specialize  # just the specialization gates
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ ORDER = [
     "exp_f4", "exp_f5", "exp_e9",
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
-    "exp_svc", "exp_shard", "exp_async",
+    "exp_svc", "exp_shard", "exp_async", "exp_spec",
 ]
 
 
@@ -66,6 +67,20 @@ def async_batch_lines() -> list[str]:
     ]
 
 
+def specialize_lines() -> list[str]:
+    """The gate, throughput, and choice-matrix lines from the EXP-SPEC
+    report (written by bench_specialize.py)."""
+    path = RESULTS_DIR / "exp_spec.txt"
+    if not path.exists():
+        return []
+    markers = ("gate:", "speedup", "configuration", "dispatch", "specialized", "->")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -82,6 +97,11 @@ def main(argv: list[str] | None = None) -> None:
         "--async-batch",
         action="store_true",
         help="print only the async/streaming gates and latencies (EXP-ASYNC)",
+    )
+    parser.add_argument(
+        "--specialize",
+        action="store_true",
+        help="print only the specialization gates and choice matrix (EXP-SPEC)",
     )
     args = parser.parse_args(argv)
     if args.plan_cache:
@@ -107,6 +127,15 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(
                 "no async-batch results yet — run: "
                 "python benchmarks/bench_async_batch.py"
+            )
+        print("\n".join(lines))
+        return
+    if args.specialize:
+        lines = specialize_lines()
+        if not lines:
+            raise SystemExit(
+                "no specialization results yet — run: "
+                "python benchmarks/bench_specialize.py"
             )
         print("\n".join(lines))
         return

@@ -27,10 +27,15 @@ Serving workloads — the service layer
 The paper's complexity theorems bound *evaluation* cost; the per-call
 frontend pipeline (parse → normalize → rewrite → relevance → fragment
 dispatch) is pure overhead on repeated queries. :class:`QueryService`
-amortizes it: each distinct ``(query, options)`` pair is compiled once
-into a :class:`CompiledPlan` held in an LRU cache, and each document gets
-a session that memoizes ``(plan, context) → result``. The batch API
-evaluates whole workloads in one call::
+amortizes it with a *two-stage* compiler: stage 1 turns each distinct
+``(query, options)`` pair into a document-independent
+:class:`LogicalPlan` held in an LRU cache; stage 2 specializes ``auto``
+evaluations per document — a cost model over the document's profile
+(size, depth, fanout, text ratio) picks the cheapest of the paper's
+worst-case-bounded evaluators, refined online by observed timings
+(``specialize=False`` restores the static fragment dispatch). Each
+document gets a session that memoizes ``(plan, context) → result``. The
+batch API evaluates whole workloads in one call::
 
     from repro import QueryService, parse_document
 
@@ -77,6 +82,14 @@ the CLI form. See :mod:`repro.service.async_service`.
 """
 
 from repro.engine import ALGORITHMS, CompiledPlan, CompiledQuery, XPathEngine
+from repro.service import (
+    DocumentProfile,
+    LogicalPlan,
+    PhysicalPlan,
+    PlanSpecializer,
+    ShardTimingHistory,
+    document_profile,
+)
 from repro.errors import (
     EvaluationError,
     FragmentViolationError,
@@ -118,18 +131,24 @@ __all__ = [
     "Context",
     "Document",
     "DocumentBuilder",
+    "DocumentProfile",
     "DocumentSession",
     "EvaluationError",
     "FragmentViolationError",
+    "LogicalPlan",
     "Node",
     "NodeKind",
+    "PhysicalPlan",
     "PlanCache",
     "PlanOptions",
+    "PlanSpecializer",
     "QueryPlanner",
     "QueryService",
     "ReproError",
+    "ShardTimingHistory",
     "ShardedExecutor",
     "StreamItem",
+    "document_profile",
     "UnboundVariableError",
     "UnknownAlgorithmError",
     "UnknownFunctionError",

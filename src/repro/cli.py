@@ -3,12 +3,22 @@
 Three modes:
 
 * the default (legacy) mode evaluates one query against one document;
-* ``repro-xpath plan QUERY`` compiles a query and prints its plan —
-  normalized form, fragment classification, and the algorithm ``auto``
-  dispatch selects — without needing a document;
+* ``repro-xpath plan QUERY`` compiles a query and prints its *logical*
+  plan — normalized form, fragment classification, and the algorithm the
+  static ``auto`` dispatch selects — without needing a document.
+  ``plan --explain`` additionally prints stage 2 of the two-stage
+  compilation: the per-document *physical* specialization — the document
+  profile (``|dom|``, depth, fanout, text ratio), the cost-model
+  estimate for every candidate evaluator, the chosen algorithm, and the
+  rationale (which profile/plan features drove the choice). Give
+  ``plan`` a real document via ``--xml``/``--file`` to specialize for
+  it; without one, two representative profiles (a small and a large
+  document) are specialized so the decision surface is still visible;
 * ``repro-xpath batch`` evaluates many queries against many documents
   through :class:`repro.service.QueryService`, sharing the compiled-plan
   cache and per-document caches, and can report cache statistics.
+  Per-document specialization is on by default; ``--no-specialize``
+  reproduces the static document-blind fragment dispatch exactly.
   ``--workers N --backend {serial,thread,process,async}`` shards the
   documents across workers; ``--backend async --stream`` prints each
   (document, query) result as its shard completes instead of waiting for
@@ -20,6 +30,7 @@ Examples::
     repro-xpath --xml "<a><b/></a>" --explain "/child::a/child::b"
     repro-xpath --file doc.xml --compare "//a[position() = last()]"
     repro-xpath plan "//a[position() = last()]"
+    repro-xpath plan --explain --file doc.xml "//book[price > 20]/title"
     repro-xpath batch --xml "<a><b/></a>" --xml "<a/>" -q "//b" -q "count(//b)" --stats
     repro-xpath batch -f big.xml -f small.xml -q "//b" --workers 2 \\
         --backend async --stream
@@ -186,7 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
 def build_plan_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-xpath plan",
-        description="Compile a query and print its evaluation plan (no document needed).",
+        description="Compile a query and print its logical plan (stage 1; no "
+        "document needed). --explain adds stage 2: the per-document physical "
+        "specialization — profile, per-candidate cost estimates, chosen "
+        "algorithm, and rationale.",
     )
     parser.add_argument("query", help="XPath 1.0 query to compile")
     parser.add_argument(
@@ -199,11 +213,28 @@ def build_plan_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the normalized parse tree and per-subexpression strategies",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the physical specialization stage: document profile, "
+        "cost-model estimates per candidate algorithm, the chosen algorithm, "
+        "and the rationale (profile features that drove the choice)",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--file", "-f", help="XML document to specialize for (implies --explain)"
+    )
+    source.add_argument(
+        "--xml", help="inline XML document to specialize for (implies --explain)"
+    )
     return parser
 
 
 def plan_main(argv: list[str]) -> int:
     args = build_plan_parser().parse_args(argv)
+    # Giving a document *is* asking what runs on it — never ignore it.
+    if args.xml or args.file:
+        args.explain = True
     try:
         plan = compile_plan(args.query, optimize=args.optimize)
     except ReproError as error:
@@ -216,14 +247,53 @@ def plan_main(argv: list[str]) -> int:
     print("Core XPath:      ", core)
     print("Extended Wadler: ", wadler)
     print("bottom-up paths: ", plan.bottomup_path_count)
-    print("algorithm:       ", plan.algorithm)
+    print("algorithm:       ", plan.algorithm, "(static fragment dispatch)")
     if plan.rewrite_stats is not None:
         print("rewrites applied:", plan.rewrite_stats.total())
+    if args.explain:
+        code = _print_specialization(args, plan)
+        if code != 0:
+            return code
     if args.tree:
         print("parse tree:")
         print(dump_tree(plan.ast, indent="    "))
         print("evaluation plan (per-subexpression strategy, Corollary 11):")
         print(explain_text(plan.ast))
+    return 0
+
+
+def _print_specialization(args, plan) -> int:
+    """The ``plan --explain`` stage-2 section: specialize the logical
+    plan for the given document, or for the representative small/large
+    profiles when no document was supplied."""
+    from repro.service.specialize import (
+        REPRESENTATIVE_PROFILES,
+        PlanSpecializer,
+        document_profile,
+    )
+
+    specializer = PlanSpecializer()
+    if args.xml or args.file:
+        try:
+            if args.file:
+                with open(args.file, encoding="utf-8") as handle:
+                    source = handle.read()
+            else:
+                source = args.xml
+            document = parse_document(source)
+        except OSError as error:
+            return _fail(str(error), EXIT_ERROR)
+        except ReproError as error:
+            return _fail(str(error), error_exit_code(error))
+        targets = [("given document", document_profile(document))]
+    else:
+        targets = list(REPRESENTATIVE_PROFILES)
+    print("physical specialization (stage 2, cost-driven):")
+    for label, profile in targets:
+        physical = specializer.specialize(plan, profile)
+        print(f"  [{label}]")
+        for line in physical.describe().splitlines():
+            print(f"    {line}")
     return 0
 
 
@@ -288,6 +358,14 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "--optimize",
         action="store_true",
         help="apply the semantics-preserving rewrite pass when compiling plans",
+    )
+    parser.add_argument(
+        "--specialize",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="choose the evaluator per (query, document) with the cost-driven "
+        "specializer (default); --no-specialize reproduces the static "
+        "document-blind fragment dispatch exactly",
     )
     parser.add_argument(
         "--plan-capacity",
@@ -367,7 +445,9 @@ def _stream_batch(args, queries: list[str], documents: list, labels: list[str]) 
     completes (completion order, not batch order — every block is
     labeled, so the output is self-describing)."""
     async_service = AsyncQueryService(
-        plan_capacity=args.plan_capacity, optimize=args.optimize
+        plan_capacity=args.plan_capacity,
+        optimize=args.optimize,
+        specialize=args.specialize,
     )
     stream = async_service.stream_many(
         queries,
@@ -452,7 +532,11 @@ def batch_main(argv: list[str]) -> int:
             return _fail(f"query {query!r}: {error}", error_exit_code(error))
     if args.stream:
         return _stream_batch(args, queries, documents, labels)
-    service = QueryService(plan_capacity=args.plan_capacity, optimize=args.optimize)
+    service = QueryService(
+        plan_capacity=args.plan_capacity,
+        optimize=args.optimize,
+        specialize=args.specialize,
+    )
     try:
         batch = service.evaluate_many(
             queries,
@@ -478,6 +562,18 @@ def batch_main(argv: list[str]) -> int:
                 "stats are exact sums over shards)"
             )
         _print_batch_stats(batch.plan_stats, batch.result_stats, shards_line)
+        # Stage-2 memo counters live on the driving service; sharded
+        # batches specialize inside per-shard workers instead.
+        if args.workers == 1:
+            specialize_stats = service.cache_stats().get("specialize_cache")
+            if specialize_stats is not None:
+                print(
+                    "specializer:  "
+                    f"hits={specialize_stats['hits']} "
+                    f"misses={specialize_stats['misses']} "
+                    f"hit rate={specialize_stats['hit_rate']:.1%}",
+                    file=sys.stderr,
+                )
     return 0
 
 

@@ -1,41 +1,63 @@
-"""The service layer: compiled-plan caching, batch evaluation, scheduling.
+"""The service layer: two-stage compilation, caching, batch scheduling.
 
 The paper's algorithms bound *evaluation* cost; this package amortizes
 everything that happens before evaluation, then keeps the evaluators
-saturated. A batch flows through three layers:
+saturated. Compilation is split into two explicit stages, and a batch
+flows through four layers:
 
-1. **planner** — each distinct ``(query, options)`` pair is compiled
-   once (parse → normalize → rewrite → relevance → fragment
-   classification) into a :class:`CompiledPlan`, held in the
-   exact-accounting LRU :class:`PlanCache`; shard planning
-   (:mod:`repro.service.shard`) partitions the batch's documents across
-   workers. Both are deterministic and backend-independent.
-2. **scheduler** — the pluggable middle layer
-   (:mod:`repro.service.scheduler`): ``dispatch`` evaluates the planned
-   shards. This is the only layer a backend replaces —
-   :class:`SerialScheduler` (one-after-another reference),
-   :class:`ThreadScheduler` (``ThreadPoolExecutor`` overlap),
-   :class:`ProcessScheduler` (true parallelism; documents rebuilt per
-   worker, node-sets rebound by pre-order index), and
-   :class:`AsyncScheduler` (asyncio coroutine-per-shard, bounded
-   semaphore, thread offload — also the only backend that can *stream*
-   shard outcomes as they complete).
-3. **merge** — per-shard values reassembled into batch order and cache
+1. **logical planning (stage 1, document-independent)** — each distinct
+   ``(query, options)`` pair is compiled once (parse → normalize →
+   rewrite → relevance → fragment classification → trait extraction)
+   into a :class:`LogicalPlan`, held in the exact-accounting LRU
+   :class:`PlanCache`. A logical plan deliberately names *no* evaluator:
+   it carries the fragment classification and the cost features
+   (:class:`~repro.service.plan.PlanTraits`) that stage 2 reads.
+2. **physical specialization (stage 2, per document)** — a
+   :class:`PlanSpecializer` combines a logical plan with a
+   :class:`DocumentProfile` (node count, depth, fanout, text ratio) and
+   picks the evaluator via a small explicit cost model seeded from the
+   paper's complexity bounds and refined online by observed per-
+   algorithm timings (:class:`repro.stats.TimingStats`). Candidates are
+   restricted to the worst-case-bounded evaluators (``mincontext``,
+   ``optmincontext``, and ``corexpath`` inside Core XPath), with
+   guarantee clamps above a size threshold — so a mis-estimate costs
+   constants, never asymptotics. Specializations are memoized with
+   exact counters (``specialize_cache``); ``specialize=False`` anywhere
+   in the stack falls back to the static fragment dispatch
+   (:func:`resolve_algorithm`).
+3. **scheduling** — the pluggable middle layer
+   (:mod:`repro.service.scheduler`): ``prepare`` plans document shards
+   (LPT on node counts — or on *observed per-document seconds* once a
+   :class:`~repro.service.shard.ShardTimingHistory` has seen the
+   documents), ``dispatch`` evaluates them. Backends:
+   :class:`SerialScheduler` (reference), :class:`ThreadScheduler`
+   (``ThreadPoolExecutor`` overlap), :class:`ProcessScheduler` (true
+   parallelism; documents rebuilt per worker, node-sets rebound by
+   pre-order index), and :class:`AsyncScheduler` (asyncio
+   coroutine-per-shard, bounded semaphore, thread offload — also the
+   only backend that can *stream* shard outcomes as they complete).
+4. **merge** — per-shard values reassembled into batch order, cache
    counters summed exactly (:func:`merge_stats_snapshots`; incremental
-   form: :meth:`repro.stats.CacheStats.absorb_snapshot`), producing one
+   form: :meth:`repro.stats.CacheStats.absorb_snapshot`), and each
+   shard's wall time fed back into the timing history, producing one
    :class:`BatchResult` regardless of backend.
 
 Modules:
 
-* :mod:`repro.service.plan` — :class:`CompiledPlan` / :class:`PlanOptions`;
-* :mod:`repro.service.planner` — the frontend pipeline and algorithm
-  dispatch;
+* :mod:`repro.service.plan` — :class:`LogicalPlan` (aliases
+  ``CompiledPlan``/``CompiledQuery``) / :class:`PlanTraits` /
+  :class:`PlanOptions`;
+* :mod:`repro.service.planner` — the stage-1 frontend pipeline and the
+  static algorithm dispatch;
+* :mod:`repro.service.specialize` — stage 2: :class:`DocumentProfile`,
+  :class:`PhysicalPlan`, :class:`PlanSpecializer`, the cost model;
 * :mod:`repro.service.cache` — the thread-safe, exact-accounting LRU
   :class:`PlanCache`;
 * :mod:`repro.service.service` — :class:`QueryService` /
   :class:`DocumentSession` / :class:`BatchResult` (thread-safe: one
   service may be shared across concurrent drivers);
-* :mod:`repro.service.shard` — deterministic shard planning;
+* :mod:`repro.service.shard` — deterministic shard planning +
+  :class:`ShardTimingHistory` (adaptive weights from observed times);
 * :mod:`repro.service.scheduler` — the :class:`Scheduler` seam and its
   four backends;
 * :mod:`repro.service.executor` — :class:`ShardedExecutor`, the
@@ -47,19 +69,32 @@ Quickstart::
 
     from repro import QueryService, parse_document
 
-    service = QueryService(plan_capacity=128)
+    service = QueryService(plan_capacity=128)    # specialization on
     docs = [parse_document(x) for x in sources]
     batch = service.evaluate_many(["//book/title", "//book[price > 20]"], docs)
     batch.value(0, 1)                      # doc 0, second query
     service.cache_stats()["plan_cache"]    # hits / misses / hit_rate
+    service.cache_stats()["specialize_cache"]   # stage-2 memo counters
+
+Inspecting the two stages — what runs where, and why::
+
+    plan = service.plan("//book[price > 20]/title")   # stage 1 (cached)
+    plan.best_algorithm()              # static dispatch: 'optmincontext'
+    from repro.service.specialize import document_profile
+    physical = service.specializer.specialize(plan, document_profile(docs[0]))
+    physical.algorithm                 # e.g. 'mincontext' on a small doc
+    physical.rationale                 # the profile features that decided
+    # CLI form: repro-xpath plan --explain --file doc.xml QUERY
 
 Scaling out, same API — shard the batch across workers::
 
     batch = service.evaluate_many(queries, docs, workers=4,
                                   shard_by="size-balanced", backend="process")
     batch.workers        # shards actually used
-    batch.shards         # per-shard documents, weights, stats snapshots
+    batch.shards         # per-shard documents, weights, wall times, stats
     batch.plan_stats     # exact sum of the per-shard counters
+    # Repeat batches re-balance on the observed per-shard wall times
+    # recorded in service.shard_history (adaptive LPT weighting).
 
 Serving from an event loop — the async front end::
 
@@ -82,7 +117,15 @@ from repro.service.executor import (
     ShardedExecutor,
     merge_stats_snapshots,
 )
-from repro.service.plan import CompiledPlan, CompiledQuery, PlanOptions, plan_key
+from repro.service.plan import (
+    CompiledPlan,
+    CompiledQuery,
+    LogicalPlan,
+    PlanOptions,
+    PlanTraits,
+    compute_traits,
+    plan_key,
+)
 from repro.service.planner import (
     ALGORITHMS,
     QueryPlanner,
@@ -101,7 +144,18 @@ from repro.service.scheduler import (
     make_scheduler,
 )
 from repro.service.service import BatchResult, DocumentSession, QueryService
-from repro.service.shard import SHARD_STRATEGIES, Shard, plan_shards
+from repro.service.shard import (
+    SHARD_STRATEGIES,
+    Shard,
+    ShardTimingHistory,
+    plan_shards,
+)
+from repro.service.specialize import (
+    DocumentProfile,
+    PhysicalPlan,
+    PlanSpecializer,
+    document_profile,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -111,10 +165,15 @@ __all__ = [
     "BatchStream",
     "CompiledPlan",
     "CompiledQuery",
+    "DocumentProfile",
     "DocumentSession",
     "EXECUTOR_BACKENDS",
+    "LogicalPlan",
+    "PhysicalPlan",
     "PlanCache",
     "PlanOptions",
+    "PlanSpecializer",
+    "PlanTraits",
     "PreparedBatch",
     "ProcessScheduler",
     "QueryPlanner",
@@ -124,10 +183,13 @@ __all__ = [
     "Scheduler",
     "SerialScheduler",
     "Shard",
+    "ShardTimingHistory",
     "ShardedExecutor",
     "StreamItem",
     "ThreadScheduler",
     "compile_plan",
+    "compute_traits",
+    "document_profile",
     "make_evaluator",
     "make_scheduler",
     "merge_stats_snapshots",

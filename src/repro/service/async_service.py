@@ -130,6 +130,7 @@ class BatchStream:
         async for shard, outcome in self._scheduler.stream(self._prepared):
             self._plan_stats.absorb_snapshot(outcome["plan_stats"])
             self._result_stats.absorb_snapshot(outcome["result_stats"])
+            self._scheduler.record_timing(shard, outcome, self._prepared)
             self.shards.append(self._scheduler.shard_report(shard, outcome))
             for document_index, row in zip(shard.document_indices, outcome["values"]):
                 self._values[document_index] = row
@@ -259,5 +260,6 @@ class AsyncQueryService:
             workers=workers,
             shard_by=shard_by,
             max_concurrency=max_concurrency,
+            history=self.service.shard_history,
             **self.service.config(),
         )

@@ -1,4 +1,4 @@
-"""An exact-accounting LRU cache for compiled plans.
+"""An exact-accounting LRU cache for logical plans.
 
 ``OrderedDict``-based: a hit moves the entry to the MRU end, an insert
 beyond capacity evicts from the LRU end. Every lookup is counted as
@@ -8,7 +8,12 @@ one eviction — the plan-cache tests assert these counters literally.
 
 The cache is value-agnostic (it stores whatever the factory returns), but
 in practice the keys are :func:`repro.service.plan.plan_key` tuples and
-the values :class:`repro.service.plan.CompiledPlan` instances.
+the values :class:`repro.service.plan.LogicalPlan` instances — stage 1 of
+the two-stage compilation only. Stage-2 physical specializations are
+document-dependent and live in the
+:class:`repro.service.specialize.PlanSpecializer` memo instead, keyed by
+(plan, profile), so an evicted-and-recompiled plan (same stable
+``cache_key``) keeps hitting its existing specializations.
 
 Thread safety: every operation (including the lookup-count + mutate
 pairs) runs under one re-entrant lock, so a single cache shared by

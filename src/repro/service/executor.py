@@ -54,6 +54,8 @@ class ShardedExecutor:
         result_capacity: int | None = None,
         optimize: bool = False,
         variables: dict[str, object] | None = None,
+        specialize: bool = True,
+        history=None,
     ):
         self.scheduler = make_scheduler(
             backend,
@@ -64,6 +66,8 @@ class ShardedExecutor:
             result_capacity=result_capacity,
             optimize=optimize,
             variables=variables,
+            specialize=specialize,
+            history=history,
         )
         self.workers = workers
         self.backend = backend

@@ -1,16 +1,27 @@
-"""Compiled query plans and their cache keys.
+"""Logical query plans — stage 1 of the two-stage compilation pipeline.
 
-A :class:`CompiledPlan` is everything the frontend pipeline produces for
-one query string: the normalized (and optionally rewritten) AST with
-``value_type``/``Relev`` annotations, the fragment classification
-(Definitions 12 and Section 4 of the paper), the bottom-up path count,
-and the algorithm ``auto`` dispatch selects. Building one costs a full
-parse → normalize → relevance → rewrite → classify pass; evaluating one
-is pure — the plan never changes and may be shared freely across
-documents, contexts, and threads of evaluation. That asymmetry is the
-whole point of the service layer: compile once, evaluate many times
-(Theorems 7/10/13 bound the *evaluation* cost; the frontend cost is
-amortized away by :class:`repro.service.cache.PlanCache`).
+A :class:`LogicalPlan` is everything the *document-independent* frontend
+pipeline produces for one query string: the normalized (and optionally
+rewritten) AST with ``value_type``/``Relev`` annotations, the fragment
+classification (Definition 12 and Section 4 of the paper), the bottom-up
+path count, and the :class:`PlanTraits` the cost model reads (AST size,
+position dependence, sibling-positional steps, string-function count).
+Building one costs a full parse → normalize → relevance → rewrite →
+classify pass; evaluating one is pure — the plan never changes and may
+be shared freely across documents, contexts, and threads of evaluation.
+That asymmetry is the whole point of the service layer: compile once,
+evaluate many times (Theorems 7/10/13 bound the *evaluation* cost; the
+frontend cost is amortized away by
+:class:`repro.service.cache.PlanCache`).
+
+What a logical plan deliberately does *not* contain is an evaluator
+choice: stage 2 (:mod:`repro.service.specialize`) turns a logical plan
+plus a per-document :class:`~repro.service.specialize.DocumentProfile`
+into a :class:`~repro.service.specialize.PhysicalPlan` naming the chosen
+algorithm. :meth:`LogicalPlan.best_algorithm` remains the
+document-independent *static* fragment dispatch (Core XPath →
+``corexpath``, else ``optmincontext``) — the stage-2 fallback and the
+``--no-specialize`` behavior.
 
 :class:`PlanOptions` captures the compile-time knobs that change the
 produced AST — the rewrite flag and the variable bindings — so the cache
@@ -21,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.xpath.ast import Expr
+from repro.xpath.ast import AstNode, Expr, FunctionCall, Step
 from repro.xpath.rewrite import RewriteStats
 
 
@@ -67,8 +78,86 @@ def plan_key(query: str, options: PlanOptions) -> tuple:
     return (query, options)
 
 
+#: The context components whose relevance marks position dependence.
+_CPCS = frozenset({"cp", "cs"})
+
+#: Sibling axes whose positional predicates loop over sibling runs —
+#: the shape feature that makes OPTMINCONTEXT's bottom-up precomputation
+#: pay off on high-fanout documents (see the cost model).
+_SIBLING_AXES = frozenset({"following-sibling", "preceding-sibling"})
+
+#: String-library functions whose cost scales with text volume.
+_STRING_FUNCTIONS = frozenset(
+    {
+        "string",
+        "concat",
+        "contains",
+        "starts-with",
+        "substring",
+        "substring-before",
+        "substring-after",
+        "string-length",
+        "normalize-space",
+        "translate",
+    }
+)
+
+
+@dataclass(frozen=True)
+class PlanTraits:
+    """Document-independent cost features of one normalized AST.
+
+    Computed once at compile time (one AST walk) and read by the stage-2
+    cost model together with a :class:`DocumentProfile`:
+
+    * ``ast_size`` — total AST node count, the ``|Q|`` of the paper's
+      bounds;
+    * ``uses_position`` — some subexpression's ``Relev`` touches
+      ``cp``/``cs``, so evaluation runs (cp, cs) loops somewhere;
+    * ``positional_sibling`` — a sibling-axis step carries a
+      position-dependent predicate: the loop width then scales with the
+      document's fanout (sibling-run length), not just ``|D|``;
+    * ``string_op_count`` — string-library calls, whose cost scales with
+      the document's text volume.
+    """
+
+    ast_size: int = 1
+    uses_position: bool = False
+    positional_sibling: bool = False
+    string_op_count: int = 0
+
+
+def compute_traits(ast: Expr) -> PlanTraits:
+    """One-pass trait extraction over a relevance-annotated AST."""
+    size = 0
+    uses_position = False
+    positional_sibling = False
+    string_ops = 0
+    stack: list[AstNode] = [ast]
+    while stack:
+        node = stack.pop()
+        size += 1
+        relev = getattr(node, "relev", None)
+        if relev and (relev & _CPCS):
+            uses_position = True
+        if isinstance(node, FunctionCall) and node.name in _STRING_FUNCTIONS:
+            string_ops += 1
+        if isinstance(node, Step) and node.axis in _SIBLING_AXES:
+            for predicate in node.predicates:
+                predicate_relev = getattr(predicate, "relev", None)
+                if predicate_relev and (predicate_relev & _CPCS):
+                    positional_sibling = True
+        stack.extend(node.children())
+    return PlanTraits(
+        ast_size=size,
+        uses_position=uses_position,
+        positional_sibling=positional_sibling,
+        string_op_count=string_ops,
+    )
+
+
 @dataclass
-class CompiledPlan:
+class LogicalPlan:
     """A parsed, normalized, analyzed query, reusable across evaluations.
 
     Attributes:
@@ -79,6 +168,8 @@ class CompiledPlan:
         wadler_violation: why it is outside the Extended Wadler Fragment.
         bottomup_path_count: number of subexpressions OPTMINCONTEXT will
             evaluate bottom-up.
+        traits: the document-independent cost features the stage-2
+            specializer reads (see :class:`PlanTraits`).
         options: the compile-time options this plan was built under.
     """
 
@@ -91,6 +182,7 @@ class CompiledPlan:
     variables: dict[str, object] = field(default_factory=dict, repr=False)
     #: What the optimizer pass did (None when compiled with optimize=False).
     rewrite_stats: RewriteStats | None = None
+    traits: PlanTraits = field(default_factory=PlanTraits)
     options: PlanOptions = field(default_factory=PlanOptions)
 
     @property
@@ -102,7 +194,11 @@ class CompiledPlan:
         return self.wadler_violation is None
 
     def best_algorithm(self) -> str:
-        """The algorithm ``auto`` dispatches to."""
+        """The *static* (document-independent) fragment dispatch ``auto``
+        falls back to when no specializer is attached: Core XPath →
+        Theorem 13's linear-time evaluator, everything else →
+        OPTMINCONTEXT. The cost-driven per-document choice lives in
+        :class:`repro.service.specialize.PlanSpecializer`."""
         if self.is_core_xpath:
             return "corexpath"
         return "optmincontext"
@@ -118,6 +214,9 @@ class CompiledPlan:
         return plan_key(self.source, self.options)
 
 
-#: Backward-compatible alias — the engine facade predates the service
-#: layer and exported this name.
-CompiledQuery = CompiledPlan
+#: Backward-compatible aliases — the class was named ``CompiledPlan``
+#: before the two-stage split (and ``CompiledQuery`` in the engine facade
+#: that predates the service layer). Both names remain importable;
+#: ``LogicalPlan`` is the stage-1 name the architecture docs use.
+CompiledPlan = LogicalPlan
+CompiledQuery = LogicalPlan

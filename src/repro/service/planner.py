@@ -1,21 +1,25 @@
-"""The query planner: frontend pipeline + algorithm dispatch in one place.
+"""The query planner: stage 1 of the two-stage compilation pipeline.
 
-This module owns the pipeline that used to live inside
-``XPathEngine.compile``/``evaluate``:
+This module owns the *document-independent* half of compilation:
 
 * :func:`compile_plan` — parse → normalize (variables substituted,
   conversions explicit) → relevance analysis → optional rewrite →
-  fragment classification, producing a :class:`~repro.service.plan.CompiledPlan`;
+  fragment classification → trait extraction, producing a
+  :class:`~repro.service.plan.LogicalPlan`;
 * :func:`resolve_algorithm` — validate an algorithm name, apply the
-  ``auto`` fragment dispatch (Core XPath → Theorem 13's linear-time
-  evaluator, everything else → OPTMINCONTEXT), and enforce fragment
-  membership for forced choices;
+  *static* ``auto`` fragment dispatch (Core XPath → Theorem 13's
+  linear-time evaluator, everything else → OPTMINCONTEXT), and enforce
+  fragment membership for forced choices;
 * :func:`make_evaluator` — instantiate the chosen evaluator for a
   document.
 
+Stage 2 — turning a logical plan into a per-document *physical* plan via
+the cost-driven algorithm selector — lives in
+:mod:`repro.service.specialize`; :func:`resolve_algorithm` is its
+document-blind fallback (and the exact behavior of ``--no-specialize``).
 :class:`XPathEngine <repro.engine.XPathEngine>` and
 :class:`QueryService <repro.service.service.QueryService>` are both thin
-clients of these three functions.
+clients of these functions.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from repro.core.naive import NaiveEvaluator
 from repro.core.optmincontext import OptMinContextEvaluator
 from repro.core.topdown import TopDownEvaluator
 from repro.errors import FragmentViolationError, UnknownAlgorithmError
-from repro.service.plan import CompiledPlan, PlanOptions
+from repro.service.plan import CompiledPlan, LogicalPlan, PlanOptions, compute_traits
 from repro.xml.document import Document
 from repro.xpath.fragments import (
     core_xpath_violation,
@@ -71,8 +75,8 @@ def compile_plan(
     query: str,
     variables: dict[str, object] | None = None,
     optimize: bool = False,
-) -> CompiledPlan:
-    """Run the full frontend pipeline on one query string."""
+) -> LogicalPlan:
+    """Run the full stage-1 frontend pipeline on one query string."""
     stats.count("plans_compiled")
     bindings = dict(variables or {})
     ast = normalize(parse_xpath(query), bindings)
@@ -82,7 +86,7 @@ def compile_plan(
         rewrite_stats = RewriteStats()
         ast = rewrite(ast, rewrite_stats)
         compute_relevance(ast)
-    return CompiledPlan(
+    return LogicalPlan(
         source=query,
         ast=ast,
         result_type=ast.value_type or "nset",
@@ -91,6 +95,7 @@ def compile_plan(
         bottomup_path_count=len(find_bottomup_paths(ast)),
         variables=bindings,
         rewrite_stats=rewrite_stats,
+        traits=compute_traits(ast),
         options=PlanOptions.make(bindings, optimize),
     )
 
@@ -104,12 +109,14 @@ class QueryPlanner:
         query: str,
         variables: dict[str, object] | None = None,
         optimize: bool = False,
-    ) -> CompiledPlan:
+    ) -> LogicalPlan:
         return compile_plan(query, variables, optimize)
 
 
-def resolve_algorithm(plan: CompiledPlan, algorithm: str = "auto") -> str:
-    """Validate and resolve an algorithm name for a plan.
+def resolve_algorithm(plan: LogicalPlan, algorithm: str = "auto") -> str:
+    """Validate and *statically* resolve an algorithm name for a plan
+    (document-blind fragment dispatch — the stage-2 specializer refines
+    ``auto`` per document profile when one is attached).
 
     Raises :class:`repro.errors.UnknownAlgorithmError` for names outside
     :data:`ALGORITHMS` and :class:`repro.errors.FragmentViolationError`

@@ -59,12 +59,18 @@ the workers'.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.service.plan import CompiledPlan
 from repro.service.planner import compile_plan, resolve_algorithm
-from repro.service.shard import SHARD_STRATEGIES, Shard, plan_shards
+from repro.service.shard import (
+    SHARD_STRATEGIES,
+    Shard,
+    ShardTimingHistory,
+    plan_shards,
+)
 from repro.stats import CacheStats
 from repro.xml.document import Document
 from repro.xml.parser import parse_document
@@ -174,6 +180,7 @@ def _evaluate_shard_serialized(payload: dict) -> dict:
     outcome this layer must never produce."""
     from repro.errors import XMLSyntaxError
 
+    started = time.perf_counter()
     try:
         documents = [
             parse_document(source, id_attribute=id_attribute)
@@ -190,10 +197,13 @@ def _evaluate_shard_serialized(payload: dict) -> dict:
     batch = _evaluate_shard(
         payload["config"], payload["queries"], documents, payload["algorithm"]
     )
+    # The shard's wall time as the worker experienced it (rebuild +
+    # evaluation) — the cost the adaptive weighting should balance.
     return {
         "values": [[_encode_value(value) for value in row] for row in batch.values],
         "plan_stats": batch.plan_stats,
         "result_stats": batch.result_stats,
+        "elapsed_seconds": time.perf_counter() - started,
     }
 
 
@@ -243,6 +253,8 @@ class Scheduler:
         result_capacity: int | None = None,
         optimize: bool = False,
         variables: dict[str, object] | None = None,
+        specialize: bool = True,
+        history: ShardTimingHistory | None = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -252,12 +264,18 @@ class Scheduler:
             )
         self.workers = workers
         self.shard_by = shard_by
+        #: Optional cross-batch timing history (owned by the caller —
+        #: typically :attr:`QueryService.shard_history`): consulted for
+        #: LPT weights in :meth:`prepare`, fed by completed shards. Not
+        #: part of ``service_config`` — workers must not inherit it.
+        self.history = history
         self.service_config = {
             "plan_capacity": plan_capacity,
             "session_capacity": session_capacity,
             "result_capacity": result_capacity,
             "optimize": optimize,
             "variables": dict(variables or {}),
+            "specialize": specialize,
         }
 
     # ------------------------------------------------------------------
@@ -286,8 +304,14 @@ class Scheduler:
             prepared.algorithms.append(resolve_algorithm(plan, algorithm))
         prepared.plans = list(plans.values())
         if prepared.documents:
+            # Adaptive weighting (size-balanced only): when the attached
+            # history has observed any of these documents, LPT balances
+            # on predicted seconds instead of the node-count proxy.
+            weights = None
+            if self.history is not None and self.shard_by == "size-balanced":
+                weights = self.history.predicted_weights(prepared.documents)
             prepared.shards = plan_shards(
-                prepared.documents, self.workers, self.shard_by
+                prepared.documents, self.workers, self.shard_by, weights=weights
             )
         return prepared
 
@@ -302,7 +326,10 @@ class Scheduler:
 
     def run_shard(self, shard: Shard, prepared: PreparedBatch) -> dict:
         """Evaluate one shard in-process (the in-process backends' worker
-        body, and the process backend's fallback path)."""
+        body, and the process backend's fallback path). The shard's wall
+        time rides the outcome — it is what the adaptive weighting
+        satellite feeds back into :func:`plan_shards`."""
+        started = time.perf_counter()
         batch = _evaluate_shard(
             self.service_config,
             prepared.queries,
@@ -314,6 +341,7 @@ class Scheduler:
             "values": batch.values,
             "plan_stats": batch.plan_stats,
             "result_stats": batch.result_stats,
+            "elapsed_seconds": time.perf_counter() - started,
         }
 
     # ------------------------------------------------------------------
@@ -329,10 +357,26 @@ class Scheduler:
             "strategy": self.shard_by,
             "documents": list(shard.document_indices),
             "weight": shard.weight,
+            "elapsed_seconds": outcome.get("elapsed_seconds", 0.0),
             "local_fallback": outcome.get("local_fallback", False),
             "plan_stats": outcome["plan_stats"],
             "result_stats": outcome["result_stats"],
         }
+
+    def record_timing(
+        self, shard: Shard, outcome: dict, prepared: PreparedBatch
+    ) -> None:
+        """Feed one completed shard's wall time into the attached
+        :class:`~repro.service.shard.ShardTimingHistory` (no-op without
+        one). Called exactly once per shard — by :meth:`merge` on the
+        barrier path and by the streaming front end as shards complete —
+        so each observation is folded once."""
+        if self.history is None:
+            return
+        elapsed = outcome.get("elapsed_seconds", 0.0)
+        self.history.observe_shard(
+            [prepared.documents[i] for i in shard.document_indices], elapsed
+        )
 
     def merge(self, prepared: PreparedBatch, outcomes: list[dict]):
         """Reassemble shard outcomes into one merged
@@ -344,6 +388,7 @@ class Scheduler:
 
         values: list[list[object] | None] = [None] * len(prepared.documents)
         for shard, outcome in zip(prepared.shards, outcomes):
+            self.record_timing(shard, outcome, prepared)
             for doc_index, row in zip(shard.document_indices, outcome["values"]):
                 values[doc_index] = row
         return BatchResult(

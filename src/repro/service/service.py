@@ -1,18 +1,27 @@
-"""The query service: compile once, evaluate many times, across documents.
+"""The query service: compile once, specialize per document, evaluate many.
 
 :class:`QueryService` is the production-facing entry point this
 reproduction grows toward (see ROADMAP.md): a long-lived object that
 
 * compiles each distinct ``(query, options)`` pair exactly once into a
-  :class:`~repro.service.plan.CompiledPlan`, held in an LRU
+  stage-1 :class:`~repro.service.plan.LogicalPlan`, held in an LRU
   :class:`~repro.service.cache.PlanCache`;
+* specializes ``auto`` evaluations per document through a shared
+  :class:`~repro.service.specialize.PlanSpecializer` (stage 2: logical
+  plan × :class:`~repro.service.specialize.DocumentProfile` → the
+  cost-model-chosen evaluator, refined online by observed timings) —
+  construct with ``specialize=False`` for the document-blind static
+  fragment dispatch;
 * keeps one :class:`DocumentSession` per served document, which reuses
   stateless evaluator instances and memoizes ``(plan, context)`` results
   — evaluation is pure, so repeated identical requests are dictionary
   lookups;
 * exposes :meth:`QueryService.evaluate_many`, the batch API: all queries
   × all documents in one call, sharing the plan cache across documents
-  and each document's session caches across queries.
+  and each document's session caches across queries; sharded batches
+  feed their observed per-shard wall times into a persistent
+  :class:`~repro.service.shard.ShardTimingHistory` that reweights the
+  LPT partitioning of repeat batches.
 
 The per-call frontend cost (parse → normalize → rewrite → relevance →
 fragment classification) is exactly the overhead the paper's algorithms
@@ -24,6 +33,7 @@ algorithms into a fast system.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.core.context import Context
@@ -36,6 +46,8 @@ from repro.service.planner import (
     make_evaluator,
     resolve_algorithm,
 )
+from repro.service.shard import ShardTimingHistory
+from repro.service.specialize import PlanSpecializer, document_profile
 from repro.stats import CacheStats
 from repro.xml.document import Document, Node
 
@@ -70,7 +82,12 @@ class DocumentSession:
     #: hot path).
     DEFAULT_RESULT_CAPACITY = 1024
 
-    def __init__(self, document: Document, result_capacity: int | None = None):
+    def __init__(
+        self,
+        document: Document,
+        result_capacity: int | None = None,
+        specializer: PlanSpecializer | None = None,
+    ):
         if not document.is_finalized:
             raise ReproError("document must be finalized before building a session")
         self.document = document
@@ -81,12 +98,32 @@ class DocumentSession:
             raise ValueError(
                 f"result capacity must be >= 1, got {self.result_capacity}"
             )
+        #: Stage-2 selector (shared service-wide); ``None`` keeps the
+        #: static document-blind fragment dispatch.
+        self.specializer = specializer
+        self._profile = None
         self._evaluators: dict[str, object] = {}
         self._results: dict[tuple, object] = {}
         self._lock = threading.RLock()
         self.result_stats = CacheStats(name="result_cache", capacity=self.result_capacity)
 
     # ------------------------------------------------------------------
+
+    @property
+    def profile(self):
+        """This document's :class:`~repro.service.specialize.DocumentProfile`
+        (computed lazily, cached process-wide by the specialize module)."""
+        if self._profile is None:
+            self._profile = document_profile(self.document)
+        return self._profile
+
+    def resolve(self, plan: CompiledPlan, algorithm: str = "auto") -> str:
+        """Stage-2 resolution: specialize ``auto`` per this document's
+        profile when a specializer is attached; static fragment dispatch
+        otherwise (and for forced names, which need no profile)."""
+        if algorithm == "auto" and self.specializer is not None:
+            return self.specializer.specialize(plan, self.profile).algorithm
+        return resolve_algorithm(plan, algorithm)
 
     def evaluator(self, algorithm: str):
         """An evaluator for a resolved algorithm; instances of stateless
@@ -111,14 +148,15 @@ class DocumentSession:
     ):
         """Evaluate a compiled plan against this session's document.
 
-        ``cached=False`` bypasses the result memo (used by benchmarks to
-        time real evaluation work).
+        ``algorithm='auto'`` goes through :meth:`resolve` — per-document
+        specialization when the session carries a specializer, static
+        dispatch otherwise. ``cached=False`` bypasses the result memo
+        (used by benchmarks to time real evaluation work).
         """
-        resolved = resolve_algorithm(plan, algorithm)
         node = context_node if context_node is not None else self.document.root
         if not cached:
             context = Context(node, context_position, context_size)
-            return self.evaluator(resolved).evaluate(plan.ast, context)
+            return self._evaluate_timed(plan, self.resolve(plan, algorithm), context)
         # Keyed by the plan's *stable* cache key, not the AST's identity:
         # a plan evicted from the LRU and recompiled gets a fresh AST (and
         # uid), but it is the same plan — its memo entries must stay
@@ -127,7 +165,13 @@ class DocumentSession:
         # node-set/object bindings by id(), which is only sound while the
         # bound objects are alive, so the entry pins them (via the plan's
         # variables dict) for exactly as long as the key can match.
-        key = (plan.cache_key, resolved, node, context_position, context_size)
+        # Keyed by the *requested* algorithm, with resolution deferred to
+        # the miss path: hits stay session-local dict lookups (no
+        # specializer lock on the hot path), and an ``auto`` entry stays
+        # reachable even if a later re-selection — after a specializer
+        # memo flush with refined timing rates — would choose a different
+        # evaluator (evaluation is pure, so the value is the same).
+        key = (plan.cache_key, algorithm, node, context_position, context_size)
         with self._lock:
             entry = self._results.get(key)
             if entry is not None:
@@ -135,13 +179,25 @@ class DocumentSession:
                 return _copy_result(entry[1])
             self.result_stats.miss()
         context = Context(node, context_position, context_size)
-        value = self.evaluator(resolved).evaluate(plan.ast, context)
+        value = self._evaluate_timed(plan, self.resolve(plan, algorithm), context)
         with self._lock:
             if len(self._results) >= self.result_capacity:
                 self._results.clear()
                 self.result_stats.eviction(self.result_capacity)
             self._results[key] = (plan, value)
         return _copy_result(value)
+
+    def _evaluate_timed(self, plan: CompiledPlan, resolved: str, context: Context):
+        """Run one real evaluation, feeding its wall time back into the
+        specializer's online cost refinement (when one is attached)."""
+        if self.specializer is None:
+            return self.evaluator(resolved).evaluate(plan.ast, context)
+        started = time.perf_counter()
+        value = self.evaluator(resolved).evaluate(plan.ast, context)
+        self.specializer.observe(
+            plan, self.profile, resolved, time.perf_counter() - started
+        )
+        return value
 
     def clear(self) -> None:
         with self._lock:
@@ -165,15 +221,17 @@ class BatchResult:
     """The outcome of one :meth:`QueryService.evaluate_many` call.
 
     ``values[d][q]`` is the result of ``queries[q]`` on document ``d``;
-    ``algorithms[q]`` is the resolved algorithm per query (fragment
-    dispatch is document-independent). ``plan_stats``/``result_stats``
-    cover *this batch only* (deltas, not service-lifetime totals — those
-    live on :meth:`QueryService.cache_stats`).
+    ``algorithms[q]`` is the *statically* resolved algorithm per query
+    (the document-independent fragment dispatch — under specialization
+    the evaluator actually run may differ per document, with identical
+    values). ``plan_stats``/``result_stats`` cover *this batch only*
+    (deltas, not service-lifetime totals — those live on
+    :meth:`QueryService.cache_stats`).
 
     Sharded runs (``workers > 1``) additionally report ``workers`` (the
     number of shards actually used) and ``shards`` (per-shard document
-    indices, weights, and unmerged stats snapshots); the top-level stats
-    are then the exact sums of the per-shard counters.
+    indices, weights, wall times, and unmerged stats snapshots); the
+    top-level stats are then the exact sums of the per-shard counters.
     """
 
     queries: list[str]
@@ -215,12 +273,21 @@ class QueryService:
         result_capacity: int | None = None,
         optimize: bool = False,
         variables: dict[str, object] | None = None,
+        specialize: bool = True,
     ):
         self.planner = QueryPlanner()
         self.plans = PlanCache(plan_capacity)
         self.optimize = optimize
         self.variables = dict(variables or {})
         self.result_capacity = result_capacity
+        self.specialize = bool(specialize)
+        #: One specializer for the whole service: the memo is keyed by
+        #: (plan, profile), so identically-shaped documents share
+        #: specializations, and the timing model sees every evaluation.
+        self.specializer = PlanSpecializer() if self.specialize else None
+        #: Observed per-document evaluation times from sharded batches,
+        #: fed back into LPT shard planning on repeat batches.
+        self.shard_history = ShardTimingHistory()
         # Sessions are LRU-bounded too: a long-lived service must not
         # retain every document tree it has ever served. Evicting a
         # session drops its document reference and result memo; its
@@ -254,7 +321,11 @@ class QueryService:
         with self._lock:
             session = self._sessions.get(document)
             if session is None:
-                session = DocumentSession(document, result_capacity=self.result_capacity)
+                session = DocumentSession(
+                    document,
+                    result_capacity=self.result_capacity,
+                    specializer=self.specializer,
+                )
                 while len(self._sessions) >= self._sessions.capacity:
                     _, evicted = self._sessions.pop_lru()
                     self._retired_result_stats.absorb(evicted.result_stats)
@@ -316,6 +387,7 @@ class QueryService:
                 workers=workers,
                 backend=backend,
                 shard_by=shard_by,
+                history=self.shard_history,
                 **self.config(),
             )
             return executor.execute(queries, documents, algorithm=algorithm)
@@ -324,15 +396,16 @@ class QueryService:
         plan_stats_before = self.plans.stats.snapshot()
         result_stats_before = self.result_cache_stats()
         plans = [self.plan(query) for query in query_list]
+        # Reported per-query algorithms are the static fragment dispatch
+        # (document-independent by definition); the sessions re-resolve
+        # ``auto`` per document below, so the evaluator actually run may
+        # differ per (query, document) — values are identical either way.
         algorithms = [resolve_algorithm(plan, algorithm) for plan in plans]
         values: list[list[object]] = []
         for document in document_list:
             session = self.session(document)
             values.append(
-                [
-                    session.evaluate(plan, algorithm=resolved)
-                    for plan, resolved in zip(plans, algorithms)
-                ]
+                [session.evaluate(plan, algorithm=algorithm) for plan in plans]
             )
         return BatchResult(
             queries=query_list,
@@ -355,6 +428,7 @@ class QueryService:
             "result_capacity": self.result_capacity,
             "optimize": self.optimize,
             "variables": dict(self.variables),
+            "specialize": self.specialize,
         }
 
     def result_cache_stats(self) -> dict:
@@ -368,16 +442,26 @@ class QueryService:
         return merged.snapshot()
 
     def cache_stats(self) -> dict:
-        """One dict with both cache layers, for CLI/monitoring output."""
-        return {
+        """One dict with every cache layer, for CLI/monitoring output.
+        ``specialize_cache`` (the stage-2 memo) and ``timings`` (the
+        online per-algorithm rates) appear only when specialization is
+        enabled."""
+        merged = {
             "plan_cache": self.plans.stats.snapshot(),
             "result_cache": self.result_cache_stats(),
             "sessions": len(self._sessions),
         }
+        if self.specializer is not None:
+            merged["specialize_cache"] = self.specializer.stats.snapshot()
+            merged["timings"] = self.specializer.timings.snapshot()
+        return merged
 
     def clear(self) -> None:
-        """Drop all cached plans and sessions (statistics are retained)."""
+        """Drop all cached plans, sessions, and specializations
+        (statistics are retained)."""
         self.plans.clear()
+        if self.specializer is not None:
+            self.specializer.clear()
         with self._lock:
             for session in self._sessions.values():
                 self._retired_result_stats.absorb(session.result_stats)

@@ -144,6 +144,76 @@ class CacheStats:
         }
 
 
+@dataclass
+class TimingStats:
+    """Observed wall-clock timings, keyed by name (one key per algorithm).
+
+    The physical-plan specializer (:mod:`repro.service.specialize`) seeds
+    its cost model from the paper's complexity bounds and then *refines*
+    it online: every uncached evaluation reports ``(key, units, seconds)``
+    — the abstract cost units the model predicted and the seconds the
+    evaluation actually took — and the per-key exponentially-weighted
+    seconds-per-unit rate corrects systematic constant-factor error in
+    the seed model. Counters are lock-protected for the same reason
+    :class:`CacheStats` counters are: concurrent drivers must not lose
+    observations. Every observation is also mirrored into the active
+    :func:`collect` collectors as ``<name>_<key>_observations`` /
+    ``<name>_<key>_ns`` counters.
+    """
+
+    name: str = "timings"
+    #: EMA smoothing: weight of the newest observation.
+    smoothing: float = 0.2
+    _rates: dict = field(default_factory=dict, repr=False)
+    _counts: dict = field(default_factory=dict, repr=False)
+    _totals: dict = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def observe(self, key: str, units: float, seconds: float) -> None:
+        """Record one evaluation: ``units`` predicted cost units took
+        ``seconds`` of wall clock. Non-positive units are clamped so a
+        degenerate estimate can never poison the rate with an infinity."""
+        per_unit = seconds / max(units, 1.0)
+        with self._lock:
+            previous = self._rates.get(key)
+            if previous is None:
+                self._rates[key] = per_unit
+            else:
+                self._rates[key] = (
+                    previous + self.smoothing * (per_unit - previous)
+                )
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._totals[key] = self._totals.get(key, 0.0) + seconds
+        count(f"{self.name}_{key}_observations")
+        count(f"{self.name}_{key}_ns", int(seconds * 1e9))
+
+    def rate(self, key: str) -> float | None:
+        """The observed seconds-per-unit EMA for a key, or ``None`` when
+        the key has never been observed (callers must not mix observed
+        rates with made-up defaults — see the specializer)."""
+        with self._lock:
+            return self._rates.get(key)
+
+    def observation_count(self, key: str) -> int:
+        with self._lock:
+            return self._counts.get(key, 0)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-key ``{rate, observations, total_seconds}``, copied under
+        the lock."""
+        with self._lock:
+            return {
+                key: {
+                    "rate": self._rates[key],
+                    "observations": self._counts.get(key, 0),
+                    "total_seconds": self._totals.get(key, 0.0),
+                }
+                for key in self._rates
+            }
+
+
 # Active collectors; almost always empty, occasionally one deep.
 _active: list[Stats] = []
 

@@ -217,6 +217,7 @@ def random_full_query(
     max_steps: int = 4,
     max_depth: int = 2,
     variables: dict[str, object] | None = None,
+    nodeset_names: tuple = (),
 ) -> str:
     """Generate a random full-XPath query: the Core grammar of
     :func:`random_core_query` extended with ``position()``/``last()``
@@ -235,6 +236,17 @@ def random_full_query(
     the engine/service bindings. ``None`` (the default) disables
     variable references entirely, keeping the pre-existing grammar.
 
+    ``nodeset_names`` (requires ``variables``) additionally lets
+    predicates reference *node-set-valued* variables: for each name
+    drawn, the generator records an **empty-tuple placeholder** in
+    ``variables`` — the generator cannot invent document nodes, so the
+    caller must rebind each listed name to a real node-set of the
+    document under test before evaluating (e.g.
+    ``bindings["ns"] = engine.evaluate("//b")``). Node-set bindings are
+    evaluable by the serial/thread/async backends; the process backend
+    rejects them by construction (nodes cannot cross the process
+    boundary).
+
     Every query is grammatical and type-correct, so it is evaluable by
     the five full-XPath algorithms; a fraction of the distribution stays
     inside Core XPath (predicates drawn from the core pool), so the
@@ -244,12 +256,16 @@ def random_full_query(
     forms never misclassify: a top-level union normalizes to a
     :class:`~repro.xpath.ast.Union` (not a location path, hence outside
     Core), and variable references only occur inside full-pool
-    comparison predicates, which are non-Core already.
+    comparison/function predicates, which are non-Core already.
     """
-    query = _random_full_path(rng, max_steps, max_depth, absolute=True, variables=variables)
+    query = _random_full_path(
+        rng, max_steps, max_depth, absolute=True, variables=variables,
+        nodeset_names=nodeset_names,
+    )
     if rng.random() < 0.18:
         query += " | " + _random_full_path(
-            rng, max(1, max_steps - 1), max_depth, absolute=True, variables=variables
+            rng, max(1, max_steps - 1), max_depth, absolute=True,
+            variables=variables, nodeset_names=nodeset_names,
         )
     return query
 
@@ -260,9 +276,10 @@ def _random_full_path(
     depth: int,
     absolute: bool,
     variables: dict[str, object] | None = None,
+    nodeset_names: tuple = (),
 ) -> str:
     def predicate(rng: random.Random, depth: int) -> str:
-        return _random_full_predicate(rng, depth, variables)
+        return _random_full_predicate(rng, depth, variables, nodeset_names)
 
     return _random_grammar_path(rng, max_steps, depth, absolute, predicate, 0.45)
 
@@ -309,11 +326,38 @@ def _random_variable_predicate(
     )
 
 
+def _random_nodeset_variable_predicate(
+    rng: random.Random, variables: dict[str, object], nodeset_names: tuple
+) -> str:
+    """A predicate referencing a node-set-valued ``$``-variable. The
+    binding recorded is an empty-tuple *placeholder*: callers rebind it
+    to a real node-set of the document under test before evaluating.
+    Every form is type-correct for any node-set value (including the
+    placeholder itself)."""
+    name = rng.choice(nodeset_names)
+    variables.setdefault(name, ())
+    comparator = rng.choice(("=", "!=", "<", ">", "<=", ">="))
+    return rng.choice(
+        (
+            f"count(${name}) {comparator} {rng.randint(0, 3)}",
+            f"${name}",
+            f"self::* = ${name}",
+            f"count(${name}) >= position()",
+            f"string(${name}) != ''",
+        )
+    )
+
+
 def _random_full_predicate(
-    rng: random.Random, depth: int, variables: dict[str, object] | None = None
+    rng: random.Random,
+    depth: int,
+    variables: dict[str, object] | None = None,
+    nodeset_names: tuple = (),
 ) -> str:
     choice = rng.random()
-    if variables is not None and choice < 0.12:
+    if variables is not None and nodeset_names and choice < 0.10:
+        return _random_nodeset_variable_predicate(rng, variables, nodeset_names)
+    if variables is not None and choice < 0.12 + (0.08 if nodeset_names else 0.0):
         return _random_variable_predicate(rng, variables)
     if choice < 0.30:
         # Stay inside Core XPath — keeps the corpus straddling the
@@ -360,10 +404,10 @@ def _random_full_predicate(
             )
         )
     if depth > 0 and choice < 0.95:
-        left = _random_full_predicate(rng, depth - 1, variables)
-        right = _random_full_predicate(rng, depth - 1, variables)
+        left = _random_full_predicate(rng, depth - 1, variables, nodeset_names)
+        right = _random_full_predicate(rng, depth - 1, variables, nodeset_names)
         return f"{left} {rng.choice(('and', 'or'))} {right}"
-    return f"not({_random_full_predicate(rng, max(0, depth - 1), variables)})"
+    return f"not({_random_full_predicate(rng, max(0, depth - 1), variables, nodeset_names)})"
 
 
 def _random_predicate(rng: random.Random, depth: int) -> str:

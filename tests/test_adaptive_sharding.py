@@ -1,0 +1,198 @@
+"""Adaptive shard weighting: observed per-shard wall times feed LPT.
+
+The shard planner's node-count proxy is only as good as "cost scales
+with size" — position-heavy queries break it. These tests pin the
+feedback loop: shard outcomes carry wall times, the scheduler folds them
+into a :class:`ShardTimingHistory`, the history turns into per-document
+weight predictions, and :func:`plan_shards` balances on those instead of
+node counts for repeat batches. Everything must be deterministic given
+the same history — re-planning the same corpus with the same
+observations yields the same shards.
+"""
+
+import asyncio
+
+from repro.service import (
+    AsyncQueryService,
+    QueryService,
+    Scheduler,
+    SerialScheduler,
+    ShardTimingHistory,
+    ShardedExecutor,
+    plan_shards,
+)
+from repro.service.shard import document_weight
+from repro.workloads.documents import book_catalog, numbered_line, wide_tree
+from repro.xml.parser import parse_document
+
+import pytest
+
+
+def _documents():
+    return [
+        book_catalog(books=6),
+        wide_tree(width=20),
+        parse_document("<a><b>1</b><b>2</b></a>"),
+        numbered_line(30),
+    ]
+
+
+# ----------------------------------------------------------------------
+# The history itself
+# ----------------------------------------------------------------------
+
+
+def test_observe_shard_apportions_by_node_count():
+    small = parse_document("<a><b/></a>")
+    large = book_catalog(books=6)
+    history = ShardTimingHistory()
+    history.observe_shard([small, large], elapsed_seconds=4.0)
+    weights = history.predicted_weights([small, large])
+    total = document_weight(small) + document_weight(large)
+    assert weights[0] == pytest.approx(4.0 * document_weight(small) / total)
+    assert weights[1] == pytest.approx(4.0 * document_weight(large) / total)
+
+
+def test_predictions_none_without_history():
+    history = ShardTimingHistory()
+    assert history.predicted_weights(_documents()) is None
+    assert len(history) == 0
+
+
+def test_unseen_documents_predicted_from_observed_rate():
+    seen = book_catalog(books=6)
+    unseen = parse_document("<a><b/><c/></a>")
+    history = ShardTimingHistory()
+    history.observe(seen, 2.0)
+    weights = history.predicted_weights([seen, unseen])
+    rate = 2.0 / document_weight(seen)
+    assert weights[0] == pytest.approx(2.0)
+    assert weights[1] == pytest.approx(rate * document_weight(unseen))
+
+
+def test_history_smoothing_is_deterministic():
+    document = parse_document("<a/>")
+    first = ShardTimingHistory(smoothing=0.5)
+    second = ShardTimingHistory(smoothing=0.5)
+    for h in (first, second):
+        h.observe(document, 1.0)
+        h.observe(document, 3.0)
+    assert first.predicted_weights([document]) == second.predicted_weights(
+        [document]
+    ) == [2.0]
+
+
+# ----------------------------------------------------------------------
+# plan_shards with explicit weights
+# ----------------------------------------------------------------------
+
+
+def test_explicit_weights_replace_node_count_lpt():
+    """A small-but-slow document must be isolated once its observed cost
+    says so, where node-count LPT would have grouped it with others."""
+    documents = _documents()
+    by_nodes = plan_shards(documents, workers=2, strategy="size-balanced")
+    # Observed: document 2 (6 nodes) is by far the most expensive.
+    weights = [0.1, 0.2, 10.0, 0.3]
+    by_time = plan_shards(
+        documents, workers=2, strategy="size-balanced", weights=weights
+    )
+    slow_shard = next(s for s in by_time if 2 in s.document_indices)
+    assert slow_shard.document_indices == (2,)  # isolated despite tiny size
+    assert by_time != by_nodes
+    # Deterministic: same weights, same plan.
+    assert by_time == plan_shards(
+        documents, workers=2, strategy="size-balanced", weights=weights
+    )
+
+
+def test_round_robin_ignores_weights():
+    documents = _documents()
+    assert plan_shards(documents, 2, "round-robin", weights=[9, 9, 9, 9]) == (
+        plan_shards(documents, 2, "round-robin")
+    )
+
+
+def test_weight_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        plan_shards(_documents(), 2, "size-balanced", weights=[1.0])
+
+
+# ----------------------------------------------------------------------
+# Scheduler integration
+# ----------------------------------------------------------------------
+
+
+def test_scheduler_prepare_uses_history_weights():
+    documents = _documents()
+    history = ShardTimingHistory()
+    for document, seconds in zip(documents, (0.1, 0.2, 10.0, 0.3)):
+        history.observe(document, seconds)
+    scheduler = SerialScheduler(
+        workers=2, shard_by="size-balanced", history=history
+    )
+    prepared = scheduler.prepare(["//b"], documents)
+    slow_shard = next(s for s in prepared.shards if 2 in s.document_indices)
+    assert slow_shard.document_indices == (2,)
+    # Weight field now carries predicted seconds, not node counts.
+    assert slow_shard.weight == pytest.approx(10.0)
+    # Identical history → identical plan (determinism).
+    again = SerialScheduler(
+        workers=2, shard_by="size-balanced", history=history
+    ).prepare(["//b"], documents)
+    assert again.shards == prepared.shards
+
+
+def test_history_is_not_part_of_worker_config():
+    scheduler = SerialScheduler(workers=2, history=ShardTimingHistory())
+    assert "history" not in scheduler.service_config
+
+
+def test_shard_outcomes_carry_wall_times_on_every_backend():
+    documents = _documents()
+    queries = ["//b", "count(//*)"]
+    for backend in ("serial", "thread", "process", "async"):
+        batch = ShardedExecutor(workers=2, backend=backend).execute(
+            queries, documents
+        )
+        assert batch.shards, backend
+        for report in batch.shards:
+            assert report["elapsed_seconds"] > 0.0, backend
+
+
+def test_sharded_batches_feed_the_service_history():
+    service = QueryService()
+    documents = _documents()
+    assert len(service.shard_history) == 0
+    first = service.evaluate_many(
+        ["//b", "count(//*)"], documents, workers=2, shard_by="size-balanced"
+    )
+    assert first.workers == 2
+    assert len(service.shard_history) == len(documents)
+    # The repeat batch plans on predicted seconds: every shard weight is
+    # the sum of its documents' predictions.
+    predictions = service.shard_history.predicted_weights(documents)
+    second = service.evaluate_many(
+        ["//b", "count(//*)"], documents, workers=2, shard_by="size-balanced"
+    )
+    for report in second.shards:
+        expected = sum(predictions[i] for i in report["documents"])
+        assert report["weight"] == pytest.approx(expected)
+
+
+def test_streamed_batches_feed_the_service_history():
+    service = QueryService()
+    async_service = AsyncQueryService(service)
+    documents = _documents()
+    stream = async_service.stream_many(
+        ["//b"], documents, workers=2, shard_by="size-balanced"
+    )
+
+    async def drain():
+        async for _ in stream:
+            pass
+
+    asyncio.run(drain())
+    assert len(service.shard_history) == len(documents)
+    for report in stream.shards:
+        assert report["elapsed_seconds"] > 0.0

@@ -237,6 +237,94 @@ def test_full_grammar_through_the_sharded_service():
             )
 
 
+def _nodeset_corpus(seed: int, count: int):
+    """A corpus referencing the node-set variable ``$nset`` (plus the
+    scalar pool), with the generator's placeholder bindings. Two
+    hand-built queries are appended so ``$nset`` coverage never depends
+    on the random draw."""
+    rng = random.Random(seed)
+    bindings: dict = {}
+    corpus = [
+        random_full_query(rng, variables=bindings, nodeset_names=("nset",))
+        for _ in range(count)
+    ]
+    corpus.append("/descendant::*[count($nset) >= 1]")
+    corpus.append("//b[self::* = $nset] | //c[$nset]")
+    bindings.setdefault("nset", ())
+    return corpus, bindings
+
+
+def test_nodeset_variable_corpus_exercises_references():
+    """The generator emits $nset references and records the empty-tuple
+    placeholder callers must rebind per document."""
+    corpus, bindings = _nodeset_corpus(SEED + 20, 60)
+    assert sum("$nset" in query for query in corpus) >= 3
+    assert bindings["nset"] == ()
+    scalars = {k: v for k, v in bindings.items() if k != "nset"}
+    assert all(isinstance(v, (str, float, int, bool)) for v in scalars.values())
+
+
+def test_nodeset_variable_bindings_differential():
+    """PR 3's remaining fuzz frontier: node-set-valued $v bindings. Each
+    document binds $nset to its own ``//b`` nodes (node-sets must not
+    cross documents — pre-order dedup/order is per-document), then the
+    usual corexpath-aware differential check runs: five-way agreement,
+    six-way when a case classifies inside Core XPath."""
+    corpus, bindings = _nodeset_corpus(SEED + 21, 40)
+    nodeset_cases = 0
+    for document in _fixed_documents():
+        document_bindings = dict(bindings)
+        document_bindings["nset"] = XPathEngine(document).evaluate(
+            "/descendant::*[position() <= 5]"
+        )
+        assert document_bindings["nset"], "fixture documents contain elements"
+        engine = XPathEngine(document, variables=document_bindings)
+        for query in corpus:
+            _check_differential(engine, query)
+            if "$nset" in query:
+                nodeset_cases += 1
+    assert nodeset_cases >= 3
+
+
+def test_nodeset_bindings_through_serial_thread_async_backends():
+    """Node-set bindings ship through every in-process backend: the
+    nodes live in the parent's trees, which serial/thread/async workers
+    share. The same document twice gives two real shards."""
+    from repro.service import ShardedExecutor
+
+    corpus, bindings = _nodeset_corpus(SEED + 22, 10)
+    queries = [query for query in corpus if "$nset" in query][:6]
+    assert len(queries) >= 2
+    for document in _fixed_documents()[:2]:
+        document_bindings = dict(bindings)
+        document_bindings["nset"] = XPathEngine(document).evaluate("//b")
+        documents = [document, document]
+        sequential = QueryService(variables=document_bindings).evaluate_many(
+            queries, documents
+        )
+        for backend in ("serial", "thread", "async"):
+            batch = ShardedExecutor(
+                workers=2, backend=backend, variables=document_bindings
+            ).execute(queries, documents)
+            assert batch.values == sequential.values, backend
+            assert batch.workers == 2
+
+
+def test_process_backend_rejects_nodeset_bindings_cleanly():
+    """The process backend's scalar-bindings guard must refuse node-set
+    bindings at construction, with a message pointing at the in-process
+    backends — not fail somewhere inside a worker."""
+    from repro.service import ShardedExecutor
+
+    document = _fixed_documents()[0]
+    bindings = {"nset": XPathEngine(document).evaluate("//b")}
+    with pytest.raises(ValueError) as excinfo:
+        ShardedExecutor(workers=2, backend="process", variables=bindings)
+    message = str(excinfo.value)
+    assert "scalar" in message
+    assert "nset" in message
+
+
 def test_fuzz_corpus_through_the_service_layer():
     """The cached service path returns byte-identical results to the
     fresh-engine path on the fuzz corpus (plans and results both reused)."""

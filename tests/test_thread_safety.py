@@ -132,6 +132,47 @@ def test_shared_query_service_is_exact_and_correct_under_8_threads():
     assert service.cache_stats()["sessions"] == len(documents)
 
 
+def test_specializer_memo_counters_are_exact_under_contention():
+    """The two-stage split's new cache layer under the same hammer: one
+    specializer lookup per ``auto`` evaluation, none lost, misses equal
+    the distinct (plan, profile) pairs, and values stay correct."""
+    documents = [
+        running_example_document(),
+        book_catalog(books=3),
+        wide_tree(width=10),
+        parse_document("<a><b>1</b><b>2</b><c>3</c></a>"),
+    ]
+    queries = ["//b", "count(//*)", "/descendant::*[position() = last()]", "//c"]
+    expected = {
+        (q, id(d)): XPathEngine(d).evaluate(q) for q in queries for d in documents
+    }
+    service = QueryService(plan_capacity=2)  # plan thrash: recompiled plans
+    assert service.specializer is not None   # must hit the same memo keys
+
+    def worker(index):
+        for round_number in range(ROUNDS):
+            # Stride chosen to visit every (query, document) pair.
+            query = queries[round_number % len(queries)]
+            document = documents[(round_number // len(queries) + index) % len(documents)]
+            assert service.evaluate(query, document) == expected[(query, id(document))]
+
+    _hammer(worker)
+    evaluations = THREADS * ROUNDS
+    spec = service.specializer.stats
+    result = service.result_cache_stats()
+    assert result["hits"] + result["misses"] == evaluations
+    # Result-memo hits skip stage-2 entirely (the hot path takes no
+    # specializer lock); exactly one specializer lookup per result-memo
+    # miss, none torn. Racing threads that miss the same result key both
+    # resolve — the equality holds whatever the race count.
+    assert spec.hits + spec.misses == result["misses"]
+    # Misses are the distinct (plan, profile) pairs — plan-cache eviction
+    # and recompilation must not mint new memo keys (stable cache_key).
+    assert spec.misses == len(queries) * len(documents)
+    assert len(service.specializer) == spec.misses
+    assert spec.evictions == 0
+
+
 def test_shared_service_session_eviction_loses_no_counters():
     """Session-capacity thrash from many threads: retired sessions fold
     their memo counters into the aggregate, so totals stay exact even
