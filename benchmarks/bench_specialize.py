@@ -6,14 +6,17 @@ cost-driven specializer picks a cheaper evaluator per (query, document)
 than the static fragment dispatch (Core → corexpath, else →
 optmincontext), without changing a single result byte.
 
-The workload deliberately mixes the regimes the cost model separates:
+The workload deliberately mixes the regimes the cost model separates
+(re-measured after PR 5's sorted-array Core rewrite):
 
-* small/mid catalogs, where MINCONTEXT's constants beat both the Core
-  XPath sweep (on Core chains) and OPTMINCONTEXT's whole-document
-  bottom-up pass (on selective predicates);
+* small/mid catalogs with selective non-positional predicates, where
+  MINCONTEXT beats OPTMINCONTEXT's whole-document bottom-up pass — the
+  specializer's main remaining switch;
+* Core chains, where the fused-kernel Core sweep is now the cheapest
+  evaluator at every size (the specializer must *keep* the static Core
+  → corexpath choice, no longer switch it);
 * a sibling line, where positional-sibling loops × high fanout make
-  OPTMINCONTEXT the right call (the specializer must *keep* the static
-  choice there);
+  OPTMINCONTEXT the right call (another keep);
 * position-heavy and aggregate queries, where the candidates tie and
   any choice is fine.
 

@@ -8,6 +8,7 @@ Run after the benchmark suite:
     python benchmarks/summarize.py --sharded     # just the sharding gates/speedup
     python benchmarks/summarize.py --async-batch # just the async/streaming gates
     python benchmarks/summarize.py --specialize  # just the specialization gates
+    python benchmarks/summarize.py --axes        # just the fused-kernel gates
 """
 
 from __future__ import annotations
@@ -21,7 +22,7 @@ ORDER = [
     "exp_f4", "exp_f5", "exp_e9",
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
-    "exp_svc", "exp_shard", "exp_async", "exp_spec",
+    "exp_svc", "exp_shard", "exp_async", "exp_spec", "exp_axis",
 ]
 
 
@@ -81,6 +82,20 @@ def specialize_lines() -> list[str]:
     ]
 
 
+def axes_lines() -> list[str]:
+    """The gate, speedup, and kernel-counter lines from the EXP-AXIS
+    report (written by bench_axes.py)."""
+    path = RESULTS_DIR / "exp_axis.txt"
+    if not path.exists():
+        return []
+    markers = ("gate:", "speedup", "kernels:", "dispatch", "workload:")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -102,6 +117,11 @@ def main(argv: list[str] | None = None) -> None:
         "--specialize",
         action="store_true",
         help="print only the specialization gates and choice matrix (EXP-SPEC)",
+    )
+    parser.add_argument(
+        "--axes",
+        action="store_true",
+        help="print only the fused-axis-kernel gates and speedup (EXP-AXIS)",
     )
     args = parser.parse_args(argv)
     if args.plan_cache:
@@ -136,6 +156,15 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(
                 "no specialization results yet — run: "
                 "python benchmarks/bench_specialize.py"
+            )
+        print("\n".join(lines))
+        return
+    if args.axes:
+        lines = axes_lines()
+        if not lines:
+            raise SystemExit(
+                "no fused-kernel results yet — run: "
+                "python benchmarks/bench_axes.py"
             )
         print("\n".join(lines))
         return

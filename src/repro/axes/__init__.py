@@ -1,33 +1,74 @@
-"""Axis relations of the XPath data model.
+"""Axis relations of the XPath data model — two regimes, one semantics.
 
-Implements Definition 1 of the paper: every axis ``χ`` is available both
-as a per-node iterator and as a *set function* ``χ : 2^dom → 2^dom`` with
-an inverse ``χ⁻¹(Y) = {x | χ({x}) ∩ Y ≠ ∅}``. All set functions run in
-``O(|D|)`` time, which is the bound the paper's complexity theorems rely
-on (see the remark below Definition 1).
+The *guaranteed* layer implements Definition 1 of the paper: every axis
+``χ`` is available as a per-node iterator (:func:`axis_nodes`) and as a
+set function ``χ : 2^dom → 2^dom`` (:func:`axis_set`) with an inverse
+``χ⁻¹(Y) = {x | χ({x}) ∩ Y ≠ ∅}`` (:func:`inverse_axis_set`). These run
+in ``O(|D|)`` time regardless of ``|X|`` — the bound the paper's
+complexity theorems rely on (see the remark below Definition 1).
+
+The *output-sensitive* layer fuses each axis with its node test over the
+per-document :class:`repro.xml.index.NodeIndex` (name-partitioned sorted
+pre-order arrays): :func:`fused_axis_set` / :func:`fused_inverse_axis_set`
+(node-set interface) and :func:`axis_test_pres` /
+:func:`inverse_axis_test_pres` (sorted pre-array interface). A
+``descendant::a`` dispatch costs ``O(|X|·log|D| + output)`` via binary
+search over the ``a`` partition; ``following``/``preceding`` are
+partition suffix/prefix slices; sibling axes are child-table slice
+arithmetic; inverse interval axes emit pre ranges directly.
+
+**The fallback guarantee lives in the dispatch**: every fused call whose
+predicted cost (computed exactly from partition bisections) exceeds the
+``O(|D|)`` scan bound — or every call while :func:`set_kernel_mode`
+forces ``scan`` — runs the Definition-1 implementation verbatim, so
+results are byte-identical in every mode and worst-case asymptotics
+never regress. Dispatch outcomes are counted exactly on
+:data:`repro.stats.axis_kernel_stats`.
 """
 
 from repro.axes.axes import (
     ALL_AXES,
     FORWARD_AXES,
+    INTERVAL_AXES,
+    INVERSE_INTERVAL_AXES,
+    KERNEL_MODES,
     REVERSE_AXES,
     AXIS_PRINCIPAL_ATTRIBUTE,
     axis_nodes,
     axis_set,
+    axis_test_pres,
+    fused_axis_set,
+    fused_inverse_axis_set,
     inverse_axis_set,
+    inverse_axis_test_pres,
     is_forward_axis,
+    kernel_mode,
+    kernel_mode_forced,
+    matches_node_test,
+    set_kernel_mode,
 )
 from repro.axes.order import axis_order_key, index_in_axis_order, sort_in_axis_order
 
 __all__ = [
     "ALL_AXES",
     "FORWARD_AXES",
+    "INTERVAL_AXES",
+    "INVERSE_INTERVAL_AXES",
+    "KERNEL_MODES",
     "REVERSE_AXES",
     "AXIS_PRINCIPAL_ATTRIBUTE",
     "axis_nodes",
     "axis_set",
+    "axis_test_pres",
+    "fused_axis_set",
+    "fused_inverse_axis_set",
     "inverse_axis_set",
+    "inverse_axis_test_pres",
     "is_forward_axis",
+    "kernel_mode",
+    "kernel_mode_forced",
+    "matches_node_test",
+    "set_kernel_mode",
     "axis_order_key",
     "index_in_axis_order",
     "sort_in_axis_order",

@@ -1,6 +1,6 @@
 """Axis functions ``χ`` and inverse axis functions ``χ⁻¹`` (Definition 1).
 
-Two interfaces:
+Three interfaces, two performance regimes:
 
 * :func:`axis_nodes` — enumerate ``χ({x})`` for one context node, in
   ``<doc,χ`` proximity order. Used by the per-context evaluators (naive,
@@ -8,10 +8,33 @@ Two interfaces:
 * :func:`axis_set` / :func:`inverse_axis_set` — the set functions
   ``χ(X)`` and ``χ⁻¹(Y)`` of Definition 1, each computed in ``O(|D|)``
   regardless of ``|X|`` (the paper's complexity theorems depend on this
-  bound; see the remark below Definition 1 citing [11]).
+  bound; see the remark below Definition 1 citing [11]). These are the
+  *guaranteed* implementations and the worst-case fallback of everything
+  below; they never consult an index.
+* :func:`fused_axis_set` / :func:`fused_inverse_axis_set` (and their
+  sorted-pre-array forms :func:`axis_test_pres` /
+  :func:`inverse_axis_test_pres`) — **fused axis+name-test kernels**
+  over the per-document :class:`repro.xml.index.NodeIndex`. These are
+  *output-sensitive*: ``descendant::a`` is a binary-search range query
+  over the sorted ``a`` partition (``O(|X|·log|D| + output)``),
+  ``following``/``preceding`` are partition suffix/prefix slices,
+  sibling axes are slice arithmetic over child tables, and the inverse
+  interval axes emit pre-number ranges directly.
 
-Linear-time techniques, keyed to the pre-order numbering of
-:mod:`repro.xml.document`:
+**Where the fallback guarantee lives:** every fused entry point runs a
+dispatch — when the kernel's predicted cost (context size × log |D| +
+predicted output, computed exactly from partition bisects) exceeds the
+``O(|D|)`` scan bound, or when :func:`set_kernel_mode` forces ``scan``,
+the call falls through to :func:`axis_set`/:func:`inverse_axis_set`
+verbatim. The fast path can therefore only improve constants and
+output-sensitivity; the paper's worst-case asymptotics (Theorems 7, 10,
+13) are preserved unconditionally, mirroring the specializer's guarantee
+clamps. Both outcomes are counted exactly on
+:data:`repro.stats.axis_kernel_stats` (``fused_hits`` /
+``fallback_scans``; one per dispatch).
+
+Linear-time techniques of the Definition-1 scans, keyed to the pre-order
+numbering of :mod:`repro.xml.document`:
 
 * ``descendant(X)`` — interval stabbing with a difference array over
   ``pre`` numbers (each ``x`` contributes the interval
@@ -33,11 +56,15 @@ with its inverse computed from the document's cached token index.
 
 from __future__ import annotations
 
+import contextlib
+from bisect import bisect_left
 from typing import Iterable, Iterator
 
 from repro import stats
 from repro.axes.order import FORWARD_AXES, REVERSE_AXES, is_forward_axis
-from repro.xml.document import Document, Node
+from repro.xml.document import Document, Node, NodeKind
+from repro.xml.index import merge_union, node_index
+from repro.xpath.ast import NodeTest
 
 #: Every axis this library supports. ``id`` is the pseudo-axis of
 #: Section 4; the paper's eleven named axes plus ``attribute``.
@@ -279,15 +306,24 @@ def _descendant_set(document: Document, X: Iterable[Node], include_self: bool) -
     return result
 
 
-def _ancestor_set(X: Iterable[Node], include_self: bool) -> set[Node]:
-    """Union of ancestor chains with sharing: O(|D|) total."""
+def _ancestor_set(X: Iterable[Node], include_self: bool, keep=None) -> set[Node]:
+    """Union of ancestor chains with sharing: O(|D|) total.
+
+    ``keep`` (optional predicate) filters nodes as they are produced —
+    the fused kernels pass the node test here so there is exactly one
+    copy of the shared-visited chain walk; the Definition-1 scans pass
+    nothing and keep everything.
+    """
+    visited: set[Node] = set()
     result: set[Node] = set()
     for x in X:
-        if include_self:
+        if include_self and (keep is None or keep(x)):
             result.add(x)
         node = x.parent
-        while node is not None and node not in result:
-            result.add(node)
+        while node is not None and node not in visited:
+            visited.add(node)
+            if keep is None or keep(node):
+                result.add(node)
             node = node.parent
     return result
 
@@ -317,8 +353,13 @@ def _preceding_set(document: Document, X: Iterable[Node]) -> set[Node]:
     }
 
 
-def _sibling_set(X: Iterable[Node], forward: bool) -> set[Node]:
-    """Group by parent, then one suffix (or prefix) per parent: O(|D|)."""
+def _sibling_set(X: Iterable[Node], forward: bool, keep=None) -> set[Node]:
+    """Group by parent, then one suffix (or prefix) per parent: O(|D|).
+
+    ``keep`` as in :func:`_ancestor_set`: the single copy of the
+    extreme-child-index selection serves the scans (``keep=None``) and
+    the fused kernels (node-test predicate) alike.
+    """
     extremes: dict[int, tuple[Node, int]] = {}
     for x in X:
         if x.parent is None or x.child_index is None:
@@ -333,8 +374,358 @@ def _sibling_set(X: Iterable[Node], forward: bool) -> set[Node]:
                 extremes[key] = (parent, x.child_index)
     result: set[Node] = set()
     for parent, index in extremes.values():
-        if forward:
-            result.update(parent.children[index + 1 :])
+        siblings = parent.children[index + 1 :] if forward else parent.children[:index]
+        if keep is None:
+            result.update(siblings)
         else:
-            result.update(parent.children[:index])
+            result.update(sibling for sibling in siblings if keep(sibling))
     return result
+
+
+# ----------------------------------------------------------------------
+# Node tests (the paper's ``T`` function, generalized to node kinds)
+# ----------------------------------------------------------------------
+
+
+def matches_node_test(node: Node, test: NodeTest, axis: str) -> bool:
+    """Does ``node`` pass node test ``t`` on the given axis?
+
+    Name tests and ``*`` select the axis's *principal node type*
+    (attributes on the attribute axis, elements elsewhere) — this is how
+    the paper's ``T(*) = dom`` specializes once non-element node kinds
+    exist; on the paper's element-only examples the two coincide.
+    """
+    if test.kind == "node":
+        return True
+    if test.kind == "text":
+        return node.kind is NodeKind.TEXT
+    if test.kind == "comment":
+        return node.kind is NodeKind.COMMENT
+    if test.kind == "pi":
+        if node.kind is not NodeKind.PROCESSING_INSTRUCTION:
+            return False
+        return test.name is None or node.name == test.name
+    principal = (
+        NodeKind.ATTRIBUTE if axis in AXIS_PRINCIPAL_ATTRIBUTE else NodeKind.ELEMENT
+    )
+    if node.kind is not principal:
+        return False
+    if test.kind == "wildcard":
+        return True
+    return node.name == test.name
+
+
+# ----------------------------------------------------------------------
+# Fused axis + name-test kernels (output-sensitive fast path)
+# ----------------------------------------------------------------------
+
+#: Axes whose fused forward kernels are NodeIndex partition queries
+#: (binary-search ranges / suffix slices over sorted pre arrays).
+INTERVAL_AXES = frozenset(
+    {"descendant", "descendant-or-self", "following", "preceding"}
+)
+
+#: Axes whose fused *inverse* kernels emit pre-number ranges directly.
+INVERSE_INTERVAL_AXES = frozenset(
+    {"ancestor", "ancestor-or-self", "following", "preceding"}
+)
+
+#: Dispatch modes: ``auto`` (predicted-cost dispatch — the default),
+#: ``indexed`` (always take the index kernels where one exists), ``scan``
+#: (always run the Definition-1 scans — the A/B baseline the EXP-AXIS
+#: value and speedup gates compare against).
+KERNEL_MODES = ("auto", "indexed", "scan")
+
+_kernel_mode = "auto"
+
+
+def kernel_mode() -> str:
+    """The active dispatch mode (see :data:`KERNEL_MODES`)."""
+    return _kernel_mode
+
+
+def set_kernel_mode(mode: str) -> str:
+    """Set the dispatch mode process-wide; returns the previous mode.
+
+    A benchmarking/testing knob (not synchronized with in-flight
+    evaluations): results are byte-identical in every mode, only the
+    fused/fallback split changes.
+    """
+    global _kernel_mode
+    if mode not in KERNEL_MODES:
+        raise ValueError(f"unknown kernel mode: {mode!r} (pick from {KERNEL_MODES})")
+    previous = _kernel_mode
+    _kernel_mode = mode
+    return previous
+
+
+@contextlib.contextmanager
+def kernel_mode_forced(mode: str):
+    """Context manager form of :func:`set_kernel_mode`."""
+    previous = set_kernel_mode(mode)
+    try:
+        yield
+    finally:
+        set_kernel_mode(previous)
+
+
+def _scan_axis_set(document: Document, axis: str, X, test: NodeTest) -> set[Node]:
+    """The guaranteed path: Definition-1 scan, then the node-test filter."""
+    return {y for y in axis_set(document, axis, X) if matches_node_test(y, test, axis)}
+
+
+def fused_axis_set(
+    document: Document, axis: str, node_set: Iterable[Node], test: NodeTest
+) -> set[Node]:
+    """``χ(X) ∩ T(t)`` through the fused-kernel dispatch.
+
+    Byte-identical to ``axis_set`` + ``matches_node_test`` in every mode;
+    output-sensitive whenever the dispatch takes a kernel. Exactly one of
+    ``fused_hits``/``fallback_scans`` is counted per call.
+    """
+    X = node_set if isinstance(node_set, (set, frozenset, list, tuple)) else list(node_set)
+    mode = _kernel_mode
+    if mode != "scan":
+        if axis in INTERVAL_AXES:
+            pres = sorted({x.pre for x in X})
+            out = _interval_axis_pres(document, axis, pres, test, mode == "indexed")
+            if out is not None:
+                stats.axis_kernel_stats.fused()
+                nodes = document.nodes
+                return {nodes[p] for p in out}
+        else:
+            stats.axis_kernel_stats.fused()
+            return _enumerated_axis_set(document, axis, X, test)
+    stats.axis_kernel_stats.fallback()
+    return _scan_axis_set(document, axis, X, test)
+
+
+def axis_test_pres(
+    document: Document, axis: str, pres: list[int], test: NodeTest
+) -> list[int]:
+    """``χ(X) ∩ T(t)`` over sorted pre-order int arrays (document order
+    in, document order out) — the form the sorted-array sweeps of
+    :mod:`repro.core.corexpath` thread through whole queries."""
+    mode = _kernel_mode
+    if mode != "scan" and axis in INTERVAL_AXES:
+        out = _interval_axis_pres(document, axis, pres, test, mode == "indexed")
+        if out is not None:
+            stats.axis_kernel_stats.fused()
+            return out
+    nodes = document.nodes
+    X = [nodes[p] for p in pres]
+    if mode != "scan" and axis not in INTERVAL_AXES:
+        stats.axis_kernel_stats.fused()
+        result = _enumerated_axis_set(document, axis, X, test)
+    else:
+        stats.axis_kernel_stats.fallback()
+        result = _scan_axis_set(document, axis, X, test)
+    return sorted(y.pre for y in result)
+
+
+def fused_inverse_axis_set(
+    document: Document, axis: str, node_set: Iterable[Node]
+) -> set[Node]:
+    """``χ⁻¹(Y)`` through the fused-kernel dispatch (kernels exist for
+    the interval axes; everything else runs the Definition-1 form, whose
+    implementations are already per-``Y`` enumerations)."""
+    Y = node_set if isinstance(node_set, (set, frozenset, list, tuple)) else list(node_set)
+    mode = _kernel_mode
+    if mode != "scan" and axis in INVERSE_INTERVAL_AXES:
+        pres = sorted({y.pre for y in Y})
+        out = _inverse_interval_pres(document, axis, pres, mode == "indexed")
+        if out is not None:
+            stats.axis_kernel_stats.fused()
+            nodes = document.nodes
+            return {nodes[p] for p in out}
+    stats.axis_kernel_stats.fallback()
+    return inverse_axis_set(document, axis, Y)
+
+
+def inverse_axis_test_pres(
+    document: Document, axis: str, pres: list[int]
+) -> list[int]:
+    """``χ⁻¹(Y)`` over sorted pre-order int arrays."""
+    mode = _kernel_mode
+    if mode != "scan" and axis in INVERSE_INTERVAL_AXES:
+        out = _inverse_interval_pres(document, axis, pres, mode == "indexed")
+        if out is not None:
+            stats.axis_kernel_stats.fused()
+            return out
+    stats.axis_kernel_stats.fallback()
+    nodes = document.nodes
+    result = inverse_axis_set(document, axis, [nodes[p] for p in pres])
+    return sorted(y.pre for y in result)
+
+
+def _interval_axis_pres(
+    document: Document, axis: str, pres: list[int], test: NodeTest, forced: bool
+) -> list[int] | None:
+    """Partition kernel for a forward interval axis, or ``None`` when the
+    predicted cost exceeds the ``O(|D|)`` scan bound (caller falls back).
+
+    ``pres`` must be sorted ascending and duplicate-free. The returned
+    array is sorted (interval slices are emitted over disjoint ascending
+    ranges).
+    """
+    index = node_index(document)
+    partition = index.partition(test, axis)
+    if partition is None:
+        return None
+    if not pres or not partition:
+        # An empty partition settles it: only node() matches attribute
+        # selves, and its partition (non_attributes) is never empty.
+        return []
+    size = index.size
+    if axis == "following":
+        # One suffix of the partition: every partition member at or past
+        # the earliest subtree end is a following of that context node.
+        cutoff = min(p + size[p] for p in pres)
+        return partition[bisect_left(partition, cutoff):]
+    if axis == "preceding":
+        # One prefix, minus the ≤ depth ancestors of the cutoff node
+        # (the only prefix members whose subtree is still open there).
+        cutoff = pres[-1]
+        stop = bisect_left(partition, cutoff)
+        return [p for p in partition[:stop] if p + size[p] <= cutoff]
+    include_self = axis == "descendant-or-self"
+    spans: list[tuple[int, int]] = []
+    max_end = -1
+    output = 0
+    for p in pres:
+        if p < max_end:
+            continue  # nested inside the previous maximal interval
+        lo = p if include_self else p + 1
+        hi = p + size[p]
+        max_end = hi
+        if lo >= hi:
+            continue
+        lo_idx = bisect_left(partition, lo)
+        hi_idx = bisect_left(partition, hi, lo_idx)
+        if lo_idx < hi_idx:
+            spans.append((lo_idx, hi_idx))
+            output += hi_idx - lo_idx
+    if not forced:
+        # The dispatch rule: predicted kernel cost (bisections + exact
+        # output, both already known) must beat the scan's |D| bound.
+        predicted = output + len(pres) * max(1, index.total.bit_length())
+        if predicted > index.total:
+            return None
+    result: list[int] = []
+    for lo_idx, hi_idx in spans:
+        result.extend(partition[lo_idx:hi_idx])
+    if include_self and test.kind == "node":
+        # Attribute context nodes match node() but live in no partition
+        # the interval query reads; or-self must still return them.
+        nodes = document.nodes
+        attribute_selves = [p for p in pres if nodes[p].is_attribute]
+        if attribute_selves:
+            result = merge_union(result, attribute_selves)
+    return result
+
+
+def _inverse_interval_pres(
+    document: Document, axis: str, pres: list[int], forced: bool
+) -> list[int] | None:
+    """Range-emitting kernel for an inverse interval axis, or ``None``
+    to fall back. ``pres`` must be sorted ascending."""
+    if not pres:
+        return []
+    index = node_index(document)
+    size = index.size
+    nodes = document.nodes
+    if axis == "following":
+        # following(x) ∩ Y ≠ ∅ ⟺ x's subtree ends at or before the
+        # latest non-attribute member of Y: every pre below the cutoff
+        # except the cutoff node's (still-open) ancestors.
+        cutoff = None
+        for p in pres:
+            if not nodes[p].is_attribute:
+                cutoff = p  # pres ascend: the last non-attribute wins
+        if cutoff is None:
+            return []
+        excluded = set(index.ancestors_of(cutoff))
+        return [p for p in range(cutoff) if p not in excluded]
+    if axis == "preceding":
+        # The pre-order suffix from the earliest subtree end of Y.
+        cutoff = None
+        for p in pres:
+            end = p + size[p]
+            if not nodes[p].is_attribute and (cutoff is None or end < cutoff):
+                cutoff = end
+        if cutoff is None:
+            return []
+        return list(range(cutoff, index.total))
+    # ancestor / ancestor-or-self inverses: the (strict) interior of Y's
+    # subtree intervals, attributes included. Maximal intervals emit
+    # disjoint ascending pre ranges — output cost, no scan.
+    include_self = axis == "ancestor-or-self"
+    spans: list[tuple[int, int]] = []
+    max_end = -1
+    output = 0
+    for p in pres:
+        if p < max_end:
+            continue
+        lo = p if include_self else p + 1
+        hi = p + size[p]
+        max_end = hi
+        if lo < hi:
+            spans.append((lo, hi))
+            output += hi - lo
+    if not forced and output > index.total:
+        return None
+    result: list[int] = []
+    for lo, hi in spans:
+        result.extend(range(lo, hi))
+    return result
+
+
+def _enumerated_axis_set(
+    document: Document, axis: str, X: Iterable[Node], test: NodeTest
+) -> set[Node]:
+    """Single-pass fused enumeration for the per-node axes: the same
+    candidates the Definition-1 forms enumerate, filtered as they are
+    produced (no intermediate unfiltered set)."""
+    result: set[Node] = set()
+    if axis == "self":
+        for x in X:
+            if matches_node_test(x, test, axis):
+                result.add(x)
+        return result
+    if axis == "child":
+        for x in X:
+            for child in x.children:
+                if matches_node_test(child, test, axis):
+                    result.add(child)
+        return result
+    if axis == "parent":
+        for x in X:
+            parent = x.parent
+            if parent is not None and matches_node_test(parent, test, axis):
+                result.add(parent)
+        return result
+    if axis == "attribute":
+        for x in X:
+            for attribute in x.attributes:
+                if matches_node_test(attribute, test, axis):
+                    result.add(attribute)
+        return result
+    if axis in ("ancestor", "ancestor-or-self"):
+        return _ancestor_set(
+            X,
+            include_self=axis == "ancestor-or-self",
+            keep=lambda node: matches_node_test(node, test, axis),
+        )
+    if axis in ("following-sibling", "preceding-sibling"):
+        return _sibling_set(
+            X,
+            forward=axis == "following-sibling",
+            keep=lambda node: matches_node_test(node, test, axis),
+        )
+    if axis == "id":
+        for x in X:
+            for target in document.deref_ids(x.string_value):
+                if matches_node_test(target, test, axis):
+                    result.add(target)
+        return result
+    raise ValueError(f"unknown axis: {axis}")

@@ -74,6 +74,7 @@ from repro.service import (
     compile_plan,
     resolve_algorithm,
 )
+from repro.stats import axis_kernel_stats
 from repro.xml.document import Node
 from repro.xml.parser import parse_document
 from repro.xml.serializer import serialize_node
@@ -405,7 +406,8 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print plan-cache and result-cache statistics after the batch",
+        help="print plan-cache, result-cache, specializer, and axis-kernel "
+        "statistics after the batch",
     )
     return parser
 
@@ -563,7 +565,10 @@ def batch_main(argv: list[str]) -> int:
             )
         _print_batch_stats(batch.plan_stats, batch.result_stats, shards_line)
         # Stage-2 memo counters live on the driving service; sharded
-        # batches specialize inside per-shard workers instead.
+        # batches specialize inside per-shard workers instead. The axis
+        # kernel counters are process-global for the same reason the
+        # node-index cache is — per document, not per service — so they
+        # too only describe in-process (workers == 1) evaluation.
         if args.workers == 1:
             specialize_stats = service.cache_stats().get("specialize_cache")
             if specialize_stats is not None:
@@ -574,6 +579,14 @@ def batch_main(argv: list[str]) -> int:
                     f"hit rate={specialize_stats['hit_rate']:.1%}",
                     file=sys.stderr,
                 )
+            kernel_stats = axis_kernel_stats.snapshot()
+            print(
+                "axis kernels: "
+                f"index builds={kernel_stats['index_builds']} "
+                f"fused={kernel_stats['fused_hits']} "
+                f"fallback scans={kernel_stats['fallback_scans']}",
+                file=sys.stderr,
+            )
     return 0
 
 

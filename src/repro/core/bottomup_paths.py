@@ -37,7 +37,7 @@ DESIGN.md §5 and EXPERIMENTS.md):
 from __future__ import annotations
 
 from repro import stats
-from repro.axes.axes import inverse_axis_set
+from repro.axes.axes import fused_inverse_axis_set
 from repro.core.common import matches_node_test, step_candidate_set, step_candidates
 from repro.core.context import WILDCARD
 from repro.core.mincontext import MinContextEvaluator
@@ -144,7 +144,7 @@ def _propagate_step(mc: MinContextEvaluator, step: Step, targets: set[Node]) -> 
     if not tested:
         return set()
     if not step.predicates:
-        return inverse_axis_set(document, step.axis, tested)
+        return fused_inverse_axis_set(document, step.axis, tested)
     position_free = all(not (_CPCS & p.relev) for p in step.predicates)
     if position_free:
         for predicate in step.predicates:
@@ -157,11 +157,11 @@ def _propagate_step(mc: MinContextEvaluator, step: Step, targets: set[Node]) -> 
                 for p in step.predicates
             ):
                 passing.add(y)
-        return inverse_axis_set(document, step.axis, passing)
+        return fused_inverse_axis_set(document, step.axis, passing)
     # Position-dependent predicates: loop over the candidate origins and
     # rank each origin's full candidate list (soundness fix, see module
     # docstring), keeping origins with a surviving candidate in `tested`.
-    origins = inverse_axis_set(document, step.axis, tested)
+    origins = fused_inverse_axis_set(document, step.axis, tested)
     pool = step_candidate_set(document, step.axis, origins, step.node_test)
     for predicate in step.predicates:
         mc.eval_by_cnode_only(predicate, pool)

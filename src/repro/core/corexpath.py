@@ -7,34 +7,58 @@ ranking loop is ever needed. The strategy:
 
 * a *predicate* denotes the set of context nodes where it holds; paths
   inside predicates are ∃-quantified, so their node set is computed by
-  **backward propagation** through inverse axis functions (one
-  ``O(|D|)`` set operation per step), and ``and``/``or``/``not`` are
-  set intersection/union/complement;
+  **backward propagation** through inverse axis functions, and
+  ``and``/``or``/``not`` are set intersection/union/complement;
 * the *main* path is then a forward sweep: ``X_{i+1} = χ(X_i) ∩ T(t_i) ∩
-  pred-sets``, again one ``O(|D|)`` operation per step.
+  pred-sets``, one set operation per step.
 
-Every set is a subset of ``dom`` — linear space. OPTMINCONTEXT routes
-whole-query Core XPath here; benchmark EXP-T13 verifies the linear
-scaling.
+Every node set in these sweeps is represented as a **sorted pre-order
+int array** (document order is free, final ordering costs nothing) and
+the boolean connectives are linear merges
+(:func:`repro.xml.index.merge_union` /
+:func:`~repro.xml.index.merge_intersection` /
+:func:`~repro.xml.index.merge_difference`). Each step's ``χ(X) ∩ T(t)``
+goes through the fused axis+name-test dispatch
+(:func:`repro.axes.axes.axis_test_pres` /
+:func:`~repro.axes.axes.inverse_axis_test_pres`): output-sensitive
+NodeIndex kernels when the predicted output is small, the paper's
+``O(|D|)`` Definition-1 scans otherwise — so a selective step costs
+``O(|X|·log|D| + output)`` while the Theorem 13 worst case is preserved
+unconditionally (the fallback guarantee lives in that dispatch; see
+:mod:`repro.axes`). OPTMINCONTEXT routes whole-query Core XPath here;
+benchmark EXP-T13 verifies the linear scaling, EXP-AXIS the
+output-sensitive fast path.
 """
 
 from __future__ import annotations
 
 from repro import stats
-from repro.axes.axes import axis_set, inverse_axis_set
-from repro.core.common import matches_node_test
+from repro.axes.axes import (
+    AXIS_PRINCIPAL_ATTRIBUTE,
+    axis_test_pres,
+    inverse_axis_test_pres,
+    kernel_mode,
+    matches_node_test,
+)
 from repro.core.context import Context
 from repro.errors import FragmentViolationError
 from repro.xml.document import Document, Node
+from repro.xml.index import (
+    merge_difference,
+    merge_intersection,
+    merge_union,
+    node_index,
+)
 from repro.xpath.ast import BinaryOp, Expr, FunctionCall, Path, Step
 from repro.xpath.fragments import core_xpath_violation
 
 
 class CoreXPathEvaluator:
-    """Forward/backward set evaluation for Core XPath queries."""
+    """Forward/backward sorted-array evaluation for Core XPath queries."""
 
     def __init__(self, document: Document):
         self.document = document
+        self._dom_pres: list[int] | None = None
 
     # ------------------------------------------------------------------
 
@@ -45,59 +69,91 @@ class CoreXPathEvaluator:
         if violation is not None:
             raise FragmentViolationError(f"not a Core XPath query: {violation}")
         assert isinstance(expr, Path)
-        result = self._forward_path(expr, {context.node})
-        return self.document.in_document_order(result)
+        result = self._forward_path(expr, [context.node.pre])
+        nodes = self.document.nodes
+        return [nodes[pre] for pre in result]
+
+    def _all_pres(self) -> list[int]:
+        """``dom`` as a sorted pre array (built once; callers treat the
+        merge inputs as immutable, so sharing is safe)."""
+        if self._dom_pres is None:
+            self._dom_pres = list(range(len(self.document.nodes)))
+        return self._dom_pres
 
     # ------------------------------------------------------------------
 
-    def _forward_path(self, path: Path, start: set[Node]) -> set[Node]:
-        current = {self.document.root} if path.absolute else set(start)
+    def _forward_path(self, path: Path, start: list[int]) -> list[int]:
+        current = [0] if path.absolute else list(start)
         for step in path.steps:
             current = self._forward_step(step, current)
         return current
 
-    def _forward_step(self, step: Step, origins: set[Node]) -> set[Node]:
+    def _forward_step(self, step: Step, origins: list[int]) -> list[int]:
         stats.count("corexpath_steps")
-        candidates = {
-            y
-            for y in axis_set(self.document, step.axis, origins)
-            if matches_node_test(y, step.node_test, step.axis)
-        }
+        candidates = axis_test_pres(
+            self.document, step.axis, origins, step.node_test
+        )
         for predicate in step.predicates:
-            candidates &= self._predicate_set(predicate)
+            if not candidates:
+                break
+            candidates = merge_intersection(candidates, self._predicate_pres(predicate))
         return candidates
 
     # ------------------------------------------------------------------
 
-    def _predicate_set(self, predicate: Expr) -> set[Node]:
+    def _predicate_pres(self, predicate: Expr) -> list[int]:
         """The set of context nodes at which the predicate holds."""
         if isinstance(predicate, BinaryOp) and predicate.op == "and":
-            return self._predicate_set(predicate.left) & self._predicate_set(predicate.right)
+            return merge_intersection(
+                self._predicate_pres(predicate.left),
+                self._predicate_pres(predicate.right),
+            )
         if isinstance(predicate, BinaryOp) and predicate.op == "or":
-            return self._predicate_set(predicate.left) | self._predicate_set(predicate.right)
+            return merge_union(
+                self._predicate_pres(predicate.left),
+                self._predicate_pres(predicate.right),
+            )
         if isinstance(predicate, FunctionCall) and predicate.name == "not":
-            return set(self.document.nodes) - self._predicate_set(predicate.args[0])
+            return merge_difference(
+                self._all_pres(), self._predicate_pres(predicate.args[0])
+            )
         if isinstance(predicate, FunctionCall) and predicate.name == "boolean":
-            return self._exists_set(predicate.args[0])
+            return self._exists_pres(predicate.args[0])
         raise FragmentViolationError(f"non-Core predicate: {predicate!r}")
 
-    def _exists_set(self, path: Expr) -> set[Node]:
+    def _exists_pres(self, path: Expr) -> list[int]:
         """``{cn | path evaluates to a nonempty set at cn}`` by backward
         propagation (no positions in Core XPath, so one pass suffices)."""
         assert isinstance(path, Path)
-        current = set(self.document.nodes)
+        current = self._all_pres()
         for step in reversed(path.steps):
             stats.count("corexpath_steps")
             if not current:
-                return set()
-            tested = {
-                y for y in current if matches_node_test(y, step.node_test, step.axis)
-            }
+                return []
+            tested = self._test_filter(current, step)
             for predicate in step.predicates:
-                tested &= self._predicate_set(predicate)
-            current = inverse_axis_set(self.document, step.axis, tested)
+                tested = merge_intersection(tested, self._predicate_pres(predicate))
+            current = inverse_axis_test_pres(self.document, step.axis, tested)
         if path.absolute:
-            if self.document.root in current:
-                return set(self.document.nodes)
-            return set()
+            if current and current[0] == 0:  # pre 0 is the document node
+                return self._all_pres()
+            return []
         return current
+
+    def _test_filter(self, pres: list[int], step: Step) -> list[int]:
+        """``pres ∩ T(t)`` — intersect with the index's test partition
+        when kernels are enabled, else the per-node membership filter."""
+        if kernel_mode() != "scan":
+            partition = node_index(self.document).filter_partition(
+                step.node_test,
+                attribute_principal=step.axis in AXIS_PRINCIPAL_ATTRIBUTE,
+            )
+            if partition is None:  # node() matches every kind
+                return pres
+            return merge_intersection(pres, partition)
+        nodes = self.document.nodes
+        return [
+            pre
+            for pre in pres
+            if matches_node_test(nodes[pre], step.node_test, step.axis)
+        ]

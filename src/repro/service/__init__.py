@@ -14,17 +14,29 @@ flows through four layers:
    (:class:`~repro.service.plan.PlanTraits`) that stage 2 reads.
 2. **physical specialization (stage 2, per document)** — a
    :class:`PlanSpecializer` combines a logical plan with a
-   :class:`DocumentProfile` (node count, depth, fanout, text ratio) and
-   picks the evaluator via a small explicit cost model seeded from the
-   paper's complexity bounds and refined online by observed per-
-   algorithm timings (:class:`repro.stats.TimingStats`). Candidates are
-   restricted to the worst-case-bounded evaluators (``mincontext``,
+   :class:`DocumentProfile` (node count, depth, fanout, text ratio,
+   per-tag counts) and picks the evaluator via a small explicit cost
+   model seeded from the paper's complexity bounds and refined online by
+   observed per-algorithm timings (:class:`repro.stats.TimingStats`).
+   Since PR 5 the model also prices the evaluators' *indexed* fast
+   paths: every candidate's set sweeps run through the fused
+   axis+name-test kernels of :mod:`repro.axes` (per-document
+   :class:`~repro.xml.index.NodeIndex`, output-sensitive partition
+   range queries), so a plan's name-tested interval-axis steps combined
+   with the profile's tag counts shrink the sweep share of its estimate
+   (:func:`repro.service.specialize.name_test_selectivity`). Candidates
+   are restricted to the worst-case-bounded evaluators (``mincontext``,
    ``optmincontext``, and ``corexpath`` inside Core XPath), with
    guarantee clamps above a size threshold — so a mis-estimate costs
-   constants, never asymptotics. Specializations are memoized with
-   exact counters (``specialize_cache``); ``specialize=False`` anywhere
-   in the stack falls back to the static fragment dispatch
-   (:func:`resolve_algorithm`).
+   constants, never asymptotics. The same shape of guarantee holds one
+   layer down: the *fallback guarantee for the kernels themselves lives
+   in the axis dispatch* (:func:`repro.axes.axes.fused_axis_set`), which
+   reverts to the Definition-1 ``O(|D|)`` scans whenever predicted
+   output is large — evaluator choice and kernel choice can both be
+   wrong and the paper's bounds still hold. Specializations are
+   memoized in an LRU memo with exact counters (``specialize_cache``);
+   ``specialize=False`` anywhere in the stack falls back to the static
+   fragment dispatch (:func:`resolve_algorithm`).
 3. **scheduling** — the pluggable middle layer
    (:mod:`repro.service.scheduler`): ``prepare`` plans document shards
    (LPT on node counts — or on *observed per-document seconds* once a

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.axes.axes import INTERVAL_AXES
 from repro.xpath.ast import AstNode, Expr, FunctionCall, Step
 from repro.xpath.rewrite import RewriteStats
 
@@ -118,13 +119,22 @@ class PlanTraits:
       position-dependent predicate: the loop width then scales with the
       document's fanout (sibling-run length), not just ``|D|``;
     * ``string_op_count`` — string-library calls, whose cost scales with
-      the document's text volume.
+      the document's text volume;
+    * ``indexed_axis_steps`` — steps on the interval axes
+      (descendant/descendant-or-self/following/preceding), the ones the
+      fused NodeIndex kernels turn into partition range queries;
+    * ``name_test_tags`` — the element tags those steps name-test (the
+      *name-test selectivity hook*: combined with a profile's per-tag
+      counts, stage 2 can predict how small the fused kernels' outputs
+      are — see :func:`repro.service.specialize.name_test_selectivity`).
     """
 
     ast_size: int = 1
     uses_position: bool = False
     positional_sibling: bool = False
     string_op_count: int = 0
+    indexed_axis_steps: int = 0
+    name_test_tags: tuple = ()
 
 
 def compute_traits(ast: Expr) -> PlanTraits:
@@ -133,6 +143,8 @@ def compute_traits(ast: Expr) -> PlanTraits:
     uses_position = False
     positional_sibling = False
     string_ops = 0
+    indexed_axis_steps = 0
+    name_test_tags: list[str] = []
     stack: list[AstNode] = [ast]
     while stack:
         node = stack.pop()
@@ -142,17 +154,24 @@ def compute_traits(ast: Expr) -> PlanTraits:
             uses_position = True
         if isinstance(node, FunctionCall) and node.name in _STRING_FUNCTIONS:
             string_ops += 1
-        if isinstance(node, Step) and node.axis in _SIBLING_AXES:
-            for predicate in node.predicates:
-                predicate_relev = getattr(predicate, "relev", None)
-                if predicate_relev and (predicate_relev & _CPCS):
-                    positional_sibling = True
+        if isinstance(node, Step):
+            if node.axis in _SIBLING_AXES:
+                for predicate in node.predicates:
+                    predicate_relev = getattr(predicate, "relev", None)
+                    if predicate_relev and (predicate_relev & _CPCS):
+                        positional_sibling = True
+            if node.axis in INTERVAL_AXES:
+                indexed_axis_steps += 1
+                if node.node_test.kind == "name":
+                    name_test_tags.append(node.node_test.name)
         stack.extend(node.children())
     return PlanTraits(
         ast_size=size,
         uses_position=uses_position,
         positional_sibling=positional_sibling,
         string_op_count=string_ops,
+        indexed_axis_steps=indexed_axis_steps,
+        name_test_tags=tuple(sorted(name_test_tags)),
     )
 
 

@@ -21,13 +21,25 @@ facts. Measured on this implementation (seed constants below):
   the bottom-up pass precomputes predicate tables over the *whole*
   document that the top-down pass would only have touched for a few
   candidate nodes.
-* MINCONTEXT even beats the linear-time Core XPath evaluator on small
-  and mid-size documents — Theorem 13's sweep has higher constants than
-  a demand-driven evaluation that touches a fraction of ``dom``.
+* The Core XPath evaluator, since its PR 5 rewrite onto sorted pre
+  arrays and fused partition kernels, runs 2–5× *below* MINCONTEXT's
+  constants on Core queries at every document size (before the rewrite
+  it was 2–4× above on small/mid documents — seed constants are
+  re-measured facts, not axioms).
 * OPTMINCONTEXT wins when position-dependent predicates sit on sibling
   axes *and* the document has long sibling runs (high fanout): the
   (cp, cs) loops then re-enter the same subexpressions ``Θ(fanout)``
   times, which is exactly what the bottom-up precomputation amortizes.
+
+Since the fused axis kernels (:mod:`repro.axes`, PR 5) landed, the cost
+model also prices the *indexed* variants of those candidates: a plan's
+name-tested interval-axis steps (``PlanTraits.name_test_tags``) combined
+with the profile's per-tag element counts predict how small the fused
+kernels' outputs are (:func:`name_test_selectivity`), shrinking the
+sweep share of each candidate's estimate — the Core XPath sweep in full
+(it is set operations end to end), the table evaluators' by
+:data:`SET_SWEEP_SHARE`. Hand-built profiles without tag counts
+neutralize the term, so the pinned seed decisions are unchanged.
 
 The candidate pool is deliberately restricted to the paper's
 worst-case-bounded evaluators — ``mincontext``, ``optmincontext``, and
@@ -60,7 +72,9 @@ from __future__ import annotations
 
 import threading
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro import stats
 from repro.service.plan import LogicalPlan
@@ -85,12 +99,18 @@ class DocumentProfile:
         max_fanout: longest run of element siblings (the width of
             positional-sibling loops).
         text_ratio: text characters per node (string-function cost).
+        tag_counts: sorted ``(tag, element count)`` pairs — the name-test
+            selectivity side of the fused-kernel cost term (a
+            ``descendant::a`` kernel touches the ``a`` partition, not
+            ``dom``). Empty when unknown (hand-built profiles), which
+            neutralizes the term.
     """
 
     total_nodes: int
     max_depth: int
     max_fanout: int
     text_ratio: float
+    tag_counts: tuple = ()
 
     @classmethod
     def of(cls, document: Document) -> "DocumentProfile":
@@ -101,23 +121,44 @@ class DocumentProfile:
             max_depth=shape.max_depth,
             max_fanout=shape.max_fanout,
             text_ratio=shape.total_text_bytes / max(1, shape.total_nodes),
+            tag_counts=tuple(sorted(shape.tag_counts.items())),
         )
 
     @property
     def key(self) -> tuple:
         """Hashable memo key; identically-shaped documents share
-        specializations."""
+        specializations. Tag counts are part of the shape — two documents
+        that differ only in tag distribution specialize separately (their
+        fused-kernel selectivities differ)."""
         return (
             self.total_nodes,
             self.max_depth,
             self.max_fanout,
             round(self.text_ratio, 3),
+            self.tag_counts,
         )
+
+    @cached_property
+    def _tag_count_map(self) -> dict:
+        """``tag_counts`` as a dict, built once per profile (profiles are
+        weak-cached and immutable; cost_units reads this per candidate)."""
+        return dict(self.tag_counts)
+
+    def name_test_fraction(self, tags) -> float:
+        """Mean fraction of ``dom`` under the named tag partitions — the
+        predicted relative output of a fused name-test kernel. 1.0 when
+        either side lacks the information (no tags, no counts)."""
+        if not tags or not self.tag_counts:
+            return 1.0
+        counts = self._tag_count_map
+        total = max(1, self.total_nodes)
+        return sum(counts.get(tag, 0) / total for tag in tags) / len(tags)
 
     def describe(self) -> str:
         return (
             f"|dom|={self.total_nodes} depth={self.max_depth} "
-            f"fanout={self.max_fanout} text-ratio={self.text_ratio:.2f}"
+            f"fanout={self.max_fanout} text-ratio={self.text_ratio:.2f} "
+            f"tags={len(self.tag_counts)}"
         )
 
 
@@ -159,10 +200,13 @@ REPRESENTATIVE_PROFILES = (
 #: query families over catalog / line / wide-tree workload documents;
 #: the online timing rates correct residual machine-specific error.
 
-#: Theorem 13's sweep visits all of ``dom`` per query node, with list
-#: bookkeeping per step — measured 2–4× MINCONTEXT's constants on
-#: selective queries.
-CORE_SWEEP_FACTOR = 4.0
+#: Theorem 13's sweep, re-measured after the PR 5 sorted-array rewrite:
+#: the Core XPath evaluator now threads sorted pre arrays through fused
+#: partition kernels end to end, and its constants run 2–5× *below*
+#: MINCONTEXT's demand-driven pass on Core queries at every document
+#: size (it was 2–4× above before the rewrite — the seed that made
+#: stage 2 switch Core queries to MINCONTEXT on small documents).
+CORE_SWEEP_FACTOR = 0.5
 #: Per-unit cost of the (cp, cs) loop work when position is relevant.
 POSITIONAL_LOOP_FACTOR = 1.0
 #: OPTMINCONTEXT re-enters positional loops with precomputed tables, so
@@ -179,9 +223,29 @@ BOTTOMUP_SETUP_FACTOR = 10.0
 POSITION_BASE_WIDTH = 2.0
 #: Extra per-string-op weight, scaled by the profile's text ratio.
 STRING_OP_FACTOR = 0.125
+#: Floor on the fused-kernel selectivity discount: even a kernel whose
+#: partition is empty still pays dispatch, bisection, and table costs.
+INDEX_DISCOUNT_FLOOR = 0.05
+#: Share of the table evaluators' (MINCONTEXT/OPTMINCONTEXT) unit cost
+#: that is candidate-set sweeps (the part the fused kernels shrink);
+#: the rest is table bookkeeping the index cannot touch. The Core XPath
+#: evaluator is *all* set sweeps, so its discount applies in full.
+SET_SWEEP_SHARE = 0.5
 
 #: Algorithms the cost model can estimate *and* ``auto`` may select.
 SELECTABLE = ("mincontext", "optmincontext", "corexpath")
+
+
+def name_test_selectivity(plan: LogicalPlan, profile: DocumentProfile) -> float:
+    """The indexed-kernel cost term: predicted fraction of ``dom`` the
+    plan's fused name-test kernels touch on this profile (floored — see
+    :data:`INDEX_DISCOUNT_FLOOR`). 1.0 (no effect) when the plan has no
+    name-tested interval-axis steps or the profile carries no tag counts
+    — so hand-built profiles and pre-index decisions are unchanged."""
+    fraction = profile.name_test_fraction(plan.traits.name_test_tags)
+    if fraction >= 1.0:
+        return 1.0
+    return max(INDEX_DISCOUNT_FLOOR, fraction)
 
 
 def positional_loop_width(plan: LogicalPlan, profile: DocumentProfile) -> float:
@@ -207,13 +271,20 @@ def cost_units(plan: LogicalPlan, profile: DocumentProfile, algorithm: str) -> f
     base = float(n) * plan.traits.ast_size
     base += STRING_OP_FACTOR * plan.traits.string_op_count * profile.text_ratio * n
     loop = positional_loop_width(plan, profile)
+    selectivity = name_test_selectivity(plan, profile)
     if algorithm == "corexpath":
-        return CORE_SWEEP_FACTOR * base
+        # The Core sweep is set operations end to end: every name-tested
+        # interval step is now a fused partition query, so the whole
+        # estimate scales with the predicted kernel output.
+        return CORE_SWEEP_FACTOR * base * selectivity
+    # The table evaluators' candidate-set sweeps ride the same kernels;
+    # their table bookkeeping does not.
+    sweep_blend = (1.0 - SET_SWEEP_SHARE) + SET_SWEEP_SHARE * selectivity
     if algorithm == "mincontext":
-        return base + POSITIONAL_LOOP_FACTOR * loop
+        return base * sweep_blend + POSITIONAL_LOOP_FACTOR * loop
     if algorithm == "optmincontext":
         return (
-            base
+            base * sweep_blend
             + OPT_LOOP_DISCOUNT * loop
             + BOTTOMUP_SETUP_FACTOR * plan.bottomup_path_count * n
         )
@@ -281,8 +352,11 @@ class PlanSpecializer:
     callers of one (plan, profile) see one miss and then hits, exactly.
     """
 
-    #: Bound on the specialization memo; full → wholesale flush, like the
-    #: session result memo (recomputable, so a flush only costs time).
+    #: Bound on the specialization memo; enforced by LRU eviction (the
+    #: :class:`~repro.service.cache.PlanCache` pattern: a hit refreshes
+    #: recency, an insert past capacity evicts exactly one LRU entry) —
+    #: a hot steady-state working set survives a burst of one-off
+    #: (plan, profile) pairs instead of being flushed with them.
     DEFAULT_MEMO_CAPACITY = 4096
     #: Observations every candidate needs before observed rates replace
     #: the seed constants in a selection.
@@ -305,7 +379,7 @@ class PlanSpecializer:
         self.guarantee_nodes = guarantee_nodes
         self.timings = timings if timings is not None else TimingStats(name="eval")
         self.stats = CacheStats(name="specialize_cache", capacity=self.memo_capacity)
-        self._memo: dict[tuple, PhysicalPlan] = {}
+        self._memo: "OrderedDict[tuple, PhysicalPlan]" = OrderedDict()
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -323,13 +397,14 @@ class PlanSpecializer:
         with self._lock:
             cached = self._memo.get(key)
             if cached is not None:
+                self._memo.move_to_end(key)
                 self.stats.hit()
                 return cached
             self.stats.miss()
             physical = self._select(plan, profile, algorithm)
-            if len(self._memo) >= self.memo_capacity:
-                self._memo.clear()
-                self.stats.eviction(self.memo_capacity)
+            while len(self._memo) >= self.memo_capacity:
+                self._memo.popitem(last=False)
+                self.stats.eviction()
             self._memo[key] = physical
             return physical
 
@@ -369,6 +444,13 @@ class PlanSpecializer:
                 else ("yes" if traits.uses_position else "no")
             ),
         ]
+        selectivity = name_test_selectivity(plan, profile)
+        if selectivity < 1.0:
+            reasons.append(
+                f"name-test selectivity={selectivity:.3g} "
+                f"(fused kernels over {len(traits.name_test_tags)} "
+                "indexed name tests)"
+            )
         if profile.total_nodes > self.guarantee_nodes:
             # Past the guarantee threshold the constants stop being the
             # story: defer to the strongest fragment bound available.

@@ -214,6 +214,71 @@ class TimingStats:
             }
 
 
+@dataclass
+class KernelStats:
+    """Exact accounting for the output-sensitive axis kernels.
+
+    Three counters, each updated under the instance lock (the same
+    exactness contract as :class:`CacheStats` — the thread-safety hammer
+    asserts them with ``==``):
+
+    * ``index_builds`` — :class:`repro.xml.index.NodeIndex` constructions
+      (at most one per document, ever: the index cache builds under its
+      lock);
+    * ``fused_hits`` — fused axis+name-test dispatches served by an
+      output-sensitive kernel;
+    * ``fallback_scans`` — dispatches that ran the paper's ``O(|D|)``
+      Definition-1 scan instead (predicted output too large, or scan
+      mode forced).
+
+    Every fused/fallback event is exactly one dispatched call, so
+    ``fused_hits + fallback_scans`` equals the number of fused-dispatch
+    calls — the invariant the EXP-AXIS counter gate checks. Events are
+    mirrored into active :func:`collect` collectors as
+    ``axis_index_builds`` / ``axis_fused_kernels`` /
+    ``axis_fallback_scans``.
+    """
+
+    name: str = "axis_kernels"
+    index_builds: int = 0
+    fused_hits: int = 0
+    fallback_scans: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def index_build(self, amount: int = 1) -> None:
+        with self._lock:
+            self.index_builds += amount
+        count("axis_index_builds", amount)
+
+    def fused(self, amount: int = 1) -> None:
+        with self._lock:
+            self.fused_hits += amount
+        count("axis_fused_kernels", amount)
+
+    def fallback(self, amount: int = 1) -> None:
+        with self._lock:
+            self.fallback_scans += amount
+        count("axis_fallback_scans", amount)
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent point-in-time copy of the counters."""
+        with self._lock:
+            return {
+                "index_builds": self.index_builds,
+                "fused_hits": self.fused_hits,
+                "fallback_scans": self.fallback_scans,
+            }
+
+
+#: The process-wide kernel counters: the node-index cache and the fused
+#: axis dispatch are process-global (indexes are per *document*, not per
+#: service), so their exact accounting is too. CLI ``batch --stats``
+#: prints this; the thread-safety hammer asserts it.
+axis_kernel_stats = KernelStats()
+
+
 # Active collectors; almost always empty, occasionally one deep.
 _active: list[Stats] = []
 

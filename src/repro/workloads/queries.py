@@ -224,8 +224,10 @@ def random_full_query(
     (including ``+ - * div mod`` arithmetic), ``count()``, the string
     function library (``contains``, ``starts-with``, ``substring``,
     ``string-length``, ``normalize-space``, ``concat``, ``translate``),
-    top-level union (``path | path``), and — when ``variables`` is given
-    — ``$v`` variable references.
+    the ``id`` pseudo-axis (``id('k')``, ``id(π)``, nested ``id(id(…))``
+    — see :func:`_random_id_predicate`), top-level union
+    (``path | path``), and — when ``variables`` is given — ``$v``
+    variable references.
 
     ``variables`` is a *mutable* dict the generator both reads and
     writes: the first time a name is drawn, a scalar binding (number or
@@ -287,6 +289,36 @@ def _random_full_path(
 #: String constants the string-function predicates probe for; chosen to
 #: sometimes match the workload documents' text/ids ('1', '100', 'x', ...).
 _FULL_STRINGS = ("1", "2", "100", "x", "0")
+
+#: Id tokens the ``id()`` predicates probe for — chosen to sometimes hit
+#: the sequential ids of :func:`repro.workloads.documents.random_document`
+#: (every element carries one), the running example's ids (10–24), and
+#: the wide/balanced trees' numeric ids.
+_ID_TOKENS = ("1", "2", "3", "4", "7", "10", "12", "14", "23")
+
+
+def _random_id_predicate(rng: random.Random) -> str:
+    """A predicate exercising the ``id`` pseudo-axis of Section 4 (the
+    ROADMAP fuzz frontier): ``id(s)`` on a string stays a function call,
+    ``id(π)`` on a node-set normalizes to a pseudo-axis step, and
+    nesting chains the steps (``id(id(...))`` → ``.../id/id``). All the
+    workload document generators assign id attributes, so these forms
+    dereference real nodes a useful fraction of the time. Every form is
+    outside Core XPath (the pseudo-axis is not in Definition 12), which
+    the corexpath-aware differential skip handles by classification."""
+    token = rng.choice(_ID_TOKENS)
+    choice = rng.random()
+    if choice < 0.30:
+        tokens = " ".join(rng.sample(_ID_TOKENS, rng.randint(1, 2)))
+        return f"id('{tokens}')"
+    if choice < 0.50:
+        comparator = rng.choice(("=", ">", "<", ">="))
+        return f"count(id('{token}')) {comparator} {rng.randint(0, 2)}"
+    if choice < 0.70:
+        return "id(self::node())"
+    if choice < 0.85:
+        return f"id(child::*)/self::{rng.choice(('a', 'b', 'c', 'd', '*'))}"
+    return f"id(id('{token}'))"
 
 #: Variable-name pools for the fuzz grammar, split by the type of scalar
 #: bound to them (so a reference always lands in a matching context).
@@ -359,10 +391,12 @@ def _random_full_predicate(
         return _random_nodeset_variable_predicate(rng, variables, nodeset_names)
     if variables is not None and choice < 0.12 + (0.08 if nodeset_names else 0.0):
         return _random_variable_predicate(rng, variables)
-    if choice < 0.30:
+    if choice < 0.28:
         # Stay inside Core XPath — keeps the corpus straddling the
         # fragment boundary so the six-way check still gets exercised.
         return _random_core_predicate(rng, depth)
+    if choice < 0.36:
+        return _random_id_predicate(rng)
     if choice < 0.45:
         comparator = rng.choice(("=", "!=", "<", ">", "<=", ">="))
         return f"position() {comparator} {rng.randint(1, 4)}"

@@ -7,6 +7,13 @@ XML libraries; the parser is a self-contained well-formedness checker.
 """
 
 from repro.xml.document import Document, Node, NodeKind
+from repro.xml.index import (
+    NodeIndex,
+    merge_difference,
+    merge_intersection,
+    merge_union,
+    node_index,
+)
 from repro.xml.parser import parse_document, parse_fragment
 from repro.xml.builder import DocumentBuilder, element, text
 from repro.xml.serializer import serialize, serialize_node
@@ -17,7 +24,12 @@ __all__ = [
     "DocumentStore",
     "DocumentStoreError",
     "Node",
+    "NodeIndex",
     "NodeKind",
+    "merge_difference",
+    "merge_intersection",
+    "merge_union",
+    "node_index",
     "parse_document",
     "parse_fragment",
     "DocumentBuilder",

@@ -1,0 +1,424 @@
+"""Per-document NodeIndex: output-sensitive axis-kernel substrate.
+
+The paper's axis set functions (Definition 1) are ``O(|D|)`` per call —
+the bound every complexity theorem relies on, but also the reason a
+selective query over a large document spends almost all of its time
+re-scanning the whole tree to produce a tiny node set. This module holds
+the *derived* structures that make an output-sensitive fast path
+possible, all computed once per document and cached process-wide:
+
+* **pre/post numbering** — ``pre`` is positional (``nodes[i].pre == i``,
+  assigned at finalize); ``post[i]`` is the post-order rank, so
+  ancestorship is the classic two-number test
+  ``pre(x) < pre(y) and post(x) > post(y)``;
+* **size / depth / parent arrays** — ``size[i]`` (subtree size, interval
+  arithmetic), ``depth[i]``, ``parent_pre[i]`` (``-1`` for the document
+  node), so kernels never chase Python object attributes in their inner
+  loops;
+* **name-partitioned sorted pre-order arrays** — for every element tag
+  (and every attribute name, every non-element node kind) the sorted
+  array of pre numbers of matching nodes. ``descendant::a`` then becomes
+  a binary-search range query over the ``a`` partition:
+  ``O(|X|·log|D| + output)`` instead of ``O(|D|)``.
+
+Node sets travel through the fast kernels as **sorted pre-order int
+arrays** (document order for free, set algebra by linear merges —
+:func:`merge_union` / :func:`merge_intersection` /
+:func:`merge_difference`). The dispatch between these kernels and the
+paper-bounded scans lives in :mod:`repro.axes.axes`
+(:func:`~repro.axes.axes.fused_axis_set`); this module only provides the
+machinery.
+
+Index construction is ``O(|D|·log|D|)`` (one pass plus one sort for the
+post numbering), performed at most once per document:
+:func:`node_index` is weak-cached like
+:func:`repro.service.specialize.document_profile`, and the build runs
+under the cache lock so racing threads see exactly one build
+(``index_builds`` on :data:`repro.stats.axis_kernel_stats` is exact).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from bisect import bisect_left
+
+from repro.stats import axis_kernel_stats
+from repro.xml.document import Document, NodeKind
+
+
+class NodeIndex:
+    """Derived per-document arrays and name partitions (read-only).
+
+    Attributes:
+        document: the indexed (finalized, immutable) document.
+        total: ``|dom|``.
+        size: ``size[i]`` — subtree size of the node with pre number ``i``.
+        post: ``post[i]`` — post-order rank of the node with pre ``i``.
+        depth: ``depth[i]`` — distance from the document node (root is 0;
+            an attribute is one deeper than its element).
+        parent_pre: ``parent_pre[i]`` — pre number of the parent (``-1``
+            for the document node).
+        by_tag: element tag → sorted pre numbers of elements with it.
+        by_attribute: attribute name → sorted pre numbers of attributes.
+        by_pi_target: PI target → sorted pre numbers.
+        elements / attributes / non_attributes / text_nodes / comments /
+        pis: kind partitions, each a sorted pre array.
+    """
+
+    __slots__ = (
+        "_document_ref",
+        "total",
+        "size",
+        "post",
+        "depth",
+        "parent_pre",
+        "by_tag",
+        "by_attribute",
+        "by_pi_target",
+        "elements",
+        "attributes",
+        "non_attributes",
+        "text_nodes",
+        "comments",
+        "pis",
+    )
+
+    def __init__(self, document: Document):
+        if not document.is_finalized:
+            raise ValueError("document must be finalized before indexing")
+        # Weak back-reference only: the index is the *value* of a
+        # weak-keyed cache whose key is the document — a strong reference
+        # here would make every key strongly reachable from its own value
+        # and pin every indexed document in memory forever.
+        self._document_ref = weakref.ref(document)
+        nodes = document.nodes
+        total = len(nodes)
+        self.total = total
+        self.size = [node.size for node in nodes]
+        self.depth = [0] * total
+        self.parent_pre = [-1] * total
+        self.by_tag: dict[str, list[int]] = {}
+        self.by_attribute: dict[str, list[int]] = {}
+        self.by_pi_target: dict[str, list[int]] = {}
+        self.elements: list[int] = []
+        self.attributes: list[int] = []
+        self.non_attributes: list[int] = []
+        self.text_nodes: list[int] = []
+        self.comments: list[int] = []
+        self.pis: list[int] = []
+        for pre, node in enumerate(nodes):
+            parent = node.parent
+            if parent is not None:
+                # Parents precede children in pre-order, so their depth
+                # is already final when the child is visited.
+                self.parent_pre[pre] = parent.pre
+                self.depth[pre] = self.depth[parent.pre] + 1
+            kind = node.kind
+            if kind is NodeKind.ATTRIBUTE:
+                self.attributes.append(pre)
+                self.by_attribute.setdefault(node.name, []).append(pre)
+                continue
+            self.non_attributes.append(pre)
+            if kind is NodeKind.ELEMENT:
+                self.elements.append(pre)
+                self.by_tag.setdefault(node.name, []).append(pre)
+            elif kind is NodeKind.TEXT:
+                self.text_nodes.append(pre)
+            elif kind is NodeKind.COMMENT:
+                self.comments.append(pre)
+            elif kind is NodeKind.PROCESSING_INSTRUCTION:
+                self.pis.append(pre)
+                self.by_pi_target.setdefault(node.name, []).append(pre)
+        # Post-order rank: a node finishes after everything in its
+        # subtree. Sorting by (subtree end, -pre) realizes exactly that —
+        # ends tie only along a rightmost-descendant chain, where the
+        # deeper node (larger pre) finishes first.
+        order = sorted(range(total), key=lambda pre: (pre + self.size[pre], -pre))
+        self.post = [0] * total
+        for rank, pre in enumerate(order):
+            self.post[pre] = rank
+
+    # ------------------------------------------------------------------
+
+    @property
+    def document(self) -> Document:
+        """The indexed document (weakly held — see ``__init__``)."""
+        document = self._document_ref()
+        if document is None:  # pragma: no cover - needs a caller that
+            # outlives the document it handed in
+            raise ReferenceError("the indexed document has been garbage-collected")
+        return document
+
+    def partition(self, test, axis: str) -> list[int] | None:
+        """The sorted pre array of ``T(t)`` for a node test, restricted to
+        the principal-capable node kinds the partition axes can reach.
+
+        Only meaningful for the non-attribute-principal axes (the
+        interval/suffix kernels never enumerate attribute nodes — the
+        attribute axis is handled by per-node enumeration). Returns
+        ``None`` only for test shapes with no precomputed partition.
+        """
+        kind = test.kind
+        if kind == "name":
+            return self.by_tag.get(test.name, [])
+        if kind == "wildcard":
+            return self.elements
+        if kind == "node":
+            return self.non_attributes
+        if kind == "text":
+            return self.text_nodes
+        if kind == "comment":
+            return self.comments
+        if kind == "pi":
+            if test.name is None:
+                return self.pis
+            return self.by_pi_target.get(test.name, [])
+        return None
+
+    def filter_partition(
+        self, test, attribute_principal: bool = False
+    ) -> list[int] | None:
+        """The sorted pre array equal to ``{p | matches_node_test}`` for
+        *arbitrary* candidate nodes — the membership filter the backward
+        sweeps intersect with. ``None`` means "matches everything"
+        (``node()``, which is kind-blind). Unlike :meth:`partition`, name
+        and wildcard tests here honor the axis's principal node type:
+        the caller passes ``attribute_principal`` (``axis in
+        repro.axes.AXIS_PRINCIPAL_ATTRIBUTE``) — a bool parameter keeps
+        the xml layer below the axes layer.
+        """
+        kind = test.kind
+        if kind == "node":
+            return None
+        if kind in ("name", "wildcard"):
+            if attribute_principal:
+                if kind == "wildcard":
+                    return self.attributes
+                return self.by_attribute.get(test.name, [])
+            if kind == "wildcard":
+                return self.elements
+            return self.by_tag.get(test.name, [])
+        if kind == "text":
+            return self.text_nodes
+        if kind == "comment":
+            return self.comments
+        if kind == "pi":
+            if test.name is None:
+                return self.pis
+            return self.by_pi_target.get(test.name, [])
+        return None
+
+    def ancestors_of(self, pre: int) -> list[int]:
+        """Pre numbers of the proper ancestors of ``pre`` (nearest first)."""
+        chain = []
+        parent = self.parent_pre[pre]
+        while parent >= 0:
+            chain.append(parent)
+            parent = self.parent_pre[parent]
+        return chain
+
+    def is_ancestor(self, x_pre: int, y_pre: int) -> bool:
+        """The two-number ancestorship test (proper)."""
+        return x_pre < y_pre and self.post[x_pre] > self.post[y_pre]
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert every invariant the fused kernels rely on; raises
+        ``AssertionError`` with a description on violation. O(|D|²) in
+        the pre/post cross-check — property-test use only.
+        """
+        nodes = self.document.nodes
+        total = self.total
+        assert total == len(nodes), "index size diverged from document"
+        assert sorted(self.post) == list(range(total)), "post is not a permutation"
+        for pre, node in enumerate(nodes):
+            assert self.size[pre] == node.size, f"size broken at pre={pre}"
+            expected_parent = -1 if node.parent is None else node.parent.pre
+            assert self.parent_pre[pre] == expected_parent, f"parent broken at pre={pre}"
+            if node.parent is not None:
+                assert self.depth[pre] == self.depth[node.parent.pre] + 1, (
+                    f"depth broken at pre={pre}"
+                )
+            else:
+                assert self.depth[pre] == 0, "document node depth must be 0"
+        # Pre/post consistency: interval containment iff pre/post order.
+        for x in range(total):
+            x_end = x + self.size[x]
+            for y in range(total):
+                interval = x < y < x_end
+                two_number = x < y and self.post[x] > self.post[y]
+                assert interval == two_number, (
+                    f"pre/post inconsistent for ({x}, {y})"
+                )
+        partitions: list[list[int]] = [
+            self.elements,
+            self.attributes,
+            self.non_attributes,
+            self.text_nodes,
+            self.comments,
+            self.pis,
+            *self.by_tag.values(),
+            *self.by_attribute.values(),
+            *self.by_pi_target.values(),
+        ]
+        for partition in partitions:
+            assert all(a < b for a, b in zip(partition, partition[1:])), (
+                "partition not strictly sorted"
+            )
+        assert sum(len(p) for p in self.by_tag.values()) == len(self.elements)
+        assert sorted(p for ps in self.by_tag.values() for p in ps) == self.elements
+        assert sorted(p for ps in self.by_attribute.values() for p in ps) == (
+            self.attributes
+        )
+        assert len(self.non_attributes) + len(self.attributes) == total
+        for tag, members in self.by_tag.items():
+            for pre in members:
+                assert nodes[pre].is_element and nodes[pre].name == tag
+        for name, members in self.by_attribute.items():
+            for pre in members:
+                assert nodes[pre].is_attribute and nodes[pre].name == name
+
+
+# ----------------------------------------------------------------------
+# Process-wide cache
+# ----------------------------------------------------------------------
+
+#: Indexes are immutable facts about finalized documents; cache them
+#: process-wide so every evaluator over the same document shares one.
+#: Weak keys (and a weak back-reference inside the index): the cache
+#: never pins a document.
+_INDEX_CACHE: "weakref.WeakKeyDictionary[Document, NodeIndex]" = (
+    weakref.WeakKeyDictionary()
+)
+#: Per-document build locks (weak-keyed too): racing first callers of
+#: one document serialize, builds of *different* documents proceed in
+#: parallel — a sharded thread batch over fresh documents must not
+#: funnel every O(|D|·log|D|) build through one global lock.
+_BUILD_LOCKS: "weakref.WeakKeyDictionary[Document, threading.Lock]" = (
+    weakref.WeakKeyDictionary()
+)
+_INDEX_LOCK = threading.Lock()
+
+
+def node_index(document: Document) -> NodeIndex:
+    """The (process-wide, weakly cached) :class:`NodeIndex` of a document.
+
+    Exactness contract: one build per document, *ever* (asserted by the
+    thread-safety hammer). The global lock only guards the dictionaries;
+    the build itself runs under a per-document lock, so concurrent first
+    callers of one document see one build and then hits, while unrelated
+    documents index concurrently.
+    """
+    with _INDEX_LOCK:
+        index = _INDEX_CACHE.get(document)
+        if index is not None:
+            return index
+        build_lock = _BUILD_LOCKS.get(document)
+        if build_lock is None:
+            build_lock = threading.Lock()
+            _BUILD_LOCKS[document] = build_lock
+    with build_lock:
+        with _INDEX_LOCK:
+            index = _INDEX_CACHE.get(document)
+            if index is not None:  # built by the racing caller we waited on
+                return index
+        index = NodeIndex(document)
+        with _INDEX_LOCK:
+            _INDEX_CACHE[document] = index
+            axis_kernel_stats.index_build()
+    return index
+
+
+# ----------------------------------------------------------------------
+# Sorted-array node-set algebra
+# ----------------------------------------------------------------------
+
+
+def merge_union(a: list[int], b: list[int]) -> list[int]:
+    """Union of two sorted int arrays (linear merge, duplicates dropped)."""
+    if not a:
+        return list(b)
+    if not b:
+        return list(a)
+    out: list[int] = []
+    i = j = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        x, y = a[i], b[j]
+        if x < y:
+            out.append(x)
+            i += 1
+        elif y < x:
+            out.append(y)
+            j += 1
+        else:
+            out.append(x)
+            i += 1
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out
+
+
+def merge_intersection(a: list[int], b: list[int]) -> list[int]:
+    """Intersection of two sorted int arrays.
+
+    Linear merge when the sides are comparable; when one side is much
+    smaller, galloping (binary-search membership per small-side element)
+    keeps the cost ``O(small · log large)`` — the shape the fused
+    kernels produce (tiny context sets against big partitions).
+    """
+    if not a or not b:
+        return []
+    if len(a) > len(b):
+        a, b = b, a
+    len_a, len_b = len(a), len(b)
+    if len_a * 16 < len_b:
+        out = []
+        lo = 0
+        for x in a:
+            lo = bisect_left(b, x, lo)
+            if lo == len_b:
+                break
+            if b[lo] == x:
+                out.append(x)
+                lo += 1
+        return out
+    out = []
+    i = j = 0
+    while i < len_a and j < len_b:
+        x, y = a[i], b[j]
+        if x < y:
+            i += 1
+        elif y < x:
+            j += 1
+        else:
+            out.append(x)
+            i += 1
+            j += 1
+    return out
+
+
+def merge_difference(a: list[int], b: list[int]) -> list[int]:
+    """``a - b`` for sorted int arrays (linear merge)."""
+    if not a:
+        return []
+    if not b:
+        return list(a)
+    out: list[int] = []
+    i = j = 0
+    len_a, len_b = len(a), len(b)
+    while i < len_a and j < len_b:
+        x, y = a[i], b[j]
+        if x < y:
+            out.append(x)
+            i += 1
+        elif y < x:
+            j += 1
+        else:
+            i += 1
+            j += 1
+    out.extend(a[i:])
+    return out

@@ -194,6 +194,9 @@ def test_batch_subcommand_stats_output(capsys):
     assert "hits=1" in err
     assert "hit rate=50.0%" in err
     assert "result cache:" in err
+    assert "axis kernels:" in err
+    assert "index builds=" in err
+    assert "fallback scans=" in err
 
 
 def test_batch_subcommand_queries_file(tmp_path, capsys):

@@ -171,6 +171,10 @@ def test_full_grammar_exercises_the_new_constructs():
     # The PR 3 frontier: top-level unions and $-variable references.
     assert " | " in text
     assert "$" in text
+    # The PR 5 frontier: id() pseudo-axis queries, in both the plain
+    # function form and the id(π)-normalizes-to-a-step form.
+    assert "id('" in text
+    assert "id(self::node())" in text or "id(child::*)" in text or "id(id(" in text
     assert bindings, "variable references must record their bindings"
     assert all(
         isinstance(value, (str, float, int, bool)) for value in bindings.values()
@@ -199,6 +203,32 @@ def test_full_grammar_unions_and_variables_differential():
                 union_cases += 1
                 assert not compiled.is_core_xpath, query
     assert union_cases > 0
+
+
+def test_id_pseudo_axis_differential():
+    """PR 5's fuzz frontier: the five full-XPath algorithms agree on
+    id() pseudo-axis queries over documents generated *with* id
+    attributes (random_document keys every element sequentially, so the
+    probes dereference real nodes). The pseudo-axis is outside Core
+    XPath, which the classification-driven skip must report."""
+    rng = random.Random(SEED + 30)
+    id_cases = 0
+    nonempty = 0
+    for _ in range(RANDOM_DOCUMENTS):
+        document = random_document(rng, max_nodes=16)
+        engine = XPathEngine(document)
+        for _ in range(CASES_PER_DOCUMENT):
+            query = random_full_query(rng, max_steps=3)
+            compiled = _check_differential(engine, query)
+            if "id(" in query:
+                id_cases += 1
+                assert not compiled.is_core_xpath, query
+                if engine.evaluate(compiled):
+                    nonempty += 1
+    assert id_cases >= 10, "the grammar must actually emit id() predicates"
+    # The probes must hit real nodes some of the time, or the axis (and
+    # its inverse) would only ever see empty sets.
+    assert nonempty > 0
 
 
 def test_variable_corpus_through_the_sharded_service():

@@ -1,0 +1,395 @@
+"""NodeIndex invariants and fused-kernel/scan byte-identity (PR 5).
+
+Two properties carry the whole output-sensitive fast path:
+
+* **Index invariants** — pre/post consistency (interval containment iff
+  the two-number test), partition sortedness/completeness, and the
+  size/depth/parent arrays mirroring the tree, asserted directly over a
+  fuzz corpus (:meth:`repro.xml.index.NodeIndex.validate` plus explicit
+  checks here).
+* **Kernel ≡ scan** — for every axis × node test × context-set shape
+  (attributes, the document node, text/comment nodes, the empty set, all
+  of ``dom``), the fused dispatch returns *exactly* the Definition-1
+  scan's answer in every kernel mode (``auto``, forced ``indexed``,
+  forced ``scan``). The ``indexed`` mode matters: it drives the
+  partition kernels even where the cost dispatch would fall back, so
+  both branches are proven equal regardless of the heuristic.
+
+The exact fused/fallback accounting is asserted here per call and under
+contention in ``tests/test_thread_safety.py``.
+"""
+
+import random
+
+import pytest
+
+from repro import stats
+from repro.axes.axes import (
+    ALL_AXES,
+    INTERVAL_AXES,
+    INVERSE_INTERVAL_AXES,
+    KERNEL_MODES,
+    axis_set,
+    axis_test_pres,
+    fused_axis_set,
+    fused_inverse_axis_set,
+    inverse_axis_set,
+    inverse_axis_test_pres,
+    kernel_mode,
+    kernel_mode_forced,
+    matches_node_test,
+    set_kernel_mode,
+)
+from repro.workloads.documents import (
+    book_catalog,
+    deep_chain,
+    random_document,
+    running_example_document,
+    wide_tree,
+)
+from repro.xml.index import (
+    NodeIndex,
+    merge_difference,
+    merge_intersection,
+    merge_union,
+    node_index,
+)
+from repro.xml.parser import parse_document
+from repro.xpath.ast import NodeTest
+
+SEED = 20030614
+
+
+def _corpus():
+    rng = random.Random(SEED)
+    documents = [
+        running_example_document(),
+        book_catalog(books=4),
+        wide_tree(width=7),
+        deep_chain(9),
+        parse_document(
+            '<a id="1">x<b id="2"><a id="3">100</a>y</b>'
+            "<?target data?><!--note-->"
+            '<c id="4" kind="k"><b id="5">1</b><b id="6">2</b></c></a>'
+        ),
+    ]
+    documents += [random_document(rng, max_nodes=18) for _ in range(4)]
+    return documents
+
+
+_TESTS = [
+    NodeTest("name", "a"),
+    NodeTest("name", "b"),
+    NodeTest("name", "price"),
+    NodeTest("name", "nosuch"),
+    NodeTest("name", "id"),       # attribute name on the attribute axis
+    NodeTest("name", "kind"),
+    NodeTest("wildcard"),
+    NodeTest("node"),
+    NodeTest("text"),
+    NodeTest("comment"),
+    NodeTest("pi"),
+    NodeTest("pi", "target"),
+]
+
+
+def _context_sets(document, rng):
+    nodes = document.nodes
+    attributes = [n for n in nodes if n.is_attribute]
+    sets = [
+        [],
+        [document.root],
+        [nodes[-1]],
+        rng.sample(nodes, min(3, len(nodes))),
+        rng.sample(nodes, min(9, len(nodes))),
+        list(nodes),
+    ]
+    if attributes:
+        sets.append(attributes[:2])
+        sets.append(rng.sample(nodes, min(4, len(nodes))) + attributes[:1])
+    return sets
+
+
+# ----------------------------------------------------------------------
+# Index invariants
+# ----------------------------------------------------------------------
+
+
+def test_node_index_invariants_hold_on_the_corpus():
+    for document in _corpus():
+        index = node_index(document)
+        index.validate()
+
+
+def test_pre_post_numbering_characterizes_ancestorship():
+    """The classic two-number test: x is a proper ancestor of y iff
+    pre(x) < pre(y) and post(x) > post(y)."""
+    for document in _corpus():
+        index = node_index(document)
+        for x in document.nodes:
+            for y in document.nodes:
+                expected = x.is_ancestor_of(y) and x is not y
+                assert index.is_ancestor(x.pre, y.pre) == expected, (x, y)
+
+
+def test_partitions_are_sorted_and_complete():
+    for document in _corpus():
+        index = node_index(document)
+        for tag, members in index.by_tag.items():
+            assert members == sorted(members)
+            expected = [n.pre for n in document.nodes if n.is_element and n.name == tag]
+            assert members == expected
+        all_tagged = sorted(p for ps in index.by_tag.values() for p in ps)
+        assert all_tagged == index.elements
+        for name, members in index.by_attribute.items():
+            expected = [
+                n.pre for n in document.nodes if n.is_attribute and n.name == name
+            ]
+            assert members == expected
+        assert index.non_attributes == [
+            n.pre for n in document.nodes if not n.is_attribute
+        ]
+
+
+def test_node_index_is_cached_and_refuses_unfinalized_documents():
+    document = book_catalog(books=2)
+    assert node_index(document) is node_index(document)
+    from repro.xml.document import Document
+
+    with pytest.raises(ValueError):
+        NodeIndex(Document())
+
+
+def test_index_cache_never_pins_a_document():
+    """The weak-keyed cache promise: indexing a document must not keep
+    it alive — the index holds only a weak back-reference, so dropping
+    the last strong reference collects both document and index."""
+    import gc
+    import weakref
+
+    document = book_catalog(books=2)
+    index = node_index(document)
+    assert index.document is document
+    finalizer = weakref.ref(document)
+    del document
+    del index
+    gc.collect()
+    assert finalizer() is None, "indexed document leaked through the cache"
+
+
+# ----------------------------------------------------------------------
+# Fused kernels ≡ Definition-1 scans, every axis × test × mode
+# ----------------------------------------------------------------------
+
+
+def _scan_reference(document, axis, X, test):
+    return {y for y in axis_set(document, axis, X) if matches_node_test(y, test, axis)}
+
+
+@pytest.mark.parametrize("mode", KERNEL_MODES)
+def test_fused_axis_set_matches_scan_everywhere(mode):
+    rng = random.Random(SEED + 1)
+    cells = 0
+    with kernel_mode_forced(mode):
+        for document in _corpus():
+            for X in _context_sets(document, rng):
+                for axis in sorted(ALL_AXES):
+                    for test in _TESTS:
+                        expected = _scan_reference(document, axis, X, test)
+                        assert fused_axis_set(document, axis, X, test) == expected, (
+                            mode,
+                            axis,
+                            test.kind,
+                            test.name,
+                        )
+                        cells += 1
+    assert cells > 0
+
+
+@pytest.mark.parametrize("mode", KERNEL_MODES)
+def test_fused_inverse_axis_set_matches_scan_everywhere(mode):
+    rng = random.Random(SEED + 2)
+    with kernel_mode_forced(mode):
+        for document in _corpus():
+            for Y in _context_sets(document, rng):
+                for axis in sorted(ALL_AXES):
+                    expected = inverse_axis_set(document, axis, Y)
+                    assert fused_inverse_axis_set(document, axis, Y) == expected, (
+                        mode,
+                        axis,
+                    )
+
+
+@pytest.mark.parametrize("mode", KERNEL_MODES)
+def test_pres_level_kernels_agree_and_stay_sorted(mode):
+    """The sorted-array forms (the corexpath sweeps' interface) must
+    return sorted pre arrays equal to the set forms."""
+    rng = random.Random(SEED + 3)
+    with kernel_mode_forced(mode):
+        for document in _corpus():
+            for X in _context_sets(document, rng):
+                # The pres interface's contract: sorted, duplicate-free.
+                X = list(dict.fromkeys(X))
+                pres = sorted(x.pre for x in X)
+                for axis in sorted(ALL_AXES):
+                    for test in (NodeTest("node"), NodeTest("name", "b")):
+                        out = axis_test_pres(document, axis, pres, test)
+                        assert out == sorted(out)
+                        expected = _scan_reference(document, axis, X, test)
+                        assert out == sorted(y.pre for y in expected), (mode, axis)
+                    inverse = inverse_axis_test_pres(document, axis, pres)
+                    assert inverse == sorted(inverse)
+                    expected_inverse = inverse_axis_set(document, axis, X)
+                    assert inverse == sorted(y.pre for y in expected_inverse), (
+                        mode,
+                        axis,
+                    )
+
+
+def test_id_pseudo_axis_kernels_match_scan():
+    """The id pseudo-axis rides the enumerated fused path (forward) and
+    the Definition-1 token index (inverse); both must equal the scans on
+    documents whose string values dereference real ids."""
+    document = running_example_document()
+    nodes = document.nodes
+    rng = random.Random(SEED + 4)
+    for mode in KERNEL_MODES:
+        with kernel_mode_forced(mode):
+            for X in ([], [document.root], rng.sample(nodes, 5), list(nodes)):
+                for test in (NodeTest("node"), NodeTest("name", "d"), NodeTest("wildcard")):
+                    assert fused_axis_set(document, "id", X, test) == _scan_reference(
+                        document, "id", X, test
+                    )
+                assert fused_inverse_axis_set(document, "id", X) == inverse_axis_set(
+                    document, "id", X
+                )
+
+
+# ----------------------------------------------------------------------
+# Dispatch accounting and mode plumbing
+# ----------------------------------------------------------------------
+
+
+def test_every_dispatch_counts_exactly_one_outcome():
+    document = book_catalog(books=3)
+    node_index(document)  # build outside the measured window
+    rng = random.Random(SEED + 5)
+    X = rng.sample(document.nodes, 6)
+    test = NodeTest("name", "title")
+    for mode, expect_fused in (("indexed", True), ("scan", False)):
+        with kernel_mode_forced(mode):
+            before = stats.axis_kernel_stats.snapshot()
+            calls = 0
+            for axis in sorted(ALL_AXES):
+                fused_axis_set(document, axis, X, test)
+                fused_inverse_axis_set(document, axis, X)
+                calls += 2
+            after = stats.axis_kernel_stats.snapshot()
+        fused_delta = after["fused_hits"] - before["fused_hits"]
+        fallback_delta = after["fallback_scans"] - before["fallback_scans"]
+        assert fused_delta + fallback_delta == calls
+        if mode == "scan":
+            assert fused_delta == 0
+        else:
+            # Forward: every axis has a fused kernel. Inverse: only the
+            # interval axes do; the rest honestly count as scans.
+            assert fused_delta == len(ALL_AXES) + len(INVERSE_INTERVAL_AXES)
+        assert after["index_builds"] == before["index_builds"]
+
+
+def test_auto_dispatch_falls_back_when_predicted_output_is_large():
+    """descendant::node() from the root of an attribute-free document
+    predicts ~|D| output — the auto dispatch must take the guaranteed
+    scan, not the kernel. (With attributes in play the node() partition
+    is genuinely smaller than dom and the kernel may rightly win.)"""
+    document = parse_document("<a>" + "<b>x</b>" * 50 + "</a>")
+    node_index(document)
+    assert kernel_mode() == "auto"
+    before = stats.axis_kernel_stats.snapshot()
+    fused_axis_set(document, "descendant", [document.root], NodeTest("node"))
+    after = stats.axis_kernel_stats.snapshot()
+    assert after["fallback_scans"] - before["fallback_scans"] == 1
+    # A selective name test from the same context stays on the kernel.
+    before = stats.axis_kernel_stats.snapshot()
+    fused_axis_set(document, "descendant", [document.root], NodeTest("name", "a"))
+    after = stats.axis_kernel_stats.snapshot()
+    assert after["fused_hits"] - before["fused_hits"] == 1
+
+
+def test_kernel_mode_validates_and_restores():
+    assert kernel_mode() == "auto"
+    with pytest.raises(ValueError):
+        set_kernel_mode("bogus")
+    with kernel_mode_forced("scan"):
+        assert kernel_mode() == "scan"
+        with kernel_mode_forced("indexed"):
+            assert kernel_mode() == "indexed"
+        assert kernel_mode() == "scan"
+    assert kernel_mode() == "auto"
+
+
+# ----------------------------------------------------------------------
+# Sorted-array node-set algebra
+# ----------------------------------------------------------------------
+
+
+def test_merge_algebra_matches_set_algebra():
+    rng = random.Random(SEED + 6)
+    for _ in range(200):
+        a = sorted(rng.sample(range(60), rng.randint(0, 20)))
+        b = sorted(rng.sample(range(60), rng.randint(0, 20)))
+        assert merge_union(a, b) == sorted(set(a) | set(b))
+        assert merge_intersection(a, b) == sorted(set(a) & set(b))
+        assert merge_difference(a, b) == sorted(set(a) - set(b))
+
+
+def test_merge_intersection_gallops_on_skewed_sizes():
+    big = list(range(0, 100000, 3))
+    small = [0, 2, 3, 300, 99999, 99999 // 3 * 3]
+    assert merge_intersection(small, big) == sorted(set(small) & set(big))
+    assert merge_intersection(big, small) == sorted(set(small) & set(big))
+    assert merge_intersection([], big) == []
+
+
+# ----------------------------------------------------------------------
+# End-to-end: whole queries are mode-independent
+# ----------------------------------------------------------------------
+
+
+def test_evaluators_are_byte_identical_across_kernel_modes():
+    """One fuzz pass per mode: every algorithm returns the same bytes
+    whatever the dispatch does — the EXP-AXIS value gate in miniature."""
+    from repro.engine import XPathEngine
+    from repro.workloads.queries import random_core_query, random_full_query
+
+    rng = random.Random(SEED + 7)
+    documents = [random_document(rng, max_nodes=16) for _ in range(3)]
+    queries = [random_core_query(rng, max_steps=3) for _ in range(6)]
+    queries += [random_full_query(rng, max_steps=3) for _ in range(6)]
+    queries += ["/descendant::b/following::*", "//b[preceding::c]"]
+    baseline = {}
+    with kernel_mode_forced("scan"):
+        for d_index, document in enumerate(documents):
+            engine = XPathEngine(document)
+            for query in queries:
+                compiled = engine.compile(query)
+                names = ["mincontext", "optmincontext"]
+                if compiled.is_core_xpath:
+                    names.append("corexpath")
+                for name in names:
+                    baseline[(d_index, query, name)] = engine.evaluate(
+                        compiled, algorithm=name
+                    )
+    for mode in ("auto", "indexed"):
+        with kernel_mode_forced(mode):
+            for d_index, document in enumerate(documents):
+                engine = XPathEngine(document)
+                for query in queries:
+                    compiled = engine.compile(query)
+                    names = ["mincontext", "optmincontext"]
+                    if compiled.is_core_xpath:
+                        names.append("corexpath")
+                    for name in names:
+                        assert engine.evaluate(compiled, algorithm=name) == baseline[
+                            (d_index, query, name)
+                        ], (mode, query, name)

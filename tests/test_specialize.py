@@ -105,14 +105,31 @@ BIG = DocumentProfile(total_nodes=9000, max_depth=12, max_fanout=16, text_ratio=
 LINE = DocumentProfile(total_nodes=513, max_depth=3, max_fanout=170, text_ratio=1.0)
 
 
-def test_small_core_query_prefers_mincontext_constants():
-    physical = _specialize(core_family(4), SMALL)
-    assert physical.algorithm == "mincontext"
-    assert not physical.clamped
+def test_core_query_prefers_corexpath_after_the_array_rewrite():
+    """PR 5 re-measured the seed constants: the sorted-array Core XPath
+    sweep now runs *below* MINCONTEXT's constants at every size, so the
+    cost model keeps corexpath on Core queries on merit — small and
+    large alike, no clamp needed."""
+    small = _specialize(core_family(4), SMALL)
+    assert small.algorithm == "corexpath"
+    assert not small.clamped
+    big = _specialize(core_family(4), BIG)
+    assert big.algorithm == "corexpath"
+    assert not big.clamped
 
 
-def test_large_core_query_clamps_to_theorem_13():
-    physical = _specialize(core_family(4), BIG)
+def test_large_core_query_clamp_overrides_hostile_observed_rates():
+    """The Theorem 13 guarantee clamp still backs the choice: even when
+    observed timings would steer the model away from corexpath, a large
+    Core query defers to the fragment guarantee."""
+    specializer = PlanSpecializer()
+    plan = compile_plan(core_family(4))
+    units = cost_units(plan, BIG, "corexpath")
+    for _ in range(PlanSpecializer.MIN_OBSERVATIONS):
+        specializer.timings.observe("corexpath", units, 10.0)       # "slow"
+        specializer.timings.observe("mincontext", units, 1e-6)      # "fast"
+        specializer.timings.observe("optmincontext", units, 1e-6)
+    physical = specializer.specialize(plan, BIG)
     assert physical.algorithm == "corexpath"
     assert physical.clamped
     assert "Theorem 13" in physical.rationale
@@ -191,18 +208,29 @@ def test_specializer_memo_counters_are_exact():
     assert len(specializer) == 2
 
 
-def test_specializer_memo_flushes_wholesale_at_capacity():
+def test_specializer_memo_evicts_lru_one_at_a_time():
+    """PR 5 satellite: capacity overflow evicts exactly one LRU entry
+    (the PlanCache pattern), not the whole memo — hot entries survive."""
     specializer = PlanSpecializer(memo_capacity=2)
     plan = compile_plan("//b")
     profiles = [
         DocumentProfile(total_nodes=n, max_depth=2, max_fanout=2, text_ratio=0.0)
         for n in (10, 20, 30)
     ]
-    for profile in profiles:
-        specializer.specialize(plan, profile)
+    specializer.specialize(plan, profiles[0])
+    specializer.specialize(plan, profiles[1])
+    specializer.specialize(plan, profiles[0])   # refresh: now profiles[1] is LRU
+    specializer.specialize(plan, profiles[2])   # evicts profiles[1] only
     assert specializer.stats.misses == 3
-    assert specializer.stats.evictions == 2  # one wholesale flush of 2
-    assert len(specializer) == 1
+    assert specializer.stats.hits == 1
+    assert specializer.stats.evictions == 1
+    assert len(specializer) == 2
+    # The refreshed entry survived the eviction; the LRU one did not.
+    hits_before = specializer.stats.hits
+    specializer.specialize(plan, profiles[0])
+    assert specializer.stats.hits == hits_before + 1
+    specializer.specialize(plan, profiles[1])
+    assert specializer.stats.misses == 4
 
 
 def test_observed_rates_refine_future_selections():

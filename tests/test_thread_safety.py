@@ -217,6 +217,46 @@ def test_concurrent_drivers_through_the_async_front_end():
     assert plan.misses - plan.evictions == len(service.service.plans)
 
 
+def test_node_index_is_built_exactly_once_under_contention():
+    """PR 5's new process-wide cache under the hammer: 8 threads racing
+    to index one shared document get the *same* instance, the build
+    counter moves by exactly one (the build runs under the cache lock),
+    and every fused dispatch counts exactly one outcome."""
+    from repro import stats
+    from repro.axes.axes import fused_axis_set
+    from repro.workloads.documents import book_catalog
+    from repro.xml.index import node_index
+    from repro.xpath.ast import NodeTest
+
+    document = book_catalog(books=6)  # fresh document: not yet indexed
+    before = stats.axis_kernel_stats.snapshot()
+    instances = []
+    calls_per_thread = 50
+    test = NodeTest("name", "price")
+
+    def worker(_):
+        index = node_index(document)
+        instances.append(index)
+        for _ in range(calls_per_thread):
+            result = fused_axis_set(document, "descendant", [document.root], test)
+            assert len(result) == 6  # one price element per book
+
+    _hammer(worker)
+    after = stats.axis_kernel_stats.snapshot()
+    assert len(instances) == THREADS
+    assert all(index is instances[0] for index in instances)
+    # Exactly one build, ever — racing first callers serialized on the
+    # cache lock, and the per-thread node_index() calls all hit.
+    assert after["index_builds"] - before["index_builds"] == 1
+    # Every dispatch counted exactly one outcome, none torn.
+    dispatched = THREADS * calls_per_thread
+    fused_delta = after["fused_hits"] - before["fused_hits"]
+    fallback_delta = after["fallback_scans"] - before["fallback_scans"]
+    assert fused_delta + fallback_delta == dispatched
+    # A selective name test on an indexed axis always takes the kernel.
+    assert fused_delta == dispatched
+
+
 def test_plan_cache_iteration_is_safe_during_mutation():
     """keys()/values() hand out point-in-time copies, so a monitoring
     thread can walk the cache while drivers mutate it."""
