@@ -1,0 +1,275 @@
+"""EXP-SNAP — binary NodeIndex snapshots vs serialize-and-re-parse.
+
+The PR 6 payoff claim: a persisted flat-column snapshot (format v2,
+``repro.xml.snapshot``) rebuilds a document *and* its adopted NodeIndex
+cheaper than shipping XML text and re-parsing it — the cold-start path
+process workers and the DocumentStore both take — without changing a
+single result byte relative to the in-memory flat or boxed-list indexes.
+
+Four gates, two of them machine-independent:
+
+* **identity gate** — for every workload query × document, the value is
+  byte-identical across four paths: forced Definition-1 ``scan`` on the
+  original document, ``auto`` dispatch over the packed flat index,
+  ``auto`` over a boxed-list (``packed=False``) index, and ``auto`` on a
+  document round-tripped through ``encode_snapshot``/``decode_snapshot``
+  (node sets compared by pre-order position, scalars by value).
+* **adoption gate** — each decode adopts its rebuilt index into the
+  per-document cache: ``index_adoptions`` moves by exactly one per
+  decode, ``index_builds`` by zero, and a subsequent ``node_index`` call
+  on the decoded document is a cache hit (still zero builds).
+* **cold-start gate** — best-of-N seconds for (decode snapshot + first
+  query) vs (re-parse serialized XML + first query), summed over the
+  workload documents. Snapshot load must be ≥ COLD_START_GATE× faster.
+  Host-gated like EXP-AXIS: enforced on ≥ 2-CPU hosts, reported
+  otherwise.
+* **raw-speed gate** — the EXP-AXIS selective workload on *snapshot-
+  loaded* documents: ``auto`` dispatch (riding the adopted flat index)
+  must stay ≥ SPEEDUP_GATE× faster than forced ``scan``, i.e. the
+  memoryview columns lose nothing to the boxed-list kernels they
+  replaced. Host-gated the same way.
+
+The script exits nonzero if any enforced gate fails. Run with::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from bench_axes import WORKLOAD_QUERIES, workload_documents
+from harness import ExperimentReport, time_query
+
+from repro import stats
+from repro.axes.axes import kernel_mode_forced
+from repro.engine import XPathEngine
+from repro.xml import index as index_module
+from repro.xml.index import NodeIndex, node_index
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+from repro.xml.snapshot import decode_snapshot, encode_snapshot
+
+REPEAT = 5
+SPEEDUP_GATE = 2.0
+COLD_START_GATE = 1.3
+
+
+def _canon(document, value):
+    """A document-independent canonical form: node sets become pre-order
+    position tuples (documents rebuilt from snapshots have different Node
+    objects but identical numbering), scalars stay themselves."""
+    if isinstance(value, list):
+        return tuple(node.pre for node in value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Gates
+# ----------------------------------------------------------------------
+
+
+def run_identity_gate(documents) -> tuple[bool, int]:
+    """scan == flat auto == list auto == snapshot auto, per query cell."""
+    cells = 0
+    ok = True
+    for document in documents:
+        engine = XPathEngine(document)
+        rebuilt = decode_snapshot(encode_snapshot(document))
+        rebuilt_engine = XPathEngine(rebuilt)
+        for query, algorithm in WORKLOAD_QUERIES:
+            compiled = engine.compile(query)
+            with kernel_mode_forced("scan"):
+                baseline = _canon(
+                    document, engine.evaluate(compiled, algorithm=algorithm)
+                )
+            with kernel_mode_forced("auto"):
+                flat = _canon(
+                    document, engine.evaluate(compiled, algorithm=algorithm)
+                )
+            # Boxed-list reference representation: seed the cache with a
+            # packed=False index, evaluate, then restore the flat one.
+            index_module._INDEX_CACHE[document] = NodeIndex(document, packed=False)
+            try:
+                with kernel_mode_forced("auto"):
+                    boxed = _canon(
+                        document, engine.evaluate(compiled, algorithm=algorithm)
+                    )
+            finally:
+                index_module._INDEX_CACHE.pop(document, None)
+            with kernel_mode_forced("auto"):
+                snapped = _canon(
+                    rebuilt,
+                    rebuilt_engine.evaluate(
+                        rebuilt_engine.compile(query), algorithm=algorithm
+                    ),
+                )
+            if not (baseline == flat == boxed == snapped):
+                ok = False
+            cells += 1
+    return ok, cells
+
+
+def run_adoption_gate(documents) -> tuple[bool, dict]:
+    """Exact accounting: decode adopts (never builds); node_index on a
+    decoded document is a cache hit."""
+    blobs = [encode_snapshot(document) for document in documents]
+    before = stats.axis_kernel_stats.snapshot()
+    rebuilt = [decode_snapshot(blob) for blob in blobs]
+    after_decode = stats.axis_kernel_stats.snapshot()
+    for document in rebuilt:
+        node_index(document)  # must hit the adopted index
+    after_reuse = stats.axis_kernel_stats.snapshot()
+    adoptions = after_decode["index_adoptions"] - before["index_adoptions"]
+    decode_builds = after_decode["index_builds"] - before["index_builds"]
+    reuse_builds = after_reuse["index_builds"] - after_decode["index_builds"]
+    detail = {
+        "documents": len(documents),
+        "adoptions": adoptions,
+        "decode_builds": decode_builds,
+        "reuse_builds": reuse_builds,
+    }
+    ok = (
+        adoptions == len(documents) and decode_builds == 0 and reuse_builds == 0
+    )
+    return ok, detail
+
+
+def run_cold_start_gate(documents):
+    """Best-of-N seconds to get a *queryable* document from cold state:
+    snapshot decode vs re-parse of the serialized XML, each followed by
+    the same first query (so index amortization counts for both sides)."""
+    first_query, first_algorithm = WORKLOAD_QUERIES[0]
+    payloads = [
+        (serialize(document), encode_snapshot(document)) for document in documents
+    ]
+    parse_total = 0.0
+    decode_total = 0.0
+    for xml_text, blob in payloads:
+        best_parse = best_decode = float("inf")
+        for _ in range(REPEAT):
+            started = time.perf_counter()
+            reparsed = parse_document(xml_text)
+            engine = XPathEngine(reparsed)
+            engine.evaluate(engine.compile(first_query), algorithm=first_algorithm)
+            best_parse = min(best_parse, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            rebuilt = decode_snapshot(blob)
+            engine = XPathEngine(rebuilt)
+            engine.evaluate(engine.compile(first_query), algorithm=first_algorithm)
+            best_decode = min(best_decode, time.perf_counter() - started)
+        parse_total += best_parse
+        decode_total += best_decode
+    return parse_total, decode_total
+
+
+def run_raw_speed_gate(documents):
+    """The EXP-AXIS speedup measurement, but on snapshot-loaded documents
+    whose flat index arrived by adoption rather than a local build."""
+    rebuilt = [decode_snapshot(encode_snapshot(document)) for document in documents]
+    engines = [XPathEngine(document) for document in rebuilt]
+    compiled = [
+        [(engine.compile(query), algorithm) for query, algorithm in WORKLOAD_QUERIES]
+        for engine in engines
+    ]
+    per_mode = {}
+    for mode in ("scan", "auto"):
+        with kernel_mode_forced(mode):
+            total = 0.0
+            for engine, plans in zip(engines, compiled):
+                for plan, algorithm in plans:
+                    total += time_query(engine, plan, algorithm, repeat=REPEAT)
+            per_mode[mode] = total
+    return per_mode["scan"], per_mode["auto"]
+
+
+def main() -> int:
+    usable_cpus = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1)
+    )
+    documents = workload_documents()
+
+    identity_ok, identity_cells = run_identity_gate(documents)
+    adoption_ok, adoption_detail = run_adoption_gate(documents)
+    parse_seconds, decode_seconds = run_cold_start_gate(documents)
+    cold_ratio = parse_seconds / decode_seconds if decode_seconds else float("inf")
+    scan_seconds, auto_seconds = run_raw_speed_gate(documents)
+    speedup = scan_seconds / auto_seconds if auto_seconds else float("inf")
+    hosted = usable_cpus >= 2
+    cold_ok = cold_ratio >= COLD_START_GATE
+    speedup_ok = speedup >= SPEEDUP_GATE
+
+    report = ExperimentReport(
+        "EXP-SNAP", "binary NodeIndex snapshots vs serialize-and-re-parse"
+    )
+    sizes = ", ".join(str(len(document)) for document in documents)
+    blob_bytes = sum(len(encode_snapshot(document)) for document in documents)
+    report.note(
+        f"workload: {len(WORKLOAD_QUERIES)} selective queries x "
+        f"{len(documents)} documents (|dom| = {sizes}; snapshots total "
+        f"{blob_bytes} bytes); best of {REPEAT}; host grants "
+        f"{usable_cpus} usable CPU(s)"
+    )
+    report.table(
+        ["cold-start path", "summed best (ms)", "speedup"],
+        [
+            ["re-parse serialized XML + first query", parse_seconds * 1e3, 1.0],
+            ["decode snapshot + first query", decode_seconds * 1e3, cold_ratio],
+        ],
+    )
+    report.table(
+        ["dispatch (snapshot-loaded docs)", "summed best (ms)", "speedup"],
+        [
+            ["scan (Definition-1 fallback forced)", scan_seconds * 1e3, 1.0],
+            ["auto (adopted flat index)", auto_seconds * 1e3, speedup],
+        ],
+    )
+    report.note()
+    report.note(
+        f"adoption: {adoption_detail['adoptions']} adoptions / "
+        f"{adoption_detail['decode_builds']} builds decoding "
+        f"{adoption_detail['documents']} snapshots; "
+        f"{adoption_detail['reuse_builds']} builds on node_index reuse"
+    )
+    report.note(
+        f"identity gate:   scan == flat == boxed-list == snapshot on every "
+        f"query cell ({identity_cells} cells) — "
+        + ("PASS" if identity_ok else "FAIL")
+    )
+    report.note(
+        "adoption gate:   decode adopts exactly once, never builds — "
+        + ("PASS" if adoption_ok else "FAIL")
+    )
+    if hosted:
+        report.note(
+            f"cold-start gate: snapshot over re-parse = {cold_ratio:.2f}x "
+            f"(need >= {COLD_START_GATE}x) — " + ("PASS" if cold_ok else "FAIL")
+        )
+        report.note(
+            f"raw-speed gate:  auto over scan = {speedup:.2f}x "
+            f"(need >= {SPEEDUP_GATE}x) — " + ("PASS" if speedup_ok else "FAIL")
+        )
+    else:
+        report.note(
+            f"cold-start gate: SKIPPED — 1-CPU host (measured {cold_ratio:.2f}x, "
+            f"gate needs >= {COLD_START_GATE}x on >= 2-CPU hosts)"
+        )
+        report.note(
+            f"raw-speed gate:  SKIPPED — 1-CPU host (measured {speedup:.2f}x, "
+            f"gate needs >= {SPEEDUP_GATE}x on >= 2-CPU hosts)"
+        )
+    report.finish()
+    if not identity_ok or not adoption_ok:
+        return 1
+    if hosted and (not cold_ok or not speedup_ok):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Run after the benchmark suite:
     python benchmarks/summarize.py --async-batch # just the async/streaming gates
     python benchmarks/summarize.py --specialize  # just the specialization gates
     python benchmarks/summarize.py --axes        # just the fused-kernel gates
+    python benchmarks/summarize.py --snapshot    # just the snapshot gates
 """
 
 from __future__ import annotations
@@ -22,7 +23,7 @@ ORDER = [
     "exp_f4", "exp_f5", "exp_e9",
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
-    "exp_svc", "exp_shard", "exp_async", "exp_spec", "exp_axis",
+    "exp_svc", "exp_shard", "exp_async", "exp_spec", "exp_axis", "exp_snap",
 ]
 
 
@@ -96,6 +97,20 @@ def axes_lines() -> list[str]:
     ]
 
 
+def snapshot_lines() -> list[str]:
+    """The gate, speedup, and adoption-counter lines from the EXP-SNAP
+    report (written by bench_snapshot.py)."""
+    path = RESULTS_DIR / "exp_snap.txt"
+    if not path.exists():
+        return []
+    markers = ("gate:", "speedup", "adoption", "cold-start", "dispatch", "workload:")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -122,6 +137,11 @@ def main(argv: list[str] | None = None) -> None:
         "--axes",
         action="store_true",
         help="print only the fused-axis-kernel gates and speedup (EXP-AXIS)",
+    )
+    parser.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="print only the binary-snapshot gates and speedups (EXP-SNAP)",
     )
     args = parser.parse_args(argv)
     if args.plan_cache:
@@ -165,6 +185,15 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(
                 "no fused-kernel results yet — run: "
                 "python benchmarks/bench_axes.py"
+            )
+        print("\n".join(lines))
+        return
+    if args.snapshot:
+        lines = snapshot_lines()
+        if not lines:
+            raise SystemExit(
+                "no snapshot results yet — run: "
+                "python benchmarks/bench_snapshot.py"
             )
         print("\n".join(lines))
         return

@@ -581,7 +581,9 @@ def _interval_axis_pres(
         # One suffix of the partition: every partition member at or past
         # the earliest subtree end is a following of that context node.
         cutoff = min(p + size[p] for p in pres)
-        return partition[bisect_left(partition, cutoff):]
+        # list() — the partition may be a packed memoryview slice, and
+        # callers get a plain sorted list either way.
+        return list(partition[bisect_left(partition, cutoff):])
     if axis == "preceding":
         # One prefix, minus the ≤ depth ancestors of the cutoff node
         # (the only prefix members whose subtree is still open there).

@@ -22,7 +22,14 @@ Three modes:
   ``--workers N --backend {serial,thread,process,async}`` shards the
   documents across workers; ``--backend async --stream`` prints each
   (document, query) result as its shard completes instead of waiting for
-  the whole batch.
+  the whole batch. ``--snapshot-store PATH`` pulls documents from a
+  :class:`repro.xml.store.DocumentStore` instead of (or alongside)
+  ``--xml``/``--file`` — snapshot-backed documents skip the XML parse
+  and arrive with their node index pre-seeded;
+* ``repro-xpath store {snapshot,list,migrate}`` manages a document
+  store: ``snapshot`` parses a document and persists it as a binary
+  snapshot sidecar (format v2), ``list`` prints the catalog, and
+  ``migrate`` rewrites legacy v1 inline entries as snapshot sidecars.
 
 Examples::
 
@@ -34,6 +41,8 @@ Examples::
     repro-xpath batch --xml "<a><b/></a>" --xml "<a/>" -q "//b" -q "count(//b)" --stats
     repro-xpath batch -f big.xml -f small.xml -q "//b" --workers 2 \\
         --backend async --stream
+    repro-xpath store snapshot --store cat.json --name books --file books.xml
+    repro-xpath batch --snapshot-store cat.json -q "//book/title"
 
 ``--explain`` prints the normalized parse tree with static types and
 ``Relev`` sets plus fragment classification; ``--compare`` runs all
@@ -142,9 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Subcommands: 'repro-xpath plan QUERY' compiles and prints a query "
             "plan; 'repro-xpath batch ...' evaluates many queries x many "
-            "documents through the plan cache (each has its own --help). They "
+            "documents through the plan cache; 'repro-xpath store ...' manages "
+            "a binary-snapshot document store (each has its own --help). They "
             "are recognized only as the first argument — to evaluate a query "
-            "literally named 'plan' or 'batch', put an option first "
+            "literally named 'plan', 'batch', or 'store', put an option first "
             "(repro-xpath --xml '<r/>' plan) or write it as child::plan."
         ),
     )
@@ -337,6 +347,21 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="an XML document file (repeatable)",
     )
     parser.add_argument(
+        "--snapshot-store",
+        metavar="PATH",
+        help="a DocumentStore catalog to load documents from — snapshot-"
+        "backed entries skip the XML parse and arrive with their node "
+        "index pre-seeded",
+    )
+    parser.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="with --snapshot-store: load only this named document "
+        "(repeatable; default: every document in the store)",
+    )
+    parser.add_argument(
         "--algorithm",
         "-a",
         choices=ALGORITHMS,
@@ -491,8 +516,13 @@ def batch_main(argv: list[str]) -> int:
         return _fail(str(error), EXIT_ERROR)
     if not queries:
         return _fail("no queries given (use -q or --queries-file)", EXIT_USAGE)
-    if not args.xml and not args.file:
-        return _fail("no documents given (use --xml or --file)", EXIT_USAGE)
+    if not args.xml and not args.file and not args.snapshot_store:
+        return _fail(
+            "no documents given (use --xml, --file, or --snapshot-store)",
+            EXIT_USAGE,
+        )
+    if args.doc and not args.snapshot_store:
+        return _fail("--doc requires --snapshot-store", EXIT_USAGE)
     if args.plan_capacity < 1:
         return _fail("--plan-capacity must be >= 1", EXIT_USAGE)
     if args.workers < 1:
@@ -522,6 +552,17 @@ def batch_main(argv: list[str]) -> int:
         except ReproError as error:
             return _fail(f"document {path}: {error}", error_exit_code(error))
         labels.append(path)
+    if args.snapshot_store:
+        from repro.xml.store import DocumentStore
+
+        try:
+            store = DocumentStore(args.snapshot_store)
+            names = args.doc if args.doc else store.names()
+            for name in names:
+                documents.append(store.load(name))
+                labels.append(f"store:{name}")
+        except ReproError as error:
+            return _fail(str(error), error_exit_code(error))
     # Compile every query up front so an unparsable query mid-list fails
     # with a one-line message *naming the query* (and, for sharded runs,
     # before any worker spawns). Validation uses a throwaway compile, not
@@ -583,11 +624,104 @@ def batch_main(argv: list[str]) -> int:
             print(
                 "axis kernels: "
                 f"index builds={kernel_stats['index_builds']} "
+                f"adoptions={kernel_stats['index_adoptions']} "
                 f"fused={kernel_stats['fused_hits']} "
                 f"fallback scans={kernel_stats['fallback_scans']}",
                 file=sys.stderr,
             )
     return 0
+
+
+# ----------------------------------------------------------------------
+# store subcommand
+# ----------------------------------------------------------------------
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath store",
+        description="Manage a binary-snapshot document store: persist parsed "
+        "documents as format-v2 snapshot sidecars that later loads (and "
+        "'batch --snapshot-store') reconstruct without re-parsing.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("snapshot", "list", "migrate"),
+        help="snapshot: parse a document and persist it; list: print the "
+        "catalog (name and storage format per document); migrate: rewrite "
+        "legacy v1 inline entries as v2 snapshot sidecars",
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="the store's catalog file (created if missing)",
+    )
+    parser.add_argument(
+        "--name",
+        help="name to store the document under (snapshot action)",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--file", "-f", help="XML document file to snapshot")
+    source.add_argument("--xml", help="inline XML document string to snapshot")
+    parser.add_argument(
+        "--strip-whitespace",
+        action="store_true",
+        help="drop whitespace-only text nodes while parsing",
+    )
+    return parser
+
+
+def store_main(argv: list[str]) -> int:
+    args = build_store_parser().parse_args(argv)
+    from repro.xml.store import DocumentStore
+
+    try:
+        store = DocumentStore(args.store)
+    except ReproError as error:
+        return _fail(str(error), error_exit_code(error))
+    if args.action == "snapshot":
+        if not args.name:
+            return _fail("store snapshot requires --name", EXIT_USAGE)
+        if not args.xml and not args.file:
+            return _fail("store snapshot requires --xml or --file", EXIT_USAGE)
+        try:
+            if args.file:
+                with open(args.file, encoding="utf-8") as handle:
+                    source = handle.read()
+            else:
+                source = args.xml
+            document = parse_document(
+                source, keep_whitespace_text=not args.strip_whitespace
+            )
+            sidecar = store.save_snapshot(args.name, document)
+        except OSError as error:
+            return _fail(str(error), EXIT_ERROR)
+        except ReproError as error:
+            return _fail(str(error), error_exit_code(error))
+        print(f"{args.name}: {len(document.nodes)} nodes -> {sidecar}")
+        return EXIT_OK
+    if args.action == "list":
+        try:
+            for name in store.names():
+                entry = store._entry(name)
+                kind = (
+                    "snapshot v2"
+                    if entry.get("format") == 2
+                    else "legacy v1 inline"
+                )
+                print(f"{name}\t{kind}")
+        except ReproError as error:
+            return _fail(str(error), error_exit_code(error))
+        return EXIT_OK
+    try:
+        migrated = store.migrate()
+    except ReproError as error:
+        return _fail(str(error), error_exit_code(error))
+    for name in migrated:
+        print(f"migrated: {name}")
+    print(f"{len(migrated)} document(s) migrated")
+    return EXIT_OK
 
 
 # ----------------------------------------------------------------------
@@ -598,12 +732,14 @@ def batch_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # Subcommands are recognized only in first position, so queries that
-    # are literally "plan"/"batch" stay reachable: lead with any option
-    # (repro-xpath --xml '<r/>' plan) or spell the step out (child::plan).
+    # are literally "plan"/"batch"/"store" stay reachable: lead with any
+    # option (repro-xpath --xml '<r/>' plan) or spell it as child::plan.
     if argv and argv[0] == "plan":
         return plan_main(argv[1:])
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.file:

@@ -95,6 +95,16 @@ class EvaluationError(ReproError):
     """Raised for errors that only manifest during evaluation."""
 
 
+class DocumentStoreError(ReproError):
+    """Raised by :mod:`repro.xml.store` and :mod:`repro.xml.snapshot` for
+    missing documents, format problems, or corrupt files.
+
+    Lives here (rather than in the store module) so the binary snapshot
+    codec can raise it without importing the catalog layer that sits
+    above it; :mod:`repro.xml.store` re-exports it for compatibility.
+    """
+
+
 class FragmentViolationError(ReproError):
     """Raised when an algorithm is forced onto a query outside its fragment.
 

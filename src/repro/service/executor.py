@@ -10,7 +10,7 @@ wrapper that builds the named scheduler and delegates ``execute`` to it,
 so every PR 2 call site keeps working unchanged.
 
 The worker entry points (``_evaluate_shard``,
-``_evaluate_shard_serialized``, canonicality screen, value codecs) and
+``_evaluate_shard_snapshots``, value codecs) and
 :func:`merge_stats_snapshots` now live in the scheduler module and are
 re-exported here for backward compatibility.
 """
@@ -21,10 +21,9 @@ from repro.service.scheduler import (  # noqa: F401  (re-exports)
     SCHEDULER_BACKENDS,
     Scheduler,
     _decode_value,
-    _document_is_canonical,
     _encode_value,
     _evaluate_shard,
-    _evaluate_shard_serialized,
+    _evaluate_shard_snapshots,
     make_scheduler,
     merge_stats_snapshots,
 )

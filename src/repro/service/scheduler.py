@@ -24,10 +24,12 @@ Backends
   serialization, workers seeded with the parent's compiled plans;
   CPython's GIL still serializes the evaluation work.
 * :class:`ProcessScheduler` — a ``ProcessPoolExecutor`` for true
-  parallelism. Documents cross the boundary as serialized markup and are
-  rebuilt per worker; node-set results return as pre-order indices and
-  are rebound to the parent's trees. Shards whose documents do not
-  round-trip node-isomorphically fall back to in-parent evaluation.
+  parallelism. Documents cross the boundary as binary snapshots
+  (:mod:`repro.xml.snapshot`) — exact for every finalized document, so
+  workers skip the XML parse *and* the index build — and node-set
+  results return as pre-order indices rebound to the parent's trees.
+  A worker that rejects a blob (corruption) falls back to in-parent
+  evaluation.
 * :class:`AsyncScheduler` — asyncio: one coroutine per shard, a bounded
   semaphore capping in-flight shards, with the GIL-bound evaluation work
   offloaded to threads (``asyncio.to_thread``). Same overlap profile as
@@ -73,8 +75,6 @@ from repro.service.shard import (
 )
 from repro.stats import CacheStats
 from repro.xml.document import Document
-from repro.xml.parser import parse_document
-from repro.xml.serializer import serialize
 
 
 def merge_stats_snapshots(snapshots, name: str, capacity=None) -> dict:
@@ -116,41 +116,6 @@ def _evaluate_shard(
     return service.evaluate_many(queries, documents, algorithm=algorithm)
 
 
-def _document_is_canonical(document: Document) -> bool:
-    """Conservative check that the serialize → parse round trip is
-    node-isomorphic (same pre-order numbering on both sides), which the
-    process backend's index decoding relies on. Parser-produced documents
-    always pass; the builder can construct trees that don't:
-
-    * adjacent text-node children — the reparse merges the run (the XPath
-      data model requires merged text), removing nodes;
-    * a comment containing ``--`` (or ending with ``-``) — serializes to
-      markup that is not well-formed;
-    * processing-instruction data containing ``?>`` — serializes to a PI
-      that terminates early and leaves trailing nodes.
-
-    This is the cheap known-hazard screen; the worker independently
-    verifies the rebuilt node counts (see
-    :func:`_evaluate_shard_serialized`), so anything that slips past
-    falls back to in-parent evaluation rather than mis-binding results.
-    """
-    for node in document.nodes:
-        if node.is_comment:
-            value = node.value or ""
-            if "--" in value or value.endswith("-"):
-                return False
-        elif node.is_processing_instruction:
-            if "?>" in (node.value or ""):
-                return False
-        previous_was_text = False
-        for child in node.children:
-            is_text = child.is_text
-            if is_text and previous_was_text:
-                return False
-            previous_was_text = is_text
-    return True
-
-
 def _encode_value(value):
     """Make one result cell picklable without shipping the tree back:
     node-sets become pre-order index lists, scalars pass through."""
@@ -168,30 +133,33 @@ def _decode_value(encoded, document: Document):
     return payload
 
 
-def _evaluate_shard_serialized(payload: dict) -> dict:
-    """Process-backend worker: rebuild the shard's documents from markup,
-    evaluate, and return an index-encoded result.
+def _evaluate_shard_snapshots(payload: dict) -> dict:
+    """Process-backend worker: rebuild the shard's documents from binary
+    snapshots (:mod:`repro.xml.snapshot`), evaluate, and return an
+    index-encoded result.
 
-    Before evaluating, the rebuilt trees are verified against the parent's
-    node counts: index decoding is only sound if the round trip preserved
-    the pre-order numbering, so any mismatch (or a reparse failure) is
-    reported as a fallback request instead of a result — the parent then
-    evaluates that shard in-process. Mis-binding silently is the one
-    outcome this layer must never produce."""
-    from repro.errors import XMLSyntaxError
+    Snapshots preserve the pre-order numbering *exactly* for every
+    finalized document — including builder-constructed trees that do not
+    round-trip through serialize → parse — so decoding them is always
+    sound where the old markup path needed a canonicality screen. The
+    decoder's CRC and structural validation reject corrupt blobs, and
+    the rebuilt node counts are still cross-checked against the parent's
+    as defense in depth: any failure is reported as a fallback request
+    instead of a result — the parent then evaluates that shard
+    in-process. Mis-binding silently is the one outcome this layer must
+    never produce."""
+    from repro.errors import DocumentStoreError
+    from repro.xml.snapshot import decode_snapshot
 
     started = time.perf_counter()
     try:
-        documents = [
-            parse_document(source, id_attribute=id_attribute)
-            for source, id_attribute in payload["documents"]
-        ]
-    except XMLSyntaxError as error:
-        return {"fallback": f"shard document does not reparse: {error}"}
+        documents = [decode_snapshot(blob) for blob in payload["snapshots"]]
+    except DocumentStoreError as error:
+        return {"fallback": f"shard snapshot does not decode: {error}"}
     for document, expected in zip(documents, payload["node_counts"]):
         if len(document) != expected:
             return {
-                "fallback": "serialize/parse round trip is not node-isomorphic "
+                "fallback": "snapshot decode is not node-isomorphic "
                 f"({expected} nodes became {len(document)})"
             }
     batch = _evaluate_shard(
@@ -446,7 +414,8 @@ class ThreadScheduler(Scheduler):
 
 class ProcessScheduler(Scheduler):
     """A ``ProcessPoolExecutor`` for true parallelism; documents are
-    rebuilt per worker from serialized markup and node-set results
+    rebuilt per worker from binary snapshots (pre-order numbering
+    preserved exactly, node index pre-seeded) and node-set results
     rebound to the parent's trees via pre-order indices.
 
     Requires scalar variable bindings: node-set and object bindings are
@@ -473,33 +442,28 @@ class ProcessScheduler(Scheduler):
             )
 
     def dispatch(self, prepared: PreparedBatch) -> list[dict]:
-        # A shard is shipped only if every one of its documents
-        # round-trips node-isomorphically through serialize → parse;
-        # otherwise the pre-index decoding would rebind results to the
-        # wrong parent nodes, so the shard is evaluated in-parent instead
-        # (correct, just not parallel — and only reachable with
-        # builder-constructed trees that violate the merged-text
-        # invariant; parsed documents always ship).
+        # Every shard ships: binary snapshots preserve the pre-order
+        # numbering exactly for all finalized documents (builder trees
+        # included), so the old serialize → parse canonicality screen —
+        # and its in-parent fallback path for non-canonical documents —
+        # is gone. Blobs are encoded once per document (weak-cached) no
+        # matter how many shards share it.
+        from repro.xml.snapshot import cached_snapshot
+
         documents = prepared.documents
-        shippable = {
-            shard.index: all(
-                _document_is_canonical(documents[i]) for i in shard.document_indices
-            )
-            for shard in prepared.shards
-        }
         outcomes: dict[int, dict] = {}
         with ProcessPoolExecutor(
-            max_workers=max(1, sum(shippable.values()))
+            max_workers=max(1, len(prepared.shards))
         ) as pool:
             futures = {
                 shard.index: pool.submit(
-                    _evaluate_shard_serialized,
+                    _evaluate_shard_snapshots,
                     {
                         "config": self.service_config,
                         "queries": prepared.queries,
                         "algorithm": prepared.algorithm,
-                        "documents": [
-                            (serialize(documents[i]), documents[i].id_attribute)
+                        "snapshots": [
+                            cached_snapshot(documents[i])
                             for i in shard.document_indices
                         ],
                         "node_counts": [
@@ -508,34 +472,26 @@ class ProcessScheduler(Scheduler):
                     },
                 )
                 for shard in prepared.shards
-                if shippable[shard.index]
             }
-            # Evaluate the unshippable shards here while the pool works.
             for shard in prepared.shards:
-                if not shippable[shard.index]:
+                outcome = futures[shard.index].result()
+                if "fallback" in outcome:
+                    # The worker refused the shard (corrupt blob or
+                    # renumbered nodes); evaluate it here instead.
+                    reason = outcome["fallback"]
                     outcome = self.run_shard(shard, prepared)
-                    outcome["local_fallback"] = "document is not round-trip canonical"
-                    outcomes[shard.index] = outcome
-            for shard in prepared.shards:
-                if shippable[shard.index]:
-                    outcome = futures[shard.index].result()
-                    if "fallback" in outcome:
-                        # The worker refused the shard (reparse failed or
-                        # renumbered nodes); evaluate it here instead.
-                        reason = outcome["fallback"]
-                        outcome = self.run_shard(shard, prepared)
-                        outcome["local_fallback"] = reason
-                    else:
-                        outcome["values"] = [
-                            [
-                                _decode_value(encoded, documents[doc_index])
-                                for encoded in row
-                            ]
-                            for doc_index, row in zip(
-                                shard.document_indices, outcome["values"]
-                            )
+                    outcome["local_fallback"] = reason
+                else:
+                    outcome["values"] = [
+                        [
+                            _decode_value(encoded, documents[doc_index])
+                            for encoded in row
                         ]
-                    outcomes[shard.index] = outcome
+                        for doc_index, row in zip(
+                            shard.document_indices, outcome["values"]
+                        )
+                    ]
+                outcomes[shard.index] = outcome
         return [outcomes[shard.index] for shard in prepared.shards]
 
 

@@ -200,13 +200,16 @@ REPRESENTATIVE_PROFILES = (
 #: query families over catalog / line / wide-tree workload documents;
 #: the online timing rates correct residual machine-specific error.
 
-#: Theorem 13's sweep, re-measured after the PR 5 sorted-array rewrite:
-#: the Core XPath evaluator now threads sorted pre arrays through fused
-#: partition kernels end to end, and its constants run 2–5× *below*
-#: MINCONTEXT's demand-driven pass on Core queries at every document
-#: size (it was 2–4× above before the rewrite — the seed that made
-#: stage 2 switch Core queries to MINCONTEXT on small documents).
-CORE_SWEEP_FACTOR = 0.5
+#: Theorem 13's sweep, re-measured after the PR 6 flat-column rewrite
+#: (packed ``array('q')`` columns behind memoryviews; kernels bisect
+#: machine integers instead of boxed lists): the Core XPath evaluator's
+#: constants now run 1.3–15× *below* MINCONTEXT's demand-driven pass on
+#: Core queries, median ≈ 4× across the catalog / wide-tree workload —
+#: wider than the 2–5× measured after PR 5's sorted-array rewrite,
+#: because the end-to-end set sweeps gain the most from unboxing. The
+#: factor drops 0.5 → 0.4 to track the median shift; the online timing
+#: rates still absorb per-machine residue.
+CORE_SWEEP_FACTOR = 0.4
 #: Per-unit cost of the (cp, cs) loop work when position is relevant.
 POSITIONAL_LOOP_FACTOR = 1.0
 #: OPTMINCONTEXT re-enters positional loops with precomputed tables, so

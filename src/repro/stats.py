@@ -218,13 +218,17 @@ class TimingStats:
 class KernelStats:
     """Exact accounting for the output-sensitive axis kernels.
 
-    Three counters, each updated under the instance lock (the same
+    Four counters, each updated under the instance lock (the same
     exactness contract as :class:`CacheStats` — the thread-safety hammer
     asserts them with ``==``):
 
     * ``index_builds`` — :class:`repro.xml.index.NodeIndex` constructions
       (at most one per document, ever: the index cache builds under its
       lock);
+    * ``index_adoptions`` — prebuilt indexes seeded into the cache by
+      snapshot loads (:func:`repro.xml.index.adopt_node_index`); kept
+      apart from ``index_builds`` so the one-build-per-document
+      exactness stays assertable;
     * ``fused_hits`` — fused axis+name-test dispatches served by an
       output-sensitive kernel;
     * ``fallback_scans`` — dispatches that ran the paper's ``O(|D|)``
@@ -235,12 +239,13 @@ class KernelStats:
     ``fused_hits + fallback_scans`` equals the number of fused-dispatch
     calls — the invariant the EXP-AXIS counter gate checks. Events are
     mirrored into active :func:`collect` collectors as
-    ``axis_index_builds`` / ``axis_fused_kernels`` /
-    ``axis_fallback_scans``.
+    ``axis_index_builds`` / ``axis_index_adoptions`` /
+    ``axis_fused_kernels`` / ``axis_fallback_scans``.
     """
 
     name: str = "axis_kernels"
     index_builds: int = 0
+    index_adoptions: int = 0
     fused_hits: int = 0
     fallback_scans: int = 0
     _lock: threading.Lock = field(
@@ -251,6 +256,11 @@ class KernelStats:
         with self._lock:
             self.index_builds += amount
         count("axis_index_builds", amount)
+
+    def index_adoption(self, amount: int = 1) -> None:
+        with self._lock:
+            self.index_adoptions += amount
+        count("axis_index_adoptions", amount)
 
     def fused(self, amount: int = 1) -> None:
         with self._lock:
@@ -267,6 +277,7 @@ class KernelStats:
         with self._lock:
             return {
                 "index_builds": self.index_builds,
+                "index_adoptions": self.index_adoptions,
                 "fused_hits": self.fused_hits,
                 "fallback_scans": self.fallback_scans,
             }

@@ -9,6 +9,7 @@ XML libraries; the parser is a self-contained well-formedness checker.
 from repro.xml.document import Document, Node, NodeKind
 from repro.xml.index import (
     NodeIndex,
+    adopt_node_index,
     merge_difference,
     merge_intersection,
     merge_union,
@@ -17,6 +18,7 @@ from repro.xml.index import (
 from repro.xml.parser import parse_document, parse_fragment
 from repro.xml.builder import DocumentBuilder, element, text
 from repro.xml.serializer import serialize, serialize_node
+from repro.xml.snapshot import decode_snapshot, encode_snapshot
 from repro.xml.store import DocumentStore, DocumentStoreError
 
 __all__ = [
@@ -26,6 +28,9 @@ __all__ = [
     "Node",
     "NodeIndex",
     "NodeKind",
+    "adopt_node_index",
+    "decode_snapshot",
+    "encode_snapshot",
     "merge_difference",
     "merge_intersection",
     "merge_union",

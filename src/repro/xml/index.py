@@ -29,18 +29,36 @@ paper-bounded scans lives in :mod:`repro.axes.axes`
 (:func:`~repro.axes.axes.fused_axis_set`); this module only provides the
 machinery.
 
-Index construction is ``O(|D|·log|D|)`` (one pass plus one sort for the
-post numbering), performed at most once per document:
-:func:`node_index` is weak-cached like
+Since the flat-column rewrite the columns are **packed**: ``size`` /
+``post`` / ``depth`` / ``parent_pre`` are ``memoryview``s over
+``array('q')`` storage, and every name/kind partition is a zero-copy
+``memoryview`` slice into one shared packed pre-number array (an offset
+table maps partition → span). Indexing a memoryview yields a plain
+``int`` and ``bisect`` works through ``__getitem__``/``__len__``, so the
+kernels in :mod:`repro.axes.axes` bisect over unboxed 8-byte machine
+words instead of lists of boxed ints — byte-identical results, smaller
+and cache-friendlier storage, and the exact columns the binary snapshot
+format (:mod:`repro.xml.snapshot`) persists. ``NodeIndex(document,
+packed=False)`` keeps the historical boxed-list representation as the
+reference implementation for property tests and benchmark gates.
+
+Index construction is ``O(|D|)`` (two passes; the post numbering is the
+closed form ``post = pre - depth + size - 1``), performed at most once
+per document: :func:`node_index` is weak-cached like
 :func:`repro.service.specialize.document_profile`, and the build runs
 under the cache lock so racing threads see exactly one build
 (``index_builds`` on :data:`repro.stats.axis_kernel_stats` is exact).
+Snapshot loads skip the build entirely: :meth:`NodeIndex.from_columns`
+adopts persisted columns without the post-order sort, and
+:func:`adopt_node_index` seeds the cache with the prebuilt index
+(counted as ``index_adoptions``, never ``index_builds``).
 """
 
 from __future__ import annotations
 
 import threading
 import weakref
+from array import array
 from bisect import bisect_left
 
 from repro.stats import axis_kernel_stats
@@ -53,6 +71,9 @@ class NodeIndex:
     Attributes:
         document: the indexed (finalized, immutable) document.
         total: ``|dom|``.
+        packed: whether the columns are flat (``memoryview`` over
+            ``array('q')`` storage) or boxed-int lists (the reference
+            representation, ``packed=False``).
         size: ``size[i]`` — subtree size of the node with pre number ``i``.
         post: ``post[i]`` — post-order rank of the node with pre ``i``.
         depth: ``depth[i]`` — distance from the document node (root is 0;
@@ -64,11 +85,17 @@ class NodeIndex:
         by_pi_target: PI target → sorted pre numbers.
         elements / attributes / non_attributes / text_nodes / comments /
         pis: kind partitions, each a sorted pre array.
+
+    When ``packed``, every partition is a zero-copy slice into one shared
+    packed array; all of them index/bisect/slice/iterate exactly like the
+    list form, but ``partition == [..]`` is always ``False`` for a
+    memoryview — comparisons must go through ``list(partition)``.
     """
 
     __slots__ = (
         "_document_ref",
         "total",
+        "packed",
         "size",
         "post",
         "depth",
@@ -84,7 +111,7 @@ class NodeIndex:
         "pis",
     )
 
-    def __init__(self, document: Document):
+    def __init__(self, document: Document, packed: bool = True):
         if not document.is_finalized:
             raise ValueError("document must be finalized before indexing")
         # Weak back-reference only: the index is the *value* of a
@@ -98,6 +125,68 @@ class NodeIndex:
         self.size = [node.size for node in nodes]
         self.depth = [0] * total
         self.parent_pre = [-1] * total
+        for pre, node in enumerate(nodes):
+            parent = node.parent
+            if parent is not None:
+                # Parents precede children in pre-order, so their depth
+                # is already final when the child is visited.
+                self.parent_pre[pre] = parent.pre
+                self.depth[pre] = self.depth[parent.pre] + 1
+        self._build_partitions(nodes)
+        # Post-order rank, closed form: the nodes finishing before pre
+        # are exactly those started before it (pre of them) minus its
+        # still-open ancestors (depth), plus its own descendants
+        # (size - 1) — so post = pre - depth + size - 1, no sort needed.
+        self.post = [
+            pre - self.depth[pre] + self.size[pre] - 1 for pre in range(total)
+        ]
+        self.packed = packed
+        if packed:
+            self.size = memoryview(array("q", self.size))
+            self.post = memoryview(array("q", self.post))
+            self.depth = memoryview(array("q", self.depth))
+            self.parent_pre = memoryview(array("q", self.parent_pre))
+            self._pack_partitions()
+
+    @classmethod
+    def from_columns(
+        cls,
+        document: Document,
+        *,
+        size,
+        post,
+        depth,
+        parent_pre,
+    ) -> "NodeIndex":
+        """Build a packed index from persisted flat columns.
+
+        The columns must be ``array('q')`` (or any buffer of signed
+        8-byte ints) already validated against ``document`` — this is the
+        snapshot decoder's constructor: the persisted columns are adopted
+        zero-copy, leaving one ``O(|D|)`` partition pass.
+        """
+        if not document.is_finalized:
+            raise ValueError("document must be finalized before indexing")
+        index = cls.__new__(cls)
+        index._document_ref = weakref.ref(document)
+        nodes = document.nodes
+        index.total = len(nodes)
+        index.size = memoryview(size if isinstance(size, array) else array("q", size))
+        index.post = memoryview(post if isinstance(post, array) else array("q", post))
+        index.depth = memoryview(
+            depth if isinstance(depth, array) else array("q", depth)
+        )
+        index.parent_pre = memoryview(
+            parent_pre if isinstance(parent_pre, array) else array("q", parent_pre)
+        )
+        index._build_partitions(nodes)
+        index.packed = True
+        index._pack_partitions()
+        return index
+
+    def _build_partitions(self, nodes) -> None:
+        """One pre-order pass filling the kind and name partitions (as
+        lists — sorted by construction, packed afterwards when asked)."""
         self.by_tag: dict[str, list[int]] = {}
         self.by_attribute: dict[str, list[int]] = {}
         self.by_pi_target: dict[str, list[int]] = {}
@@ -108,12 +197,6 @@ class NodeIndex:
         self.comments: list[int] = []
         self.pis: list[int] = []
         for pre, node in enumerate(nodes):
-            parent = node.parent
-            if parent is not None:
-                # Parents precede children in pre-order, so their depth
-                # is already final when the child is visited.
-                self.parent_pre[pre] = parent.pre
-                self.depth[pre] = self.depth[parent.pre] + 1
             kind = node.kind
             if kind is NodeKind.ATTRIBUTE:
                 self.attributes.append(pre)
@@ -130,14 +213,49 @@ class NodeIndex:
             elif kind is NodeKind.PROCESSING_INSTRUCTION:
                 self.pis.append(pre)
                 self.by_pi_target.setdefault(node.name, []).append(pre)
-        # Post-order rank: a node finishes after everything in its
-        # subtree. Sorting by (subtree end, -pre) realizes exactly that —
-        # ends tie only along a rightmost-descendant chain, where the
-        # deeper node (larger pre) finishes first.
-        order = sorted(range(total), key=lambda pre: (pre + self.size[pre], -pre))
-        self.post = [0] * total
-        for rank, pre in enumerate(order):
-            self.post[pre] = rank
+
+    def _pack_partitions(self) -> None:
+        """Concatenate every partition into one ``array('q')`` and
+        re-point the partition attributes at zero-copy ``memoryview``
+        slices of it (the offset table is consumed on the spot; the
+        shared storage stays alive through each view's ``.obj``)."""
+        data = array("q")
+
+        def reserve(values) -> tuple[int, int]:
+            lo = len(data)
+            data.extend(values)
+            return lo, len(data)
+
+        kind_spans = [
+            reserve(partition)
+            for partition in (
+                self.elements,
+                self.attributes,
+                self.non_attributes,
+                self.text_nodes,
+                self.comments,
+                self.pis,
+            )
+        ]
+        tag_spans = {name: reserve(p) for name, p in self.by_tag.items()}
+        attribute_spans = {name: reserve(p) for name, p in self.by_attribute.items()}
+        pi_spans = {name: reserve(p) for name, p in self.by_pi_target.items()}
+        view = memoryview(data)
+        (
+            self.elements,
+            self.attributes,
+            self.non_attributes,
+            self.text_nodes,
+            self.comments,
+            self.pis,
+        ) = [view[lo:hi] for lo, hi in kind_spans]
+        self.by_tag = {name: view[lo:hi] for name, (lo, hi) in tag_spans.items()}
+        self.by_attribute = {
+            name: view[lo:hi] for name, (lo, hi) in attribute_spans.items()
+        }
+        self.by_pi_target = {
+            name: view[lo:hi] for name, (lo, hi) in pi_spans.items()
+        }
 
     # ------------------------------------------------------------------
 
@@ -150,9 +268,10 @@ class NodeIndex:
             raise ReferenceError("the indexed document has been garbage-collected")
         return document
 
-    def partition(self, test, axis: str) -> list[int] | None:
+    def partition(self, test, axis: str):
         """The sorted pre array of ``T(t)`` for a node test, restricted to
-        the principal-capable node kinds the partition axes can reach.
+        the principal-capable node kinds the partition axes can reach —
+        a ``memoryview`` slice when packed, a list otherwise.
 
         Only meaningful for the non-attribute-principal axes (the
         interval/suffix kernels never enumerate attribute nodes — the
@@ -176,9 +295,7 @@ class NodeIndex:
             return self.by_pi_target.get(test.name, [])
         return None
 
-    def filter_partition(
-        self, test, attribute_principal: bool = False
-    ) -> list[int] | None:
+    def filter_partition(self, test, attribute_principal: bool = False):
         """The sorted pre array equal to ``{p | matches_node_test}`` for
         *arbitrary* candidate nodes — the membership filter the backward
         sweeps intersect with. ``None`` means "matches everything"
@@ -232,6 +349,10 @@ class NodeIndex:
         nodes = self.document.nodes
         total = self.total
         assert total == len(nodes), "index size diverged from document"
+        assert len(self.size) == len(self.post) == total, "column lengths diverged"
+        assert len(self.depth) == len(self.parent_pre) == total, (
+            "column lengths diverged"
+        )
         assert sorted(self.post) == list(range(total)), "post is not a permutation"
         for pre, node in enumerate(nodes):
             assert self.size[pre] == node.size, f"size broken at pre={pre}"
@@ -252,7 +373,7 @@ class NodeIndex:
                 assert interval == two_number, (
                     f"pre/post inconsistent for ({x}, {y})"
                 )
-        partitions: list[list[int]] = [
+        partitions = [
             self.elements,
             self.attributes,
             self.non_attributes,
@@ -267,9 +388,13 @@ class NodeIndex:
             assert all(a < b for a, b in zip(partition, partition[1:])), (
                 "partition not strictly sorted"
             )
+        # Partitions may be memoryviews (packed) or lists — normalize
+        # through list() for the equality checks.
         assert sum(len(p) for p in self.by_tag.values()) == len(self.elements)
-        assert sorted(p for ps in self.by_tag.values() for p in ps) == self.elements
-        assert sorted(p for ps in self.by_attribute.values() for p in ps) == (
+        assert sorted(p for ps in self.by_tag.values() for p in ps) == list(
+            self.elements
+        )
+        assert sorted(p for ps in self.by_attribute.values() for p in ps) == list(
             self.attributes
         )
         assert len(self.non_attributes) + len(self.attributes) == total
@@ -328,6 +453,28 @@ def node_index(document: Document) -> NodeIndex:
         with _INDEX_LOCK:
             _INDEX_CACHE[document] = index
             axis_kernel_stats.index_build()
+    return index
+
+
+def adopt_node_index(document: Document, index: NodeIndex) -> NodeIndex:
+    """Seed the process-wide cache with a prebuilt index (snapshot loads).
+
+    Counts as ``index_adoptions`` on :data:`repro.stats.axis_kernel_stats`
+    — never ``index_builds``, whose one-build-per-document exactness the
+    thread hammer asserts. If a racing caller already built or adopted an
+    index for ``document``, that one wins and is returned; the loser is
+    dropped (both describe the same immutable document, so either is
+    correct — first-in keeps identity stable for callers already holding
+    it).
+    """
+    if index.document is not document:
+        raise ValueError("index does not describe this document")
+    with _INDEX_LOCK:
+        existing = _INDEX_CACHE.get(document)
+        if existing is not None:
+            return existing
+        _INDEX_CACHE[document] = index
+        axis_kernel_stats.index_adoption()
     return index
 
 

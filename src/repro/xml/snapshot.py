@@ -1,0 +1,327 @@
+"""Versioned binary snapshots of finalized documents (store format v2).
+
+A snapshot is the flat-column :class:`~repro.xml.index.NodeIndex`
+representation made durable: the per-node ``parent_pre`` / ``size`` /
+``post`` / ``depth`` columns as little-endian signed 8-byte ints, one
+kind-code byte per node, and the two string columns (names, values) as
+length tables plus UTF-8 blobs. Decoding therefore skips both the XML
+parse *and* the index build — the rebuilt :class:`~repro.xml.document.
+Document` arrives with its index pre-seeded in the process cache
+(:func:`~repro.xml.index.adopt_node_index`, counted as
+``index_adoptions``). This is what :class:`~repro.xml.store.
+DocumentStore` persists per document in format v2 and what
+:class:`~repro.service.scheduler.ProcessScheduler` ships to workers
+instead of serialized markup.
+
+Layout (all integers little-endian)::
+
+    magic      8 bytes   b"RXSNAP02"
+    version    u32       2
+    n          u64       node count (>= 1)
+    id_len     u32       byte length of the UTF-8 id_attribute
+    id_attr    id_len bytes
+    kinds      n bytes   one code per node: D E A T C P
+    parent_pre n × i64
+    size       n × i64
+    post       n × i64
+    depth      n × i64
+    names      n × i64 lengths (-1 = None) + u64 blob_len + blob
+    values     n × i64 lengths (-1 = None) + u64 blob_len + blob
+    crc        u32       zlib.crc32 over every preceding byte
+
+Corruption is caught twice: the CRC rejects bit rot, and an ``O(|D|)``
+structural validation (parent ordering, attribute contiguity, exact
+``size``/``depth`` recomputation, and the closed-form post identity
+``post = pre - depth + size - 1``) rejects well-formed-looking blobs
+that do not describe a legal document. Every failure raises
+:class:`~repro.errors.DocumentStoreError`.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+import weakref
+import zlib
+from array import array
+
+from repro.errors import DocumentStoreError
+from repro.xml.document import Document, Node, NodeKind
+from repro.xml.index import NodeIndex, adopt_node_index, node_index
+
+SNAPSHOT_MAGIC = b"RXSNAP02"
+SNAPSHOT_VERSION = 2
+
+_KIND_BYTES = {
+    NodeKind.DOCUMENT: ord("D"),
+    NodeKind.ELEMENT: ord("E"),
+    NodeKind.ATTRIBUTE: ord("A"),
+    NodeKind.TEXT: ord("T"),
+    NodeKind.COMMENT: ord("C"),
+    NodeKind.PROCESSING_INSTRUCTION: ord("P"),
+}
+_BYTE_KINDS = {code: kind for kind, code in _KIND_BYTES.items()}
+
+#: Kinds whose rows must carry a name; the complement must not.
+_NAMED_KINDS = frozenset(
+    {NodeKind.ELEMENT, NodeKind.ATTRIBUTE, NodeKind.PROCESSING_INSTRUCTION}
+)
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def _column_bytes(values) -> bytes:
+    """Little-endian i64 bytes of an int sequence (host-order safe)."""
+    column = values if isinstance(values, array) else array("q", values)
+    if sys.byteorder == "big":  # pragma: no cover - LE hosts everywhere here
+        column = array("q", column)
+        column.byteswap()
+    return column.tobytes()
+
+
+def _column_from_bytes(raw: bytes) -> array:
+    column = array("q")
+    column.frombytes(raw)
+    if sys.byteorder == "big":  # pragma: no cover
+        column.byteswap()
+    return column
+
+
+def _string_column(strings) -> bytes:
+    """Length table (-1 for None) + u64 blob length + UTF-8 blob."""
+    lengths = array("q")
+    parts = []
+    for text in strings:
+        if text is None:
+            lengths.append(-1)
+        else:
+            data = text.encode("utf-8")
+            lengths.append(len(data))
+            parts.append(data)
+    blob = b"".join(parts)
+    return _column_bytes(lengths) + _U64.pack(len(blob)) + blob
+
+
+def encode_snapshot(document: Document) -> bytes:
+    """Serialize a finalized document to the v2 binary snapshot format."""
+    document._require_finalized()
+    index = node_index(document)
+    nodes = document.nodes
+    id_attr = document.id_attribute.encode("utf-8")
+    parts = [
+        SNAPSHOT_MAGIC,
+        _U32.pack(SNAPSHOT_VERSION),
+        _U64.pack(len(nodes)),
+        _U32.pack(len(id_attr)),
+        id_attr,
+        bytes(_KIND_BYTES[node.kind] for node in nodes),
+        _column_bytes(index.parent_pre),
+        _column_bytes(index.size),
+        _column_bytes(index.post),
+        _column_bytes(index.depth),
+        _string_column(node.name for node in nodes),
+        _string_column(node.value for node in nodes),
+    ]
+    payload = b"".join(parts)
+    return payload + _U32.pack(zlib.crc32(payload))
+
+
+class _Reader:
+    """Bounds-checked cursor over a snapshot blob."""
+
+    __slots__ = ("blob", "offset")
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+        self.offset = 0
+
+    def take(self, count: int, what: str) -> bytes:
+        end = self.offset + count
+        if count < 0 or end > len(self.blob):
+            raise DocumentStoreError(f"corrupt snapshot: truncated {what}")
+        raw = self.blob[self.offset : end]
+        self.offset = end
+        return raw
+
+    def u32(self, what: str) -> int:
+        return _U32.unpack(self.take(4, what))[0]
+
+    def u64(self, what: str) -> int:
+        return _U64.unpack(self.take(8, what))[0]
+
+
+def _read_string_column(reader: _Reader, total: int, what: str) -> list[str | None]:
+    lengths = _column_from_bytes(reader.take(total * 8, f"{what} length table"))
+    blob_len = reader.u64(f"{what} blob length")
+    declared = sum(length for length in lengths if length > 0)
+    if any(length < -1 for length in lengths) or declared != blob_len:
+        raise DocumentStoreError(
+            f"corrupt snapshot: {what} column lengths do not match blob"
+        )
+    blob = reader.take(blob_len, f"{what} blob")
+    strings: list[str | None] = []
+    offset = 0
+    try:
+        for length in lengths:
+            if length < 0:
+                strings.append(None)
+            else:
+                strings.append(blob[offset : offset + length].decode("utf-8"))
+                offset += length
+    except UnicodeDecodeError as error:
+        raise DocumentStoreError(f"corrupt snapshot: {what} not UTF-8") from error
+    return strings
+
+
+def _validate_columns(kinds, parent_pre, size, post, depth, names) -> None:
+    """O(|D|) structural validation: reject blobs that pass the CRC but
+    do not describe a legal finalized document."""
+    total = len(kinds)
+    if kinds[0] != ord("D") or parent_pre[0] != -1 or depth[0] != 0:
+        raise DocumentStoreError("corrupt snapshot: malformed document node")
+    attribute_counts = [0] * total
+    for i in range(1, total):
+        code = kinds[i]
+        kind = _BYTE_KINDS.get(code)
+        if kind is None:
+            raise DocumentStoreError(
+                f"corrupt snapshot: unknown node kind {chr(code)!r}"
+            )
+        if kind is NodeKind.DOCUMENT:
+            raise DocumentStoreError("corrupt snapshot: document node not first")
+        parent = parent_pre[i]
+        if not 0 <= parent < i:
+            raise DocumentStoreError(
+                f"corrupt snapshot: node {i} has invalid parent {parent}"
+            )
+        if depth[i] != depth[parent] + 1:
+            raise DocumentStoreError(f"corrupt snapshot: depth broken at node {i}")
+        if kind is NodeKind.ATTRIBUTE:
+            if kinds[parent] != ord("E"):
+                raise DocumentStoreError(
+                    f"corrupt snapshot: attribute {i} owned by a non-element"
+                )
+            # Attributes are numbered immediately after their element,
+            # before any of its children — the contiguity every axis
+            # kernel's interval arithmetic relies on.
+            if i != parent + attribute_counts[parent] + 1:
+                raise DocumentStoreError(
+                    f"corrupt snapshot: attribute {i} not contiguous with element"
+                )
+            attribute_counts[parent] += 1
+        else:
+            if kinds[parent] not in (ord("D"), ord("E")):
+                raise DocumentStoreError(
+                    f"corrupt snapshot: node {i} attached under a leaf"
+                )
+        has_name = names[i] is not None
+        if has_name != (kind in _NAMED_KINDS):
+            raise DocumentStoreError(
+                f"corrupt snapshot: bad name column at node {i}"
+            )
+    if names[0] is not None:
+        raise DocumentStoreError("corrupt snapshot: bad name column at node 0")
+    # Exact subtree sizes, bottom-up (children precede nothing: walking
+    # pre-order backwards sees every child before its parent total).
+    recomputed = [1] * total
+    for i in range(total - 1, 0, -1):
+        recomputed[parent_pre[i]] += recomputed[i]
+    for i in range(total):
+        if size[i] != recomputed[i]:
+            raise DocumentStoreError(f"corrupt snapshot: size broken at node {i}")
+        # Closed-form post identity — pins the whole column exactly.
+        if post[i] != i - depth[i] + size[i] - 1:
+            raise DocumentStoreError(f"corrupt snapshot: post broken at node {i}")
+
+
+def decode_snapshot(blob: bytes) -> Document:
+    """Rebuild a finalized document (index pre-seeded) from a snapshot.
+
+    Raises :class:`~repro.errors.DocumentStoreError` on any corruption:
+    truncation, bad magic, wrong version, checksum mismatch, column
+    lengths that disagree, or structurally illegal node tables.
+    """
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise DocumentStoreError("snapshot must be a bytes-like object")
+    blob = bytes(blob)
+    if len(blob) < len(SNAPSHOT_MAGIC) + 4 + 8 + 4 + 4:
+        raise DocumentStoreError("corrupt snapshot: truncated header")
+    if blob[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        raise DocumentStoreError("corrupt snapshot: bad magic")
+    declared_crc = _U32.unpack(blob[-4:])[0]
+    if zlib.crc32(blob[:-4]) != declared_crc:
+        raise DocumentStoreError("corrupt snapshot: checksum mismatch")
+    reader = _Reader(blob[:-4])
+    reader.take(len(SNAPSHOT_MAGIC), "magic")
+    version = reader.u32("version")
+    if version != SNAPSHOT_VERSION:
+        raise DocumentStoreError(f"unsupported snapshot version {version}")
+    total = reader.u64("node count")
+    if total < 1:
+        raise DocumentStoreError("corrupt snapshot: empty node table")
+    try:
+        id_attribute = reader.take(reader.u32("id length"), "id attribute").decode(
+            "utf-8"
+        )
+    except UnicodeDecodeError as error:
+        raise DocumentStoreError("corrupt snapshot: id attribute not UTF-8") from error
+    kinds = reader.take(total, "kind column")
+    parent_pre = _column_from_bytes(reader.take(total * 8, "parent column"))
+    size = _column_from_bytes(reader.take(total * 8, "size column"))
+    post = _column_from_bytes(reader.take(total * 8, "post column"))
+    depth = _column_from_bytes(reader.take(total * 8, "depth column"))
+    names = _read_string_column(reader, total, "name")
+    values = _read_string_column(reader, total, "value")
+    if reader.offset != len(reader.blob):
+        raise DocumentStoreError("corrupt snapshot: trailing bytes")
+    _validate_columns(kinds, parent_pre, size, post, depth, names)
+
+    document = Document(id_attribute=id_attribute)
+    root = document.root
+    root.pre = 0
+    root.size = size[0]
+    nodes = [root]
+    for i in range(1, total):
+        node = Node(document, _BYTE_KINDS[kinds[i]], names[i], values[i])
+        parent = nodes[parent_pre[i]]
+        node.parent = parent
+        if node.kind is NodeKind.ATTRIBUTE:
+            parent.attributes.append(node)
+        else:
+            node.child_index = len(parent.children)
+            parent.children.append(node)
+        node.pre = i
+        node.size = size[i]
+        nodes.append(node)
+    document.nodes = nodes
+    element_children = [c for c in root.children if c.is_element]
+    if len(element_children) == 1:
+        document.root_element = element_children[0]
+    document._finalized = True
+    index = NodeIndex.from_columns(
+        document, size=size, post=post, depth=depth, parent_pre=parent_pre
+    )
+    adopt_node_index(document, index)
+    return document
+
+
+# ----------------------------------------------------------------------
+# Parent-side blob cache
+# ----------------------------------------------------------------------
+
+#: Shipping the same document to many worker shards must not re-encode
+#: it per shard; weak keys keep the cache from pinning documents (same
+#: contract as the index cache).
+_SNAPSHOT_CACHE: "weakref.WeakKeyDictionary[Document, bytes]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def cached_snapshot(document: Document) -> bytes:
+    """:func:`encode_snapshot`, weak-cached per document."""
+    blob = _SNAPSHOT_CACHE.get(document)
+    if blob is None:
+        blob = encode_snapshot(document)
+        _SNAPSHOT_CACHE[document] = blob
+    return blob

@@ -2,12 +2,12 @@
 
 The conclusion of the paper points at "using our techniques for XPath
 processors that query XML documents stored in a database". This module
-provides the minimal substrate for that: a single-file store that
-persists finalized documents in a compact node-table format and
-reconstructs them with their document order (and therefore every axis
-computation) intact.
+provides the substrate for that: a named catalog of finalized documents
+that reconstructs them with their document order (and therefore every
+axis computation) intact. Two formats coexist:
 
-Format (JSON, one file per store):
+**Format v1 (JSON, read-only legacy).** The whole store is one JSON
+file; each document is an inline pre-order node table::
 
     {"version": 1,
      "documents": {
@@ -17,24 +17,46 @@ Format (JSON, one file per store):
         }, ...}}
 
 ``kind`` is a single-character code; ``parent`` is the parent's pre-order
-index (the document node, index 0, has parent -1). Attributes are plain
-rows with their owner element as parent — reconstruction re-attaches them
-via ``set_attribute_node`` so the rebuilt tree is node-for-node
-isomorphic to the original, with identical ``pre`` numbering.
+index (the document node, index 0, has parent -1). v1 stores open
+transparently; their entries load (with full row validation — malformed
+rows raise :class:`DocumentStoreError`, never bare ``ValueError`` /
+``TypeError``) but every *save* writes format v2.
 
-Writes are atomic (temp file + ``os.replace``). The store is a catalog of
-independent documents; engines operate on loaded documents exactly as on
-parsed ones.
+**Format v2 (JSON catalog + binary sidecars, current).** The catalog
+file holds only ``{"format": 2, "file": "<sidecar>"}`` entries; each
+document's payload is a versioned binary snapshot
+(:mod:`repro.xml.snapshot`: magic, version, flat ``parent_pre`` /
+``size`` / ``post`` / ``depth`` columns, string tables, CRC-32) in its
+own file under ``<store>.d/``. Saving one document touches one sidecar
+plus the small catalog — O(1) in the number of *other* stored documents,
+where v1 rewrote every node table on every save. Snapshot-loaded
+documents come back with their :class:`~repro.xml.index.NodeIndex`
+pre-seeded, which is why :class:`~repro.service.scheduler.
+ProcessScheduler` workers consume snapshots (via
+:meth:`DocumentStore.load_snapshot` or the scheduler's in-memory blobs)
+instead of re-parsing markup.
+
+:meth:`DocumentStore.migrate` rewrites remaining v1 inline entries as
+sidecars in place.
+
+Writes are atomic *and durable*: content is serialized first (a failing
+serialization can never leave debris), written to a temp file, fsynced,
+``os.replace``d over the target, and the directory entry fsynced; the
+temp file is removed on any error.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
 
-from repro.errors import ReproError
-from repro.xml.document import Document, Node, NodeKind
+from repro.errors import DocumentStoreError
+from repro.xml.document import Document, NodeKind
+from repro.xml.snapshot import decode_snapshot, encode_snapshot
+
+__all__ = ["DocumentStore", "DocumentStoreError"]
 
 _KIND_CODES = {
     NodeKind.DOCUMENT: "D",
@@ -46,15 +68,41 @@ _KIND_CODES = {
 }
 _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
 
-_FORMAT_VERSION = 1
+_LEGACY_VERSION = 1
+_FORMAT_VERSION = 2
 
 
-class DocumentStoreError(ReproError):
-    """Raised for missing documents, format problems, or corrupt files."""
+def _write_bytes_durably(path: pathlib.Path, data: bytes) -> None:
+    """Atomic + durable file replacement: temp file, fsync, rename,
+    directory fsync; the temp file never survives an error."""
+    temp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(temp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except OSError as error:
+        try:
+            temp_path.unlink()
+        except OSError:
+            pass
+        raise DocumentStoreError(f"cannot write {path}: {error}") from error
+    try:
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir open
+        return
+    try:
+        os.fsync(directory_fd)
+    except OSError:  # pragma: no cover - filesystems without dir fsync
+        pass
+    finally:
+        os.close(directory_fd)
 
 
 class DocumentStore:
-    """A named collection of persisted documents in one JSON file."""
+    """A named collection of persisted documents: one JSON catalog plus
+    one binary snapshot sidecar per (format-v2) document."""
 
     def __init__(self, path: str | os.PathLike):
         self.path = pathlib.Path(path)
@@ -64,6 +112,11 @@ class DocumentStore:
     # File plumbing
     # ------------------------------------------------------------------
 
+    @property
+    def sidecar_dir(self) -> pathlib.Path:
+        """Directory holding the per-document snapshot files."""
+        return self.path.with_name(self.path.name + ".d")
+
     def _read(self) -> dict:
         if not self.path.exists():
             return {"version": _FORMAT_VERSION, "documents": {}}
@@ -72,19 +125,32 @@ class DocumentStore:
                 data = json.load(handle)
         except (OSError, json.JSONDecodeError) as error:
             raise DocumentStoreError(f"cannot read store {self.path}: {error}") from error
-        if not isinstance(data, dict) or "documents" not in data:
+        if not isinstance(data, dict) or not isinstance(data.get("documents"), dict):
             raise DocumentStoreError(f"{self.path} is not a document store file")
-        if data.get("version") != _FORMAT_VERSION:
+        version = data.get("version")
+        if version not in (_LEGACY_VERSION, _FORMAT_VERSION):
             raise DocumentStoreError(
-                f"unsupported store version {data.get('version')!r} in {self.path}"
+                f"unsupported store version {version!r} in {self.path}"
             )
+        # v1 catalogs normalize in memory; the first save persists v2.
+        data["version"] = _FORMAT_VERSION
         return data
 
     def _write(self) -> None:
-        temp_path = self.path.with_suffix(self.path.suffix + ".tmp")
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(self._data, handle, separators=(",", ":"))
-        os.replace(temp_path, self.path)
+        # Serialize before touching the filesystem: a failing
+        # json.dumps must not create (or strand) a temp file.
+        payload = json.dumps(self._data, separators=(",", ":")).encode("utf-8")
+        _write_bytes_durably(self.path, payload)
+
+    def _sidecar_path(self, entry: dict) -> pathlib.Path:
+        filename = entry.get("file")
+        if not isinstance(filename, str) or os.sep in filename or filename in (
+            "",
+            ".",
+            "..",
+        ):
+            raise DocumentStoreError(f"corrupt store: bad sidecar name {filename!r}")
+        return self.sidecar_dir / filename
 
     # ------------------------------------------------------------------
     # Catalog operations
@@ -101,58 +167,148 @@ class DocumentStore:
         return len(self._data["documents"])
 
     def save(self, name: str, document: Document) -> None:
-        """Persist a finalized document under ``name`` (overwrites)."""
+        """Persist a finalized document under ``name`` (overwrites).
+
+        Writes format v2: the snapshot sidecar first (durably), then the
+        small catalog — saving one document no longer rewrites every
+        other document's payload.
+        """
+        self.save_snapshot(name, document)
+
+    def save_snapshot(self, name: str, document: Document) -> pathlib.Path:
+        """Persist ``document`` as a binary snapshot sidecar; returns the
+        sidecar path."""
         document._require_finalized()
-        rows = []
-        for node in document.nodes:
-            parent = node.parent.pre if node.parent is not None else -1
-            rows.append([_KIND_CODES[node.kind], node.name, node.value, parent])
-        self._data["documents"][name] = {
-            "id_attribute": document.id_attribute,
-            "nodes": rows,
-        }
+        blob = encode_snapshot(document)
+        digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:24]
+        filename = f"{digest}.snap"
+        self.sidecar_dir.mkdir(parents=True, exist_ok=True)
+        sidecar = self.sidecar_dir / filename
+        _write_bytes_durably(sidecar, blob)
+        self._data["documents"][name] = {"format": _FORMAT_VERSION, "file": filename}
         self._write()
+        return sidecar
+
+    def _entry(self, name: str) -> dict:
+        entry = self._data["documents"].get(name)
+        if entry is None:
+            raise DocumentStoreError(f"no document named {name!r} in {self.path}")
+        if not isinstance(entry, dict):
+            raise DocumentStoreError(f"corrupt store: malformed entry for {name!r}")
+        return entry
 
     def load(self, name: str) -> Document:
         """Reconstruct the document stored under ``name``.
 
         The rebuilt tree has identical pre-order numbering, subtree
         sizes, and string values — every axis computation gives the same
-        answers as on the original.
+        answers as on the original. Snapshot-backed (v2) documents also
+        arrive with their node index pre-seeded.
         """
+        entry = self._entry(name)
+        if entry.get("format") == _FORMAT_VERSION:
+            return decode_snapshot(self.load_snapshot(name))
+        return self._load_legacy(entry)
+
+    def load_snapshot(self, name: str) -> bytes:
+        """The raw v2 snapshot blob for ``name`` (decodable with
+        :func:`repro.xml.snapshot.decode_snapshot`). Legacy inline
+        entries are encoded on the fly."""
+        entry = self._entry(name)
+        if entry.get("format") == _FORMAT_VERSION:
+            sidecar = self._sidecar_path(entry)
+            try:
+                return sidecar.read_bytes()
+            except OSError as error:
+                raise DocumentStoreError(
+                    f"cannot read snapshot {sidecar}: {error}"
+                ) from error
+        return encode_snapshot(self._load_legacy(entry))
+
+    def migrate(self) -> list[str]:
+        """Rewrite every legacy (v1 inline) entry as a v2 snapshot
+        sidecar; returns the migrated names, sorted."""
+        migrated = []
+        for name in self.names():
+            if self._data["documents"][name].get("format") != _FORMAT_VERSION:
+                self.save_snapshot(name, self._load_legacy(self._entry(name)))
+                migrated.append(name)
+        return migrated
+
+    def delete(self, name: str) -> None:
+        """Remove a document (and its sidecar, if any) from the store."""
         entry = self._data["documents"].get(name)
         if entry is None:
             raise DocumentStoreError(f"no document named {name!r} in {self.path}")
-        document = Document(id_attribute=entry.get("id_attribute", "id"))
-        nodes: list[Node] = []
-        for index, row in enumerate(entry["nodes"]):
+        del self._data["documents"][name]
+        self._write()
+        if isinstance(entry, dict) and entry.get("format") == _FORMAT_VERSION:
+            try:
+                self._sidecar_path(entry).unlink()
+            except (OSError, DocumentStoreError):
+                pass  # the catalog no longer references it; best effort
+
+    # ------------------------------------------------------------------
+    # Legacy v1 inline node tables
+    # ------------------------------------------------------------------
+
+    def _load_legacy(self, entry: dict) -> Document:
+        rows = entry.get("nodes")
+        if not isinstance(rows, list) or not rows:
+            raise DocumentStoreError("corrupt store: empty node table")
+        id_attribute = entry.get("id_attribute", "id")
+        if not isinstance(id_attribute, str):
+            raise DocumentStoreError("corrupt store: malformed id attribute")
+        document = Document(id_attribute=id_attribute)
+        nodes = []
+        for index, row in enumerate(rows):
+            # Validate the row shape before unpacking: malformed rows
+            # must surface as DocumentStoreError (the CLI keys its
+            # error-family exit codes off the typed hierarchy), never as
+            # bare ValueError/TypeError escaping from the plumbing.
+            if not isinstance(row, (list, tuple)) or len(row) != 4:
+                raise DocumentStoreError(
+                    f"corrupt store: node row {index} has wrong shape"
+                )
             code, node_name, value, parent_index = row
             kind = _CODE_KINDS.get(code)
             if kind is None:
                 raise DocumentStoreError(f"corrupt store: unknown node kind {code!r}")
+            if node_name is not None and not isinstance(node_name, str):
+                raise DocumentStoreError(
+                    f"corrupt store: node {index} has a non-string name"
+                )
+            if value is not None and not isinstance(value, str):
+                raise DocumentStoreError(
+                    f"corrupt store: node {index} has a non-string value"
+                )
             if kind is NodeKind.DOCUMENT:
                 if index != 0:
                     raise DocumentStoreError("corrupt store: document node not first")
                 nodes.append(document.root)
                 continue
-            node = document.new_node(kind, name=node_name, value=value)
-            if not (0 <= parent_index < index):
+            # bool is an int subclass; an explicit screen keeps True/False
+            # from sneaking through as parent indexes 1/0.
+            if isinstance(parent_index, bool) or not isinstance(parent_index, int):
+                raise DocumentStoreError(
+                    f"corrupt store: node {index} has a non-integer parent"
+                )
+            if not 0 <= parent_index < index:
                 raise DocumentStoreError(
                     f"corrupt store: node {index} has invalid parent {parent_index}"
                 )
+            node = document.new_node(kind, name=node_name, value=value)
             parent = nodes[parent_index]
-            if kind is NodeKind.ATTRIBUTE:
-                document.set_attribute_node(parent, node)
-            else:
-                document.append_child(parent, node)
+            try:
+                if kind is NodeKind.ATTRIBUTE:
+                    document.set_attribute_node(parent, node)
+                else:
+                    document.append_child(parent, node)
+            except ValueError as error:
+                raise DocumentStoreError(
+                    f"corrupt store: node {index} cannot attach to its parent: {error}"
+                ) from error
             nodes.append(node)
-        if not nodes:
-            raise DocumentStoreError("corrupt store: empty node table")
+        if nodes[0] is not document.root:
+            raise DocumentStoreError("corrupt store: document node missing")
         return document.finalize()
-
-    def delete(self, name: str) -> None:
-        """Remove a document from the store."""
-        if name not in self._data["documents"]:
-            raise DocumentStoreError(f"no document named {name!r} in {self.path}")
-        del self._data["documents"][name]
-        self._write()

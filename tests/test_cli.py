@@ -385,3 +385,139 @@ def test_batch_subcommand_stream_bad_query_exit_code(capsys):
     )
     assert code == 3  # EXIT_QUERY: surfaced at prepare time, before streaming
     assert "//b[" in err
+
+
+# ----------------------------------------------------------------------
+# store subcommand and batch --snapshot-store
+# ----------------------------------------------------------------------
+
+
+def test_store_snapshot_then_batch_from_store(tmp_path, capsys):
+    store = tmp_path / "catalog.json"
+    code, out, _ = run(
+        capsys, "store", "snapshot", "--store", str(store),
+        "--name", "doc", "--xml", XML,
+    )
+    assert code == 0
+    assert "doc:" in out and "nodes" in out
+    assert store.exists()
+    code, out, _ = run(
+        capsys, "batch", "--snapshot-store", str(store), "-q", "//b",
+    )
+    assert code == 0
+    assert "=== store:doc :: //b" in out
+    assert "/a[1]/b[1]" in out and "/a[1]/b[2]" in out
+
+
+def test_store_snapshot_matches_direct_parse_answers(tmp_path, capsys):
+    store = tmp_path / "catalog.json"
+    run(capsys, "store", "snapshot", "--store", str(store), "--name", "d", "--xml", XML)
+    _, direct, _ = run(capsys, "count(//b)", "--xml", XML)
+    _, snapped, _ = run(
+        capsys, "batch", "--snapshot-store", str(store), "-q", "count(//b)",
+    )
+    assert direct.strip() in snapped
+
+
+def test_store_list_shows_catalog(tmp_path, capsys):
+    store = tmp_path / "catalog.json"
+    run(capsys, "store", "snapshot", "--store", str(store), "--name", "one", "--xml", XML)
+    run(capsys, "store", "snapshot", "--store", str(store), "--name", "two", "--xml", "<r/>")
+    code, out, _ = run(capsys, "store", "list", "--store", str(store))
+    assert code == 0
+    lines = out.splitlines()
+    assert lines == ["one\tsnapshot v2", "two\tsnapshot v2"]
+
+
+def test_store_migrate_reports_converted_entries(tmp_path, capsys):
+    import json
+
+    store = tmp_path / "catalog.json"
+    rows = [["D", None, None, -1], ["E", "a", None, 0]]
+    store.write_text(json.dumps(
+        {"version": 1, "id_attribute": "id", "documents": {"old": {"nodes": rows}}}
+    ))
+    code, out, _ = run(capsys, "store", "migrate", "--store", str(store))
+    assert code == 0
+    assert "migrated: old" in out
+    assert "1 document(s) migrated" in out
+    code, out, _ = run(capsys, "store", "list", "--store", str(store))
+    assert out.splitlines() == ["old\tsnapshot v2"]
+
+
+def test_store_snapshot_requires_name_and_document(tmp_path, capsys):
+    store = tmp_path / "catalog.json"
+    code, _, err = run(capsys, "store", "snapshot", "--store", str(store), "--xml", XML)
+    assert code == 2
+    assert "--name" in err
+    code, _, err = run(capsys, "store", "snapshot", "--store", str(store), "--name", "d")
+    assert code == 2
+    assert "--xml or --file" in err
+
+
+def test_store_snapshot_malformed_document_exit_code(tmp_path, capsys):
+    store = tmp_path / "catalog.json"
+    code, _, err = run(
+        capsys, "store", "snapshot", "--store", str(store),
+        "--name", "bad", "--xml", "<a><b></a>",
+    )
+    assert code == 4  # EXIT_DOCUMENT
+    assert "error:" in err
+    assert not store.exists()
+
+
+def test_batch_snapshot_store_doc_selects_named_documents(tmp_path, capsys):
+    store = tmp_path / "catalog.json"
+    run(capsys, "store", "snapshot", "--store", str(store), "--name", "one", "--xml", XML)
+    run(capsys, "store", "snapshot", "--store", str(store), "--name", "two", "--xml", "<r/>")
+    code, out, _ = run(
+        capsys, "batch", "--snapshot-store", str(store), "--doc", "one",
+        "-q", "count(//b)",
+    )
+    assert code == 0
+    assert "store:one" in out
+    assert "store:two" not in out
+
+
+def test_batch_snapshot_store_missing_document_exit_code(tmp_path, capsys):
+    store = tmp_path / "catalog.json"
+    run(capsys, "store", "snapshot", "--store", str(store), "--name", "one", "--xml", XML)
+    code, _, err = run(
+        capsys, "batch", "--snapshot-store", str(store), "--doc", "ghost", "-q", "//b",
+    )
+    assert code == 1  # DocumentStoreError -> EXIT_ERROR
+    assert "ghost" in err
+
+
+def test_batch_doc_without_snapshot_store_is_usage_error(capsys):
+    code, _, err = run(capsys, "batch", "--xml", XML, "--doc", "x", "-q", "//b")
+    assert code == 2
+    assert "--doc requires --snapshot-store" in err
+
+
+def test_batch_snapshot_store_corrupt_sidecar_exit_code(tmp_path, capsys):
+    store = tmp_path / "catalog.json"
+    run(capsys, "store", "snapshot", "--store", str(store), "--name", "doc", "--xml", XML)
+    sidecar_dir = tmp_path / "catalog.json.d"
+    (sidecar,) = sidecar_dir.iterdir()
+    sidecar.write_bytes(b"garbage")
+    code, _, err = run(capsys, "batch", "--snapshot-store", str(store), "-q", "//b")
+    assert code == 1
+    assert "error:" in err
+
+
+def test_batch_snapshot_store_stats_count_adoptions(tmp_path, capsys):
+    store = tmp_path / "catalog.json"
+    run(capsys, "store", "snapshot", "--store", str(store), "--name", "doc", "--xml", XML)
+    code, _, err = run(
+        capsys, "batch", "--snapshot-store", str(store), "-q", "//b", "--stats",
+    )
+    assert code == 0
+    assert "axis kernels:" in err
+    assert "adoptions=" in err
+
+
+def test_query_literally_named_store_stays_reachable(capsys):
+    code, out, _ = run(capsys, "--xml", "<store><a/></store>", "store")
+    assert code == 0
+    assert out.strip() == "/store[1]"

@@ -133,22 +133,54 @@ def test_pre_post_numbering_characterizes_ancestorship():
 
 
 def test_partitions_are_sorted_and_complete():
+    # list(...) around partitions: packed indexes expose memoryview
+    # slices, which never compare equal to lists directly.
     for document in _corpus():
         index = node_index(document)
         for tag, members in index.by_tag.items():
+            members = list(members)
             assert members == sorted(members)
             expected = [n.pre for n in document.nodes if n.is_element and n.name == tag]
             assert members == expected
         all_tagged = sorted(p for ps in index.by_tag.values() for p in ps)
-        assert all_tagged == index.elements
+        assert all_tagged == list(index.elements)
         for name, members in index.by_attribute.items():
             expected = [
                 n.pre for n in document.nodes if n.is_attribute and n.name == name
             ]
-            assert members == expected
-        assert index.non_attributes == [
+            assert list(members) == expected
+        assert list(index.non_attributes) == [
             n.pre for n in document.nodes if not n.is_attribute
         ]
+
+
+def test_packed_and_list_indexes_hold_identical_columns():
+    """The flat-column (packed) representation is value-identical to the
+    boxed-list reference representation, cell by cell."""
+    for document in _corpus():
+        packed = NodeIndex(document, packed=True)
+        plain = NodeIndex(document, packed=False)
+        assert packed.packed and not plain.packed
+        assert packed.total == plain.total
+        for column in ("size", "post", "depth", "parent_pre"):
+            assert list(getattr(packed, column)) == getattr(plain, column), column
+        for group in ("by_tag", "by_attribute", "by_pi_target"):
+            packed_group = getattr(packed, group)
+            plain_group = getattr(plain, group)
+            assert sorted(packed_group) == sorted(plain_group), group
+            for name, members in plain_group.items():
+                assert list(packed_group[name]) == members, (group, name)
+        for kind in (
+            "elements",
+            "attributes",
+            "non_attributes",
+            "text_nodes",
+            "comments",
+            "pis",
+        ):
+            assert list(getattr(packed, kind)) == getattr(plain, kind), kind
+        packed.validate()
+        plain.validate()
 
 
 def test_node_index_is_cached_and_refuses_unfinalized_documents():

@@ -130,12 +130,13 @@ def test_process_backend_rebinds_nodes_to_parent_documents(documents):
             assert node is document.nodes[node.pre]
 
 
-def test_process_backend_with_noncanonical_document_falls_back_correctly():
-    """Regression: a builder document with *adjacent text nodes* does not
-    round-trip node-isomorphically (the reparse merges the run, shifting
-    every later pre index), so shipping it to a process worker and
-    decoding by pre index rebinds results to the wrong nodes. Such shards
-    must be evaluated in-parent instead."""
+def test_process_backend_ships_noncanonical_documents_without_fallback():
+    """A builder document with *adjacent text nodes* does not round-trip
+    node-isomorphically through serialize → parse — under the old markup
+    shipping this forced an in-parent fallback. Binary snapshots preserve
+    the pre-order numbering exactly for every finalized document, so the
+    shard ships, evaluates in the worker, and rebinds correctly — no
+    fallback anywhere."""
     from repro.xml.builder import element, text
 
     noncanonical = element("a", None, text("x"), text("y"), element("b")).build()
@@ -152,14 +153,9 @@ def test_process_backend_with_noncanonical_document_falls_back_correctly():
     assert b_node.is_element and b_node.name == "b"
     # Both of the adjacent text nodes come back, unmerged.
     assert [n.value for n in batch.value(0, 1)] == ["x", "y"]
-    # The fallback is visible in the shard metadata, the clean shard's isn't.
-    fallbacks = {
-        doc_index: shard["local_fallback"]
-        for shard in batch.shards
-        for doc_index in shard["documents"]
-    }
-    assert fallbacks[0]
-    assert not fallbacks[1]
+    # No shard fell back: snapshots make every document shippable.
+    for shard in batch.shards:
+        assert not shard["local_fallback"]
 
 
 @pytest.mark.parametrize(
@@ -178,10 +174,10 @@ def test_process_backend_with_noncanonical_document_falls_back_correctly():
     ],
 )
 def test_process_backend_survives_unserializable_builder_documents(make_document):
-    """Regression: builder documents whose serialize -> parse round trip
-    is not node-isomorphic (or not even well-formed) must be evaluated
-    in-parent, never silently rebound to renumbered nodes nor allowed to
-    crash the batch."""
+    """Builder documents whose serialize → parse round trip is not
+    node-isomorphic (or not even well-formed) used to force in-parent
+    fallbacks; snapshot shipping side-steps serialization entirely, so
+    they evaluate in workers and rebind to the caller's exact nodes."""
     from repro.xml.builder import comment, element, processing_instruction, text
 
     tricky = make_document(element, text, comment, processing_instruction)
@@ -193,6 +189,8 @@ def test_process_backend_survives_unserializable_builder_documents(make_document
     (b_node,) = batch.value(0, 0)
     assert b_node.is_element and b_node.name == "b"
     assert b_node is tricky.nodes[b_node.pre]
+    for shard in batch.shards:
+        assert not shard["local_fallback"]
 
 
 def test_evaluate_many_workers_wiring(documents):
@@ -265,33 +263,49 @@ def test_sharded_optimize_and_variables_flow_to_workers(documents):
 
 
 def test_process_worker_verifies_rebuilt_node_counts():
-    """The worker-side defense behind the parent's canonicality screen:
-    a payload whose rebuilt documents don't match the parent's node
-    counts (or don't reparse at all) is answered with a fallback request,
-    never an index-encoded result."""
-    from repro.service.executor import _evaluate_shard_serialized
+    """The worker-side defense in depth: a payload whose decoded
+    documents don't match the parent's node counts (or whose blobs don't
+    decode at all) is answered with a fallback request, never an
+    index-encoded result."""
+    from repro.service.executor import _evaluate_shard_snapshots
+    from repro.xml.snapshot import encode_snapshot
 
     config = QueryService().config()
-    mismatched = _evaluate_shard_serialized(
+    document = parse_document("<a><b>1</b></a>")
+    blob = encode_snapshot(document)
+    mismatched = _evaluate_shard_snapshots(
         {
             "config": config,
             "queries": ["//b"],
             "algorithm": "auto",
-            "documents": [("<a><b>1</b></a>", "id")],
+            "snapshots": [blob],
             "node_counts": [99],  # parent numbering disagrees
         }
     )
     assert "fallback" in mismatched and "values" not in mismatched
-    unparsable = _evaluate_shard_serialized(
+    corrupted = bytearray(blob)
+    corrupted[len(corrupted) // 2] ^= 0x20
+    undecodable = _evaluate_shard_snapshots(
         {
             "config": config,
             "queries": ["//b"],
             "algorithm": "auto",
-            "documents": [("<a><unclosed>", "id")],
-            "node_counts": [3],
+            "snapshots": [bytes(corrupted)],
+            "node_counts": [len(document)],
         }
     )
-    assert "fallback" in unparsable and "reparse" in unparsable["fallback"]
+    assert "fallback" in undecodable and "decode" in undecodable["fallback"]
+    # And a well-formed payload answers with index-encoded values.
+    good = _evaluate_shard_snapshots(
+        {
+            "config": config,
+            "queries": ["//b"],
+            "algorithm": "auto",
+            "snapshots": [blob],
+            "node_counts": [len(document)],
+        }
+    )
+    assert "fallback" not in good and good["values"]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,375 @@
+"""Binary snapshot codec: corruption fuzzing and byte-identity (PR 6).
+
+Three properties carry the snapshot path:
+
+* **Every corruption is a DocumentStoreError** — truncation at any
+  boundary, bad magic, wrong version, column lengths that disagree with
+  their blob, checksum failure, and structurally illegal node tables
+  that nonetheless carry a valid CRC.
+* **flat ≡ list ≡ Definition-1** — over the same corpus as
+  ``tests/test_node_index.py``, the packed (memoryview) kernels, the
+  boxed-list reference kernels, and the paper's Definition-1 scans all
+  return identical node sets cell by cell.
+* **Round-trip equality** — a decoded snapshot reproduces ``pre`` /
+  ``post`` / ``size`` / ``depth`` / every partition exactly, and its
+  index arrives adopted (``index_adoptions``), never rebuilt
+  (``index_builds``).
+"""
+
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro import stats
+from repro.axes.axes import (
+    ALL_AXES,
+    INVERSE_INTERVAL_AXES,
+    axis_set,
+    fused_axis_set,
+    fused_inverse_axis_set,
+    kernel_mode_forced,
+    matches_node_test,
+)
+from repro.errors import DocumentStoreError
+from repro.workloads.documents import (
+    book_catalog,
+    deep_chain,
+    random_document,
+    running_example_document,
+    wide_tree,
+)
+from repro.xml.index import NodeIndex, adopt_node_index, node_index
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize
+from repro.xml.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    cached_snapshot,
+    decode_snapshot,
+    encode_snapshot,
+)
+from repro.xpath.ast import NodeTest
+
+SEED = 20030614
+
+
+def _corpus():
+    rng = random.Random(SEED)
+    documents = [
+        running_example_document(),
+        book_catalog(books=4),
+        wide_tree(width=7),
+        deep_chain(9),
+        parse_document(
+            '<a id="1">x<b id="2"><a id="3">100</a>y</b>'
+            "<?target data?><!--note-->"
+            '<c id="4" kind="k"><b id="5">1</b><b id="6">2</b></c></a>'
+        ),
+    ]
+    documents += [random_document(rng, max_nodes=18) for _ in range(4)]
+    return documents
+
+
+_TESTS = [
+    NodeTest("name", "a"),
+    NodeTest("name", "b"),
+    NodeTest("name", "price"),
+    NodeTest("name", "id"),
+    NodeTest("wildcard"),
+    NodeTest("node"),
+    NodeTest("text"),
+    NodeTest("comment"),
+    NodeTest("pi"),
+    NodeTest("pi", "target"),
+]
+
+
+def _reseal(payload: bytes) -> bytes:
+    """Append a fresh, *valid* CRC — for corruptions that must get past
+    the checksum and be caught by structural validation."""
+    return payload + struct.pack("<I", zlib.crc32(payload))
+
+
+# ----------------------------------------------------------------------
+# Corruption fuzzing
+# ----------------------------------------------------------------------
+
+
+def test_truncation_at_every_boundary_rejected():
+    blob = encode_snapshot(running_example_document())
+    lengths = {0, 1, 4, 7, 8, 11, 12, 15, 16, 19, 20}
+    lengths.update(range(0, len(blob), max(1, len(blob) // 64)))
+    lengths.add(len(blob) - 1)
+    for length in sorted(lengths):
+        with pytest.raises(DocumentStoreError):
+            decode_snapshot(blob[:length])
+
+
+def test_bad_magic_rejected():
+    blob = encode_snapshot(parse_document("<a/>"))
+    with pytest.raises(DocumentStoreError):
+        decode_snapshot(b"NOTSNAP!" + blob[8:])
+    with pytest.raises(DocumentStoreError):
+        decode_snapshot(b"")
+    with pytest.raises(DocumentStoreError):
+        decode_snapshot("not bytes")
+
+
+def test_wrong_version_rejected():
+    blob = encode_snapshot(parse_document("<a/>"))
+    payload = bytearray(blob[:-4])
+    payload[8:12] = struct.pack("<I", SNAPSHOT_VERSION + 1)
+    with pytest.raises(DocumentStoreError, match="version"):
+        decode_snapshot(_reseal(bytes(payload)))
+
+
+def test_checksum_failure_rejected():
+    blob = encode_snapshot(book_catalog(books=2))
+    # Flip one bit in every region of the payload: all must be caught.
+    for offset in range(len(SNAPSHOT_MAGIC), len(blob) - 4, max(1, len(blob) // 40)):
+        corrupted = bytearray(blob)
+        corrupted[offset] ^= 0x40
+        with pytest.raises(DocumentStoreError):
+            decode_snapshot(bytes(corrupted))
+    # And a flipped CRC itself.
+    corrupted = bytearray(blob)
+    corrupted[-1] ^= 0x01
+    with pytest.raises(DocumentStoreError, match="checksum"):
+        decode_snapshot(bytes(corrupted))
+
+
+def test_mismatched_column_lengths_rejected():
+    """A length table whose sum disagrees with its blob — resealed with
+    a valid CRC so only the column check can catch it."""
+    doc = parse_document("<a><b>hi</b></a>")
+    blob = encode_snapshot(doc)
+    payload = bytearray(blob[:-4])
+    # The name column's first length entry lives right after the fixed
+    # columns; corrupt the *declared node count* instead, which desyncs
+    # every column length at once.
+    payload[12:20] = struct.pack("<Q", len(doc.nodes) + 1)
+    with pytest.raises(DocumentStoreError):
+        decode_snapshot(_reseal(bytes(payload)))
+    payload = bytearray(blob[:-4])
+    payload[12:20] = struct.pack("<Q", 0)
+    with pytest.raises(DocumentStoreError):
+        decode_snapshot(_reseal(bytes(payload)))
+
+
+def _columns_payload(kinds, parent_pre, size, post, depth, names, values):
+    """Assemble a structurally arbitrary (CRC-valid) snapshot."""
+    from array import array
+
+    def column(ints):
+        return array("q", ints).tobytes()
+
+    def strings(items):
+        lengths, blob = [], b""
+        for item in items:
+            if item is None:
+                lengths.append(-1)
+            else:
+                data = item.encode("utf-8")
+                lengths.append(len(data))
+                blob += data
+        return column(lengths) + struct.pack("<Q", len(blob)) + blob
+
+    payload = (
+        SNAPSHOT_MAGIC
+        + struct.pack("<I", SNAPSHOT_VERSION)
+        + struct.pack("<Q", len(kinds))
+        + struct.pack("<I", 2)
+        + b"id"
+        + kinds
+        + column(parent_pre)
+        + column(size)
+        + column(post)
+        + column(depth)
+        + strings(names)
+        + strings(values)
+    )
+    return _reseal(payload)
+
+
+def test_structurally_illegal_tables_rejected_despite_valid_crc():
+    base = dict(
+        kinds=b"DEA",
+        parent_pre=[-1, 0, 1],
+        size=[3, 2, 1],
+        post=[2, 1, 0],
+        depth=[0, 1, 2],
+        names=[None, "a", "id"],
+        values=[None, None, "1"],
+    )
+    # The base itself decodes.
+    good = decode_snapshot(_columns_payload(**base))
+    assert serialize(good) == '<a id="1"/>'
+
+    def variant(**overrides):
+        merged = dict(base, **overrides)
+        return _columns_payload(**merged)
+
+    bad_blobs = [
+        variant(kinds=b"EEA"),  # no document node first
+        variant(kinds=b"DDA"),  # second document node
+        variant(kinds=b"DEZ"),  # unknown kind
+        variant(parent_pre=[-1, 0, 5]),  # parent out of range
+        variant(parent_pre=[-1, 0, 0]),  # attribute owned by document
+        variant(size=[3, 1, 1]),  # wrong subtree size
+        variant(post=[2, 0, 1]),  # wrong post order
+        variant(depth=[0, 1, 1]),  # wrong depth
+        variant(names=[None, None, "id"]),  # unnamed element
+        variant(names=["d", "a", "id"]),  # named document node
+        variant(kinds=b"DTA", names=[None, None, "id"]),  # attr under text
+    ]
+    for blob in bad_blobs:
+        with pytest.raises(DocumentStoreError):
+            decode_snapshot(blob)
+
+
+def test_attribute_contiguity_enforced():
+    # Attribute numbered after a child of its element (not contiguous).
+    blob = _columns_payload(
+        kinds=b"DETA",
+        parent_pre=[-1, 0, 1, 1],
+        size=[4, 3, 1, 1],
+        post=[3, 2, 0, 1],
+        depth=[0, 1, 2, 2],
+        names=[None, "a", None, "id"],
+        values=[None, None, "t", "1"],
+    )
+    with pytest.raises(DocumentStoreError, match="contiguous"):
+        decode_snapshot(blob)
+
+
+# ----------------------------------------------------------------------
+# flat ≡ list ≡ Definition-1, and round-trip equality
+# ----------------------------------------------------------------------
+
+
+def _axis_answers(document, index):
+    """Every (axis × test) node-set over a fixed context, computed
+    through the fused kernels against ``index``'s representation."""
+    answers = []
+    contexts = [
+        [document.root],
+        list(document.nodes),
+        document.nodes[-1:],
+    ]
+    for X in contexts:
+        for axis in sorted(ALL_AXES):
+            for test in _TESTS:
+                answers.append(sorted(n.pre for n in fused_axis_set(document, axis, X, test)))
+        for axis in sorted(INVERSE_INTERVAL_AXES):
+            answers.append(
+                sorted(n.pre for n in fused_inverse_axis_set(document, axis, X))
+            )
+    return answers
+
+
+def test_flat_list_and_scan_kernels_are_byte_identical():
+    for document in _corpus():
+        packed = NodeIndex(document, packed=True)
+        plain = NodeIndex(document, packed=False)
+        # Swap representations through the cache by monkey-seeding: the
+        # kernels consult node_index(document), so compare by evaluating
+        # with each representation installed.
+        from repro.xml import index as index_module
+
+        with kernel_mode_forced("indexed"):
+            index_module._INDEX_CACHE[document] = packed
+            flat_answers = _axis_answers(document, packed)
+            index_module._INDEX_CACHE[document] = plain
+            list_answers = _axis_answers(document, plain)
+        with kernel_mode_forced("scan"):
+            scan_answers = _axis_answers(document, plain)
+        assert flat_answers == list_answers == scan_answers
+        index_module._INDEX_CACHE.pop(document, None)
+
+
+def test_definition1_scan_agreement_on_snapshot_loaded_documents():
+    rng = random.Random(SEED + 6)
+    for document in _corpus():
+        loaded = decode_snapshot(encode_snapshot(document))
+        for axis in sorted(ALL_AXES):
+            for test in rng.sample(_TESTS, 4):
+                X = rng.sample(loaded.nodes, min(5, len(loaded.nodes)))
+                fused = fused_axis_set(loaded, axis, X, test)
+                scan = {
+                    y
+                    for y in axis_set(loaded, axis, X)
+                    if matches_node_test(y, test, axis)
+                }
+                assert fused == scan, (axis, test)
+
+
+def test_round_trip_columns_and_partitions_equal():
+    for document in _corpus():
+        original_index = node_index(document)
+        loaded = decode_snapshot(encode_snapshot(document))
+        loaded_index = node_index(loaded)
+        assert loaded_index.packed
+        for column in ("size", "post", "depth", "parent_pre"):
+            assert list(getattr(loaded_index, column)) == list(
+                getattr(original_index, column)
+            ), column
+        for group in ("by_tag", "by_attribute", "by_pi_target"):
+            original_group = getattr(original_index, group)
+            loaded_group = getattr(loaded_index, group)
+            assert sorted(original_group) == sorted(loaded_group)
+            for name in original_group:
+                assert list(loaded_group[name]) == list(original_group[name])
+        for kind in ("elements", "attributes", "non_attributes", "text_nodes",
+                     "comments", "pis"):
+            assert list(getattr(loaded_index, kind)) == list(
+                getattr(original_index, kind)
+            )
+        for a, b in zip(document.nodes, loaded.nodes):
+            assert (a.kind, a.name, a.value, a.pre, a.size) == (
+                b.kind, b.name, b.value, b.pre, b.size,
+            )
+        loaded.validate()
+        loaded_index.validate()
+
+
+def test_decode_adopts_index_without_building():
+    document = book_catalog(books=3)
+    blob = encode_snapshot(document)
+    before = stats.axis_kernel_stats.snapshot()
+    loaded = decode_snapshot(blob)
+    after = stats.axis_kernel_stats.snapshot()
+    assert after["index_builds"] == before["index_builds"]
+    assert after["index_adoptions"] == before["index_adoptions"] + 1
+    # node_index() now hits the adopted entry — still no build.
+    index = node_index(loaded)
+    assert index.packed
+    assert stats.axis_kernel_stats.snapshot()["index_builds"] == before["index_builds"]
+
+
+def test_adopt_rejects_foreign_index():
+    a, b = parse_document("<a/>"), parse_document("<b/>")
+    with pytest.raises(ValueError):
+        adopt_node_index(a, node_index(b))
+
+
+def test_cached_snapshot_encodes_once_and_never_pins():
+    import gc
+    import weakref
+
+    document = book_catalog(books=2)
+    blob = cached_snapshot(document)
+    assert cached_snapshot(document) is blob
+    assert blob == encode_snapshot(document)
+    ref = weakref.ref(document)
+    del document
+    gc.collect()
+    assert ref() is None, "snapshot cache pinned the document"
+
+
+def test_snapshot_preserves_custom_id_attribute():
+    original = parse_document('<a key="k1"/>', id_attribute="key")
+    loaded = decode_snapshot(encode_snapshot(original))
+    assert loaded.id_attribute == "key"
+    assert loaded.element_by_id("k1") is loaded.root_element

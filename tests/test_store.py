@@ -97,14 +97,130 @@ def test_version_mismatch_rejected(tmp_path):
         DocumentStore(path)
 
 
-def test_corrupt_node_table_rejected(store, tmp_path):
-    store.save("x", parse_document("<a/>"))
-    raw = json.loads((tmp_path / "store.json").read_text())
-    raw["documents"]["x"]["nodes"][1][0] = "Z"  # unknown kind code
-    (tmp_path / "store.json").write_text(json.dumps(raw))
-    reopened = DocumentStore(tmp_path / "store.json")
+def _write_v1_store(path, rows, id_attribute="id"):
+    """Hand-craft a legacy (format v1) store file with inline node rows."""
+    payload = {
+        "version": 1,
+        "documents": {"x": {"id_attribute": id_attribute, "nodes": rows}},
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+_V1_ROWS = [
+    ["D", None, None, -1],
+    ["E", "a", None, 0],
+    ["A", "id", "1", 1],
+    ["T", None, "text", 1],
+]
+
+
+def test_legacy_v1_store_loads_transparently(tmp_path):
+    path = tmp_path / "old.json"
+    _write_v1_store(path, _V1_ROWS)
+    loaded = DocumentStore(path).load("x")
+    assert serialize(loaded) == '<a id="1">text</a>'
+    assert loaded.element_by_id("1") is loaded.root_element
+
+
+def test_corrupt_node_table_rejected(tmp_path):
+    rows = [list(row) for row in _V1_ROWS]
+    rows[1][0] = "Z"  # unknown kind code
+    path = tmp_path / "bad.json"
+    _write_v1_store(path, rows)
     with pytest.raises(DocumentStoreError):
-        reopened.load("x")
+        DocumentStore(path).load("x")
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda rows: rows.__setitem__(1, ["E", "a", None]),  # wrong arity
+        lambda rows: rows.__setitem__(1, ["E", "a", None, 0, "extra"]),
+        lambda rows: rows.__setitem__(1, ["E", "a", None, "0"]),  # non-int parent
+        lambda rows: rows.__setitem__(1, ["E", "a", None, True]),  # bool parent
+        lambda rows: rows.__setitem__(1, ["E", 7, None, 0]),  # non-string name
+        lambda rows: rows.__setitem__(2, ["A", "id", "1", 3]),  # attr → text parent
+        lambda rows: rows.__setitem__(1, "not a row"),
+        lambda rows: rows.__setitem__(0, ["E", "a", None, -1]),  # no document node
+    ],
+)
+def test_malformed_v1_rows_raise_store_error_not_bare_exceptions(tmp_path, mutate):
+    """Regression (bugfix a): malformed rows used to escape as bare
+    ValueError/TypeError from tuple unpacking, int comparison, or
+    set_attribute_node — breaking the CLI's error-family exit codes."""
+    rows = [list(row) if isinstance(row, list) else row for row in _V1_ROWS]
+    mutate(rows)
+    path = tmp_path / "bad.json"
+    _write_v1_store(path, rows)
+    store = DocumentStore(path)
+    with pytest.raises(DocumentStoreError):
+        store.load("x")
+
+
+def test_failed_write_leaves_no_temp_file(store, tmp_path):
+    """Regression (bugfix b): a failing serialization mid-save used to
+    strand ``store.json.tmp`` next to the catalog."""
+    store.save("ok", parse_document("<a/>"))
+    store._data["documents"]["bad"] = object()  # unserializable
+    with pytest.raises(TypeError):
+        store._write()
+    debris = list(tmp_path.glob("*.tmp")) + list(tmp_path.glob("**/*.tmp"))
+    assert debris == [], f"temp files stranded: {debris}"
+    # The catalog on disk is still the last good state.
+    assert "ok" in DocumentStore(tmp_path / "store.json")
+
+
+def test_saving_one_document_does_not_rewrite_others(store, tmp_path):
+    """Regression (bugfix c): every save used to rewrite the whole
+    catalog JSON — O(total store) per document. Payloads now live in
+    per-document sidecar files and the catalog stays small."""
+    big = book_catalog(books=40)
+    store.save("big", big)
+    sidecars = sorted(store.sidecar_dir.iterdir())
+    assert len(sidecars) == 1
+    big_payload_mtime = sidecars[0].stat().st_mtime_ns
+    big_payload_bytes = sidecars[0].read_bytes()
+    store.save("small", parse_document("<a/>"))
+    # The big document's payload file was not touched by the other save.
+    assert sorted(store.sidecar_dir.iterdir())[0].stat().st_mtime_ns == (
+        big_payload_mtime
+    )
+    assert sorted(store.sidecar_dir.iterdir())[0].read_bytes() == big_payload_bytes
+    # The catalog itself holds references, not node tables: its size is
+    # independent of document sizes.
+    catalog = (tmp_path / "store.json").read_bytes()
+    assert len(catalog) < 300
+    assert b"nodes" not in catalog
+
+
+def test_migrate_converts_v1_entries_to_sidecars(tmp_path):
+    path = tmp_path / "old.json"
+    _write_v1_store(path, _V1_ROWS)
+    store = DocumentStore(path)
+    assert store.migrate() == ["x"]
+    assert store.sidecar_dir.exists() and len(list(store.sidecar_dir.iterdir())) == 1
+    reopened = DocumentStore(path)
+    assert serialize(reopened.load("x")) == '<a id="1">text</a>'
+    raw = json.loads(path.read_text())
+    assert raw["version"] == 2
+    assert raw["documents"]["x"]["format"] == 2
+
+
+def test_load_snapshot_round_trips_raw_blob(store):
+    from repro.xml.snapshot import decode_snapshot
+
+    original = running_example_document()
+    store.save("paper", original)
+    blob = store.load_snapshot("paper")
+    assert isinstance(blob, bytes)
+    assert serialize(decode_snapshot(blob)) == serialize(original)
+
+
+def test_delete_removes_sidecar(store):
+    store.save("x", parse_document("<a/>"))
+    assert len(list(store.sidecar_dir.iterdir())) == 1
+    store.delete("x")
+    assert list(store.sidecar_dir.iterdir()) == []
 
 
 def test_random_documents_round_trip(store):
