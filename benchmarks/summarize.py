@@ -10,6 +10,7 @@ Run after the benchmark suite:
     python benchmarks/summarize.py --specialize  # just the specialization gates
     python benchmarks/summarize.py --axes        # just the fused-kernel gates
     python benchmarks/summarize.py --snapshot    # just the snapshot gates
+    python benchmarks/summarize.py --batchplan   # just the multi-query gates
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ ORDER = [
     "exp_f4", "exp_f5", "exp_e9",
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
-    "exp_svc", "exp_shard", "exp_async", "exp_spec", "exp_axis", "exp_snap",
+    "exp_svc", "exp_shard", "exp_mqo", "exp_async", "exp_spec", "exp_axis", "exp_snap",
 ]
 
 
@@ -111,6 +112,20 @@ def snapshot_lines() -> list[str]:
     ]
 
 
+def batchplan_lines() -> list[str]:
+    """The gate, speedup, and DAG-counter lines from the EXP-MQO report
+    (written by bench_batchplan.py)."""
+    path = RESULTS_DIR / "exp_mqo.txt"
+    if not path.exists():
+        return []
+    markers = ("gate:", "vs independent", "batch plan:", "steps:", "workload:")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -142,6 +157,11 @@ def main(argv: list[str] | None = None) -> None:
         "--snapshot",
         action="store_true",
         help="print only the binary-snapshot gates and speedups (EXP-SNAP)",
+    )
+    parser.add_argument(
+        "--batchplan",
+        action="store_true",
+        help="print only the multi-query sharing gates and speedup (EXP-MQO)",
     )
     args = parser.parse_args(argv)
     if args.plan_cache:
@@ -194,6 +214,15 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(
                 "no snapshot results yet — run: "
                 "python benchmarks/bench_snapshot.py"
+            )
+        print("\n".join(lines))
+        return
+    if args.batchplan:
+        lines = batchplan_lines()
+        if not lines:
+            raise SystemExit(
+                "no multi-query results yet — run: "
+                "python benchmarks/bench_batchplan.py"
             )
         print("\n".join(lines))
         return

@@ -130,6 +130,42 @@ def _descendants(node: Node) -> Iterator[Node]:
         yield from _descendants(child)
 
 
+def axis_test_nodes(
+    document: Document, axis: str, node: Node, test: NodeTest
+) -> list[Node]:
+    """``χ({node}) ∩ T(t)`` in proximity order (``<doc,χ``) — the fused
+    per-node form of :func:`axis_nodes`.
+
+    The per-context evaluators' positional loops rank candidates by
+    proximity position, so their enumerations must stay in ``<doc,χ``
+    order — which is exactly what the interval-axis partition kernels
+    emit for free: ascending pre *is* proximity order for
+    ``descendant``/``descendant-or-self``/``following`` (and its reverse
+    for ``preceding``), so a singleton interval query plus the slice
+    direction replaces a full-document walk with filtering. The same
+    predicted-cost dispatch as :func:`axis_test_pres` applies (a
+    rejected kernel falls back to the enumerate-then-filter scan; one
+    ``fused_hits``/``fallback_scans`` tick per interval-axis dispatch in
+    non-scan mode, none otherwise — scan mode and the non-interval axes
+    never consult the index here, so they are not dispatches).
+    """
+    mode = _kernel_mode
+    if mode != "scan" and axis in INTERVAL_AXES:
+        out = _interval_axis_pres(document, axis, [node.pre], test, mode == "indexed")
+        if out is not None:
+            stats.axis_kernel_stats.fused()
+            nodes = document.nodes
+            if axis == "preceding":
+                return [nodes[p] for p in reversed(out)]
+            return [nodes[p] for p in out]
+        stats.axis_kernel_stats.fallback()
+    return [
+        candidate
+        for candidate in axis_nodes(document, axis, node)
+        if matches_node_test(candidate, test, axis)
+    ]
+
+
 # ----------------------------------------------------------------------
 # Set functions (Definition 1), each O(|D|)
 # ----------------------------------------------------------------------

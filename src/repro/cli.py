@@ -13,12 +13,19 @@ Three modes:
   rationale (which profile/plan features drove the choice). Give
   ``plan`` a real document via ``--xml``/``--file`` to specialize for
   it; without one, two representative profiles (a small and a large
-  document) are specialized so the decision surface is still visible;
+  document) are specialized so the decision surface is still visible.
+  ``plan --explain-batch QUERY...`` accepts several queries and prints
+  the *batch-shared step DAG* the service would build for them — which
+  step prefixes unify, which plans consume them, and which plans stay
+  independent (and why);
 * ``repro-xpath batch`` evaluates many queries against many documents
   through :class:`repro.service.QueryService`, sharing the compiled-plan
   cache and per-document caches, and can report cache statistics.
   Per-document specialization is on by default; ``--no-specialize``
   reproduces the static document-blind fragment dispatch exactly.
+  Batch-step sharing (the shared-prefix DAG) is likewise on by default
+  for ``auto`` batches; ``--no-share`` reproduces fully independent
+  per-cell evaluation byte-identically, stats included.
   ``--workers N --backend {serial,thread,process,async}`` shards the
   documents across workers; ``--backend async --stream`` prints each
   (document, query) result as its shard completes instead of waiting for
@@ -211,9 +218,14 @@ def build_plan_parser() -> argparse.ArgumentParser:
         description="Compile a query and print its logical plan (stage 1; no "
         "document needed). --explain adds stage 2: the per-document physical "
         "specialization — profile, per-candidate cost estimates, chosen "
-        "algorithm, and rationale.",
+        "algorithm, and rationale. --explain-batch accepts several queries "
+        "and prints the batch-shared step DAG the service would build.",
     )
-    parser.add_argument("query", help="XPath 1.0 query to compile")
+    parser.add_argument(
+        "query",
+        nargs="+",
+        help="XPath 1.0 query to compile (several only with --explain-batch)",
+    )
     parser.add_argument(
         "--optimize",
         action="store_true",
@@ -231,6 +243,13 @@ def build_plan_parser() -> argparse.ArgumentParser:
         "cost-model estimates per candidate algorithm, the chosen algorithm, "
         "and the rationale (profile features that drove the choice)",
     )
+    parser.add_argument(
+        "--explain-batch",
+        action="store_true",
+        help="print the batch-shared step DAG for the given queries: the "
+        "materialized step prefixes, their parent links and consumers, and "
+        "each plan's residual (or why it evaluates independently)",
+    )
     source = parser.add_mutually_exclusive_group()
     source.add_argument(
         "--file", "-f", help="XML document to specialize for (implies --explain)"
@@ -243,13 +262,31 @@ def build_plan_parser() -> argparse.ArgumentParser:
 
 def plan_main(argv: list[str]) -> int:
     args = build_plan_parser().parse_args(argv)
+    queries = args.query
+    if len(queries) > 1 and not args.explain_batch:
+        return _fail(
+            "multiple queries require --explain-batch "
+            "(plan prints one query's logical plan)",
+            EXIT_USAGE,
+        )
     # Giving a document *is* asking what runs on it — never ignore it.
     if args.xml or args.file:
         args.explain = True
-    try:
-        plan = compile_plan(args.query, optimize=args.optimize)
-    except ReproError as error:
-        return _fail(str(error), error_exit_code(error))
+    plans = []
+    for query in queries:
+        try:
+            plans.append(compile_plan(query, optimize=args.optimize))
+        except ReproError as error:
+            message = (
+                str(error) if len(queries) == 1 else f"query {query!r}: {error}"
+            )
+            return _fail(message, error_exit_code(error))
+    if args.explain_batch:
+        from repro.service.batchplan import build_batch_plan
+
+        print(build_batch_plan(plans).describe())
+        return 0
+    plan = plans[0]
     core = "yes" if plan.is_core_xpath else f"no ({plan.core_violation})"
     wadler = "yes" if plan.is_extended_wadler else f"no ({plan.wadler_violation})"
     print("query:           ", plan.source)
@@ -394,6 +431,15 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "document-blind fragment dispatch exactly",
     )
     parser.add_argument(
+        "--share",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="unify common step prefixes across the batch's queries and "
+        "evaluate each shared (prefix, document) node-set once (default; "
+        "applies to --algorithm auto); --no-share reproduces fully "
+        "independent per-cell evaluation byte-identically, stats included",
+    )
+    parser.add_argument(
         "--plan-capacity",
         type=int,
         default=256,
@@ -431,8 +477,8 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print plan-cache, result-cache, specializer, and axis-kernel "
-        "statistics after the batch",
+        help="print plan-cache, result-cache, batch-plan, specializer, and "
+        "axis-kernel statistics after the batch",
     )
     return parser
 
@@ -448,7 +494,12 @@ def _load_batch_queries(args) -> list[str]:
     return queries
 
 
-def _print_batch_stats(plan_stats: dict, result_stats: dict, shards_line: str | None):
+def _print_batch_stats(
+    plan_stats: dict,
+    result_stats: dict,
+    shards_line: str | None,
+    batch_plan: dict | None = None,
+):
     """The --stats footer, shared by the barrier and streaming paths."""
     if shards_line is not None:
         print(shards_line, file=sys.stderr)
@@ -465,6 +516,18 @@ def _print_batch_stats(plan_stats: dict, result_stats: dict, shards_line: str | 
         f"hit rate={result_stats['hit_rate']:.1%}",
         file=sys.stderr,
     )
+    if batch_plan:
+        print(
+            "batch plan:   "
+            f"prefixes={batch_plan['prefix_nodes']} "
+            f"shared plans={batch_plan['shared_plans']}/"
+            f"{batch_plan['sharable_plans']} "
+            f"shared evals={batch_plan['shared_evaluations']} "
+            f"memo hits={batch_plan['memo_hits']} "
+            f"fallbacks={batch_plan['fallback_cells']} "
+            f"steps saved={batch_plan['steps_saved']}",
+            file=sys.stderr,
+        )
 
 
 def _stream_batch(args, queries: list[str], documents: list, labels: list[str]) -> int:
@@ -482,6 +545,7 @@ def _stream_batch(args, queries: list[str], documents: list, labels: list[str]) 
         algorithm=args.algorithm,
         workers=args.workers,
         shard_by=args.shard_by,
+        share=args.share,
     )
 
     async def drive() -> None:
@@ -503,6 +567,7 @@ def _stream_batch(args, queries: list[str], documents: list, labels: list[str]) 
             f"shards:       {len(stream.shards)} "
             f"(backend=async --stream, strategy={args.shard_by}, "
             "stats are exact sums over shards)",
+            stream.batch_plan,
         )
     return 0
 
@@ -588,6 +653,7 @@ def batch_main(argv: list[str]) -> int:
             workers=args.workers,
             shard_by=args.shard_by,
             backend=args.backend,
+            share=args.share,
         )
     except ReproError as error:
         return _fail(str(error), error_exit_code(error))
@@ -604,7 +670,9 @@ def batch_main(argv: list[str]) -> int:
                 f"(backend={args.backend}, strategy={args.shard_by}, "
                 "stats are exact sums over shards)"
             )
-        _print_batch_stats(batch.plan_stats, batch.result_stats, shards_line)
+        _print_batch_stats(
+            batch.plan_stats, batch.result_stats, shards_line, batch.batch_plan
+        )
         # Stage-2 memo counters live on the driving service; sharded
         # batches specialize inside per-shard workers instead. The axis
         # kernel counters are process-global for the same reason the

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 
 from repro import stats
-from repro.axes.axes import axis_nodes, fused_axis_set, matches_node_test
+from repro.axes.axes import axis_test_nodes, fused_axis_set, matches_node_test
 from repro.errors import EvaluationError
 from repro.functions.library import apply_function
 from repro.values.compare import compare_values
@@ -31,8 +31,13 @@ _COMPARISON_OPS = frozenset({"=", "!=", "<", "<=", ">", ">="})
 
 def step_candidates(document: Document, axis: str, node: Node, test: NodeTest) -> list[Node]:
     """``χ({x}) ∩ T(t)`` in proximity order — one context node's
-    candidates, the list predicates assign positions over."""
-    return [y for y in axis_nodes(document, axis, node) if matches_node_test(y, test, axis)]
+    candidates, the list predicates assign positions over. Routed through
+    the fused per-node dispatch (:func:`repro.axes.axes.axis_test_nodes`):
+    interval-axis enumerations become singleton partition range queries
+    when the predicted output is small, the enumerate-then-filter walk
+    otherwise — identical candidates in identical proximity order either
+    way, so positional predicates rank the same lists."""
+    return axis_test_nodes(document, axis, node, test)
 
 
 def step_candidate_set(document: Document, axis: str, nodes, test: NodeTest) -> set[Node]:

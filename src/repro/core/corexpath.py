@@ -73,6 +73,24 @@ class CoreXPathEvaluator:
         nodes = self.document.nodes
         return [nodes[pre] for pre in result]
 
+    def forward_from_pres(self, steps: list[Step], pres: list[int]) -> list[int]:
+        """Forward-sweep a *relative* step suffix from an
+        already-materialized sorted pre array.
+
+        The batch-shared step DAG (:mod:`repro.service.batchplan`) splits
+        an absolute path at a step boundary and resumes here: each step
+        is a pure set function of its origin set (per-origin candidates,
+        unioned), so ``forward(suffix, forward(prefix, {root}))`` equals
+        the unsplit sweep. Steps must be Core — a non-Core predicate
+        raises :class:`~repro.errors.FragmentViolationError`, exactly as
+        :meth:`evaluate` would (callers fall back to independent
+        evaluation, keeping the paper's bounds).
+        """
+        current = list(pres)
+        for step in steps:
+            current = self._forward_step(step, current)
+        return current
+
     def _all_pres(self) -> list[int]:
         """``dom`` as a sorted pre array (built once; callers treat the
         merge inputs as immutable, so sharing is safe)."""

@@ -1,18 +1,36 @@
-"""The service layer: two-stage compilation, caching, batch scheduling.
+"""The service layer: staged compilation, batch sharing, scheduling.
 
 The paper's algorithms bound *evaluation* cost; this package amortizes
 everything that happens before evaluation, then keeps the evaluators
-saturated. Compilation is split into two explicit stages, and a batch
-flows through four layers:
+saturated. A batch flows through five layers — logical → batch →
+physical → schedule → merge:
 
-1. **logical planning (stage 1, document-independent)** — each distinct
+1. **logical planning (document-independent)** — each distinct
    ``(query, options)`` pair is compiled once (parse → normalize →
    rewrite → relevance → fragment classification → trait extraction)
    into a :class:`LogicalPlan`, held in the exact-accounting LRU
    :class:`PlanCache`. A logical plan deliberately names *no* evaluator:
    it carries the fragment classification and the cost features
-   (:class:`~repro.service.plan.PlanTraits`) that stage 2 reads.
-2. **physical specialization (stage 2, per document)** — a
+   (:class:`~repro.service.plan.PlanTraits`) that the physical stage
+   reads — including ``step_keys``, the canonical per-step rendering of
+   plain absolute paths that the batch stage keys on.
+2. **batch planning (per batch of queries)** — between logical planning
+   and per-document work, :func:`repro.service.batchplan.build_batch_plan`
+   unifies the batch's common step prefixes into a shared-step DAG
+   (:class:`~repro.service.batchplan.BatchPlan`): each distinct
+   (step-prefix, document) node-set is evaluated at most once — lazily,
+   only when a consumer actually misses the per-document result memo —
+   and every consumer plan resumes from its longest materialized prefix
+   (Core residuals continue the sorted-pre-array sweep via
+   :meth:`~repro.core.corexpath.CoreXPathEvaluator.forward_from_pres`;
+   non-Core residuals evaluate a :class:`~repro.xpath.ast.ConstantNodeSet`-
+   rooted residual plan). Sharing only ever removes work: any per-cell
+   error falls back to independent evaluation of exactly that cell, so
+   the paper's worst-case bounds are untouched, and ``share=False``
+   (``--no-share``) reproduces independent evaluation byte-identically,
+   stats included. Exact accounting lives on
+   :class:`repro.stats.BatchPlanStats` (``BatchResult.batch_plan``).
+3. **physical specialization (per document)** — a
    :class:`PlanSpecializer` combines a logical plan with a
    :class:`DocumentProfile` (node count, depth, fanout, text ratio,
    per-tag counts) and picks the evaluator via a small explicit cost
@@ -34,10 +52,13 @@ flows through four layers:
    reverts to the Definition-1 ``O(|D|)`` scans whenever predicted
    output is large — evaluator choice and kernel choice can both be
    wrong and the paper's bounds still hold. Specializations are
-   memoized in an LRU memo with exact counters (``specialize_cache``);
-   ``specialize=False`` anywhere in the stack falls back to the static
-   fragment dispatch (:func:`resolve_algorithm`).
-3. **scheduling** — the pluggable middle layer
+   memoized in a profile-bucketed memo with exact counters
+   (``specialize_cache``) whose eviction victimizes the globally-LRU
+   entry of a *largest* profile bucket — one hot profile cannot evict
+   every other profile's entries; ``specialize=False`` anywhere in the
+   stack falls back to the static fragment dispatch
+   (:func:`resolve_algorithm`).
+4. **scheduling** — the pluggable middle layer
    (:mod:`repro.service.scheduler`): ``prepare`` plans document shards
    (LPT on node counts — or on *observed per-document seconds* once a
    :class:`~repro.service.shard.ShardTimingHistory` has seen the
@@ -48,21 +69,27 @@ flows through four layers:
    pre-order index), and :class:`AsyncScheduler` (asyncio
    coroutine-per-shard, bounded semaphore, thread offload — also the
    only backend that can *stream* shard outcomes as they complete).
-4. **merge** — per-shard values reassembled into batch order, cache
-   counters summed exactly (:func:`merge_stats_snapshots`; incremental
-   form: :meth:`repro.stats.CacheStats.absorb_snapshot`), and each
-   shard's wall time fed back into the timing history, producing one
-   :class:`BatchResult` regardless of backend.
+   Batch sharing composes: each worker builds its own step DAG over its
+   shard, so process workers stay self-contained.
+5. **merge** — per-shard values reassembled into batch order, cache and
+   batch-plan counters summed exactly (:func:`merge_stats_snapshots` /
+   :func:`~repro.service.scheduler.merge_batch_plan_snapshots`;
+   incremental form: :meth:`repro.stats.CacheStats.absorb_snapshot`),
+   and each shard's wall time fed back into the timing history,
+   producing one :class:`BatchResult` regardless of backend.
 
 Modules:
 
 * :mod:`repro.service.plan` — :class:`LogicalPlan` (aliases
   ``CompiledPlan``/``CompiledQuery``) / :class:`PlanTraits` /
   :class:`PlanOptions`;
-* :mod:`repro.service.planner` — the stage-1 frontend pipeline and the
+* :mod:`repro.service.planner` — the logical frontend pipeline and the
   static algorithm dispatch;
-* :mod:`repro.service.specialize` — stage 2: :class:`DocumentProfile`,
-  :class:`PhysicalPlan`, :class:`PlanSpecializer`, the cost model;
+* :mod:`repro.service.batchplan` — the batch layer: :class:`BatchPlan` /
+  :func:`build_batch_plan`, prefix unification and residual evaluation;
+* :mod:`repro.service.specialize` — the physical layer:
+  :class:`DocumentProfile`, :class:`PhysicalPlan`,
+  :class:`PlanSpecializer`, the cost model;
 * :mod:`repro.service.cache` — the thread-safe, exact-accounting LRU
   :class:`PlanCache`;
 * :mod:`repro.service.service` — :class:`QueryService` /
@@ -85,18 +112,22 @@ Quickstart::
     docs = [parse_document(x) for x in sources]
     batch = service.evaluate_many(["//book/title", "//book[price > 20]"], docs)
     batch.value(0, 1)                      # doc 0, second query
+    batch.batch_plan                       # shared-step DAG counters
     service.cache_stats()["plan_cache"]    # hits / misses / hit_rate
-    service.cache_stats()["specialize_cache"]   # stage-2 memo counters
+    service.cache_stats()["specialize_cache"]   # physical memo counters
 
-Inspecting the two stages — what runs where, and why::
+Inspecting the stages — what runs where, and why::
 
-    plan = service.plan("//book[price > 20]/title")   # stage 1 (cached)
+    plan = service.plan("//book[price > 20]/title")   # logical (cached)
     plan.best_algorithm()              # static dispatch: 'optmincontext'
     from repro.service.specialize import document_profile
     physical = service.specializer.specialize(plan, document_profile(docs[0]))
     physical.algorithm                 # e.g. 'mincontext' on a small doc
     physical.rationale                 # the profile features that decided
-    # CLI form: repro-xpath plan --explain --file doc.xml QUERY
+    from repro.service.batchplan import build_batch_plan
+    print(build_batch_plan([plan, service.plan("//book/title")]).describe())
+    # CLI forms: repro-xpath plan --explain --file doc.xml QUERY
+    #            repro-xpath plan --explain-batch QUERY QUERY...
 
 Scaling out, same API — shard the batch across workers::
 
@@ -123,6 +154,7 @@ Serving from an event loop — the async front end::
 """
 
 from repro.service.async_service import AsyncQueryService, BatchStream, StreamItem
+from repro.service.batchplan import BatchPlan, build_batch_plan
 from repro.service.cache import PlanCache
 from repro.service.executor import (
     EXECUTOR_BACKENDS,
@@ -173,6 +205,7 @@ __all__ = [
     "ALGORITHMS",
     "AsyncQueryService",
     "AsyncScheduler",
+    "BatchPlan",
     "BatchResult",
     "BatchStream",
     "CompiledPlan",
@@ -199,6 +232,7 @@ __all__ = [
     "ShardedExecutor",
     "StreamItem",
     "ThreadScheduler",
+    "build_batch_plan",
     "compile_plan",
     "compute_traits",
     "document_profile",

@@ -32,7 +32,11 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
-from repro.service.scheduler import AsyncScheduler, PreparedBatch
+from repro.service.scheduler import (
+    AsyncScheduler,
+    PreparedBatch,
+    merge_batch_plan_snapshots,
+)
 from repro.service.service import BatchResult, QueryService
 from repro.stats import CacheStats
 from repro.xml.document import Document, Node
@@ -77,6 +81,9 @@ class BatchStream:
             name="plan_cache", capacity=scheduler.service_config["plan_capacity"]
         )
         self._result_stats = CacheStats(name="result_cache")
+        #: Per-shard batch-plan snapshots (summed lazily — ``{}`` until a
+        #: shard actually shared something, matching the barrier merge).
+        self._batch_plan_snapshots: list[dict] = []
         #: Per-shard report entries (same shape as ``BatchResult.shards``),
         #: appended as each shard completes.
         self.shards: list[dict] = []
@@ -105,6 +112,12 @@ class BatchStream:
         """Exact result-memo counter sums over the shards completed so far."""
         return self._result_stats.snapshot()
 
+    @property
+    def batch_plan(self) -> dict:
+        """Exact batch-plan counter sums over the shards completed so far
+        (``{}`` when no completed shard shared anything)."""
+        return merge_batch_plan_snapshots(self._batch_plan_snapshots)
+
     def batch(self) -> BatchResult:
         """The merged :class:`BatchResult` — values in batch order, stats
         the exact shard sums. Only available after the stream has been
@@ -120,6 +133,7 @@ class BatchStream:
             algorithms=self._prepared.algorithms,
             plan_stats=self.plan_stats,
             result_stats=self.result_stats,
+            batch_plan=self.batch_plan,
             workers=len(self._prepared.shards),
             shards=list(self.shards),
         )
@@ -130,6 +144,7 @@ class BatchStream:
         async for shard, outcome in self._scheduler.stream(self._prepared):
             self._plan_stats.absorb_snapshot(outcome["plan_stats"])
             self._result_stats.absorb_snapshot(outcome["result_stats"])
+            self._batch_plan_snapshots.append(outcome.get("batch_plan", {}))
             self._scheduler.record_timing(shard, outcome, self._prepared)
             self.shards.append(self._scheduler.shard_report(shard, outcome))
             for document_index, row in zip(shard.document_indices, outcome["values"]):
@@ -209,6 +224,7 @@ class AsyncQueryService:
         workers: int = 1,
         shard_by: str = "round-robin",
         max_concurrency: int | None = None,
+        share: bool = True,
     ) -> BatchResult:
         """Every query against every document — the barrier form.
 
@@ -226,10 +242,14 @@ class AsyncQueryService:
         """
         if workers <= 1:
             return await asyncio.to_thread(
-                self.service.evaluate_many, queries, documents, algorithm=algorithm
+                self.service.evaluate_many,
+                queries,
+                documents,
+                algorithm=algorithm,
+                share=share,
             )
         scheduler = self._scheduler(workers, shard_by, max_concurrency)
-        prepared = scheduler.prepare(queries, documents, algorithm)
+        prepared = scheduler.prepare(queries, documents, algorithm, share=share)
         outcomes = await scheduler.dispatch_async(prepared)
         return scheduler.merge(prepared, outcomes)
 
@@ -241,6 +261,7 @@ class AsyncQueryService:
         workers: int = 2,
         shard_by: str = "round-robin",
         max_concurrency: int | None = None,
+        share: bool = True,
     ) -> BatchStream:
         """The streaming form: a :class:`BatchStream` yielding results as
         shards complete. Query compilation and shard planning happen
@@ -248,7 +269,7 @@ class AsyncQueryService:
         any iteration starts; no work is dispatched until the stream is
         first awaited."""
         scheduler = self._scheduler(workers, shard_by, max_concurrency)
-        prepared = scheduler.prepare(queries, documents, algorithm)
+        prepared = scheduler.prepare(queries, documents, algorithm, share=share)
         return BatchStream(scheduler, prepared)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,491 @@
+"""Batch-shared step DAG — the multi-query stage between logical
+planning and per-document specialization.
+
+The paper's polynomial algorithms win by never recomputing a
+context–subexpression pair *within* one query; this module lifts the
+same memoization theme *across* a batch. ``evaluate_many``'s queries
+routinely share structure — common absolute-path prefixes, repeated
+axis::test steps, overlapping predicates — and evaluating every (query,
+document) cell independently recomputes those shared intermediate
+node-sets once per query. Instead:
+
+1. Every sharable :class:`~repro.service.plan.LogicalPlan` (a plain
+   absolute location path, classified at compile time via
+   ``traits.step_keys`` — canonical per-step unparse renderings of the
+   *normalized* AST, so ``//a`` and
+   ``/descendant-or-self::node()/child::a`` unify) contributes its chain
+   of step keys.
+2. The chains are unified into a prefix DAG: every step prefix with at
+   least two distinct consumer plans becomes a *materialized* prefix
+   node, compiled once into its own prefix plan (cloned from a consumer,
+   so no unparse→reparse round trip is trusted) whose parent is its
+   longest materialized proper prefix.
+3. Per document, each distinct (prefix, document) node-set is evaluated
+   at most once — lazily, only when a consumer actually misses the
+   session memo — as a residual sweep over its parent's sorted pre
+   array, and fed through the existing
+   :class:`~repro.service.service.DocumentSession` result memo
+   (:meth:`~repro.service.service.DocumentSession.evaluate_computed`),
+   so repeat batches, duplicate queries, and ``share=False`` runs all
+   see compatible memo entries.
+4. Each consumer plan is then evaluated as a residual of its longest
+   materialized prefix: Core-step suffixes resume the Theorem 13
+   forward sweep directly from the prefix's pre array
+   (:meth:`~repro.core.corexpath.CoreXPathEvaluator.forward_from_pres`);
+   suffixes with full-XPath predicates become a
+   :class:`~repro.xpath.ast.ConstantNodeSet`-rooted residual plan whose
+   evaluator the specializer prices against the *remaining* work
+   (:meth:`~repro.service.specialize.PlanSpecializer.specialize_residual`).
+
+Soundness: a location step is a pure set function of its origin set —
+per-origin candidate lists (so positional predicates rank within each
+origin, exactly as unsplit evaluation does), unioned — hence splitting
+an absolute path at any step boundary preserves its value. The two
+sharing exclusions are plans embedding a ``ConstantNodeSet`` (its
+unparse renders only the set's *size*, so different bindings would
+collide on one step key; ``traits.step_keys`` is empty for them) and
+forced algorithms (``algorithm != 'auto'`` must run the requested
+evaluator, so :meth:`QueryService.evaluate_many` only builds a DAG for
+``auto`` batches).
+
+Worst-case guarantees do not regress: sharing only ever *removes* work
+(prefixes are lazy, each computed at most once per document, and the
+telescoped prefix cost assigned to a miss cell never exceeds the steps
+independent evaluation would have spent — see
+:class:`repro.stats.BatchPlanStats`), and any per-cell error falls back
+to an independent evaluation of that cell, keeping the paper's bounds
+intact cell by cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.service.plan import LogicalPlan, PlanOptions, compute_traits
+from repro.stats import BatchPlanStats
+from repro.xml.document import Document
+from repro.xpath.ast import (
+    BinaryOp,
+    ConstantNodeSet,
+    Expr,
+    FunctionCall,
+    Negate,
+    NumberLiteral,
+    Path,
+    Step,
+    StringLiteral,
+    Union,
+    VariableRef,
+)
+from repro.xpath.fragments import (
+    core_xpath_violation,
+    find_bottomup_paths,
+    wadler_violation,
+)
+from repro.xpath.relevance import compute_relevance
+
+
+# ----------------------------------------------------------------------
+# AST cloning
+# ----------------------------------------------------------------------
+
+
+def clone_expr(expr: Expr) -> Expr:
+    """A structural deep copy of a normalized AST fragment.
+
+    Prefix and residual plans re-root step lists taken from consumer
+    plans; reusing the original ``Step`` objects would be unsound
+    because :func:`~repro.xpath.relevance.compute_relevance` *mutates*
+    the ``relev`` slots it annotates — recomputing relevance for the new
+    root on shared nodes would corrupt the consumer plan. Clones get
+    fresh uids (the table-based evaluators key side tables by uid),
+    carry over ``value_type`` (normalization already ran on the source),
+    and share the immutable :class:`~repro.xpath.ast.NodeTest` and the
+    members of a :class:`~repro.xpath.ast.ConstantNodeSet`.
+    """
+    if isinstance(expr, NumberLiteral):
+        copy: Expr = NumberLiteral(expr.value)
+    elif isinstance(expr, StringLiteral):
+        copy = StringLiteral(expr.value)
+    elif isinstance(expr, VariableRef):
+        copy = VariableRef(expr.name)
+    elif isinstance(expr, ConstantNodeSet):
+        copy = ConstantNodeSet(expr.nodes)
+    elif isinstance(expr, FunctionCall):
+        copy = FunctionCall(expr.name, [clone_expr(arg) for arg in expr.args])
+    elif isinstance(expr, BinaryOp):
+        copy = BinaryOp(expr.op, clone_expr(expr.left), clone_expr(expr.right))
+    elif isinstance(expr, Negate):
+        copy = Negate(clone_expr(expr.operand))
+    elif isinstance(expr, Union):
+        copy = Union(clone_expr(expr.left), clone_expr(expr.right))
+    elif isinstance(expr, Path):
+        copy = Path(
+            absolute=expr.absolute,
+            primary=None if expr.primary is None else clone_expr(expr.primary),
+            primary_predicates=[clone_expr(p) for p in expr.primary_predicates],
+            steps=[clone_step(s) for s in expr.steps],
+        )
+    else:
+        raise ReproError(f"cannot clone AST node: {type(expr).__name__}")
+    copy.value_type = expr.value_type
+    return copy
+
+
+def clone_step(step: Step) -> Step:
+    """Clone one location step (see :func:`clone_expr`)."""
+    copy = Step(step.axis, step.node_test, [clone_expr(p) for p in step.predicates])
+    copy.value_type = step.value_type
+    return copy
+
+
+def _steps_are_core(steps: list[Step]) -> bool:
+    """Whether a step suffix can resume the Core XPath forward sweep.
+
+    The probe path only *wraps* the original steps for the structural
+    fragment check — nothing is mutated, so sharing the step objects
+    here is safe (unlike re-rooting them in a plan, which re-annotates).
+    """
+    if not steps:
+        return True
+    return core_xpath_violation(Path(absolute=True, steps=list(steps))) is None
+
+
+# ----------------------------------------------------------------------
+# DAG construction
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PrefixNode:
+    """One materialized step prefix: a compiled plan of its own, plus the
+    residual link to its longest materialized proper prefix."""
+
+    chain: tuple[str, ...]
+    plan: LogicalPlan
+    parent: tuple[str, ...] | None
+    consumers: int
+    #: The steps past ``parent`` (the prefix plan's *own* cloned steps,
+    #: so applying them mutates nothing shared).
+    residual_steps: list[Step] = field(default_factory=list)
+    residual_core: bool = True
+
+
+@dataclass
+class BatchEntry:
+    """One input plan's sharing decision."""
+
+    plan: LogicalPlan
+    chain: tuple[str, ...]
+    #: The longest materialized prefix of ``chain`` (None → evaluated
+    #: independently, exactly as without sharing).
+    base: tuple[str, ...] | None = None
+    residual_steps: list[Step] = field(default_factory=list)
+    residual_core: bool = True
+
+    @property
+    def sharable(self) -> bool:
+        return bool(self.chain)
+
+
+def _longest_materialized(
+    chain: tuple[str, ...], upto: int, materialized
+) -> tuple[str, ...] | None:
+    for length in range(upto, 0, -1):
+        if chain[:length] in materialized:
+            return chain[:length]
+    return None
+
+
+def _compile_prefix(chain: tuple[str, ...], source_steps: list[Step]) -> LogicalPlan:
+    """Compile one materialized prefix into a standalone plan.
+
+    The AST is *cloned* from a consumer plan's leading steps (already
+    normalized/rewritten), never re-parsed from the canonical text — the
+    text is only the plan's stable source/cache key, so prefix memo
+    entries survive across batches and across syntactic variants that
+    normalize to the same chain.
+    """
+    ast = Path(absolute=True, steps=[clone_step(s) for s in source_steps])
+    ast.value_type = "nset"
+    compute_relevance(ast)
+    return LogicalPlan(
+        source="/" + "/".join(chain),
+        ast=ast,
+        result_type="nset",
+        core_violation=core_xpath_violation(ast),
+        wadler_violation=wadler_violation(ast),
+        bottomup_path_count=len(find_bottomup_paths(ast)),
+        variables={},
+        rewrite_stats=None,
+        traits=compute_traits(ast),
+        options=PlanOptions.make({}, False),
+    )
+
+
+def _residual_plan(
+    plan: LogicalPlan, steps: list[Step], base_pres: list[int], document: Document
+) -> LogicalPlan:
+    """A per-(cell, document) residual plan: the already-materialized
+    prefix result as a ``ConstantNodeSet`` primary, the remaining steps
+    cloned on top. Only built for non-Core suffixes (Core ones resume
+    the sorted-pre-array sweep directly); always evaluated with
+    ``cached=False`` so its ad-hoc source never lands in any memo."""
+    nodes = document.nodes
+    primary = ConstantNodeSet(nodes[pre] for pre in base_pres)
+    primary.value_type = "nset"
+    ast = Path(primary=primary, steps=[clone_step(s) for s in steps])
+    ast.value_type = "nset"
+    compute_relevance(ast)
+    return LogicalPlan(
+        source=f"<residual of {plan.source!r}>",
+        ast=ast,
+        result_type="nset",
+        core_violation=core_xpath_violation(ast),
+        wadler_violation=wadler_violation(ast),
+        bottomup_path_count=len(find_bottomup_paths(ast)),
+        variables={},
+        rewrite_stats=None,
+        traits=compute_traits(ast),
+        options=PlanOptions.make({}, False),
+    )
+
+
+class BatchPlan:
+    """The shared-step DAG for one batch of logical plans.
+
+    Build once per :meth:`~repro.service.QueryService.evaluate_many`
+    call (per shard, so process workers stay self-contained), then call
+    :meth:`evaluate_row` once per document. :attr:`stats` carries the
+    exact :class:`~repro.stats.BatchPlanStats` for this batch.
+    """
+
+    def __init__(self, plans: list[LogicalPlan]):
+        self.stats = BatchPlanStats()
+        self.nodes: dict[tuple[str, ...], PrefixNode] = {}
+        self.entries: list[BatchEntry] = []
+        self._build(plans)
+
+    # ------------------------------------------------------------------
+
+    def _build(self, plans: list[LogicalPlan]) -> None:
+        distinct: dict[tuple, LogicalPlan] = {}
+        for plan in plans:
+            distinct.setdefault(plan.cache_key, plan)
+        counts: dict[tuple[str, ...], int] = {}
+        representatives: dict[tuple[str, ...], tuple[LogicalPlan, int]] = {}
+        for plan in distinct.values():
+            chain = plan.traits.step_keys
+            for length in range(1, len(chain) + 1):
+                prefix = chain[:length]
+                counts[prefix] = counts.get(prefix, 0) + 1
+                representatives.setdefault(prefix, (plan, length))
+        materialized = {prefix for prefix, n in counts.items() if n >= 2}
+        for chain in sorted(materialized, key=lambda c: (len(c), c)):
+            plan, length = representatives[chain]
+            prefix_plan = _compile_prefix(chain, plan.ast.steps[:length])
+            parent = _longest_materialized(chain, len(chain) - 1, materialized)
+            residual = (
+                prefix_plan.ast.steps[len(parent):] if parent is not None else []
+            )
+            self.nodes[chain] = PrefixNode(
+                chain=chain,
+                plan=prefix_plan,
+                parent=parent,
+                consumers=counts[chain],
+                residual_steps=residual,
+                residual_core=_steps_are_core(residual),
+            )
+        for plan in plans:
+            chain = plan.traits.step_keys
+            entry = BatchEntry(plan=plan, chain=chain)
+            if chain and self.nodes:
+                base = _longest_materialized(chain, len(chain), self.nodes)
+                if base is not None:
+                    suffix = plan.ast.steps[len(base):]
+                    entry.base = base
+                    entry.residual_steps = suffix
+                    entry.residual_core = _steps_are_core(suffix)
+            self.entries.append(entry)
+        shared_keys = {
+            entry.plan.cache_key for entry in self.entries if entry.base is not None
+        }
+        sharable_keys = {
+            key for key, plan in distinct.items() if plan.traits.step_keys
+        }
+        self.stats.plan_counts(
+            sharable=len(sharable_keys),
+            shared=len(shared_keys),
+            independent=len(distinct) - len(shared_keys),
+            prefixes=len(self.nodes),
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shared(self) -> bool:
+        """Whether any prefix was materialized (no → evaluating through
+        this plan degenerates to the independent per-cell loop)."""
+        return bool(self.nodes)
+
+    def evaluate_row(self, session) -> list[object]:
+        """All of this batch's plans against one document's session, in
+        input order — shared cells through the DAG, everything else
+        exactly as independent evaluation would."""
+        prefix_cache: dict[tuple[str, ...], list[int]] = {}
+        row = []
+        for entry in self.entries:
+            if entry.base is None:
+                row.append(session.evaluate(entry.plan, algorithm="auto"))
+            else:
+                self.stats.cell()
+                row.append(self._cell_value(session, entry, prefix_cache))
+        return row
+
+    def _cell_value(self, session, entry: BatchEntry, prefix_cache) -> object:
+        plan = entry.plan
+        computed: list[bool] = []
+
+        def compute():
+            computed.append(True)
+            try:
+                base_pres = self._prefix_pres(session, entry.base, prefix_cache)
+                value = self._apply_residual(
+                    session,
+                    plan,
+                    entry.residual_steps,
+                    entry.residual_core,
+                    base_pres,
+                    covered=len(entry.base),
+                    total=len(entry.chain),
+                )
+            except ReproError:
+                # Per-cell fallback: any sharing-path error (fragment
+                # probe wrong, kernel refusal, ...) costs exactly one
+                # independent evaluation — the paper's bounds per cell.
+                self.stats.fallback()
+                return session.evaluate(plan, algorithm="auto", cached=False)
+            self.stats.shared_evaluation(
+                total_steps=len(entry.chain),
+                residual_steps=len(entry.residual_steps),
+            )
+            return value
+
+        value = session.evaluate_computed(plan, "auto", compute)
+        if not computed:
+            self.stats.memo_hit()
+        return value
+
+    def _prefix_pres(self, session, chain, prefix_cache) -> list[int]:
+        """The materialized prefix's sorted pre array for this document —
+        row-cached, session-memoized, computed (at most once per
+        document) as a residual of its parent prefix."""
+        pres = prefix_cache.get(chain)
+        if pres is not None:
+            self.stats.prefix_memo_hit()
+            return pres
+        node = self.nodes[chain]
+        computed: list[bool] = []
+
+        def compute():
+            computed.append(True)
+            if node.parent is None:
+                value = session.evaluate(node.plan, algorithm="auto", cached=False)
+                self.stats.prefix_evaluation(len(chain))
+                return value
+            base_pres = self._prefix_pres(session, node.parent, prefix_cache)
+            value = self._apply_residual(
+                session,
+                node.plan,
+                node.residual_steps,
+                node.residual_core,
+                base_pres,
+                covered=len(node.parent),
+                total=len(chain),
+            )
+            self.stats.prefix_evaluation(len(chain) - len(node.parent))
+            return value
+
+        value = session.evaluate_computed(node.plan, "auto", compute)
+        if not computed:
+            self.stats.prefix_memo_hit()
+        # Results come back in document order, so the pre projection is
+        # already the sorted array the step kernels expect.
+        pres = [n.pre for n in value]
+        prefix_cache[chain] = pres
+        return pres
+
+    def _apply_residual(
+        self,
+        session,
+        plan: LogicalPlan,
+        steps: list[Step],
+        core_ok: bool,
+        base_pres: list[int],
+        covered: int,
+        total: int,
+    ) -> list:
+        document = session.document
+        nodes = document.nodes
+        if not steps:
+            return [nodes[pre] for pre in base_pres]
+        if core_ok:
+            evaluator = session.evaluator("corexpath")
+            return [
+                nodes[pre]
+                for pre in evaluator.forward_from_pres(steps, base_pres)
+            ]
+        residual = _residual_plan(plan, steps, base_pres, document)
+        if session.specializer is not None:
+            algorithm = session.specializer.specialize_residual(
+                plan, session.profile, covered=covered, total=total
+            ).algorithm
+        else:
+            algorithm = "optmincontext"
+        return session.evaluate(residual, algorithm=algorithm, cached=False)
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """The DAG, human-readable (``repro-xpath plan --explain-batch``)."""
+        lines = [
+            "batch plan: "
+            f"{len(self.entries)} plan(s), "
+            f"{sum(1 for e in self.entries if e.sharable)} sharable, "
+            f"{sum(1 for e in self.entries if e.base is not None)} shared, "
+            f"{len(self.nodes)} materialized prefix(es)"
+        ]
+        order = sorted(self.nodes, key=lambda c: (len(c), c))
+        index = {chain: i for i, chain in enumerate(order)}
+        for chain in order:
+            node = self.nodes[chain]
+            parent = (
+                f"prefix[{index[node.parent]}] + {len(node.residual_steps)} step(s)"
+                if node.parent is not None
+                else "root"
+            )
+            lines.append(
+                f"  prefix[{index[chain]}]: {node.plan.source}"
+                f"  <- {parent}  (consumers={node.consumers})"
+            )
+        for position, entry in enumerate(self.entries):
+            if entry.base is not None:
+                suffix = "empty" if not entry.residual_steps else (
+                    f"{len(entry.residual_steps)} step(s)"
+                    + ("" if entry.residual_core else ", full-XPath predicates")
+                )
+                detail = f"base=prefix[{index[entry.base]}], residual={suffix}"
+            elif entry.sharable:
+                detail = "independent (no prefix shared by another plan)"
+            else:
+                detail = "independent (not a sharable absolute location path)"
+            lines.append(f"  plan {position}: {entry.plan.source!r}  {detail}")
+        return "\n".join(lines)
+
+
+def build_batch_plan(plans: list[LogicalPlan]) -> BatchPlan | None:
+    """The shared-step DAG for a batch, or ``None`` for an empty batch."""
+    if not plans:
+        return None
+    return BatchPlan(list(plans))

@@ -25,6 +25,7 @@ from repro.service.scheduler import (  # noqa: F401  (re-exports)
     _evaluate_shard,
     _evaluate_shard_snapshots,
     make_scheduler,
+    merge_batch_plan_snapshots,
     merge_stats_snapshots,
 )
 
@@ -73,13 +74,17 @@ class ShardedExecutor:
         self.shard_by = shard_by
         self.service_config = self.scheduler.service_config
 
-    def execute(self, queries, documents, algorithm: str = "auto"):
+    def execute(self, queries, documents, algorithm: str = "auto", share: bool = True):
         """Evaluate every query against every document, sharded.
 
         Returns a merged :class:`~repro.service.service.BatchResult`:
         ``values`` in batch order (indistinguishable from the sequential
         path — process-backend node-sets are rebound to the parent's
-        documents), ``plan_stats``/``result_stats`` summed exactly across
-        shards, and per-shard snapshots on ``shards``.
+        documents), ``plan_stats``/``result_stats``/``batch_plan`` summed
+        exactly across shards, and per-shard snapshots on ``shards``.
+        ``share`` forwards the batch-sharing knob to every worker (each
+        shard builds its own step DAG).
         """
-        return self.scheduler.execute(queries, documents, algorithm=algorithm)
+        return self.scheduler.execute(
+            queries, documents, algorithm=algorithm, share=share
+        )

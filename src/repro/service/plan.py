@@ -33,8 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.axes.axes import INTERVAL_AXES
-from repro.xpath.ast import AstNode, Expr, FunctionCall, Step
+from repro.xpath.ast import AstNode, ConstantNodeSet, Expr, FunctionCall, Path, Step
 from repro.xpath.rewrite import RewriteStats
+from repro.xpath.unparse import step_to_string
 
 
 def freeze_variables(variables: dict[str, object] | None) -> tuple:
@@ -126,7 +127,20 @@ class PlanTraits:
     * ``name_test_tags`` — the element tags those steps name-test (the
       *name-test selectivity hook*: combined with a profile's per-tag
       counts, stage 2 can predict how small the fused kernels' outputs
-      are — see :func:`repro.service.specialize.name_test_selectivity`).
+      are — see :func:`repro.service.specialize.name_test_selectivity`);
+    * ``step_keys`` — the canonical per-step keys of the query's main
+      path, when the query *is* a plain absolute location path: one
+      :func:`repro.xpath.unparse.step_to_string` rendering per
+      normalized step. Two plans whose chains share a prefix denote the
+      same intermediate node-sets (``//a`` and
+      ``/descendant-or-self::node()/child::a`` unify here because
+      normalization expands abbreviations before unparsing), which is
+      what the batch-shared step DAG (:mod:`repro.service.batchplan`)
+      keys on. Empty for any other query shape — and deliberately empty
+      when the AST embeds a :class:`~repro.xpath.ast.ConstantNodeSet`
+      (bound node-set variables), whose unparse renders only its *size*:
+      two different bindings would collide on the same key, so such
+      plans are never shared.
     """
 
     ast_size: int = 1
@@ -135,6 +149,7 @@ class PlanTraits:
     string_op_count: int = 0
     indexed_axis_steps: int = 0
     name_test_tags: tuple = ()
+    step_keys: tuple = ()
 
 
 def compute_traits(ast: Expr) -> PlanTraits:
@@ -145,10 +160,13 @@ def compute_traits(ast: Expr) -> PlanTraits:
     string_ops = 0
     indexed_axis_steps = 0
     name_test_tags: list[str] = []
+    constant_node_set = False
     stack: list[AstNode] = [ast]
     while stack:
         node = stack.pop()
         size += 1
+        if isinstance(node, ConstantNodeSet):
+            constant_node_set = True
         relev = getattr(node, "relev", None)
         if relev and (relev & _CPCS):
             uses_position = True
@@ -165,6 +183,15 @@ def compute_traits(ast: Expr) -> PlanTraits:
                 if node.node_test.kind == "name":
                     name_test_tags.append(node.node_test.name)
         stack.extend(node.children())
+    step_keys: tuple = ()
+    if (
+        isinstance(ast, Path)
+        and ast.absolute
+        and ast.primary is None
+        and ast.steps
+        and not constant_node_set
+    ):
+        step_keys = tuple(step_to_string(step) for step in ast.steps)
     return PlanTraits(
         ast_size=size,
         uses_position=uses_position,
@@ -172,6 +199,7 @@ def compute_traits(ast: Expr) -> PlanTraits:
         string_op_count=string_ops,
         indexed_axis_steps=indexed_axis_steps,
         name_test_tags=tuple(sorted(name_test_tags)),
+        step_keys=step_keys,
     )
 
 

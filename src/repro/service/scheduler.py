@@ -73,7 +73,7 @@ from repro.service.shard import (
     ShardTimingHistory,
     plan_shards,
 )
-from repro.stats import CacheStats
+from repro.stats import BatchPlanStats, CacheStats
 from repro.xml.document import Document
 
 
@@ -93,6 +93,25 @@ def merge_stats_snapshots(snapshots, name: str, capacity=None) -> dict:
     return merged.snapshot()
 
 
+def merge_batch_plan_snapshots(snapshots) -> dict:
+    """Sum batch-plan counters across per-shard snapshots.
+
+    Each shard builds its own step DAG over the same query list, so the
+    plan-shape fields sum across shards just like the per-cell counters
+    (they describe the fleet of DAGs, not one). Returns ``{}`` when no
+    shard shared anything — notably whenever the batch ran with
+    ``share=False`` — so the merged result is byte-identical to the
+    unsharded no-share result.
+    """
+    merged = BatchPlanStats()
+    nonempty = False
+    for snapshot in snapshots:
+        if snapshot:
+            nonempty = True
+            merged.absorb_snapshot(snapshot)
+    return merged.snapshot() if nonempty else {}
+
+
 # ----------------------------------------------------------------------
 # Worker entry points (module-level so the process backend can import
 # them by reference in spawned interpreters).
@@ -100,20 +119,31 @@ def merge_stats_snapshots(snapshots, name: str, capacity=None) -> dict:
 
 
 def _evaluate_shard(
-    config: dict, queries: list[str], documents, algorithm: str, plans=None
+    config: dict,
+    queries: list[str],
+    documents,
+    algorithm: str,
+    plans=None,
+    share: bool = True,
 ):
     """Run one shard's sub-batch in a fresh service (in-process workers).
 
     ``plans`` seeds the worker's plan cache with already-compiled plans —
     :class:`CompiledPlan` is immutable and freely shareable across
     threads, so in-process workers reuse the parent's compilations
-    instead of redoing the frontend pipeline per worker."""
+    instead of redoing the frontend pipeline per worker. ``share``
+    forwards the batch-sharing knob: each worker builds its own step DAG
+    over its shard's documents, so process workers stay self-contained
+    (nothing DAG-related crosses the process boundary except the counter
+    snapshot)."""
     from repro.service.service import QueryService
 
     service = QueryService(**config)
     for plan in plans or ():
         service.plans.put(plan.cache_key, plan)
-    return service.evaluate_many(queries, documents, algorithm=algorithm)
+    return service.evaluate_many(
+        queries, documents, algorithm=algorithm, share=share
+    )
 
 
 def _encode_value(value):
@@ -163,7 +193,11 @@ def _evaluate_shard_snapshots(payload: dict) -> dict:
                 f"({expected} nodes became {len(document)})"
             }
     batch = _evaluate_shard(
-        payload["config"], payload["queries"], documents, payload["algorithm"]
+        payload["config"],
+        payload["queries"],
+        documents,
+        payload["algorithm"],
+        share=payload.get("share", True),
     )
     # The shard's wall time as the worker experienced it (rebuild +
     # evaluation) — the cost the adaptive weighting should balance.
@@ -171,6 +205,7 @@ def _evaluate_shard_snapshots(payload: dict) -> dict:
         "values": [[_encode_value(value) for value in row] for row in batch.values],
         "plan_stats": batch.plan_stats,
         "result_stats": batch.result_stats,
+        "batch_plan": batch.batch_plan,
         "elapsed_seconds": time.perf_counter() - started,
     }
 
@@ -190,6 +225,7 @@ class PreparedBatch:
     queries: list[str]
     documents: list
     algorithm: str
+    share: bool = True
     algorithms: list[str] = field(default_factory=list)
     plans: list[CompiledPlan] = field(default_factory=list)
     shards: list[Shard] = field(default_factory=list)
@@ -249,15 +285,22 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Phase 1: prepare
 
-    def prepare(self, queries, documents, algorithm: str = "auto") -> PreparedBatch:
+    def prepare(
+        self, queries, documents, algorithm: str = "auto", share: bool = True
+    ) -> PreparedBatch:
         """Compile each distinct query once, resolve its algorithm, and
         plan the shards — surfacing syntax/fragment errors before any
         worker starts, and fixing the merged result's ``algorithms``
         list. The plans are kept so in-process workers can reuse them
         instead of recompiling (process workers must recompile: an AST is
-        cheap to rebuild but expensive to pickle)."""
+        cheap to rebuild but expensive to pickle). ``share`` rides the
+        prepared batch so every worker applies the same batch-sharing
+        policy; the DAG itself is built per shard, never here."""
         prepared = PreparedBatch(
-            queries=list(queries), documents=list(documents), algorithm=algorithm
+            queries=list(queries),
+            documents=list(documents),
+            algorithm=algorithm,
+            share=share,
         )
         plans: dict[str, CompiledPlan] = {}
         for query in prepared.queries:
@@ -304,11 +347,13 @@ class Scheduler:
             [prepared.documents[i] for i in shard.document_indices],
             prepared.algorithm,
             plans=prepared.plans,
+            share=prepared.share,
         )
         return {
             "values": batch.values,
             "plan_stats": batch.plan_stats,
             "result_stats": batch.result_stats,
+            "batch_plan": batch.batch_plan,
             "elapsed_seconds": time.perf_counter() - started,
         }
 
@@ -329,6 +374,7 @@ class Scheduler:
             "local_fallback": outcome.get("local_fallback", False),
             "plan_stats": outcome["plan_stats"],
             "result_stats": outcome["result_stats"],
+            "batch_plan": outcome.get("batch_plan", {}),
         }
 
     def record_timing(
@@ -372,6 +418,9 @@ class Scheduler:
             result_stats=merge_stats_snapshots(
                 [outcome["result_stats"] for outcome in outcomes], "result_cache"
             ),
+            batch_plan=merge_batch_plan_snapshots(
+                [outcome.get("batch_plan", {}) for outcome in outcomes]
+            ),
             workers=len(prepared.shards),
             shards=[
                 self.shard_report(shard, outcome)
@@ -381,9 +430,9 @@ class Scheduler:
 
     # ------------------------------------------------------------------
 
-    def execute(self, queries, documents, algorithm: str = "auto"):
+    def execute(self, queries, documents, algorithm: str = "auto", share: bool = True):
         """Prepare, dispatch, and merge one batch — the sync entry point."""
-        prepared = self.prepare(queries, documents, algorithm)
+        prepared = self.prepare(queries, documents, algorithm, share=share)
         return self.merge(prepared, self.dispatch(prepared))
 
 
@@ -462,6 +511,7 @@ class ProcessScheduler(Scheduler):
                         "config": self.service_config,
                         "queries": prepared.queries,
                         "algorithm": prepared.algorithm,
+                        "share": prepared.share,
                         "snapshots": [
                             cached_snapshot(documents[i])
                             for i in shard.document_indices

@@ -157,6 +157,36 @@ class DocumentSession:
         if not cached:
             context = Context(node, context_position, context_size)
             return self._evaluate_timed(plan, self.resolve(plan, algorithm), context)
+
+        def compute():
+            context = Context(node, context_position, context_size)
+            return self._evaluate_timed(plan, self.resolve(plan, algorithm), context)
+
+        return self.evaluate_computed(
+            plan, algorithm, compute, node, context_position, context_size
+        )
+
+    def evaluate_computed(
+        self,
+        plan: CompiledPlan,
+        algorithm: str,
+        compute,
+        context_node: Node | None = None,
+        context_position: int = 1,
+        context_size: int = 1,
+    ):
+        """The memo protocol with a caller-supplied miss computation.
+
+        Identical lookup/accounting/insert behavior to :meth:`evaluate`
+        — same key, same hit/miss/eviction counting, ``compute()`` runs
+        outside the lock exactly where the resolved evaluator would.
+        This is the batch planner's hook
+        (:mod:`repro.service.batchplan`): a shared-prefix residual
+        evaluation is memoized under the *original* plan's key, so
+        shared and independent runs (and repeat batches) populate and
+        hit the same entries.
+        """
+        node = context_node if context_node is not None else self.document.root
         # Keyed by the plan's *stable* cache key, not the AST's identity:
         # a plan evicted from the LRU and recompiled gets a fresh AST (and
         # uid), but it is the same plan — its memo entries must stay
@@ -178,8 +208,7 @@ class DocumentSession:
                 self.result_stats.hit()
                 return _copy_result(entry[1])
             self.result_stats.miss()
-        context = Context(node, context_position, context_size)
-        value = self._evaluate_timed(plan, self.resolve(plan, algorithm), context)
+        value = compute()
         with self._lock:
             if len(self._results) >= self.result_capacity:
                 self._results.clear()
@@ -232,6 +261,13 @@ class BatchResult:
     number of shards actually used) and ``shards`` (per-shard document
     indices, weights, wall times, and unmerged stats snapshots); the
     top-level stats are then the exact sums of the per-shard counters.
+
+    ``batch_plan`` is the batch-shared step DAG's exact counter snapshot
+    (:class:`~repro.stats.BatchPlanStats`) when multi-query sharing ran
+    — ``share=True`` (the default) with ``algorithm='auto'`` — and an
+    empty dict otherwise, notably for every ``share=False`` call (which
+    reproduces independent evaluation byte-identically, stats included).
+    Sharded runs sum the per-shard snapshots.
     """
 
     queries: list[str]
@@ -242,6 +278,7 @@ class BatchResult:
     result_stats: dict = field(default_factory=dict)
     workers: int = 1
     shards: list = field(default_factory=list)
+    batch_plan: dict = field(default_factory=dict)
 
     def value(self, document_index: int, query_index: int):
         return self.values[document_index][query_index]
@@ -363,12 +400,24 @@ class QueryService:
         workers: int = 1,
         shard_by: str = "round-robin",
         backend: str = "thread",
+        share: bool = True,
     ) -> BatchResult:
         """Evaluate every query against every document.
 
         Plans are compiled (at most) once per distinct query; each
         document's session caches are shared across the whole batch, so
         duplicate queries cost one evaluation per document.
+
+        With ``share=True`` (the default) and ``algorithm='auto'``, a
+        batch-planning phase runs between compilation and evaluation: a
+        shared-step DAG (:mod:`repro.service.batchplan`) unifies the
+        batch's common absolute-path prefixes and evaluates each
+        distinct (prefix, document) node-set at most once, feeding the
+        shared results through the session memos. Values are identical
+        either way; ``share=False`` takes exactly the independent
+        per-cell path (byte-identical results *and* stats, with
+        ``batch_plan`` empty). Forced algorithms never share — the
+        requested evaluator must run as asked.
 
         With ``workers > 1`` the batch is sharded by document and
         delegated to a :class:`~repro.service.executor.ShardedExecutor`
@@ -378,7 +427,9 @@ class QueryService:
         service built from this service's configuration, so this
         service's own caches
         are neither consulted nor populated; the returned batch stats are
-        the exact sums of the per-shard counters (see ``BatchResult``).
+        the exact sums of the per-shard counters (see ``BatchResult``) —
+        each shard builds its own DAG, so process workers stay
+        self-contained.
         """
         if workers > 1:
             from repro.service.executor import ShardedExecutor
@@ -390,7 +441,9 @@ class QueryService:
                 history=self.shard_history,
                 **self.config(),
             )
-            return executor.execute(queries, documents, algorithm=algorithm)
+            return executor.execute(
+                queries, documents, algorithm=algorithm, share=share
+            )
         query_list = list(queries)
         document_list = list(documents)
         plan_stats_before = self.plans.stats.snapshot()
@@ -401,12 +454,20 @@ class QueryService:
         # ``auto`` per document below, so the evaluator actually run may
         # differ per (query, document) — values are identical either way.
         algorithms = [resolve_algorithm(plan, algorithm) for plan in plans]
+        batch_plan = None
+        if share and algorithm == "auto":
+            from repro.service.batchplan import build_batch_plan
+
+            batch_plan = build_batch_plan(plans)
         values: list[list[object]] = []
         for document in document_list:
             session = self.session(document)
-            values.append(
-                [session.evaluate(plan, algorithm=algorithm) for plan in plans]
-            )
+            if batch_plan is not None and batch_plan.shared:
+                values.append(batch_plan.evaluate_row(session))
+            else:
+                values.append(
+                    [session.evaluate(plan, algorithm=algorithm) for plan in plans]
+                )
         return BatchResult(
             queries=query_list,
             document_count=len(document_list),
@@ -414,6 +475,7 @@ class QueryService:
             algorithms=algorithms,
             plan_stats=_stats_delta(plan_stats_before, self.plans.stats.snapshot()),
             result_stats=_stats_delta(result_stats_before, self.result_cache_stats()),
+            batch_plan=batch_plan.stats.snapshot() if batch_plan is not None else {},
         )
 
     # ------------------------------------------------------------------

@@ -238,6 +238,30 @@ SET_SWEEP_SHARE = 0.5
 #: Algorithms the cost model can estimate *and* ``auto`` may select.
 SELECTABLE = ("mincontext", "optmincontext", "corexpath")
 
+#: Floor on the residual share of a plan's sweep when a step prefix is
+#: already materialized (:meth:`PlanSpecializer.specialize_residual`):
+#: even a one-step residual still pays per-evaluation setup — dispatch,
+#: context construction, and (for the table evaluators) table priming.
+RESIDUAL_SWEEP_FLOOR = 0.1
+
+
+def residual_cost_units(
+    plan: LogicalPlan,
+    profile: DocumentProfile,
+    algorithm: str,
+    covered: int,
+    total: int,
+) -> float:
+    """Estimated cost of evaluating ``plan`` when ``covered`` of its
+    ``total`` main-path steps are already materialized as a sorted pre
+    array (the batch-shared step DAG's residual evaluation): the full
+    estimate scaled by the floored residual step share. Degenerate step
+    counts neutralize the scaling rather than extrapolating."""
+    if total <= 0 or covered <= 0 or covered > total:
+        return cost_units(plan, profile, algorithm)
+    fraction = max(RESIDUAL_SWEEP_FLOOR, (total - covered) / total)
+    return cost_units(plan, profile, algorithm) * fraction
+
 
 def name_test_selectivity(plan: LogicalPlan, profile: DocumentProfile) -> float:
     """The indexed-kernel cost term: predicted fraction of ``dom`` the
@@ -355,11 +379,16 @@ class PlanSpecializer:
     callers of one (plan, profile) see one miss and then hits, exactly.
     """
 
-    #: Bound on the specialization memo; enforced by LRU eviction (the
-    #: :class:`~repro.service.cache.PlanCache` pattern: a hit refreshes
-    #: recency, an insert past capacity evicts exactly one LRU entry) —
-    #: a hot steady-state working set survives a burst of one-off
-    #: (plan, profile) pairs instead of being flushed with them.
+    #: Bound on the specialization memo; enforced by *profile-bucketed*
+    #: LRU eviction: entries live in per-profile buckets under one
+    #: global capacity, a hit refreshes recency, and an insert past
+    #: capacity evicts exactly one entry — the globally
+    #: least-recently-used entry *of a largest bucket*. One hot document
+    #: profile churning through thousands of plans can therefore only
+    #: evict its own entries once its bucket is the largest; other
+    #: profiles' specializations survive the burst. When all buckets tie
+    #: (e.g. one entry each) this degenerates to plain global LRU, which
+    #: keeps the eviction order deterministic.
     DEFAULT_MEMO_CAPACITY = 4096
     #: Observations every candidate needs before observed rates replace
     #: the seed constants in a selection.
@@ -382,7 +411,11 @@ class PlanSpecializer:
         self.guarantee_nodes = guarantee_nodes
         self.timings = timings if timings is not None else TimingStats(name="eval")
         self.stats = CacheStats(name="specialize_cache", capacity=self.memo_capacity)
-        self._memo: "OrderedDict[tuple, PhysicalPlan]" = OrderedDict()
+        # Global recency order (key → bucket key) plus per-profile-key
+        # buckets holding the actual entries; see DEFAULT_MEMO_CAPACITY
+        # for the eviction policy the split implements.
+        self._order: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._buckets: dict[tuple, dict[tuple, PhysicalPlan]] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -396,20 +429,41 @@ class PlanSpecializer:
         """The physical plan for (plan, profile, requested algorithm),
         through the memo. Forced names are validated (fragment violations
         raise exactly as in static resolution) and passed through."""
-        key = (plan.cache_key, profile.key, algorithm)
+        bucket_key = profile.key
+        key = (plan.cache_key, bucket_key, algorithm)
         with self._lock:
-            cached = self._memo.get(key)
+            bucket = self._buckets.get(bucket_key)
+            cached = bucket.get(key) if bucket is not None else None
             if cached is not None:
-                self._memo.move_to_end(key)
+                self._order.move_to_end(key)
                 self.stats.hit()
                 return cached
             self.stats.miss()
             physical = self._select(plan, profile, algorithm)
-            while len(self._memo) >= self.memo_capacity:
-                self._memo.popitem(last=False)
-                self.stats.eviction()
-            self._memo[key] = physical
+            while len(self._order) >= self.memo_capacity:
+                self._evict_one()
+            self._buckets.setdefault(bucket_key, {})[key] = physical
+            self._order[key] = bucket_key
             return physical
+
+    def _evict_one(self) -> None:
+        """Evict the globally-LRU entry of a largest profile bucket
+        (caller holds the lock). Scanning the recency order from oldest
+        and taking the first entry whose bucket is maximal makes the
+        choice deterministic and reduces to plain LRU on all-tied
+        buckets."""
+        largest = max(len(bucket) for bucket in self._buckets.values())
+        victim = next(
+            key
+            for key, bucket_key in self._order.items()
+            if len(self._buckets[bucket_key]) == largest
+        )
+        bucket_key = self._order.pop(victim)
+        bucket = self._buckets[bucket_key]
+        del bucket[victim]
+        if not bucket:
+            del self._buckets[bucket_key]
+        self.stats.eviction()
 
     def _select(
         self, plan: LogicalPlan, profile: DocumentProfile, algorithm: str
@@ -515,11 +569,66 @@ class PlanSpecializer:
 
     # ------------------------------------------------------------------
 
+    def specialize_residual(
+        self,
+        plan: LogicalPlan,
+        profile: DocumentProfile,
+        covered: int,
+        total: int,
+    ) -> PhysicalPlan:
+        """Price ``plan`` given an already-materialized step prefix.
+
+        The batch-shared step DAG (:mod:`repro.service.batchplan`) calls
+        this to pick the evaluator for a *residual* evaluation: the
+        first ``covered`` of ``total`` main-path steps are done (a
+        sorted pre array), only the remaining steps run. Candidates are
+        the table evaluators — a residual plan is rooted at a
+        ``ConstantNodeSet`` primary, which is outside Core XPath — with
+        estimates scaled to the residual share of the work
+        (:func:`residual_cost_units`), refined by observed rates, and
+        clamped to OPTMINCONTEXT's Corollary 11 guarantee past the
+        guarantee threshold exactly like a full selection. Not memoized:
+        ``covered`` varies per DAG node and the selection is a handful
+        of float comparisons."""
+        candidates = ("mincontext", "optmincontext")
+        estimates = tuple(
+            (name, residual_cost_units(plan, profile, name, covered, total))
+            for name in candidates
+        )
+        scaled = self._apply_observed_rates(estimates)
+        chosen = min(scaled, key=lambda pair: pair[1])[0]
+        clamped = False
+        reasons = [
+            f"residual {max(0, total - covered)}/{total} step(s) past a "
+            "materialized prefix",
+            f"|dom|={profile.total_nodes}",
+        ]
+        if profile.total_nodes > self.guarantee_nodes and chosen != "optmincontext":
+            chosen, clamped = "optmincontext", True
+            reasons.append(
+                f"guarantee clamp: |dom| > {self.guarantee_nodes} "
+                "→ Corollary 11 bounds"
+            )
+        if scaled is not estimates:
+            reasons.append("estimates scaled by observed per-algorithm rates")
+        return PhysicalPlan(
+            logical=plan,
+            profile=profile,
+            algorithm=chosen,
+            requested="auto",
+            estimates=scaled,
+            clamped=clamped,
+            rationale="; ".join(reasons),
+        )
+
+    # ------------------------------------------------------------------
+
     def clear(self) -> None:
         """Drop memoized specializations (statistics are retained)."""
         with self._lock:
-            self._memo.clear()
+            self._order.clear()
+            self._buckets.clear()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._memo)
+            return len(self._order)

@@ -290,6 +290,156 @@ class KernelStats:
 axis_kernel_stats = KernelStats()
 
 
+@dataclass
+class BatchPlanStats:
+    """Exact accounting for one batch-shared step DAG
+    (:mod:`repro.service.batchplan`).
+
+    One instance per :meth:`~repro.service.QueryService.evaluate_many`
+    call with sharing on, so the counters need no delta arithmetic. The
+    same exactness contract as :class:`CacheStats` holds, with two
+    reconciliation identities the tests and the EXP-MQO counter gate
+    assert literally:
+
+    * ``cells == memo_hits + shared_evaluations + fallback_cells`` —
+      every shared (plan, document) cell is either served by the session
+      memo, evaluated as a residual over a materialized prefix, or (on a
+      per-cell error) fell back to an independent evaluation;
+    * ``steps_saved == steps_independent - steps_shared >= 0`` whenever
+      ``fallback_cells == 0`` — prefixes are materialized lazily (only
+      when a consumer actually misses the memo) and each is computed as
+      a residual of its longest materialized proper prefix, so the
+      telescoped prefix work assigned to a miss cell never exceeds the
+      steps independent evaluation would have spent on that cell.
+      Sharing only ever removes work.
+
+    ``steps_independent`` counts, for each shared evaluation, the
+    location steps an independent evaluation of that cell would have
+    applied; ``steps_shared`` counts the residual steps actually applied
+    plus every materialized-prefix step (each prefix computed at most
+    once per document, through the memo). Plan-level fields
+    (``sharable_plans``/``shared_plans``/``independent_plans``/
+    ``prefix_nodes``) describe the DAG built for the batch; merged
+    sharded snapshots sum them across shards.
+    """
+
+    name: str = "batch_plan"
+    sharable_plans: int = 0
+    shared_plans: int = 0
+    independent_plans: int = 0
+    prefix_nodes: int = 0
+    cells: int = 0
+    memo_hits: int = 0
+    shared_evaluations: int = 0
+    fallback_cells: int = 0
+    prefix_evaluations: int = 0
+    prefix_memo_hits: int = 0
+    steps_independent: int = 0
+    steps_shared: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def plan_counts(
+        self, sharable: int, shared: int, independent: int, prefixes: int
+    ) -> None:
+        """Record the DAG shape chosen at build time."""
+        with self._lock:
+            self.sharable_plans += sharable
+            self.shared_plans += shared
+            self.independent_plans += independent
+            self.prefix_nodes += prefixes
+
+    def cell(self, amount: int = 1) -> None:
+        with self._lock:
+            self.cells += amount
+        count(f"{self.name}_cells", amount)
+
+    def memo_hit(self, amount: int = 1) -> None:
+        with self._lock:
+            self.memo_hits += amount
+        count(f"{self.name}_memo_hits", amount)
+
+    def shared_evaluation(self, total_steps: int, residual_steps: int) -> None:
+        """One miss cell evaluated as a residual: independent evaluation
+        would have applied ``total_steps``; sharing applied only the
+        ``residual_steps`` past the materialized base prefix."""
+        with self._lock:
+            self.shared_evaluations += 1
+            self.steps_independent += total_steps
+            self.steps_shared += residual_steps
+        count(f"{self.name}_shared_evaluations")
+
+    def fallback(self, amount: int = 1) -> None:
+        with self._lock:
+            self.fallback_cells += amount
+        count(f"{self.name}_fallbacks", amount)
+
+    def prefix_evaluation(self, steps: int) -> None:
+        """One materialized prefix actually computed (memo miss), as a
+        residual of ``steps`` location steps over its parent prefix."""
+        with self._lock:
+            self.prefix_evaluations += 1
+            self.steps_shared += steps
+        count(f"{self.name}_prefix_evaluations")
+
+    def prefix_memo_hit(self, amount: int = 1) -> None:
+        with self._lock:
+            self.prefix_memo_hits += amount
+        count(f"{self.name}_prefix_memo_hits", amount)
+
+    @property
+    def steps_saved(self) -> int:
+        with self._lock:
+            return self.steps_independent - self.steps_shared
+
+    def absorb_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. one shard's batch-plan
+        stats) into this instance; derived fields are recomputed, never
+        summed."""
+        if not snapshot:
+            return
+        with self._lock:
+            for key in (
+                "sharable_plans",
+                "shared_plans",
+                "independent_plans",
+                "prefix_nodes",
+                "cells",
+                "memo_hits",
+                "shared_evaluations",
+                "fallback_cells",
+                "prefix_evaluations",
+                "prefix_memo_hits",
+                "steps_independent",
+                "steps_shared",
+            ):
+                setattr(self, key, getattr(self, key) + snapshot.get(key, 0))
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent point-in-time copy of the counters, including the
+        derived ``steps_saved``."""
+        with self._lock:
+            merged = {
+                "sharable_plans": self.sharable_plans,
+                "shared_plans": self.shared_plans,
+                "independent_plans": self.independent_plans,
+                "prefix_nodes": self.prefix_nodes,
+                "cells": self.cells,
+                "memo_hits": self.memo_hits,
+                "shared_evaluations": self.shared_evaluations,
+                "fallback_cells": self.fallback_cells,
+                "prefix_evaluations": self.prefix_evaluations,
+                "prefix_memo_hits": self.prefix_memo_hits,
+                "steps_independent": self.steps_independent,
+                "steps_shared": self.steps_shared,
+            }
+        merged["steps_saved"] = (
+            merged["steps_independent"] - merged["steps_shared"]
+        )
+        return merged
+
+
 # Active collectors; almost always empty, occasionally one deep.
 _active: list[Stats] = []
 

@@ -226,8 +226,9 @@ def random_full_query(
     ``string-length``, ``normalize-space``, ``concat``, ``translate``),
     the ``id`` pseudo-axis (``id('k')``, ``id(π)``, nested ``id(id(…))``
     — see :func:`_random_id_predicate`), top-level union
-    (``path | path``), and — when ``variables`` is given — ``$v``
-    variable references.
+    (``path | path``), union-of-paths *predicates* whose arms may be
+    absolute (``[π₁ | /π₂]`` — see :func:`_random_union_predicate`), and
+    — when ``variables`` is given — ``$v`` variable references.
 
     ``variables`` is a *mutable* dict the generator both reads and
     writes: the first time a name is drawn, a scalar binding (number or
@@ -320,6 +321,30 @@ def _random_id_predicate(rng: random.Random) -> str:
         return f"id(child::*)/self::{rng.choice(('a', 'b', 'c', 'd', '*'))}"
     return f"id(id('{token}'))"
 
+def _random_union_predicate(rng: random.Random, depth: int) -> str:
+    """A union-of-paths predicate whose arms may be **absolute** location
+    paths (the PR 7 fuzz frontier): ``[π₁ | π₂]`` holds where the union
+    is nonempty, and an absolute arm re-roots at the document node
+    regardless of the context node — existence of something anywhere in
+    the document gates a step mid-path. Union is outside Definition 12's
+    predicate grammar, so these queries are non-Core by classification
+    (the corexpath-aware differential skip handles them), and their
+    plans still carry ``step_keys`` — the main path stays a plain
+    absolute path — so they participate in batch-step sharing with the
+    union evaluated on the residual side."""
+    arms = [
+        _random_core_path(
+            rng, 2, max(0, depth - 1), absolute=rng.random() < 0.55
+        )
+        for _ in range(rng.randint(2, 3))
+    ]
+    union = " | ".join(arms)
+    if rng.random() < 0.35:
+        comparator = rng.choice(("=", ">", "<", ">="))
+        return f"count({union}) {comparator} {rng.randint(0, 3)}"
+    return union
+
+
 #: Variable-name pools for the fuzz grammar, split by the type of scalar
 #: bound to them (so a reference always lands in a matching context).
 _NUMERIC_VARIABLES = ("v", "w", "lim")
@@ -397,7 +422,9 @@ def _random_full_predicate(
         return _random_core_predicate(rng, depth)
     if choice < 0.36:
         return _random_id_predicate(rng)
-    if choice < 0.45:
+    if choice < 0.42:
+        return _random_union_predicate(rng, depth)
+    if choice < 0.48:
         comparator = rng.choice(("=", "!=", "<", ">", "<=", ">="))
         return f"position() {comparator} {rng.randint(1, 4)}"
     if choice < 0.57:

@@ -521,3 +521,93 @@ def test_query_literally_named_store_stays_reachable(capsys):
     code, out, _ = run(capsys, "--xml", "<store><a/></store>", "store")
     assert code == 0
     assert out.strip() == "/store[1]"
+
+
+# ----------------------------------------------------------------------
+# Batch-shared step DAG: plan --explain-batch and batch --share/--no-share
+# ----------------------------------------------------------------------
+
+
+def test_plan_subcommand_explain_batch_prints_the_dag(capsys):
+    code, out, _ = run(
+        capsys, "plan", "--explain-batch", "//b/c", "//b/d", "count(//b)"
+    )
+    assert code == 0
+    assert "batch plan: 3 plan(s), 2 sharable, 2 shared" in out
+    assert "prefix[0]: /descendant-or-self::node()" in out
+    assert "base=prefix[" in out
+    assert "independent (not a sharable absolute location path)" in out
+
+
+def test_plan_subcommand_explain_batch_single_query(capsys):
+    code, out, _ = run(capsys, "plan", "--explain-batch", "//b")
+    assert code == 0
+    assert "batch plan: 1 plan(s)" in out
+    assert "0 materialized prefix(es)" in out
+
+
+def test_plan_subcommand_multiple_queries_require_explain_batch(capsys):
+    code, _, err = run(capsys, "plan", "//b", "//c")
+    assert code == 2
+    assert "multiple queries require --explain-batch" in err
+
+
+def test_plan_subcommand_explain_batch_names_the_bad_query(capsys):
+    code, _, err = run(capsys, "plan", "--explain-batch", "//b", "//c[")
+    assert code == 3
+    assert "'//c['" in err
+
+
+def test_batch_subcommand_stats_report_batch_plan(capsys):
+    code, _, err = run(
+        capsys,
+        "batch",
+        "--xml", XML,
+        "-q", "//b/text()",
+        "-q", "//b",
+        "--stats",
+    )
+    assert code == 0
+    assert "batch plan:" in err
+    assert "prefixes=2" in err
+    assert "shared plans=2/2" in err
+    assert "steps saved=" in err
+
+
+def test_batch_subcommand_no_share_matches_shared_output(capsys):
+    shared = run(capsys, "batch", "--xml", XML, "-q", "//b", "-q", "//b/text()")
+    unshared = run(
+        capsys, "batch", "--xml", XML, "-q", "//b", "-q", "//b/text()",
+        "--no-share",
+    )
+    assert unshared[0] == 0
+    assert unshared[1] == shared[1]
+
+
+def test_batch_subcommand_no_share_stats_omit_batch_plan(capsys):
+    code, _, err = run(
+        capsys, "batch", "--xml", XML, "-q", "//b", "-q", "//b/text()",
+        "--no-share", "--stats",
+    )
+    assert code == 0
+    assert "batch plan:" not in err
+    assert "plan cache:" in err
+
+
+def test_batch_subcommand_forced_algorithm_stats_omit_batch_plan(capsys):
+    code, _, err = run(
+        capsys, "batch", "--xml", XML, "-q", "//b", "-q", "//b/text()",
+        "--algorithm", "mincontext", "--stats",
+    )
+    assert code == 0
+    assert "batch plan:" not in err
+
+
+def test_batch_subcommand_workers_stats_report_merged_batch_plan(capsys):
+    code, _, err = run(
+        capsys, "batch", "--xml", XML, "--xml", "<a><b>30</b></a>",
+        "-q", "//b", "-q", "//b/text()", "--workers", "2", "--stats",
+    )
+    assert code == 0
+    assert "shards:       2" in err
+    assert "batch plan:" in err

@@ -376,3 +376,61 @@ def test_fuzz_is_deterministic():
         return [random_core_query(rng) for _ in range(10)]
 
     assert corpus(SEED) == corpus(SEED)
+
+
+def test_union_arms_inside_predicates_differential():
+    """PR 7's fuzz frontier: predicates holding unions of paths —
+    including *absolute* arms, which re-root at the document root mid-
+    predicate — keep the five-way agreement. These predicates are
+    outside Core XPath (Definition 12 predicates are and/or/not over
+    single paths), which the classification-driven skip must report;
+    the *main* path still carries step_keys, so such plans stay
+    sharable in the batch DAG."""
+    rng = random.Random(SEED + 40)
+    bindings: dict = {}
+    corpus = [random_full_query(rng, variables=bindings) for _ in range(90)]
+
+    def union_predicate_arms(query):
+        return "[" in query and " | /" in query.split("[", 1)[1]
+
+    assert any(union_predicate_arms(query) for query in corpus), (
+        "the grammar must emit union-of-paths predicates with absolute arms"
+    )
+    arm_cases = 0
+    for document in _fixed_documents():
+        engine = XPathEngine(document, variables=bindings)
+        for query in corpus:
+            compiled = _check_differential(engine, query)
+            if union_predicate_arms(query):
+                arm_cases += 1
+                assert not compiled.is_core_xpath, query
+    assert arm_cases > 0
+
+
+def test_batch_sharing_differential():
+    """share=True returns exactly the values of share=False on the full
+    fuzz grammar, with the DAG counters reconciling exactly — the batch
+    layer's own five-way-agreement analogue."""
+    rng = random.Random(SEED + 41)
+    queries = [random_full_query(rng) for _ in range(24)]
+    # Guaranteed-sharing pairs: a syntactic-variant duo (normalizes to
+    # one chain) and a prefix family over the generator's tag pool.
+    queries += [
+        "//a",
+        "/descendant-or-self::node()/child::a",
+        "//a/b",
+        "//a/b/c",
+        "//a/b[position() = last()]",
+    ]
+    documents = [random_document(rng, max_nodes=20) for _ in range(3)]
+    shared = QueryService().evaluate_many(queries, documents)
+    independent = QueryService().evaluate_many(queries, documents, share=False)
+    assert shared.values == independent.values
+    assert independent.batch_plan == {}
+    plan = shared.batch_plan
+    assert plan["shared_plans"] >= 5
+    assert plan["cells"] == (
+        plan["memo_hits"] + plan["shared_evaluations"] + plan["fallback_cells"]
+    )
+    if plan["fallback_cells"] == 0:
+        assert plan["steps_saved"] >= 0
