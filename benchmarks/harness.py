@@ -15,11 +15,27 @@ from __future__ import annotations
 import math
 import pathlib
 import time
+import tracemalloc
 
 from repro import stats
 from repro.engine import XPathEngine
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def measure_peak_memory(fn):
+    """Run ``fn()`` under :mod:`tracemalloc`; returns ``(result,
+    peak_bytes)`` where peak is the high-water mark of Python-level
+    allocations during the call. Tracing slows allocation, so keep this
+    out of wall-clock timing regions; peaks, unlike milliseconds, are
+    deterministic enough to compare across representations."""
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
 
 
 def time_query(engine: XPathEngine, query, algorithm: str, repeat: int = 3) -> float:

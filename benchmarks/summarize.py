@@ -11,6 +11,7 @@ Run after the benchmark suite:
     python benchmarks/summarize.py --axes        # just the fused-kernel gates
     python benchmarks/summarize.py --snapshot    # just the snapshot gates
     python benchmarks/summarize.py --batchplan   # just the multi-query gates
+    python benchmarks/summarize.py --lazy        # just the lazy-decode gates
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ ORDER = [
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
     "exp_svc", "exp_shard", "exp_mqo", "exp_async", "exp_spec", "exp_axis", "exp_snap",
+    "exp_lazy",
 ]
 
 
@@ -126,6 +128,20 @@ def batchplan_lines() -> list[str]:
     ]
 
 
+def lazy_lines() -> list[str]:
+    """The gate, cold-start, peak-memory, and counter lines from the
+    EXP-LAZY report (written by bench_lazy.py)."""
+    path = RESULTS_DIR / "exp_lazy.txt"
+    if not path.exists():
+        return []
+    markers = ("gate:", "decode (", "peak memory", "counters:", "workload:")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -162,6 +178,12 @@ def main(argv: list[str] | None = None) -> None:
         "--batchplan",
         action="store_true",
         help="print only the multi-query sharing gates and speedup (EXP-MQO)",
+    )
+    parser.add_argument(
+        "--lazy",
+        action="store_true",
+        help="print only the lazy-decode gates, peak memory, and cold-start "
+        "speedup (EXP-LAZY)",
     )
     args = parser.parse_args(argv)
     if args.plan_cache:
@@ -223,6 +245,15 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(
                 "no multi-query results yet — run: "
                 "python benchmarks/bench_batchplan.py"
+            )
+        print("\n".join(lines))
+        return
+    if args.lazy:
+        lines = lazy_lines()
+        if not lines:
+            raise SystemExit(
+                "no lazy-decode results yet — run: "
+                "python benchmarks/bench_lazy.py"
             )
         print("\n".join(lines))
         return

@@ -63,7 +63,7 @@ from typing import Iterable, Iterator
 from repro import stats
 from repro.axes.order import FORWARD_AXES, REVERSE_AXES, is_forward_axis
 from repro.xml.document import Document, Node, NodeKind
-from repro.xml.index import merge_union, node_index
+from repro.xml.index import merge_intersection, merge_union, node_index
 from repro.xpath.ast import NodeTest
 
 #: Every axis this library supports. ``id`` is the pseudo-axis of
@@ -541,13 +541,25 @@ def axis_test_pres(
 ) -> list[int]:
     """``χ(X) ∩ T(t)`` over sorted pre-order int arrays (document order
     in, document order out) — the form the sorted-array sweeps of
-    :mod:`repro.core.corexpath` thread through whole queries."""
+    :mod:`repro.core.corexpath` thread through whole queries.
+
+    Interval axes ride :func:`_interval_axis_pres`; the pointer axes
+    (self/child/parent/attribute) ride :func:`_pointer_axis_pres`, so
+    every Core XPath step stays in the pre plane (on a lazy column
+    document, no node is materialized). Sibling steps and ``id`` box
+    their origins and run the fused enumerations as before."""
     mode = _kernel_mode
-    if mode != "scan" and axis in INTERVAL_AXES:
-        out = _interval_axis_pres(document, axis, pres, test, mode == "indexed")
-        if out is not None:
-            stats.axis_kernel_stats.fused()
-            return out
+    if mode != "scan":
+        if axis in INTERVAL_AXES:
+            out = _interval_axis_pres(document, axis, pres, test, mode == "indexed")
+            if out is not None:
+                stats.axis_kernel_stats.fused()
+                return out
+        else:
+            out = _pointer_axis_pres(document, axis, pres, test)
+            if out is not None:
+                stats.axis_kernel_stats.fused()
+                return out
     nodes = document.nodes
     X = [nodes[p] for p in pres]
     if mode != "scan" and axis not in INTERVAL_AXES:
@@ -581,10 +593,21 @@ def fused_inverse_axis_set(
 def inverse_axis_test_pres(
     document: Document, axis: str, pres: list[int]
 ) -> list[int]:
-    """``χ⁻¹(Y)`` over sorted pre-order int arrays."""
+    """``χ⁻¹(Y)`` over sorted pre-order int arrays.
+
+    Interval axes ride :func:`_inverse_interval_pres`; the pointer axes
+    (self/child/parent/attribute, plus the descendant inverses — i.e.
+    ancestor chains) ride :func:`_inverse_pointer_pres` — parent-column
+    gathers and interval child hops, so the backward predicate sweeps of
+    :mod:`repro.core.corexpath` stay entirely in the pre plane (on a
+    lazy column document, no node is materialized). The sibling and
+    ``id`` inverses fall back to the boxed Definition-1 forms."""
     mode = _kernel_mode
-    if mode != "scan" and axis in INVERSE_INTERVAL_AXES:
-        out = _inverse_interval_pres(document, axis, pres, mode == "indexed")
+    if mode != "scan":
+        if axis in INVERSE_INTERVAL_AXES:
+            out = _inverse_interval_pres(document, axis, pres, mode == "indexed")
+        else:
+            out = _inverse_pointer_pres(document, axis, pres)
         if out is not None:
             stats.axis_kernel_stats.fused()
             return out
@@ -616,10 +639,12 @@ def _interval_axis_pres(
     if axis == "following":
         # One suffix of the partition: every partition member at or past
         # the earliest subtree end is a following of that context node.
+        # The slice stays a zero-copy view of the packed partition (a
+        # list copy only in the packed=False reference form): callers
+        # bisect/iterate/merge pre arrays, never mutate them, so there
+        # is no reason to materialize the partition tail.
         cutoff = min(p + size[p] for p in pres)
-        # list() — the partition may be a packed memoryview slice, and
-        # callers get a plain sorted list either way.
-        return list(partition[bisect_left(partition, cutoff):])
+        return partition[bisect_left(partition, cutoff):]
     if axis == "preceding":
         # One prefix, minus the ≤ depth ancestors of the cutoff node
         # (the only prefix members whose subtree is still open there).
@@ -654,11 +679,142 @@ def _interval_axis_pres(
         result.extend(partition[lo_idx:hi_idx])
     if include_self and test.kind == "node":
         # Attribute context nodes match node() but live in no partition
-        # the interval query reads; or-self must still return them.
-        nodes = document.nodes
-        attribute_selves = [p for p in pres if nodes[p].is_attribute]
+        # the interval query reads; or-self must still return them. The
+        # membership test is a bisect into the attribute partition — a
+        # lazy column document must not materialize nodes here.
+        attributes = index.attributes
+        attribute_selves = [p for p in pres if _sorted_contains(attributes, p)]
         if attribute_selves:
             result = merge_union(result, attribute_selves)
+    return result
+
+
+def _sorted_contains(partition, pre: int) -> bool:
+    """Membership in a sorted pre array (packed memoryview or list)."""
+    i = bisect_left(partition, pre)
+    return i < len(partition) and partition[i] == pre
+
+
+def _pointer_axis_pres(
+    document: Document, axis: str, pres: list[int], test: NodeTest
+) -> list[int] | None:
+    """Column-plane ``χ(X) ∩ T(t)`` for the pointer axes, or ``None``
+    for axes without a columnar form (siblings, ``id``).
+
+    Candidates come from parent-column gathers (``parent``), attribute
+    runs (``attribute`` — contiguity: attribute ``a`` of element ``p``
+    satisfies ``parent_pre[a] == p`` and sits right after ``p``), or
+    sibling hops ``child += size[child]`` across the subtree interval
+    (``child``); the node test is then one sorted-merge intersection
+    with the matching partition. Output-sensitive, no boxed nodes.
+    """
+    if axis == "self":
+        candidates = pres
+    elif axis == "parent":
+        parent_pre = node_index(document).parent_pre
+        candidates = sorted({parent_pre[p] for p in pres if p != 0})
+    elif axis == "attribute":
+        index = node_index(document)
+        attributes = index.attributes
+        parent_pre = index.parent_pre
+        total = index.total
+        candidates = []
+        for p in pres:
+            a = p + 1
+            while (
+                a < total
+                and parent_pre[a] == p
+                and _sorted_contains(attributes, a)
+            ):
+                candidates.append(a)
+                a += 1
+    elif axis == "child":
+        index = node_index(document)
+        attributes = index.attributes
+        size = index.size
+        candidates = []
+        for p in pres:
+            end = p + size[p]
+            child = p + 1
+            while child < end and _sorted_contains(attributes, child):
+                child += 1  # skip the origin's attribute run
+            while child < end:
+                candidates.append(child)
+                child += size[child]
+        candidates.sort()  # runs of nested origins interleave in pre order
+    else:
+        return None
+    partition = node_index(document).filter_partition(
+        test, attribute_principal=axis in AXIS_PRINCIPAL_ATTRIBUTE
+    )
+    if partition is None:  # node() matches every kind
+        return list(candidates)
+    return merge_intersection(candidates, partition)
+
+
+def _inverse_pointer_pres(
+    document: Document, axis: str, pres: list[int]
+) -> list[int] | None:
+    """Column-plane inverses for the pointer axes, or ``None`` for axes
+    that have no columnar form (sibling inverses, ``id``).
+
+    ``self⁻¹`` is the identity; ``child⁻¹``/``attribute⁻¹`` are parent-
+    column gathers (children of Y's members never duplicate, attributes
+    are nobody's child and filtered by a bisect into the attribute
+    partition); ``parent⁻¹`` — children plus attributes of Y — is the
+    per-member run ``pre+1, +size, ...`` to the subtree's first grand-
+    child boundary, i.e. every node whose ``parent_pre`` lands in Y.
+    All output-sensitive, none touches a boxed node.
+    """
+    if axis == "self":
+        return list(pres)
+    if axis not in ("child", "parent", "attribute", "descendant", "descendant-or-self"):
+        return None
+    index = node_index(document)
+    if axis in ("descendant", "descendant-or-self"):
+        # descendant⁻¹ = strict ancestors of Y's non-attribute members
+        # (attributes are nobody's descendant); or-self adds Y itself.
+        # Parent-column hops with a seen-set: each ancestor chain stops
+        # at the first node another chain already claimed, so the union
+        # costs its own size, not chains × depth.
+        attributes = index.attributes
+        parent_pre = index.parent_pre
+        seen: set[int] = set()
+        for p in pres:
+            if _sorted_contains(attributes, p):
+                continue
+            ancestor = parent_pre[p]
+            while ancestor >= 0 and ancestor not in seen:
+                seen.add(ancestor)
+                ancestor = parent_pre[ancestor]
+        if axis == "descendant-or-self":
+            seen.update(pres)
+        return sorted(seen)
+    if axis == "child":
+        attributes = index.attributes
+        parent_pre = index.parent_pre
+        return sorted(
+            {
+                parent_pre[p]
+                for p in pres
+                if p != 0 and not _sorted_contains(attributes, p)
+            }
+        )
+    if axis == "attribute":
+        attributes = index.attributes
+        parent_pre = index.parent_pre
+        return sorted(
+            {parent_pre[p] for p in pres if _sorted_contains(attributes, p)}
+        )
+    size = index.size
+    result: list[int] = []
+    for p in pres:
+        end = p + size[p]
+        child = p + 1
+        while child < end:
+            result.append(child)
+            child += size[child]
+    result.sort()  # runs of nested origins interleave in pre order
     return result
 
 
@@ -671,14 +827,16 @@ def _inverse_interval_pres(
         return []
     index = node_index(document)
     size = index.size
-    nodes = document.nodes
+    attributes = index.attributes
     if axis == "following":
         # following(x) ∩ Y ≠ ∅ ⟺ x's subtree ends at or before the
         # latest non-attribute member of Y: every pre below the cutoff
-        # except the cutoff node's (still-open) ancestors.
+        # except the cutoff node's (still-open) ancestors. Attribute
+        # membership is a bisect into the attribute partition, never a
+        # node touch (a lazy column document must stay lazy here).
         cutoff = None
         for p in pres:
-            if not nodes[p].is_attribute:
+            if not _sorted_contains(attributes, p):
                 cutoff = p  # pres ascend: the last non-attribute wins
         if cutoff is None:
             return []
@@ -689,7 +847,9 @@ def _inverse_interval_pres(
         cutoff = None
         for p in pres:
             end = p + size[p]
-            if not nodes[p].is_attribute and (cutoff is None or end < cutoff):
+            if not _sorted_contains(attributes, p) and (
+                cutoff is None or end < cutoff
+            ):
                 cutoff = end
         if cutoff is None:
             return []

@@ -398,6 +398,22 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="with --snapshot-store: load only this named document "
         "(repeatable; default: every document in the store)",
     )
+    lazy_group = parser.add_mutually_exclusive_group()
+    lazy_group.add_argument(
+        "--lazy",
+        dest="lazy",
+        action="store_true",
+        default=True,
+        help="with --snapshot-store: decode documents column-only and "
+        "materialize Node objects per result (default)",
+    )
+    lazy_group.add_argument(
+        "--eager",
+        dest="lazy",
+        action="store_false",
+        help="with --snapshot-store: rebuild the full boxed node tree at "
+        "load time (the pre-lazy behavior)",
+    )
     parser.add_argument(
         "--algorithm",
         "-a",
@@ -624,7 +640,7 @@ def batch_main(argv: list[str]) -> int:
             store = DocumentStore(args.snapshot_store)
             names = args.doc if args.doc else store.names()
             for name in names:
-                documents.append(store.load(name))
+                documents.append(store.load(name, lazy=args.lazy))
                 labels.append(f"store:{name}")
         except ReproError as error:
             return _fail(str(error), error_exit_code(error))
@@ -697,6 +713,12 @@ def batch_main(argv: list[str]) -> int:
                 f"fallback scans={kernel_stats['fallback_scans']}",
                 file=sys.stderr,
             )
+            print(
+                "lazy decode:  "
+                f"lazy documents={kernel_stats['lazy_documents']} "
+                f"nodes materialized={kernel_stats['nodes_materialized']}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -716,8 +738,9 @@ def build_store_parser() -> argparse.ArgumentParser:
         "action",
         choices=("snapshot", "list", "migrate"),
         help="snapshot: parse a document and persist it; list: print the "
-        "catalog (name and storage format per document); migrate: rewrite "
-        "legacy v1 inline entries as v2 snapshot sidecars",
+        "catalog (name, storage format, node count, and bytes on disk vs "
+        "decoded column bytes per document); migrate: rewrite legacy v1 "
+        "inline entries as v2 snapshot sidecars",
     )
     parser.add_argument(
         "--store",
@@ -778,7 +801,12 @@ def store_main(argv: list[str]) -> int:
                     if entry.get("format") == 2
                     else "legacy v1 inline"
                 )
-                print(f"{name}\t{kind}")
+                sizes = store.column_sizes(name)
+                print(
+                    f"{name}\t{kind}\tnodes={sizes['nodes']}\t"
+                    f"disk={sizes['disk_bytes']}B\t"
+                    f"columns={sizes['column_bytes']}B"
+                )
         except ReproError as error:
             return _fail(str(error), error_exit_code(error))
         return EXIT_OK

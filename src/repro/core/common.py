@@ -4,6 +4,13 @@ Node-test matching (the paper's ``T`` function generalized to node
 kinds), per-step candidate enumeration, and the generic application of an
 operator node ``Op(e1, ..., ek)`` to already-evaluated child values —
 Figure 1's ``F[[Op]]`` dispatched over the AST.
+
+The step primitives here take and return boxed nodes (the per-context
+algorithms rank candidates by proximity position), so on a lazy column
+document (:mod:`repro.xml.columns`) they materialize exactly the
+candidate sets they enumerate — the graceful eager fallback for the
+evaluators that never went columnar; the pres-threading fast path lives
+in :mod:`repro.core.corexpath`.
 """
 
 from __future__ import annotations

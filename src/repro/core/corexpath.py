@@ -28,6 +28,15 @@ unconditionally (the fallback guarantee lives in that dispatch; see
 :mod:`repro.axes`). OPTMINCONTEXT routes whole-query Core XPath here;
 benchmark EXP-T13 verifies the linear scaling, EXP-AXIS the
 output-sensitive fast path.
+
+Because pres thread end-to-end — context in, merges through, pres out —
+the only place this evaluator touches a boxed ``Node`` in non-scan mode
+is the final ``nodes[pre]`` materialization of the *result*. On a
+column-only document (:class:`repro.xml.columns.ColumnDocument`,
+``decode_snapshot(lazy=True)``) that means a whole Core XPath query
+costs O(output) node objects; the scan-mode and non-Core paths iterate
+``document.nodes`` and simply materialize what they touch — the eager
+fallback, byte-identical either way.
 """
 
 from __future__ import annotations

@@ -218,7 +218,7 @@ class TimingStats:
 class KernelStats:
     """Exact accounting for the output-sensitive axis kernels.
 
-    Four counters, each updated under the instance lock (the same
+    Six counters, each updated under the instance lock (the same
     exactness contract as :class:`CacheStats` — the thread-safety hammer
     asserts them with ``==``):
 
@@ -233,7 +233,13 @@ class KernelStats:
       output-sensitive kernel;
     * ``fallback_scans`` — dispatches that ran the paper's ``O(|D|)``
       Definition-1 scan instead (predicted output too large, or scan
-      mode forced).
+      mode forced);
+    * ``lazy_documents`` — column-only documents constructed by the lazy
+      snapshot decode path (:class:`repro.xml.columns.ColumnDocument`);
+    * ``nodes_materialized`` — boxed ``Node`` objects actually built on
+      those documents, each pre counted exactly once ever (the
+      materialization runs under the per-document lock). A lazy batch's
+      delta is the O(output) the column path promises.
 
     Every fused/fallback event is exactly one dispatched call, so
     ``fused_hits + fallback_scans`` equals the number of fused-dispatch
@@ -248,6 +254,8 @@ class KernelStats:
     index_adoptions: int = 0
     fused_hits: int = 0
     fallback_scans: int = 0
+    lazy_documents: int = 0
+    nodes_materialized: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -272,6 +280,16 @@ class KernelStats:
             self.fallback_scans += amount
         count("axis_fallback_scans", amount)
 
+    def lazy_document(self, amount: int = 1) -> None:
+        with self._lock:
+            self.lazy_documents += amount
+        count("axis_lazy_documents", amount)
+
+    def node_materialized(self, amount: int = 1) -> None:
+        with self._lock:
+            self.nodes_materialized += amount
+        count("axis_nodes_materialized", amount)
+
     def snapshot(self) -> dict[str, int]:
         """A consistent point-in-time copy of the counters."""
         with self._lock:
@@ -280,6 +298,8 @@ class KernelStats:
                 "index_adoptions": self.index_adoptions,
                 "fused_hits": self.fused_hits,
                 "fallback_scans": self.fallback_scans,
+                "lazy_documents": self.lazy_documents,
+                "nodes_materialized": self.nodes_materialized,
             }
 
 

@@ -4,8 +4,42 @@ This package implements the data model of Section 2.1 of the paper: an
 unranked, ordered, labeled tree ``dom`` with document order, string values,
 and the ``id``/``deref_ids`` machinery. Nothing here depends on external
 XML libraries; the parser is a self-contained well-formedness checker.
+
+One logical document has **three physical representations**, each the
+cheapest form for its consumer:
+
+* **Boxed tree** (:mod:`repro.xml.document`) — linked ``Node`` objects
+  with parent/children/attribute references. The universal form: the
+  parser and builder produce it, the per-context evaluators walk it, the
+  serializer reads it. Everything works here; nothing is fastest here.
+* **Packed index** (:mod:`repro.xml.index`) — derived flat columns
+  (``size``/``post``/``depth``/``parent_pre`` as memoryviews over
+  ``array('q')`` storage) plus name/kind partitions as sorted pre
+  arrays, built at most once per document and weak-cached process-wide.
+  The fused axis kernels and the Core XPath sweeps compute entirely in
+  this plane; the binary snapshot format (:mod:`repro.xml.snapshot`)
+  persists exactly these columns.
+* **Column-only** (:mod:`repro.xml.columns`) — a
+  :class:`~repro.xml.columns.ColumnDocument` holds *just* the snapshot
+  columns: ``decode_snapshot(blob, lazy=True)`` builds no ``Node``
+  objects at all, and boxed nodes are materialized per pre, on demand,
+  memoized (counted exactly as ``nodes_materialized`` on
+  :data:`repro.stats.axis_kernel_stats`). String values, attribute
+  lookup, id maps, and shape statistics are answered straight from the
+  columns.
+
+Which path runs when: parsing XML always yields the boxed tree, and any
+evaluation over it attaches the packed index on first use. Snapshot
+loads choose per call site — process-backend shard workers and
+``repro-xpath batch --snapshot-store`` decode column-only by default
+(``--eager`` restores the tree build), :meth:`DocumentStore.load` stays
+eager unless asked (``lazy=True``). Results are byte-identical in every
+combination: a construct the column accessors don't cover just
+materializes the nodes it touches — the lazy path only ever removes
+work.
 """
 
+from repro.xml.columns import ColumnDocument, DocumentColumns, LazyNode
 from repro.xml.document import Document, Node, NodeKind
 from repro.xml.index import (
     NodeIndex,
@@ -18,13 +52,20 @@ from repro.xml.index import (
 from repro.xml.parser import parse_document, parse_fragment
 from repro.xml.builder import DocumentBuilder, element, text
 from repro.xml.serializer import serialize, serialize_node
-from repro.xml.snapshot import decode_snapshot, encode_snapshot
+from repro.xml.snapshot import (
+    decode_snapshot,
+    encode_snapshot,
+    snapshot_column_sizes,
+)
 from repro.xml.store import DocumentStore, DocumentStoreError
 
 __all__ = [
+    "ColumnDocument",
     "Document",
+    "DocumentColumns",
     "DocumentStore",
     "DocumentStoreError",
+    "LazyNode",
     "Node",
     "NodeIndex",
     "NodeKind",
@@ -37,6 +78,7 @@ __all__ = [
     "node_index",
     "parse_document",
     "parse_fragment",
+    "snapshot_column_sizes",
     "DocumentBuilder",
     "element",
     "text",

@@ -1,0 +1,473 @@
+"""Column-native lazy documents: the third document representation.
+
+A :class:`ColumnDocument` is a finalized document whose *only* storage is
+the flat snapshot columns — one kind-code byte, four signed-8-byte ints
+(``parent_pre`` / ``size`` / ``post`` / ``depth``), and the two string
+columns per node. No :class:`~repro.xml.document.Node` objects exist
+after decode: the fused axis kernels (:mod:`repro.axes.axes`) and the
+Core XPath evaluator thread sorted pre arrays end-to-end, and a boxed
+``Node`` is materialized **on demand, per pre, memoized** only when a
+caller actually touches one — a result node, or a non-columnar full-XPath
+residual (``id()`` token maps, serialization). Everything predicates need
+is answered straight from the columns:
+
+* **name/kind tests** — already columnar via the
+  :class:`~repro.xml.index.NodeIndex` partitions;
+* **string values** — :meth:`ColumnDocument.string_value_of_pre` cuts the
+  subtree's text out of a memoized per-document *text prefix structure*
+  (sorted text-node pres + cumulative offsets into one joined string), an
+  ``O(log #texts)`` bisect per call instead of a subtree walk;
+* **attribute lookup** — the snapshot validator's attribute-contiguity
+  invariant (attribute ``i`` of element ``e`` sits at
+  ``e + seen_attrs + 1``) makes the attribute run of an element a closed
+  pre interval;
+* **id maps** — built lazily from the ``by_attribute[id_attribute]``
+  partition, first id-named attribute per element, first element per key.
+
+Materialization is the graceful eager fallback: any construct the column
+accessors do not cover simply touches ``document.nodes[pre]`` and gets a
+correct, memoized :class:`LazyNode` — the lazy path only ever *removes*
+work, never changes a result. ``nodes_materialized`` /
+``lazy_documents`` on :data:`repro.stats.axis_kernel_stats` count both
+sides of that bargain exactly (each pre is counted once, ever, under the
+per-document materialization lock).
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from bisect import bisect_left
+
+from repro.stats import axis_kernel_stats
+from repro.xml.document import Document, Node, NodeKind
+
+__all__ = ["ColumnDocument", "DocumentColumns", "LazyNode", "LazyNodeList"]
+
+#: Snapshot kind-code bytes (the on-disk v2 codes; see repro.xml.snapshot).
+KIND_CODES = {
+    NodeKind.DOCUMENT: ord("D"),
+    NodeKind.ELEMENT: ord("E"),
+    NodeKind.ATTRIBUTE: ord("A"),
+    NodeKind.TEXT: ord("T"),
+    NodeKind.COMMENT: ord("C"),
+    NodeKind.PROCESSING_INSTRUCTION: ord("P"),
+}
+CODE_KINDS = {code: kind for kind, code in KIND_CODES.items()}
+
+_DOC = KIND_CODES[NodeKind.DOCUMENT]
+_ELEM = KIND_CODES[NodeKind.ELEMENT]
+_ATTR = KIND_CODES[NodeKind.ATTRIBUTE]
+_TEXT = KIND_CODES[NodeKind.TEXT]
+
+
+class DocumentColumns:
+    """The flat columns of one finalized document (read-only).
+
+    Exactly the payload of a v2 snapshot after validation: ``kinds`` is a
+    ``bytes`` of kind codes, the four int columns are ``array('q')`` (or
+    any int buffer), ``names`` / ``values`` are lists of ``str | None``.
+    The int columns are shared zero-copy with the document's
+    :class:`~repro.xml.index.NodeIndex`.
+    """
+
+    __slots__ = ("kinds", "parent_pre", "size", "post", "depth", "names", "values")
+
+    def __init__(self, *, kinds, parent_pre, size, post, depth, names, values):
+        self.kinds = kinds
+        self.parent_pre = parent_pre
+        self.size = size
+        self.post = post
+        self.depth = depth
+        self.names = names
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @classmethod
+    def from_document(cls, document: Document) -> "DocumentColumns":
+        """Columns of an eager document (test/benchmark constructor)."""
+        from repro.xml.index import node_index
+
+        index = node_index(document)
+        nodes = document.nodes
+        return cls(
+            kinds=bytes(KIND_CODES[node.kind] for node in nodes),
+            parent_pre=array("q", index.parent_pre),
+            size=array("q", index.size),
+            post=array("q", index.post),
+            depth=array("q", index.depth),
+            names=[node.name for node in nodes],
+            values=[node.value for node in nodes],
+        )
+
+
+# Captured slot descriptors of Node: LazyNode shadows these names with
+# properties, but the underlying per-instance slot storage still exists
+# (allocated by Node.__slots__) and is reachable only through the
+# descriptors. An unset slot raises AttributeError on __get__ — that *is*
+# the memo sentinel, no extra flag needed.
+_PARENT = Node.parent
+_CHILDREN = Node.children
+_ATTRIBUTES = Node.attributes
+_CHILD_INDEX = Node.child_index
+_STRING_VALUE = Node._string_value
+
+
+class LazyNode(Node):
+    """A :class:`~repro.xml.document.Node` whose links are cut from the
+    columns on first access.
+
+    ``document`` / ``kind`` / ``name`` / ``value`` / ``pre`` / ``size``
+    are filled at materialization; ``parent`` / ``children`` /
+    ``attributes`` / ``child_index`` / ``string_value`` are computed
+    lazily and memoized in the inherited slots, so a result node costs
+    O(1) objects until a caller actually walks from it.
+    """
+
+    __slots__ = ()
+
+    @property
+    def parent(self):
+        try:
+            return _PARENT.__get__(self)
+        except AttributeError:
+            pass
+        parent_pre = self.document.columns.parent_pre[self.pre]
+        parent = None if parent_pre < 0 else self.document.node_at(parent_pre)
+        _PARENT.__set__(self, parent)
+        return parent
+
+    @property
+    def children(self):
+        try:
+            return _CHILDREN.__get__(self)
+        except AttributeError:
+            pass
+        document = self.document
+        children = [document.node_at(p) for p in document.child_pres(self.pre)]
+        _CHILDREN.__set__(self, children)
+        return children
+
+    @property
+    def attributes(self):
+        try:
+            return _ATTRIBUTES.__get__(self)
+        except AttributeError:
+            pass
+        document = self.document
+        attributes = [document.node_at(p) for p in document.attribute_pres(self.pre)]
+        _ATTRIBUTES.__set__(self, attributes)
+        return attributes
+
+    @property
+    def child_index(self):
+        try:
+            return _CHILD_INDEX.__get__(self)
+        except AttributeError:
+            pass
+        index = self.document.child_index_of(self.pre)
+        _CHILD_INDEX.__set__(self, index)
+        return index
+
+    @property
+    def string_value(self):
+        try:
+            return _STRING_VALUE.__get__(self)
+        except AttributeError:
+            pass
+        if self.kind is NodeKind.DOCUMENT or self.kind is NodeKind.ELEMENT:
+            text = self.document.string_value_of_pre(self.pre)
+        else:
+            text = self.value or ""
+        _STRING_VALUE.__set__(self, text)
+        return text
+
+    def attribute(self, name: str) -> "Node | None":
+        pre = self.document.attribute_pre_of(self.pre, name)
+        return None if pre is None else self.document.node_at(pre)
+
+    def attribute_value(self, name: str, default: str | None = None) -> str | None:
+        pre = self.document.attribute_pre_of(self.pre, name)
+        if pre is None:
+            return default
+        return self.document.columns.values[pre]
+
+
+class LazyNodeList:
+    """``document.nodes`` of a column document: a sequence view that
+    materializes on indexing/iteration and allocates nothing up front.
+
+    Supports exactly what the evaluators use on the eager list —
+    ``len``, int and slice indexing (slices return plain lists),
+    iteration, and ``reversed``.
+    """
+
+    __slots__ = ("_document",)
+
+    def __init__(self, document: "ColumnDocument"):
+        self._document = document
+
+    def __len__(self) -> int:
+        return len(self._document.columns)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            node_at = self._document.node_at
+            return [node_at(p) for p in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        return self._document.node_at(index)
+
+    def __iter__(self):
+        node_at = self._document.node_at
+        for pre in range(len(self)):
+            yield node_at(pre)
+
+    def __reversed__(self):
+        node_at = self._document.node_at
+        for pre in reversed(range(len(self))):
+            yield node_at(pre)
+
+    def __contains__(self, item) -> bool:
+        return (
+            isinstance(item, Node)
+            and item.document is self._document
+            and 0 <= item.pre < len(self)
+            and self._document.node_at(item.pre) is item
+        )
+
+
+class ColumnDocument(Document):
+    """A finalized document living entirely in flat columns.
+
+    Constructed by ``decode_snapshot(blob, lazy=True)``; already frozen
+    (snapshots only exist for finalized documents), with ``nodes`` a
+    :class:`LazyNodeList` and ``root`` / ``root_element`` materialized on
+    first touch. The decoder attaches the adopted
+    :class:`~repro.xml.index.NodeIndex` as ``_index`` (a strong
+    reference: the index's own document link is weak, so this closes the
+    lifecycle loop without a leak — document keeps index alive, index
+    does not pin document).
+    """
+
+    def __init__(self, columns: DocumentColumns, id_attribute: str = "id"):
+        # Deliberately *not* Document.__init__: that would build a boxed
+        # document node and an eager nodes list — the exact work this
+        # representation exists to skip.
+        self.id_attribute = id_attribute
+        self.columns = columns
+        self.nodes = LazyNodeList(self)
+        self._finalized = True
+        self._id_map = None
+        self._id_tokens = None
+        self._index = None
+        self._cache: list[Node | None] = [None] * len(columns)
+        self._materialize_lock = threading.Lock()
+        self._text_structure_cache = None
+        self._root_element_pre = self._find_root_element_pre()
+        axis_kernel_stats.lazy_document()
+
+    def _find_root_element_pre(self) -> int | None:
+        """Pre of the single element child of the document node, if any
+        (the finalize() rule) — O(#top-level children) span hops."""
+        columns = self.columns
+        kinds, size = columns.kinds, columns.size
+        total = len(columns)
+        element_pre = None
+        count = 0
+        child = 1  # the document node carries no attributes
+        while child < total:
+            if kinds[child] == _ELEM:
+                count += 1
+                element_pre = child
+            child += size[child]
+        return element_pre if count == 1 else None
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Node:
+        return self.node_at(0)
+
+    @property
+    def root_element(self) -> Node | None:
+        pre = self._root_element_pre
+        return None if pre is None else self.node_at(pre)
+
+    def node_at(self, pre: int) -> Node:
+        """The boxed node for ``pre``, materialized at most once ever."""
+        if pre < 0:
+            raise IndexError(pre)
+        node = self._cache[pre]
+        if node is not None:
+            return node
+        return self._materialize(pre)
+
+    def _materialize(self, pre: int) -> Node:
+        with self._materialize_lock:
+            node = self._cache[pre]
+            if node is not None:  # lost the race — the winner's node is it
+                return node
+            columns = self.columns
+            node = LazyNode.__new__(LazyNode)
+            node.document = self
+            node.kind = CODE_KINDS[columns.kinds[pre]]
+            node.name = columns.names[pre]
+            node.value = columns.values[pre]
+            node.pre = pre
+            node.size = columns.size[pre]
+            if pre == 0:
+                _PARENT.__set__(node, None)
+            if pre == 0 or node.kind is NodeKind.ATTRIBUTE:
+                _CHILD_INDEX.__set__(node, None)
+            self._cache[pre] = node
+            axis_kernel_stats.node_materialized()
+            return node
+
+    def materialized_count(self) -> int:
+        """How many pres have boxed nodes (counter-reconciliation hook)."""
+        return sum(1 for node in self._cache if node is not None)
+
+    # ------------------------------------------------------------------
+    # Column accessors (what predicates need, without nodes)
+    # ------------------------------------------------------------------
+
+    def attribute_pres(self, pre: int) -> range:
+        """The contiguous attribute run of element ``pre`` (maybe empty)."""
+        columns = self.columns
+        kinds = columns.kinds
+        if kinds[pre] != _ELEM:
+            return range(0)
+        start = pre + 1
+        end = pre + columns.size[pre]
+        stop = start
+        while stop < end and kinds[stop] == _ATTR:
+            stop += 1
+        return range(start, stop)
+
+    def attribute_pre_of(self, pre: int, name: str) -> int | None:
+        """Pre of the first ``name`` attribute of element ``pre``."""
+        names = self.columns.names
+        for attr_pre in self.attribute_pres(pre):
+            if names[attr_pre] == name:
+                return attr_pre
+        return None
+
+    def child_pres(self, pre: int) -> list[int]:
+        """Child pres of ``pre`` in order: skip the attribute run, then
+        hop sibling subtrees (``c += size[c]``) to the interval end."""
+        columns = self.columns
+        kinds, size = columns.kinds, columns.size
+        code = kinds[pre]
+        if code != _ELEM and code != _DOC:
+            return []
+        end = pre + size[pre]
+        child = pre + 1
+        while child < end and kinds[child] == _ATTR:
+            child += 1
+        out = []
+        while child < end:
+            out.append(child)
+            child += size[child]
+        return out
+
+    def child_index_of(self, pre: int) -> int | None:
+        """Index of ``pre`` within its parent's children (None for the
+        document node and attributes) — walks earlier sibling spans."""
+        columns = self.columns
+        parent = columns.parent_pre[pre]
+        if parent < 0 or columns.kinds[pre] == _ATTR:
+            return None
+        kinds, size = columns.kinds, columns.size
+        child = parent + 1
+        while kinds[child] == _ATTR:
+            child += 1
+        index = 0
+        while child != pre:
+            index += 1
+            child += size[child]
+        return index
+
+    def _text_structure(self):
+        """(sorted text pres, cumulative offsets, joined text) — computed
+        once; a lost construction race just recomputes the same value."""
+        structure = self._text_structure_cache
+        if structure is None:
+            columns = self.columns
+            kinds, values = columns.kinds, columns.values
+            pres = [i for i in range(len(columns)) if kinds[i] == _TEXT]
+            offsets = array("q", bytes(8 * (len(pres) + 1)))
+            parts = []
+            for rank, text_pre in enumerate(pres):
+                text = values[text_pre] or ""
+                parts.append(text)
+                offsets[rank + 1] = offsets[rank] + len(text)
+            structure = (pres, offsets, "".join(parts))
+            self._text_structure_cache = structure
+        return structure
+
+    def string_value_of_pre(self, pre: int) -> str:
+        """``strval`` of the node at ``pre`` straight from the columns.
+
+        For document/element pres this is the concatenation of all text
+        nodes in the subtree interval ``[pre, pre + size)`` in document
+        order — exactly ``Node._collect_text``'s answer, because every
+        text node's ancestors inside the interval are elements (text
+        attaches only under D/E, and D only at pre 0). One bisect into
+        the text prefix structure, one string slice.
+        """
+        columns = self.columns
+        code = columns.kinds[pre]
+        if code != _ELEM and code != _DOC:
+            return columns.values[pre] or ""
+        pres, offsets, joined = self._text_structure()
+        lo = bisect_left(pres, pre)
+        hi = bisect_left(pres, pre + columns.size[pre], lo)
+        return joined[offsets[lo] : offsets[hi]]
+
+    # ------------------------------------------------------------------
+    # Document API, columnar
+    # ------------------------------------------------------------------
+
+    def elements(self) -> list[Node]:
+        index = self._index
+        if index is not None:
+            return [self.node_at(p) for p in index.elements]
+        kinds = self.columns.kinds
+        return [self.node_at(p) for p in range(len(kinds)) if kinds[p] == _ELEM]
+
+    @property
+    def id_map(self) -> dict[str, Node]:
+        if self._id_map is None:
+            columns = self.columns
+            parent_pre, values = columns.parent_pre, columns.values
+            mapping: dict[str, Node] = {}
+            last_element = -1
+            for attr_pre in self._id_attribute_pres():
+                element = parent_pre[attr_pre]
+                if element == last_element:
+                    # Only the *first* id-named attribute of an element
+                    # counts (Node.attribute returns the first match).
+                    continue
+                last_element = element
+                key = values[attr_pre]
+                if key is not None and key not in mapping:
+                    mapping[key] = self.node_at(element)
+            self._id_map = mapping
+        return self._id_map
+
+    def _id_attribute_pres(self):
+        index = self._index
+        if index is not None:
+            return index.by_attribute.get(self.id_attribute, ())
+        columns = self.columns
+        kinds, names = columns.kinds, columns.names
+        return [
+            p
+            for p in range(len(columns))
+            if kinds[p] == _ATTR and names[p] == self.id_attribute
+        ]

@@ -157,20 +157,25 @@ class NodeIndex:
         post,
         depth,
         parent_pre,
+        kinds=None,
+        names=None,
     ) -> "NodeIndex":
         """Build a packed index from persisted flat columns.
 
         The columns must be ``array('q')`` (or any buffer of signed
         8-byte ints) already validated against ``document`` — this is the
         snapshot decoder's constructor: the persisted columns are adopted
-        zero-copy, leaving one ``O(|D|)`` partition pass.
+        zero-copy, leaving one ``O(|D|)`` partition pass. When the
+        decoder also passes the ``kinds`` byte column and the ``names``
+        string column, that pass runs over the columns directly — the
+        lazy decode path, which must not touch ``document.nodes`` (doing
+        so would materialize every node of a
+        :class:`~repro.xml.columns.ColumnDocument`).
         """
         if not document.is_finalized:
             raise ValueError("document must be finalized before indexing")
         index = cls.__new__(cls)
         index._document_ref = weakref.ref(document)
-        nodes = document.nodes
-        index.total = len(nodes)
         index.size = memoryview(size if isinstance(size, array) else array("q", size))
         index.post = memoryview(post if isinstance(post, array) else array("q", post))
         index.depth = memoryview(
@@ -179,7 +184,13 @@ class NodeIndex:
         index.parent_pre = memoryview(
             parent_pre if isinstance(parent_pre, array) else array("q", parent_pre)
         )
-        index._build_partitions(nodes)
+        if kinds is not None and names is not None:
+            index.total = len(kinds)
+            index._build_partitions_from_columns(kinds, names)
+        else:
+            nodes = document.nodes
+            index.total = len(nodes)
+            index._build_partitions(nodes)
         index.packed = True
         index._pack_partitions()
         return index
@@ -213,6 +224,55 @@ class NodeIndex:
             elif kind is NodeKind.PROCESSING_INSTRUCTION:
                 self.pis.append(pre)
                 self.by_pi_target.setdefault(node.name, []).append(pre)
+
+    def _build_partitions_from_columns(self, kinds, names) -> None:
+        """:meth:`_build_partitions` driven by the snapshot kind/name
+        columns alone — identical partitions, no ``Node`` attribute
+        chasing (and, on a lazy document, no materialization)."""
+        self.by_tag: dict[str, list[int]] = {}
+        self.by_attribute: dict[str, list[int]] = {}
+        self.by_pi_target: dict[str, list[int]] = {}
+        self.elements: list[int] = []
+        self.attributes: list[int] = []
+        self.non_attributes: list[int] = []
+        self.text_nodes: list[int] = []
+        self.comments: list[int] = []
+        self.pis: list[int] = []
+        element, attribute = ord("E"), ord("A")
+        text, comment, pi = ord("T"), ord("C"), ord("P")
+        by_tag, by_attribute, by_pi = self.by_tag, self.by_attribute, self.by_pi_target
+        elements_append = self.elements.append
+        attributes_append = self.attributes.append
+        non_attributes_append = self.non_attributes.append
+        text_append = self.text_nodes.append
+        comment_append = self.comments.append
+        pi_append = self.pis.append
+        # This loop runs on every lazy decode; iterating the kind bytes
+        # directly (ints) with bound appends keeps it cheap.
+        for pre, code in enumerate(kinds):
+            if code == attribute:
+                attributes_append(pre)
+                name = names[pre]
+                bucket = by_attribute.get(name)
+                if bucket is None:
+                    bucket = by_attribute[name] = []
+                bucket.append(pre)
+                continue
+            non_attributes_append(pre)
+            if code == element:
+                elements_append(pre)
+                name = names[pre]
+                bucket = by_tag.get(name)
+                if bucket is None:
+                    bucket = by_tag[name] = []
+                bucket.append(pre)
+            elif code == text:
+                text_append(pre)
+            elif code == comment:
+                comment_append(pre)
+            elif code == pi:
+                pi_append(pre)
+                by_pi.setdefault(names[pre], []).append(pre)
 
     def _pack_partitions(self) -> None:
         """Concatenate every partition into one ``array('q')`` and

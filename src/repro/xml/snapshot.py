@@ -46,6 +46,7 @@ import zlib
 from array import array
 
 from repro.errors import DocumentStoreError
+from repro.xml.columns import ColumnDocument, DocumentColumns
 from repro.xml.document import Document, Node, NodeKind
 from repro.xml.index import NodeIndex, adopt_node_index, node_index
 
@@ -61,11 +62,6 @@ _KIND_BYTES = {
     NodeKind.PROCESSING_INSTRUCTION: ord("P"),
 }
 _BYTE_KINDS = {code: kind for kind, code in _KIND_BYTES.items()}
-
-#: Kinds whose rows must carry a name; the complement must not.
-_NAMED_KINDS = frozenset(
-    {NodeKind.ELEMENT, NodeKind.ATTRIBUTE, NodeKind.PROCESSING_INSTRUCTION}
-)
 
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
@@ -154,21 +150,38 @@ class _Reader:
 def _read_string_column(reader: _Reader, total: int, what: str) -> list[str | None]:
     lengths = _column_from_bytes(reader.take(total * 8, f"{what} length table"))
     blob_len = reader.u64(f"{what} blob length")
-    declared = sum(length for length in lengths if length > 0)
-    if any(length < -1 for length in lengths) or declared != blob_len:
+    # min() guards the sum identity: once no entry is below -1, the
+    # positive total is sum + count(-1), both C-speed over the array.
+    if min(lengths, default=0) < -1 or sum(lengths) + lengths.count(-1) != blob_len:
         raise DocumentStoreError(
             f"corrupt snapshot: {what} column lengths do not match blob"
         )
     blob = reader.take(blob_len, f"{what} blob")
     strings: list[str | None] = []
+    append = strings.append
     offset = 0
     try:
-        for length in lengths:
-            if length < 0:
-                strings.append(None)
-            else:
-                strings.append(blob[offset : offset + length].decode("utf-8"))
-                offset += length
+        text = blob.decode("utf-8")
+        if len(text) == len(blob):
+            # Pure-ASCII blob (any multi-byte char would shrink the
+            # text): byte offsets are character offsets, so every string
+            # is a plain slice of the one decoded text — no per-string
+            # decode calls on the hot path.
+            for length in lengths:
+                if length < 0:
+                    append(None)
+                else:
+                    append(text[offset : offset + length])
+                    offset += length
+        else:
+            # Non-ASCII: slice the bytes and decode per string, so a
+            # length table that splits a multi-byte sequence still fails.
+            for length in lengths:
+                if length < 0:
+                    append(None)
+                else:
+                    append(blob[offset : offset + length].decode("utf-8"))
+                    offset += length
     except UnicodeDecodeError as error:
         raise DocumentStoreError(f"corrupt snapshot: {what} not UTF-8") from error
     return strings
@@ -176,67 +189,110 @@ def _read_string_column(reader: _Reader, total: int, what: str) -> list[str | No
 
 def _validate_columns(kinds, parent_pre, size, post, depth, names) -> None:
     """O(|D|) structural validation: reject blobs that pass the CRC but
-    do not describe a legal finalized document."""
+    do not describe a legal finalized document.
+
+    This runs on every decode — eager and lazy alike — so the per-node
+    loop is written for speed: direct byte compares instead of kind-enum
+    lookups, and attribute contiguity checked against the *predecessor*
+    row (attribute ``i`` is contiguous with its element iff ``i-1`` is
+    that element or a sibling attribute of it — inductively equivalent
+    to ``i == parent + seen + 1`` without a per-element counter)."""
     total = len(kinds)
-    if kinds[0] != ord("D") or parent_pre[0] != -1 or depth[0] != 0:
+    doc, elem, attr, txt, comment, pi = (
+        ord("D"), ord("E"), ord("A"), ord("T"), ord("C"), ord("P")
+    )
+    # The loops below gather by parent index; lists hand back their
+    # boxed ints directly where arrays would box one per access.
+    parent_pre = parent_pre.tolist() if isinstance(parent_pre, array) else parent_pre
+    depth = depth.tolist() if isinstance(depth, array) else depth
+    if kinds[0] != doc or parent_pre[0] != -1 or depth[0] != 0:
         raise DocumentStoreError("corrupt snapshot: malformed document node")
-    attribute_counts = [0] * total
+    if names[0] is not None:
+        raise DocumentStoreError("corrupt snapshot: bad name column at node 0")
     for i in range(1, total):
         code = kinds[i]
-        kind = _BYTE_KINDS.get(code)
-        if kind is None:
-            raise DocumentStoreError(
-                f"corrupt snapshot: unknown node kind {chr(code)!r}"
-            )
-        if kind is NodeKind.DOCUMENT:
-            raise DocumentStoreError("corrupt snapshot: document node not first")
         parent = parent_pre[i]
-        if not 0 <= parent < i:
+        if parent < 0 or parent >= i:
             raise DocumentStoreError(
                 f"corrupt snapshot: node {i} has invalid parent {parent}"
             )
         if depth[i] != depth[parent] + 1:
             raise DocumentStoreError(f"corrupt snapshot: depth broken at node {i}")
-        if kind is NodeKind.ATTRIBUTE:
-            if kinds[parent] != ord("E"):
+        owner = kinds[parent]
+        if code == attr:
+            if owner != elem:
                 raise DocumentStoreError(
                     f"corrupt snapshot: attribute {i} owned by a non-element"
                 )
             # Attributes are numbered immediately after their element,
             # before any of its children — the contiguity every axis
             # kernel's interval arithmetic relies on.
-            if i != parent + attribute_counts[parent] + 1:
+            if i != parent + 1 and not (
+                kinds[i - 1] == attr and parent_pre[i - 1] == parent
+            ):
                 raise DocumentStoreError(
                     f"corrupt snapshot: attribute {i} not contiguous with element"
                 )
-            attribute_counts[parent] += 1
+            if names[i] is None:
+                raise DocumentStoreError(
+                    f"corrupt snapshot: bad name column at node {i}"
+                )
         else:
-            if kinds[parent] not in (ord("D"), ord("E")):
+            if owner != elem and owner != doc:
                 raise DocumentStoreError(
                     f"corrupt snapshot: node {i} attached under a leaf"
                 )
-        has_name = names[i] is not None
-        if has_name != (kind in _NAMED_KINDS):
-            raise DocumentStoreError(
-                f"corrupt snapshot: bad name column at node {i}"
-            )
-    if names[0] is not None:
-        raise DocumentStoreError("corrupt snapshot: bad name column at node 0")
+            if code == elem or code == pi:
+                if names[i] is None:
+                    raise DocumentStoreError(
+                        f"corrupt snapshot: bad name column at node {i}"
+                    )
+            elif code == txt or code == comment:
+                if names[i] is not None:
+                    raise DocumentStoreError(
+                        f"corrupt snapshot: bad name column at node {i}"
+                    )
+            elif code == doc:
+                raise DocumentStoreError("corrupt snapshot: document node not first")
+            else:
+                raise DocumentStoreError(
+                    f"corrupt snapshot: unknown node kind {chr(code)!r}"
+                )
     # Exact subtree sizes, bottom-up (children precede nothing: walking
     # pre-order backwards sees every child before its parent total).
+    size = size.tolist() if isinstance(size, array) else list(size)
     recomputed = [1] * total
     for i in range(total - 1, 0, -1):
         recomputed[parent_pre[i]] += recomputed[i]
-    for i in range(total):
-        if size[i] != recomputed[i]:
-            raise DocumentStoreError(f"corrupt snapshot: size broken at node {i}")
-        # Closed-form post identity — pins the whole column exactly.
-        if post[i] != i - depth[i] + size[i] - 1:
-            raise DocumentStoreError(f"corrupt snapshot: post broken at node {i}")
+    if size != recomputed:  # one C-speed compare; loop only to blame
+        for i in range(total):
+            if size[i] != recomputed[i]:
+                raise DocumentStoreError(
+                    f"corrupt snapshot: size broken at node {i}"
+                )
+    # Closed-form post identity — pins the whole column exactly.
+    expected_post = [
+        i - d + s - 1 for i, (d, s) in enumerate(zip(depth, size))
+    ]
+    post = post.tolist() if isinstance(post, array) else list(post)
+    if post != expected_post:
+        for i in range(total):
+            if post[i] != expected_post[i]:
+                raise DocumentStoreError(
+                    f"corrupt snapshot: post broken at node {i}"
+                )
 
 
-def decode_snapshot(blob: bytes) -> Document:
+def decode_snapshot(blob: bytes, lazy: bool = False) -> Document:
     """Rebuild a finalized document (index pre-seeded) from a snapshot.
+
+    With ``lazy=True`` the decode stops at the columns: a
+    :class:`~repro.xml.columns.ColumnDocument` is returned, its index
+    partitions built straight from the kind/name columns, and **zero**
+    :class:`~repro.xml.document.Node` objects exist until a caller
+    touches one — results stay byte-identical to the eager tree in every
+    mode (asserted by the lazy property suite and the EXP-LAZY identity
+    gate). Validation is identical in both modes.
 
     Raises :class:`~repro.errors.DocumentStoreError` on any corruption:
     truncation, bad magic, wrong version, checksum mismatch, column
@@ -277,6 +333,32 @@ def decode_snapshot(blob: bytes) -> Document:
         raise DocumentStoreError("corrupt snapshot: trailing bytes")
     _validate_columns(kinds, parent_pre, size, post, depth, names)
 
+    if lazy:
+        columns = DocumentColumns(
+            kinds=kinds,
+            parent_pre=parent_pre,
+            size=size,
+            post=post,
+            depth=depth,
+            names=names,
+            values=values,
+        )
+        lazy_document = ColumnDocument(columns, id_attribute=id_attribute)
+        index = NodeIndex.from_columns(
+            lazy_document,
+            size=size,
+            post=post,
+            depth=depth,
+            parent_pre=parent_pre,
+            kinds=kinds,
+            names=names,
+        )
+        # First-in wins in the process cache; keep a strong ref to the
+        # winner so the weak-keyed cache entry survives as long as the
+        # document does (the index only weak-refs the document back).
+        lazy_document._index = adopt_node_index(lazy_document, index)
+        return lazy_document
+
     document = Document(id_attribute=id_attribute)
     root = document.root
     root.pre = 0
@@ -304,6 +386,56 @@ def decode_snapshot(blob: bytes) -> Document:
     )
     adopt_node_index(document, index)
     return document
+
+
+def snapshot_column_sizes(blob: bytes) -> dict[str, int]:
+    """Storage accounting for a snapshot blob, without decoding it.
+
+    Returns ``{"nodes", "disk_bytes", "column_bytes", "name_bytes",
+    "value_bytes"}``: the bytes the blob occupies as stored versus the
+    flat-column payload a lazy load keeps resident (one kind byte + four
+    8-byte ints per node, plus the raw UTF-8 name/value blobs — Python
+    object overhead excluded on purpose; the whole point of the lazy
+    path is that there are no per-node objects to count). Only the
+    envelope (magic, version, CRC, lengths) is verified here, not the
+    structure — this backs ``repro-xpath store list``, which must stay
+    cheap per entry.
+    """
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise DocumentStoreError("snapshot must be a bytes-like object")
+    blob = bytes(blob)
+    if len(blob) < len(SNAPSHOT_MAGIC) + 4 + 8 + 4 + 4:
+        raise DocumentStoreError("corrupt snapshot: truncated header")
+    if blob[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        raise DocumentStoreError("corrupt snapshot: bad magic")
+    declared_crc = _U32.unpack(blob[-4:])[0]
+    if zlib.crc32(blob[:-4]) != declared_crc:
+        raise DocumentStoreError("corrupt snapshot: checksum mismatch")
+    reader = _Reader(blob[:-4])
+    reader.take(len(SNAPSHOT_MAGIC), "magic")
+    version = reader.u32("version")
+    if version != SNAPSHOT_VERSION:
+        raise DocumentStoreError(f"unsupported snapshot version {version}")
+    total = reader.u64("node count")
+    if total < 1:
+        raise DocumentStoreError("corrupt snapshot: empty node table")
+    reader.take(reader.u32("id length"), "id attribute")
+    reader.take(total, "kind column")
+    reader.take(total * 32, "int columns")
+    string_bytes = []
+    for what in ("name", "value"):
+        reader.take(total * 8, f"{what} length table")
+        blob_len = reader.u64(f"{what} blob length")
+        reader.take(blob_len, f"{what} blob")
+        string_bytes.append(blob_len)
+    name_bytes, value_bytes = string_bytes
+    return {
+        "nodes": total,
+        "disk_bytes": len(blob),
+        "column_bytes": total * 33 + name_bytes + value_bytes,
+        "name_bytes": name_bytes,
+        "value_bytes": value_bytes,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.xml.columns import ColumnDocument
 from repro.xml.document import Document, Node, NodeKind
 
 
@@ -59,7 +60,15 @@ class DocumentStatistics:
 
 
 def document_statistics(document: Document) -> DocumentStatistics:
-    """One-pass shape statistics for a finalized document."""
+    """One-pass shape statistics for a finalized document.
+
+    Column documents take the columnar pass (identical numbers, zero
+    nodes materialized — :func:`repro.service.specialize.document_profile`
+    runs this on every lazily decoded document, so a tree walk here would
+    defeat the lazy path before the first query).
+    """
+    if isinstance(document, ColumnDocument):
+        return _column_statistics(document)
     stats = DocumentStatistics()
     stats.total_nodes = len(document)
 
@@ -90,4 +99,56 @@ def document_statistics(document: Document) -> DocumentStatistics:
             visit(child, depth + 1)
 
     visit(document.root, 0)
+    return stats
+
+
+def _column_statistics(document: ColumnDocument) -> DocumentStatistics:
+    """The tree walk above, replayed over the flat columns — field-for-
+    field equal (asserted by the lazy property suite): the ``depth``
+    column is the walk's depth argument, the attribute-contiguity
+    invariant makes "first id-named attribute per element" a run of
+    consecutive partition entries, and element-child fanout needs only
+    the ``parent_pre`` column."""
+    columns = document.columns
+    kinds = columns.kinds
+    names = columns.names
+    values = columns.values
+    depth = columns.depth
+    parent_pre = columns.parent_pre
+    element, attribute = ord("E"), ord("A")
+    text, comment, pi = ord("T"), ord("C"), ord("P")
+    stats = DocumentStatistics()
+    stats.total_nodes = len(columns)
+    id_attribute = document.id_attribute
+    fanout: dict[int, int] = {}
+    last_id_parent = -1
+    for i in range(stats.total_nodes):
+        code = kinds[i]
+        if code == element:
+            stats.elements += 1
+            stats.tag_counts[names[i]] += 1
+            if depth[i] > stats.max_depth:
+                stats.max_depth = depth[i]
+            parent = parent_pre[i]
+            if parent >= 0 and kinds[parent] == element:
+                fanout[parent] = fanout.get(parent, 0) + 1
+        elif code == attribute:
+            stats.attributes += 1
+            if names[i] == id_attribute:
+                parent = parent_pre[i]
+                if parent != last_id_parent:
+                    last_id_parent = parent
+                    if values[i] is not None:
+                        stats.identified_elements += 1
+        elif code == text:
+            stats.text_nodes += 1
+            stats.total_text_bytes += len(values[i] or "")
+        elif code == comment:
+            stats.comments += 1
+        elif code == pi:
+            stats.processing_instructions += 1
+    if fanout:
+        stats._parents = len(fanout)
+        stats._child_sum = sum(fanout.values())
+        stats.max_fanout = max(fanout.values())
     return stats

@@ -54,7 +54,11 @@ import pathlib
 
 from repro.errors import DocumentStoreError
 from repro.xml.document import Document, NodeKind
-from repro.xml.snapshot import decode_snapshot, encode_snapshot
+from repro.xml.snapshot import (
+    decode_snapshot,
+    encode_snapshot,
+    snapshot_column_sizes,
+)
 
 __all__ = ["DocumentStore", "DocumentStoreError"]
 
@@ -197,18 +201,25 @@ class DocumentStore:
             raise DocumentStoreError(f"corrupt store: malformed entry for {name!r}")
         return entry
 
-    def load(self, name: str) -> Document:
+    def load(self, name: str, lazy: bool = False) -> Document:
         """Reconstruct the document stored under ``name``.
 
         The rebuilt tree has identical pre-order numbering, subtree
         sizes, and string values — every axis computation gives the same
         answers as on the original. Snapshot-backed (v2) documents also
-        arrive with their node index pre-seeded.
+        arrive with their node index pre-seeded. With ``lazy=True`` the
+        load stops at the flat columns
+        (:class:`~repro.xml.columns.ColumnDocument`): no ``Node``
+        objects until touched; legacy (v1 inline) entries round-trip
+        through a snapshot encode to reach the same representation.
         """
         entry = self._entry(name)
         if entry.get("format") == _FORMAT_VERSION:
-            return decode_snapshot(self.load_snapshot(name))
-        return self._load_legacy(entry)
+            return decode_snapshot(self.load_snapshot(name), lazy=lazy)
+        document = self._load_legacy(entry)
+        if lazy:
+            return decode_snapshot(encode_snapshot(document), lazy=True)
+        return document
 
     def load_snapshot(self, name: str) -> bytes:
         """The raw v2 snapshot blob for ``name`` (decodable with
@@ -224,6 +235,15 @@ class DocumentStore:
                     f"cannot read snapshot {sidecar}: {error}"
                 ) from error
         return encode_snapshot(self._load_legacy(entry))
+
+    def column_sizes(self, name: str) -> dict[str, int]:
+        """Per-document storage accounting for ``store list``: node
+        count, bytes on disk (the blob as stored; legacy entries report
+        their on-the-fly encoding), and the decoded flat-column bytes a
+        lazy load keeps resident — what eager tree building pays on top
+        is Python objects, which is exactly the saving the lazy path
+        claims. See :func:`repro.xml.snapshot.snapshot_column_sizes`."""
+        return snapshot_column_sizes(self.load_snapshot(name))
 
     def migrate(self) -> list[str]:
         """Rewrite every legacy (v1 inline) entry as a v2 snapshot

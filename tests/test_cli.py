@@ -426,7 +426,14 @@ def test_store_list_shows_catalog(tmp_path, capsys):
     code, out, _ = run(capsys, "store", "list", "--store", str(store))
     assert code == 0
     lines = out.splitlines()
-    assert lines == ["one\tsnapshot v2", "two\tsnapshot v2"]
+    assert [line.split("\t")[:2] for line in lines] == [
+        ["one", "snapshot v2"],
+        ["two", "snapshot v2"],
+    ]
+    # Per-document sizes: what lazy loading keeps resident vs the disk blob.
+    for line in lines:
+        assert "nodes=" in line and "disk=" in line and "columns=" in line
+    assert "nodes=2" in lines[1]  # <r/> is a document node plus one element
 
 
 def test_store_migrate_reports_converted_entries(tmp_path, capsys):
@@ -442,7 +449,8 @@ def test_store_migrate_reports_converted_entries(tmp_path, capsys):
     assert "migrated: old" in out
     assert "1 document(s) migrated" in out
     code, out, _ = run(capsys, "store", "list", "--store", str(store))
-    assert out.splitlines() == ["old\tsnapshot v2"]
+    (line,) = out.splitlines()
+    assert line.startswith("old\tsnapshot v2\tnodes=2\t")
 
 
 def test_store_snapshot_requires_name_and_document(tmp_path, capsys):

@@ -257,6 +257,46 @@ def test_node_index_is_built_exactly_once_under_contention():
     assert fused_delta == dispatched
 
 
+def test_lazy_document_materializes_each_pre_exactly_once_under_contention():
+    """PR 8's materialization lock under the hammer: 8 threads racing to
+    box every node of one shared lazy document get the *same* Node
+    instance per pre, and the global counter moves by exactly |dom| —
+    no pre boxed twice, none lost to torn updates — while concurrent
+    query evaluation over the same document stays correct."""
+    from repro import stats
+    from repro.engine import XPathEngine
+    from repro.xml.snapshot import decode_snapshot, encode_snapshot
+
+    lazy = decode_snapshot(encode_snapshot(book_catalog(books=4)), lazy=True)
+    total = len(lazy)
+    expected_prices = [
+        node.pre for node in XPathEngine(book_catalog(books=4)).evaluate(
+            "/descendant::price"
+        )
+    ]
+    before = stats.axis_kernel_stats.snapshot()
+    boxed = [None] * THREADS
+
+    def worker(index):
+        engine = XPathEngine(lazy)
+        # Interleave whole-document materialization with query
+        # evaluation that materializes its own output nodes.
+        got = engine.evaluate("/descendant::price")
+        assert [node.pre for node in got] == expected_prices
+        start = index % total  # staggered starts: maximal overlap
+        boxed[index] = [lazy.nodes[(start + pre) % total] for pre in range(total)]
+
+    _hammer(worker)
+    after = stats.axis_kernel_stats.snapshot()
+    assert lazy.materialized_count() == total
+    # Exactly one materialization per pre across all 8 threads.
+    assert after["nodes_materialized"] - before["nodes_materialized"] == total
+    first = sorted(boxed[0], key=lambda node: node.pre)
+    for other in boxed[1:]:
+        ordered = sorted(other, key=lambda node: node.pre)
+        assert all(a is b for a, b in zip(first, ordered))
+
+
 def test_plan_cache_iteration_is_safe_during_mutation():
     """keys()/values() hand out point-in-time copies, so a monitoring
     thread can walk the cache while drivers mutate it."""
