@@ -12,6 +12,7 @@ Run after the benchmark suite:
     python benchmarks/summarize.py --snapshot    # just the snapshot gates
     python benchmarks/summarize.py --batchplan   # just the multi-query gates
     python benchmarks/summarize.py --lazy        # just the lazy-decode gates
+    python benchmarks/summarize.py --vector      # just the vector-program gates
 """
 
 from __future__ import annotations
@@ -26,7 +27,7 @@ ORDER = [
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
     "exp_svc", "exp_shard", "exp_mqo", "exp_async", "exp_spec", "exp_axis", "exp_snap",
-    "exp_lazy",
+    "exp_lazy", "exp_vec",
 ]
 
 
@@ -142,6 +143,20 @@ def lazy_lines() -> list[str]:
     ]
 
 
+def vector_lines() -> list[str]:
+    """The gate, speedup, and counter lines from the EXP-VEC report
+    (written by bench_vector.py)."""
+    path = RESULTS_DIR / "exp_vec.txt"
+    if not path.exists():
+        return []
+    markers = ("gate:", "speedup", "dispatch", "workload:", "counter probe")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -184,6 +199,11 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="print only the lazy-decode gates, peak memory, and cold-start "
         "speedup (EXP-LAZY)",
+    )
+    parser.add_argument(
+        "--vector",
+        action="store_true",
+        help="print only the vector-program gates and speedups (EXP-VEC)",
     )
     args = parser.parse_args(argv)
     if args.plan_cache:
@@ -254,6 +274,15 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(
                 "no lazy-decode results yet — run: "
                 "python benchmarks/bench_lazy.py"
+            )
+        print("\n".join(lines))
+        return
+    if args.vector:
+        lines = vector_lines()
+        if not lines:
+            raise SystemExit(
+                "no vector-program results yet — run: "
+                "python benchmarks/bench_vector.py"
             )
         print("\n".join(lines))
         return

@@ -1,29 +1,42 @@
-"""Axis relations of the XPath data model — two regimes, one semantics.
+"""Axis relations of the XPath data model — three tiers, one semantics.
 
-The *guaranteed* layer implements Definition 1 of the paper: every axis
-``χ`` is available as a per-node iterator (:func:`axis_nodes`) and as a
-set function ``χ : 2^dom → 2^dom`` (:func:`axis_set`) with an inverse
-``χ⁻¹(Y) = {x | χ({x}) ∩ Y ≠ ∅}`` (:func:`inverse_axis_set`). These run
-in ``O(|D|)`` time regardless of ``|X|`` — the bound the paper's
-complexity theorems rely on (see the remark below Definition 1).
+**Tier 0 — Definition-1 scans.** Every axis ``χ`` is available as a
+per-node iterator (:func:`axis_nodes`) and as a set function
+``χ : 2^dom → 2^dom`` (:func:`axis_set`) with an inverse ``χ⁻¹(Y) =
+{x | χ({x}) ∩ Y ≠ ∅}`` (:func:`inverse_axis_set`). These run in
+``O(|D|)`` time regardless of ``|X|`` — the bound the paper's
+complexity theorems rely on (see the remark below Definition 1) — and
+are the guaranteed fallback of everything below.
 
-The *output-sensitive* layer fuses each axis with its node test over the
-per-document :class:`repro.xml.index.NodeIndex` (name-partitioned sorted
-pre-order arrays): :func:`fused_axis_set` / :func:`fused_inverse_axis_set`
-(node-set interface) and :func:`axis_test_pres` /
-:func:`inverse_axis_test_pres` (sorted pre-array interface). A
-``descendant::a`` dispatch costs ``O(|X|·log|D| + output)`` via binary
-search over the ``a`` partition; ``following``/``preceding`` are
-partition suffix/prefix slices; sibling axes are child-table slice
-arithmetic; inverse interval axes emit pre ranges directly.
+**Tier 1 — indexed scalar kernels.** Each axis fused with its node test
+over the per-document :class:`repro.xml.index.NodeIndex`
+(name-partitioned sorted pre-order arrays): :func:`fused_axis_set` /
+:func:`fused_inverse_axis_set` (node-set interface) and
+:func:`axis_test_pres` / :func:`inverse_axis_test_pres` (sorted
+pre-array interface). A ``descendant::a`` dispatch costs
+``O(|X|·log|D| + output)`` via binary search over the ``a`` partition;
+``following``/``preceding`` are partition suffix/prefix slices; inverse
+interval axes emit pre ranges directly. Output-sensitive, but iterating
+context nodes one pre at a time in Python.
+
+**Tier 2 — vector column programs** (:mod:`repro.axes.vec`). Whole Core
+XPath sweeps compiled to a linear IR executed batch-at-a-time over the
+flat columns — interval joins, pointer gathers, child-span/attribute-run
+gathers, partition intersects — with no per-node Python dispatch in the
+loop body, on a stdlib executor always and a byte-identical
+auto-detected numpy executor (:mod:`repro.axes.vec_np`) when importable
+(:func:`set_vector_backend` / :func:`vector_backend_forced` select).
 
 **The fallback guarantee lives in the dispatch**: every fused call whose
 predicted cost (computed exactly from partition bisections) exceeds the
 ``O(|D|)`` scan bound — or every call while :func:`set_kernel_mode`
-forces ``scan`` — runs the Definition-1 implementation verbatim, so
-results are byte-identical in every mode and worst-case asymptotics
-never regress. Dispatch outcomes are counted exactly on
-:data:`repro.stats.axis_kernel_stats`.
+forces ``scan`` — runs the Definition-1 implementation verbatim, and the
+vector primitives are forced-kernel forms of the same tier-1 code paths,
+so results are byte-identical in every mode/backend and worst-case
+asymptotics never regress. Dispatch outcomes are counted exactly on
+:data:`repro.stats.axis_kernel_stats` (``fused_hits``/``fallback_scans``
+for scalar dispatches, ``vector_program_runs``/``vector_ops`` for the
+vector tier).
 """
 
 from repro.axes.axes import (
@@ -48,6 +61,21 @@ from repro.axes.axes import (
     set_kernel_mode,
 )
 from repro.axes.order import axis_order_key, index_in_axis_order, sort_in_axis_order
+from repro.axes.vec import (
+    FORWARD_VECTOR_AXES,
+    INVERSE_VECTOR_AXES,
+    VECTOR_BACKENDS,
+    VECTOR_MIN_BLOCK,
+    active_backend_name,
+    compile_backward_steps,
+    compile_forward_steps,
+    numpy_available,
+    run_program,
+    set_vector_backend,
+    sweep_engaged,
+    vector_backend,
+    vector_backend_forced,
+)
 
 __all__ = [
     "ALL_AXES",
@@ -72,4 +100,17 @@ __all__ = [
     "axis_order_key",
     "index_in_axis_order",
     "sort_in_axis_order",
+    "FORWARD_VECTOR_AXES",
+    "INVERSE_VECTOR_AXES",
+    "VECTOR_BACKENDS",
+    "VECTOR_MIN_BLOCK",
+    "active_backend_name",
+    "compile_backward_steps",
+    "compile_forward_steps",
+    "numpy_available",
+    "run_program",
+    "set_vector_backend",
+    "sweep_engaged",
+    "vector_backend",
+    "vector_backend_forced",
 ]

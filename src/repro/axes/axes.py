@@ -1,37 +1,50 @@
 """Axis functions ``χ`` and inverse axis functions ``χ⁻¹`` (Definition 1).
 
-Three interfaces, two performance regimes:
+Since the block-vectorized rewrite the dispatch is **three-tier** — one
+semantics, three execution regimes, every tier byte-identical:
 
-* :func:`axis_nodes` — enumerate ``χ({x})`` for one context node, in
-  ``<doc,χ`` proximity order. Used by the per-context evaluators (naive,
-  single-context loops) where proximity positions matter.
-* :func:`axis_set` / :func:`inverse_axis_set` — the set functions
-  ``χ(X)`` and ``χ⁻¹(Y)`` of Definition 1, each computed in ``O(|D|)``
-  regardless of ``|X|`` (the paper's complexity theorems depend on this
-  bound; see the remark below Definition 1 citing [11]). These are the
-  *guaranteed* implementations and the worst-case fallback of everything
-  below; they never consult an index.
-* :func:`fused_axis_set` / :func:`fused_inverse_axis_set` (and their
-  sorted-pre-array forms :func:`axis_test_pres` /
-  :func:`inverse_axis_test_pres`) — **fused axis+name-test kernels**
-  over the per-document :class:`repro.xml.index.NodeIndex`. These are
-  *output-sensitive*: ``descendant::a`` is a binary-search range query
-  over the sorted ``a`` partition (``O(|X|·log|D| + output)``),
-  ``following``/``preceding`` are partition suffix/prefix slices,
-  sibling axes are slice arithmetic over child tables, and the inverse
-  interval axes emit pre-number ranges directly.
+* **Tier 0 — Definition-1 scans** (:func:`axis_set` /
+  :func:`inverse_axis_set`, plus :func:`axis_nodes` for proximity-order
+  per-node enumeration): the set functions ``χ(X)`` / ``χ⁻¹(Y)`` of
+  Definition 1, each computed in ``O(|D|)`` regardless of ``|X|`` (the
+  bound the paper's complexity theorems depend on; see the remark below
+  Definition 1 citing [11]). These are the *guaranteed* implementations
+  and the worst-case fallback of everything below; they never consult an
+  index.
+* **Tier 1 — indexed scalar kernels** (:func:`fused_axis_set` /
+  :func:`fused_inverse_axis_set` and their sorted-pre-array forms
+  :func:`axis_test_pres` / :func:`inverse_axis_test_pres`): fused
+  axis+name-test kernels over the per-document
+  :class:`repro.xml.index.NodeIndex`, *output-sensitive* but iterating
+  origins one pre at a time in Python. ``descendant::a`` is a
+  binary-search range query over the sorted ``a`` partition
+  (``O(|X|·log|D| + output)``), ``following``/``preceding`` are
+  partition suffix/prefix slices, the pointer axes gather the
+  parent-pre column, and the inverse interval axes emit pre-number
+  ranges directly.
+* **Tier 2 — vector column programs** (:mod:`repro.axes.vec`): whole
+  Core XPath sweeps compiled to a linear IR of block-at-a-time column
+  primitives (interval joins, pointer gathers, partition intersections)
+  with zero per-node Python dispatch in the loop body — a stdlib
+  backend always, a byte-identical numpy backend when importable. The
+  Core evaluator routes sweeps here in ``vector`` mode, and in ``auto``
+  whenever a block is wide enough to amortize program setup; narrow
+  blocks and axes without columnar form fall back per-op to tier 1.
 
 **Where the fallback guarantee lives:** every fused entry point runs a
 dispatch — when the kernel's predicted cost (context size × log |D| +
 predicted output, computed exactly from partition bisects) exceeds the
 ``O(|D|)`` scan bound, or when :func:`set_kernel_mode` forces ``scan``,
 the call falls through to :func:`axis_set`/:func:`inverse_axis_set`
-verbatim. The fast path can therefore only improve constants and
-output-sensitivity; the paper's worst-case asymptotics (Theorems 7, 10,
-13) are preserved unconditionally, mirroring the specializer's guarantee
-clamps. Both outcomes are counted exactly on
-:data:`repro.stats.axis_kernel_stats` (``fused_hits`` /
-``fallback_scans``; one per dispatch).
+verbatim; a vector program's primitives are forced-kernel forms of the
+same tier-1 code paths, so the guarantee covers tier 2 too. The fast
+paths can therefore only improve constants and output-sensitivity; the
+paper's worst-case asymptotics (Theorems 7, 10, 13) are preserved
+unconditionally, mirroring the specializer's guarantee clamps. Every
+outcome is counted exactly on :data:`repro.stats.axis_kernel_stats`
+(``fused_hits`` / ``fallback_scans`` per scalar dispatch,
+``vector_program_runs`` / ``vector_ops`` per program and vectorized
+op).
 
 Linear-time techniques of the Definition-1 scans, keyed to the pre-order
 numbering of :mod:`repro.xml.document`:
@@ -151,7 +164,7 @@ def axis_test_nodes(
     """
     mode = _kernel_mode
     if mode != "scan" and axis in INTERVAL_AXES:
-        out = _interval_axis_pres(document, axis, [node.pre], test, mode == "indexed")
+        out = _interval_axis_pres(document, axis, [node.pre], test, mode != "auto")
         if out is not None:
             stats.axis_kernel_stats.fused()
             nodes = document.nodes
@@ -466,11 +479,15 @@ INVERSE_INTERVAL_AXES = frozenset(
     {"ancestor", "ancestor-or-self", "following", "preceding"}
 )
 
-#: Dispatch modes: ``auto`` (predicted-cost dispatch — the default),
-#: ``indexed`` (always take the index kernels where one exists), ``scan``
-#: (always run the Definition-1 scans — the A/B baseline the EXP-AXIS
-#: value and speedup gates compare against).
-KERNEL_MODES = ("auto", "indexed", "scan")
+#: Dispatch modes: ``auto`` (predicted-cost dispatch across all three
+#: tiers — the default), ``indexed`` (always take the scalar index
+#: kernels where one exists, never the vector programs), ``vector``
+#: (route every Core sweep through the block-vectorized column programs
+#: of :mod:`repro.axes.vec`, forcing the vector primitives regardless of
+#: block width), ``scan`` (always run the Definition-1 scans — the A/B
+#: baseline the EXP-AXIS/EXP-VEC value and speedup gates compare
+#: against).
+KERNEL_MODES = ("auto", "indexed", "vector", "scan")
 
 _kernel_mode = "auto"
 
@@ -524,7 +541,7 @@ def fused_axis_set(
     if mode != "scan":
         if axis in INTERVAL_AXES:
             pres = sorted({x.pre for x in X})
-            out = _interval_axis_pres(document, axis, pres, test, mode == "indexed")
+            out = _interval_axis_pres(document, axis, pres, test, mode != "auto")
             if out is not None:
                 stats.axis_kernel_stats.fused()
                 nodes = document.nodes
@@ -551,7 +568,7 @@ def axis_test_pres(
     mode = _kernel_mode
     if mode != "scan":
         if axis in INTERVAL_AXES:
-            out = _interval_axis_pres(document, axis, pres, test, mode == "indexed")
+            out = _interval_axis_pres(document, axis, pres, test, mode != "auto")
             if out is not None:
                 stats.axis_kernel_stats.fused()
                 return out
@@ -581,7 +598,7 @@ def fused_inverse_axis_set(
     mode = _kernel_mode
     if mode != "scan" and axis in INVERSE_INTERVAL_AXES:
         pres = sorted({y.pre for y in Y})
-        out = _inverse_interval_pres(document, axis, pres, mode == "indexed")
+        out = _inverse_interval_pres(document, axis, pres, mode != "auto")
         if out is not None:
             stats.axis_kernel_stats.fused()
             nodes = document.nodes
@@ -605,7 +622,7 @@ def inverse_axis_test_pres(
     mode = _kernel_mode
     if mode != "scan":
         if axis in INVERSE_INTERVAL_AXES:
-            out = _inverse_interval_pres(document, axis, pres, mode == "indexed")
+            out = _inverse_interval_pres(document, axis, pres, mode != "auto")
         else:
             out = _inverse_pointer_pres(document, axis, pres)
         if out is not None:
@@ -695,6 +712,19 @@ def _sorted_contains(partition, pre: int) -> bool:
     return i < len(partition) and partition[i] == pre
 
 
+def _membership(partition, block_size: int):
+    """O(1)-membership predicate over a sorted pre array.
+
+    When the candidate block outnumbers the partition, the per-candidate
+    bisects would cost more than one pass over the partition — build a
+    set once and answer in O(1). Otherwise keep the bisect (no pass over
+    a partition that may be much larger than the block).
+    """
+    if block_size > len(partition):
+        return set(partition).__contains__
+    return lambda pre: _sorted_contains(partition, pre)
+
+
 def _pointer_axis_pres(
     document: Document, axis: str, pres: list[int], test: NodeTest
 ) -> list[int] | None:
@@ -715,28 +745,27 @@ def _pointer_axis_pres(
         candidates = sorted({parent_pre[p] for p in pres if p != 0})
     elif axis == "attribute":
         index = node_index(document)
-        attributes = index.attributes
         parent_pre = index.parent_pre
         total = index.total
+        # ≥ 1 membership probe per context node: when the block is
+        # larger than the attribute partition, one pass over the
+        # partition (set build) beats per-probe bisects.
+        is_attribute = _membership(index.attributes, len(pres))
         candidates = []
         for p in pres:
             a = p + 1
-            while (
-                a < total
-                and parent_pre[a] == p
-                and _sorted_contains(attributes, a)
-            ):
+            while a < total and parent_pre[a] == p and is_attribute(a):
                 candidates.append(a)
                 a += 1
     elif axis == "child":
         index = node_index(document)
-        attributes = index.attributes
         size = index.size
+        is_attribute = _membership(index.attributes, len(pres))
         candidates = []
         for p in pres:
             end = p + size[p]
             child = p + 1
-            while child < end and _sorted_contains(attributes, child):
+            while child < end and is_attribute(child):
                 child += 1  # skip the origin's attribute run
             while child < end:
                 candidates.append(child)
@@ -774,38 +803,34 @@ def _inverse_pointer_pres(
     if axis in ("descendant", "descendant-or-self"):
         # descendant⁻¹ = strict ancestors of Y's non-attribute members
         # (attributes are nobody's descendant); or-self adds Y itself.
-        # Parent-column hops with a seen-set: each ancestor chain stops
-        # at the first node another chain already claimed, so the union
-        # costs its own size, not chains × depth.
-        attributes = index.attributes
+        # Level-synchronous parent-column walk: hop the whole frontier
+        # one generation at a time, deduplicating *before* each hop, so
+        # shared ancestor prefixes are gathered once for the block
+        # instead of once per chain — the union costs its own size, not
+        # chains × depth.
         parent_pre = index.parent_pre
+        is_attribute = _membership(index.attributes, len(pres))
+        frontier = {parent_pre[p] for p in pres if not is_attribute(p)}
+        frontier.discard(-1)
         seen: set[int] = set()
-        for p in pres:
-            if _sorted_contains(attributes, p):
-                continue
-            ancestor = parent_pre[p]
-            while ancestor >= 0 and ancestor not in seen:
-                seen.add(ancestor)
-                ancestor = parent_pre[ancestor]
+        while frontier:
+            seen |= frontier
+            frontier = {parent_pre[a] for a in frontier}
+            frontier.difference_update(seen)
+            frontier.discard(-1)
         if axis == "descendant-or-self":
             seen.update(pres)
         return sorted(seen)
     if axis == "child":
-        attributes = index.attributes
         parent_pre = index.parent_pre
+        is_attribute = _membership(index.attributes, len(pres))
         return sorted(
-            {
-                parent_pre[p]
-                for p in pres
-                if p != 0 and not _sorted_contains(attributes, p)
-            }
+            {parent_pre[p] for p in pres if p != 0 and not is_attribute(p)}
         )
     if axis == "attribute":
-        attributes = index.attributes
         parent_pre = index.parent_pre
-        return sorted(
-            {parent_pre[p] for p in pres if _sorted_contains(attributes, p)}
-        )
+        is_attribute = _membership(index.attributes, len(pres))
+        return sorted({parent_pre[p] for p in pres if is_attribute(p)})
     size = index.size
     result: list[int] = []
     for p in pres:

@@ -1,0 +1,328 @@
+"""Optional numpy executor for the vector column programs.
+
+Import-guarded: this module always imports cleanly; :func:`make_backend`
+returns ``None`` when numpy is absent and :mod:`repro.axes.vec` runs its
+stdlib executor instead. Nothing elsewhere may import numpy directly.
+
+The packed NodeIndex columns (``array('q')`` behind memoryviews) are
+adopted zero-copy via ``np.frombuffer`` and cached per document in a
+``WeakKeyDictionary`` (the index itself has ``__slots__`` and no
+``__weakref__``; the document is the cache key everywhere else too).
+Partition views are cached by identity — except empty partitions, which
+``by_tag.get(name, [])`` fabricates fresh per call, so their ``id`` is
+reusable and must never be a cache key.
+
+Byte identity with the stdlib executor is a hard contract, enforced by
+tests and the EXP-VEC gate: every op returns sorted duplicate-free
+Python ints (``.tolist()`` at the boundary), and the handful of corners
+where numpy buys nothing — ancestor frontier walks, suffix/prefix
+slices, the ``descendant-or-self::node()`` attribute-selves union —
+delegate to the stdlib primitives rather than re-deriving them.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+except Exception:  # pragma: no cover
+    np = None
+
+
+def available() -> bool:
+    """Whether numpy imported in this process."""
+    return np is not None
+
+
+def make_backend(stdlib):
+    """A fresh numpy executor delegating odd corners to ``stdlib``, or
+    ``None`` when numpy is not importable."""
+    if np is None:
+        return None
+    return _NumpyBackend(stdlib)
+
+
+class _NumpyBackend:
+    name = "numpy"
+
+    def __init__(self, stdlib):
+        self._stdlib = stdlib
+        self._cache = weakref.WeakKeyDictionary()
+
+    # -- column adoption ----------------------------------------------
+
+    def _columns(self, document, index):
+        cols = self._cache.get(document)
+        if cols is None:
+            cols = {
+                "size": _as_array(index.size),
+                "parent": _as_array(index.parent_pre),
+                "parts": {},
+                "child": None,
+            }
+            self._cache[document] = cols
+        return cols
+
+    def _partition(self, cols, partition):
+        """Int64 view of a sorted pre partition, cached by identity.
+
+        Never caches an empty partition: missing-name lookups return a
+        fresh empty list each call, so its ``id`` outlives nothing.
+        The cache entry keeps a strong reference to the partition object
+        itself — identity keys stay valid only while the object lives.
+        """
+        if len(partition) == 0:
+            return _EMPTY
+        parts = cols["parts"]
+        entry = parts.get(id(partition))
+        if entry is None:
+            entry = (partition, _as_array(partition))
+            parts[id(partition)] = entry
+        return entry[1]
+
+    def _child_columns(self, cols, index):
+        cached = cols["child"]
+        if cached is None:
+            offsets, children = index.child_table()
+            cached = cols["child"] = (
+                np.frombuffer(offsets, dtype=np.int64),
+                np.frombuffer(children, dtype=np.int64)
+                if len(children)
+                else _EMPTY,
+                np.frombuffer(index.attribute_counts(), dtype=np.int64),
+            )
+        return cached
+
+    # -- forward ------------------------------------------------------
+
+    def forward_block(self, document, index, axis, block, test):
+        if not len(block):
+            return []
+        if axis in ("descendant", "descendant-or-self"):
+            include_self = axis == "descendant-or-self"
+            if include_self and test.kind == "node":
+                # or-self::node() must add attribute context nodes the
+                # partition join can't see — take the stdlib form.
+                return self._stdlib.forward_block(document, index, axis, block, test)
+            partition = index.partition(test, axis)
+            if partition is None:  # pragma: no cover - no such test shape
+                return self._stdlib.forward_block(document, index, axis, block, test)
+            cols = self._columns(document, index)
+            parr = self._partition(cols, partition)
+            if not len(parr):
+                return []
+            barr = np.asarray(block, dtype=np.int64)
+            starts, stops = _maximal_intervals(cols["size"], barr, include_self)
+            lo = np.searchsorted(parr, starts, side="left")
+            hi = np.searchsorted(parr, stops, side="left")
+            return _gather_spans(parr, lo, hi).tolist()
+        if axis in ("following", "preceding"):
+            # One bisect plus one slice either way — numpy buys nothing.
+            return self._stdlib.forward_block(document, index, axis, block, test)
+        if axis == "child":
+            partition = index.filter_partition(test, attribute_principal=False)
+            if partition is None:  # node() — every non-attribute child
+                partition = index.non_attributes
+            cols = self._columns(document, index)
+            parr = self._partition(cols, partition)
+            if not len(parr):
+                return []
+            barr = np.asarray(block, dtype=np.int64)
+            # Partition-side semi-join: a partition member is a child of
+            # the block iff its parent pre lands in the block. Output
+            # order is the partition's — already sorted.
+            mask = np.isin(cols["parent"][parr], barr)
+            return parr[mask].tolist()
+        if axis == "attribute":
+            kind = test.kind
+            if kind == "name":
+                partition = index.by_attribute.get(test.name, [])
+            elif kind in ("wildcard", "node"):
+                partition = index.attributes
+            else:  # text()/comment()/pi() never match an attribute
+                return []
+            cols = self._columns(document, index)
+            parr = self._partition(cols, partition)
+            if not len(parr):
+                return []
+            barr = np.asarray(block, dtype=np.int64)
+            mask = np.isin(cols["parent"][parr], barr)
+            return parr[mask].tolist()
+        if axis == "parent":
+            cols = self._columns(document, index)
+            barr = np.asarray(block, dtype=np.int64)
+            parents = cols["parent"][barr]
+            candidates = np.unique(parents[parents >= 0])
+            partition = index.filter_partition(test, attribute_principal=False)
+            if partition is None:
+                return candidates.tolist()
+            parr = self._partition(cols, partition)
+            if not len(parr) or not len(candidates):
+                return []
+            return candidates[np.isin(candidates, parr)].tolist()
+        if axis == "self":
+            partition = index.filter_partition(test, attribute_principal=False)
+            if partition is None:
+                return block if isinstance(block, list) else list(block)
+            cols = self._columns(document, index)
+            parr = self._partition(cols, partition)
+            if not len(parr):
+                return []
+            barr = np.asarray(block, dtype=np.int64)
+            return barr[np.isin(barr, parr)].tolist()
+        # ancestor / ancestor-or-self: sparse set frontier walk — the
+        # stdlib form is already level-synchronous and output-bounded.
+        return self._stdlib.forward_block(document, index, axis, block, test)
+
+    # -- backward -----------------------------------------------------
+
+    def inverse_block(self, document, index, axis, block):
+        if not len(block):
+            return []
+        if axis == "self":
+            return block if isinstance(block, list) else list(block)
+        if axis in ("ancestor", "ancestor-or-self"):
+            cols = self._columns(document, index)
+            barr = np.asarray(block, dtype=np.int64)
+            starts, stops = _maximal_intervals(
+                cols["size"], barr, axis == "ancestor-or-self"
+            )
+            return _emit_ranges(starts, stops).tolist()
+        if axis == "following":
+            cols = self._columns(document, index)
+            barr = np.asarray(block, dtype=np.int64)
+            attrs = self._partition(cols, index.attributes)
+            non_attr = barr[~np.isin(barr, attrs)] if len(attrs) else barr
+            if not len(non_attr):
+                return []
+            cutoff = int(non_attr[-1])
+            out = np.arange(cutoff, dtype=np.int64)
+            excluded = index.ancestors_of(cutoff)
+            if excluded:
+                out = out[~np.isin(out, np.asarray(excluded, dtype=np.int64))]
+            return out.tolist()
+        if axis == "preceding":
+            # One suffix range — nothing to vectorize.
+            return self._stdlib.inverse_block(document, index, axis, block)
+        if axis == "child":
+            cols = self._columns(document, index)
+            barr = np.asarray(block, dtype=np.int64)
+            attrs = self._partition(cols, index.attributes)
+            if len(attrs):
+                barr = barr[~np.isin(barr, attrs)]
+            barr = barr[barr != 0]
+            if not len(barr):
+                return []
+            return np.unique(cols["parent"][barr]).tolist()
+        if axis == "attribute":
+            cols = self._columns(document, index)
+            barr = np.asarray(block, dtype=np.int64)
+            attrs = self._partition(cols, index.attributes)
+            if not len(attrs):
+                return []
+            barr = barr[np.isin(barr, attrs)]
+            if not len(barr):
+                return []
+            return np.unique(cols["parent"][barr]).tolist()
+        if axis == "parent":
+            # χ⁻¹(parent) = children plus attributes of the block: the
+            # child-table spans and the contiguous attribute runs.
+            cols = self._columns(document, index)
+            offsets, children, attr_counts = self._child_columns(cols, index)
+            barr = np.asarray(block, dtype=np.int64)
+            kids = _gather_spans(children, offsets[barr], offsets[barr + 1])
+            runs = _emit_ranges(barr + 1, barr + 1 + attr_counts[barr])
+            if not len(runs):
+                out = kids
+            elif not len(kids):
+                out = runs
+            else:
+                out = np.sort(np.concatenate((kids, runs)))
+            return out.tolist()
+        # descendant / descendant-or-self: frontier walk — stdlib form.
+        return self._stdlib.inverse_block(document, index, axis, block)
+
+    # -- filter -------------------------------------------------------
+
+    def filter_block(self, index, block, test, attribute_principal):
+        partition = index.filter_partition(
+            test, attribute_principal=attribute_principal
+        )
+        if partition is None:
+            return block if isinstance(block, list) else list(block)
+        if not len(partition) or not len(block):
+            return []
+        cols = self._cache.get(index.document)
+        if cols is None:
+            cols = self._columns(index.document, index)
+        parr = self._partition(cols, partition)
+        barr = np.asarray(block, dtype=np.int64)
+        return barr[np.isin(barr, parr)].tolist()
+
+    def intersect(self, a, b):
+        if not len(a) or not len(b):
+            return []
+        return np.intersect1d(
+            np.asarray(a, dtype=np.int64),
+            np.asarray(b, dtype=np.int64),
+            assume_unique=True,
+        ).tolist()
+
+
+_EMPTY = None if np is None else np.empty(0, dtype=np.int64)
+
+
+def _as_array(column):
+    """Zero-copy int64 view of a packed column (copying only for the
+    unpacked boxed-list reference form)."""
+    if isinstance(column, memoryview):
+        return np.frombuffer(column, dtype=np.int64)
+    return np.asarray(column, dtype=np.int64)
+
+
+def _maximal_intervals(size, barr, include_self):
+    """(starts, stops) of the maximal subtree intervals of a sorted
+    block — members nested in an earlier member's interval are dropped,
+    exactly like the scalar kernels' ``p < max_end`` skip. Tree
+    intervals are nested or disjoint, so a running max suffices."""
+    ends = barr + size[barr]
+    keep = np.ones(len(barr), dtype=bool)
+    if len(barr) > 1:
+        keep[1:] = barr[1:] >= np.maximum.accumulate(ends)[:-1]
+    starts = barr[keep]
+    stops = ends[keep]
+    if not include_self:
+        starts = starts + 1
+    return starts, stops
+
+
+def _gather_spans(arr, lo, hi):
+    """``concatenate(arr[lo[i]:hi[i]] for i)`` without a Python loop —
+    the multi-slice gather at the heart of the interval and child-span
+    joins. Disjoint ascending spans yield sorted output."""
+    lengths = hi - lo
+    positive = lengths > 0
+    if not positive.any():
+        return _EMPTY
+    lo = lo[positive]
+    lengths = lengths[positive]
+    ends = np.cumsum(lengths)
+    index = np.arange(ends[-1], dtype=np.int64)
+    shifts = np.repeat(lo - (ends - lengths), lengths)
+    return arr[index + shifts]
+
+
+def _emit_ranges(starts, stops):
+    """``concatenate(range(starts[i], stops[i]) for i)`` — the range
+    emitter behind ancestor interiors and attribute runs."""
+    lengths = stops - starts
+    positive = lengths > 0
+    if not positive.any():
+        return _EMPTY
+    starts = starts[positive]
+    lengths = lengths[positive]
+    ends = np.cumsum(lengths)
+    index = np.arange(ends[-1], dtype=np.int64)
+    shifts = np.repeat(starts - (ends - lengths), lengths)
+    return index + shifts

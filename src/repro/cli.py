@@ -74,6 +74,7 @@ import argparse
 import asyncio
 import sys
 
+from repro.axes import KERNEL_MODES, kernel_mode_forced, vector_backend
 from repro.engine import ALGORITHMS, XPathEngine
 from repro.errors import (
     FragmentViolationError,
@@ -491,6 +492,16 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "completes (completion order) instead of waiting for the batch",
     )
     parser.add_argument(
+        "--kernel-mode",
+        choices=KERNEL_MODES,
+        default=None,
+        help="force the axis-kernel dispatch tier for the whole batch: "
+        "auto (predicted-cost dispatch, the process default), indexed "
+        "(scalar index kernels only), vector (block-vectorized column "
+        "programs), or scan (Definition-1 scans — the A/B baseline); "
+        "results are byte-identical in every mode",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print plan-cache, result-cache, batch-plan, specializer, and "
@@ -591,6 +602,13 @@ def _stream_batch(args, queries: list[str], documents: list, labels: list[str]) 
 def batch_main(argv: list[str]) -> int:
     parser = build_batch_parser()
     args = parser.parse_args(argv)
+    if args.kernel_mode is not None:
+        with kernel_mode_forced(args.kernel_mode):
+            return _batch_main(args)
+    return _batch_main(args)
+
+
+def _batch_main(args) -> int:
     try:
         queries = _load_batch_queries(args)
     except OSError as error:
@@ -717,6 +735,13 @@ def batch_main(argv: list[str]) -> int:
                 "lazy decode:  "
                 f"lazy documents={kernel_stats['lazy_documents']} "
                 f"nodes materialized={kernel_stats['nodes_materialized']}",
+                file=sys.stderr,
+            )
+            print(
+                "vector:       "
+                f"programs={kernel_stats['vector_program_runs']} "
+                f"ops={kernel_stats['vector_ops']} "
+                f"backend={vector_backend()}",
                 file=sys.stderr,
             )
     return 0

@@ -42,6 +42,7 @@ fallback, byte-identical either way.
 from __future__ import annotations
 
 from repro import stats
+from repro.axes import vec
 from repro.axes.axes import (
     AXIS_PRINCIPAL_ATTRIBUTE,
     axis_test_pres,
@@ -95,10 +96,7 @@ class CoreXPathEvaluator:
         :meth:`evaluate` would (callers fall back to independent
         evaluation, keeping the paper's bounds).
         """
-        current = list(pres)
-        for step in steps:
-            current = self._forward_step(step, current)
-        return current
+        return self._sweep(steps, list(pres))
 
     def _all_pres(self) -> list[int]:
         """``dom`` as a sorted pre array (built once; callers treat the
@@ -111,9 +109,29 @@ class CoreXPathEvaluator:
 
     def _forward_path(self, path: Path, start: list[int]) -> list[int]:
         current = [0] if path.absolute else list(start)
-        for step in path.steps:
+        return self._sweep(path.steps, current)
+
+    def _sweep(self, steps: list[Step], current: list[int]) -> list[int]:
+        """Forward-sweep a step chain: a tier-2 column program when the
+        vector dispatch is engaged for this document (``vector`` mode,
+        or ``auto`` on a wide-enough document), else the per-step scalar
+        loop. Identical results and per-step accounting either way."""
+        if steps and vec.sweep_engaged(self.document):
+            program = vec.compile_forward_steps(steps)
+            return vec.run_program(
+                self.document,
+                program,
+                current,
+                self._predicate_pres,
+                on_step=self._count_step,
+            )
+        for step in steps:
             current = self._forward_step(step, current)
         return current
+
+    @staticmethod
+    def _count_step() -> None:
+        stats.count("corexpath_steps")
 
     def _forward_step(self, step: Step, origins: list[int]) -> list[int]:
         stats.count("corexpath_steps")
@@ -153,14 +171,26 @@ class CoreXPathEvaluator:
         propagation (no positions in Core XPath, so one pass suffices)."""
         assert isinstance(path, Path)
         current = self._all_pres()
-        for step in reversed(path.steps):
-            stats.count("corexpath_steps")
-            if not current:
-                return []
-            tested = self._test_filter(current, step)
-            for predicate in step.predicates:
-                tested = merge_intersection(tested, self._predicate_pres(predicate))
-            current = inverse_axis_test_pres(self.document, step.axis, tested)
+        if path.steps and vec.sweep_engaged(self.document):
+            program = vec.compile_backward_steps(path.steps)
+            current = vec.run_program(
+                self.document,
+                program,
+                current,
+                self._predicate_pres,
+                on_step=self._count_step,
+            )
+        else:
+            for step in reversed(path.steps):
+                stats.count("corexpath_steps")
+                if not current:
+                    break
+                tested = self._test_filter(current, step)
+                for predicate in step.predicates:
+                    tested = merge_intersection(
+                        tested, self._predicate_pres(predicate)
+                    )
+                current = inverse_axis_test_pres(self.document, step.axis, tested)
         if path.absolute:
             if current and current[0] == 0:  # pre 0 is the document node
                 return self._all_pres()

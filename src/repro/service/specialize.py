@@ -77,6 +77,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro import stats
+from repro.axes.vec import VECTOR_MIN_BLOCK
 from repro.service.plan import LogicalPlan
 from repro.service.planner import resolve_algorithm
 from repro.stats import CacheStats, TimingStats
@@ -208,8 +209,21 @@ REPRESENTATIVE_PROFILES = (
 #: wider than the 2–5× measured after PR 5's sorted-array rewrite,
 #: because the end-to-end set sweeps gain the most from unboxing. The
 #: factor drops 0.5 → 0.4 to track the median shift; the online timing
-#: rates still absorb per-machine residue.
+#: rates still absorb per-machine residue. Re-measured after the vector
+#: tier landed: the block programs shift the wide-sweep end further
+#: (2–4× on the EXP-VEC workload) but leave selective queries at the
+#: scalar-kernel constants, so the median factor keeps 0.4 and the
+#: vector gain is priced separately (:data:`VECTOR_SWEEP_DISCOUNT`).
 CORE_SWEEP_FACTOR = 0.4
+#: Multiplier on the Core sweep estimate for documents wide enough that
+#: ``auto`` routes sweeps through the tier-2 column programs
+#: (``repro.axes.vec``): batch-at-a-time column ops cut the per-node
+#: interpreter constant, but only once blocks amortize program setup —
+#: below the block threshold the discount must not apply, or tiny
+#: documents would over-prefer corexpath on mispredicted gains.
+#: Measured ≈ 0.6–0.8 on wide sweeps; 0.75 keeps the discount
+#: conservative and monotone (applied uniformly above the threshold).
+VECTOR_SWEEP_DISCOUNT = 0.75
 #: Per-unit cost of the (cp, cs) loop work when position is relevant.
 POSITIONAL_LOOP_FACTOR = 1.0
 #: OPTMINCONTEXT re-enters positional loops with precomputed tables, so
@@ -302,8 +316,13 @@ def cost_units(plan: LogicalPlan, profile: DocumentProfile, algorithm: str) -> f
     if algorithm == "corexpath":
         # The Core sweep is set operations end to end: every name-tested
         # interval step is now a fused partition query, so the whole
-        # estimate scales with the predicted kernel output.
-        return CORE_SWEEP_FACTOR * base * selectivity
+        # estimate scales with the predicted kernel output. Documents
+        # past the vector block threshold run the sweep as tier-2
+        # column programs — cheaper per step, priced by the discount.
+        estimate = CORE_SWEEP_FACTOR * base * selectivity
+        if n >= VECTOR_MIN_BLOCK:
+            estimate *= VECTOR_SWEEP_DISCOUNT
+        return estimate
     # The table evaluators' candidate-set sweeps ride the same kernels;
     # their table bookkeeping does not.
     sweep_blend = (1.0 - SET_SWEEP_SHARE) + SET_SWEEP_SHARE * selectivity

@@ -218,7 +218,7 @@ class TimingStats:
 class KernelStats:
     """Exact accounting for the output-sensitive axis kernels.
 
-    Six counters, each updated under the instance lock (the same
+    Eight counters, each updated under the instance lock (the same
     exactness contract as :class:`CacheStats` — the thread-safety hammer
     asserts them with ``==``):
 
@@ -239,7 +239,16 @@ class KernelStats:
     * ``nodes_materialized`` — boxed ``Node`` objects actually built on
       those documents, each pre counted exactly once ever (the
       materialization runs under the per-document lock). A lazy batch's
-      delta is the O(output) the column path promises.
+      delta is the O(output) the column path promises;
+    * ``vector_program_runs`` — whole-sweep column programs executed by
+      :func:`repro.axes.vec.run_program` (one per Core XPath main-path
+      or backward-predicate sweep routed through the vector tier);
+    * ``vector_ops`` — program ops actually executed by a vector backend
+      (block-at-a-time column primitives). Ops a program delegates to a
+      scalar kernel (narrow block under ``auto`` dispatch, or an axis
+      without a columnar form) tick the existing ``fused_hits`` /
+      ``fallback_scans`` counters instead, so the three counters
+      partition a program's step work exactly.
 
     Every fused/fallback event is exactly one dispatched call, so
     ``fused_hits + fallback_scans`` equals the number of fused-dispatch
@@ -256,6 +265,8 @@ class KernelStats:
     fallback_scans: int = 0
     lazy_documents: int = 0
     nodes_materialized: int = 0
+    vector_program_runs: int = 0
+    vector_ops: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -290,6 +301,16 @@ class KernelStats:
             self.nodes_materialized += amount
         count("axis_nodes_materialized", amount)
 
+    def vector_run(self, amount: int = 1) -> None:
+        with self._lock:
+            self.vector_program_runs += amount
+        count("axis_vector_programs", amount)
+
+    def vector_op(self, amount: int = 1) -> None:
+        with self._lock:
+            self.vector_ops += amount
+        count("axis_vector_ops", amount)
+
     def snapshot(self) -> dict[str, int]:
         """A consistent point-in-time copy of the counters."""
         with self._lock:
@@ -300,6 +321,8 @@ class KernelStats:
                 "fallback_scans": self.fallback_scans,
                 "lazy_documents": self.lazy_documents,
                 "nodes_materialized": self.nodes_materialized,
+                "vector_program_runs": self.vector_program_runs,
+                "vector_ops": self.vector_ops,
             }
 
 

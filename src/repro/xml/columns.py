@@ -338,6 +338,12 @@ class ColumnDocument(Document):
 
     def attribute_pres(self, pre: int) -> range:
         """The contiguous attribute run of element ``pre`` (maybe empty)."""
+        index = self._index
+        if index is not None and index.attribute_counts_ready:
+            # The vector tier already paid for the per-pre attribute
+            # counts — the run is a closed form then (non-elements
+            # count 0, so the kind check is subsumed).
+            return range(pre + 1, pre + 1 + index.attribute_counts()[pre])
         columns = self.columns
         kinds = columns.kinds
         if kinds[pre] != _ELEM:
@@ -360,6 +366,12 @@ class ColumnDocument(Document):
     def child_pres(self, pre: int) -> list[int]:
         """Child pres of ``pre`` in order: skip the attribute run, then
         hop sibling subtrees (``c += size[c]``) to the interval end."""
+        index = self._index
+        if index is not None and index.child_table_ready:
+            # One contiguous span of the memoized child table (built by
+            # the vector tier; non-parents have an empty span).
+            offsets, children = index.child_table()
+            return list(children[offsets[pre] : offsets[pre + 1]])
         columns = self.columns
         kinds, size = columns.kinds, columns.size
         code = kinds[pre]

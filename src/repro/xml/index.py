@@ -96,6 +96,9 @@ class NodeIndex:
         "_document_ref",
         "total",
         "packed",
+        "_child_offsets",
+        "_child_packed",
+        "_attribute_counts",
         "size",
         "post",
         "depth",
@@ -119,6 +122,9 @@ class NodeIndex:
         # here would make every key strongly reachable from its own value
         # and pin every indexed document in memory forever.
         self._document_ref = weakref.ref(document)
+        self._child_offsets = None
+        self._child_packed = None
+        self._attribute_counts = None
         nodes = document.nodes
         total = len(nodes)
         self.total = total
@@ -176,6 +182,9 @@ class NodeIndex:
             raise ValueError("document must be finalized before indexing")
         index = cls.__new__(cls)
         index._document_ref = weakref.ref(document)
+        index._child_offsets = None
+        index._child_packed = None
+        index._attribute_counts = None
         index.size = memoryview(size if isinstance(size, array) else array("q", size))
         index.post = memoryview(post if isinstance(post, array) else array("q", post))
         index.depth = memoryview(
@@ -385,6 +394,75 @@ class NodeIndex:
                 return self.pis
             return self.by_pi_target.get(test.name, [])
         return None
+
+    # ------------------------------------------------------------------
+    # Block accessors (the vector tier's gatherable columns)
+    # ------------------------------------------------------------------
+
+    @property
+    def child_table_ready(self) -> bool:
+        """Whether :meth:`child_table` is already memoized (probe for
+        callers that want the fast path only when it costs nothing —
+        e.g. a lazy document answering one node's ``children``)."""
+        return self._child_offsets is not None
+
+    @property
+    def attribute_counts_ready(self) -> bool:
+        """Whether :meth:`attribute_counts` is already memoized."""
+        return self._attribute_counts is not None
+
+    def child_table(self):
+        """``(offsets, children)`` — the contiguous child-span table.
+
+        ``children[offsets[p]:offsets[p+1]]`` is the ascending pre array
+        of the children of ``p`` (attributes excluded), for every pre.
+        Both columns are ``array('q')`` — gatherable by slice from the
+        stdlib backend and zero-copy adoptable by ``numpy.frombuffer``.
+        Built lazily in one counting-sort pass over ``parent_pre``
+        (stable, so each span is ascending for free) and memoized; the
+        build is idempotent, so a racing duplicate build is benign — the
+        last assignment wins and both values are identical.
+        """
+        offsets = self._child_offsets
+        if offsets is not None:
+            return offsets, self._child_packed
+        total = self.total
+        parent_pre = self.parent_pre
+        attribute_counts = self.attribute_counts()
+        counts = [0] * (total + 1)
+        for pre in self.non_attributes:
+            parent = parent_pre[pre]
+            if parent >= 0:
+                counts[parent + 1] += 1
+        for pre in range(total):
+            counts[pre + 1] += counts[pre]
+        offsets = array("q", counts)
+        children = array("q", bytes(8 * offsets[total]))
+        cursor = list(offsets[:total])
+        for pre in self.non_attributes:
+            parent = parent_pre[pre]
+            if parent >= 0:
+                children[cursor[parent]] = pre
+                cursor[parent] += 1
+        # attribute_counts() memoized first: a reader that sees the child
+        # columns always sees the attribute column too.
+        self._child_packed = children
+        self._child_offsets = offsets
+        return offsets, children
+
+    def attribute_counts(self):
+        """``array('q')`` of per-pre attribute counts: element ``p``'s
+        attributes are exactly the contiguous run ``p+1 .. p+counts[p]``
+        (the parser's attribute-contiguity invariant). Lazily built from
+        the attribute partition, memoized; benign-race idempotent."""
+        counts = self._attribute_counts
+        if counts is None:
+            counts = array("q", bytes(8 * self.total))
+            parent_pre = self.parent_pre
+            for pre in self.attributes:
+                counts[parent_pre[pre]] += 1
+            self._attribute_counts = counts
+        return counts
 
     def ancestors_of(self, pre: int) -> list[int]:
         """Pre numbers of the proper ancestors of ``pre`` (nearest first)."""

@@ -297,6 +297,49 @@ def test_lazy_document_materializes_each_pre_exactly_once_under_contention():
         assert all(a is b for a, b in zip(first, ordered))
 
 
+def test_vector_program_counters_are_exact_under_contention():
+    """PR 9's vector tier under the hammer: 8 threads evaluating the
+    same compiled sweep in forced ``vector`` mode over one shared
+    document tick ``vector_program_runs``/``vector_ops`` by exactly
+    ``threads x rounds x per-evaluation shape`` — the counters ride the
+    same locked :class:`repro.stats.KernelStats` as the scalar dispatch
+    counters, so equality is the torn-update regression signal — while
+    every thread reads identical bytes."""
+    from repro import stats
+    from repro.axes import kernel_mode_forced
+
+    document = book_catalog(books=20)
+    engine = XPathEngine(document)
+    compiled = engine.compile("/descendant::*[child::*]/child::node()")
+    rounds = 30
+    with kernel_mode_forced("vector"):
+        expected = engine.evaluate(compiled, algorithm="corexpath")
+        probe = stats.axis_kernel_stats.snapshot()
+        engine.evaluate(compiled, algorithm="corexpath")
+        after_probe = stats.axis_kernel_stats.snapshot()
+        runs_per_eval = (
+            after_probe["vector_program_runs"] - probe["vector_program_runs"]
+        )
+        ops_per_eval = after_probe["vector_ops"] - probe["vector_ops"]
+        assert runs_per_eval == 2  # forward sweep + one predicate program
+        assert ops_per_eval == 4  # two forward ops + filter op + inverse op
+
+        before = stats.axis_kernel_stats.snapshot()
+
+        def worker(_):
+            for _ in range(rounds):
+                assert engine.evaluate(compiled, algorithm="corexpath") == expected
+
+        _hammer(worker)
+        after = stats.axis_kernel_stats.snapshot()
+    evaluations = THREADS * rounds
+    assert (
+        after["vector_program_runs"] - before["vector_program_runs"]
+        == evaluations * runs_per_eval
+    )
+    assert after["vector_ops"] - before["vector_ops"] == evaluations * ops_per_eval
+
+
 def test_plan_cache_iteration_is_safe_during_mutation():
     """keys()/values() hand out point-in-time copies, so a monitoring
     thread can walk the cache while drivers mutate it."""
