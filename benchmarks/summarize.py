@@ -13,6 +13,7 @@ Run after the benchmark suite:
     python benchmarks/summarize.py --batchplan   # just the multi-query gates
     python benchmarks/summarize.py --lazy        # just the lazy-decode gates
     python benchmarks/summarize.py --vector      # just the vector-program gates
+    python benchmarks/summarize.py --serve       # just the serving-daemon gates
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ ORDER = [
     "exp_x1", "exp_t7a", "exp_t7b", "exp_t10", "exp_t13",
     "exp_x2", "exp_x3", "exp_a1", "exp_a2",
     "exp_svc", "exp_shard", "exp_mqo", "exp_async", "exp_spec", "exp_axis", "exp_snap",
-    "exp_lazy", "exp_vec",
+    "exp_lazy", "exp_vec", "exp_serve",
 ]
 
 
@@ -157,6 +158,20 @@ def vector_lines() -> list[str]:
     ]
 
 
+def serve_lines() -> list[str]:
+    """The gate, percentile, and counter lines from the EXP-SERVE report
+    (written by bench_serve.py)."""
+    path = RESULTS_DIR / "exp_serve.txt"
+    if not path.exists():
+        return []
+    markers = ("gate:", "counters:", "workload:", "p99")
+    return [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if any(marker in line for marker in markers)
+    ]
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -204,6 +219,12 @@ def main(argv: list[str] | None = None) -> None:
         "--vector",
         action="store_true",
         help="print only the vector-program gates and speedups (EXP-VEC)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="print only the serving-daemon gates: p99, reconciliation, "
+        "admission, drain (EXP-SERVE)",
     )
     args = parser.parse_args(argv)
     if args.plan_cache:
@@ -283,6 +304,15 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(
                 "no vector-program results yet — run: "
                 "python benchmarks/bench_vector.py"
+            )
+        print("\n".join(lines))
+        return
+    if args.serve:
+        lines = serve_lines()
+        if not lines:
+            raise SystemExit(
+                "no serving-daemon results yet — run: "
+                "python benchmarks/bench_serve.py"
             )
         print("\n".join(lines))
         return

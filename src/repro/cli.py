@@ -36,7 +36,13 @@ Three modes:
 * ``repro-xpath store {snapshot,list,migrate}`` manages a document
   store: ``snapshot`` parses a document and persists it as a binary
   snapshot sidecar (format v2), ``list`` prints the catalog, and
-  ``migrate`` rewrites legacy v1 inline entries as snapshot sidecars.
+  ``migrate`` rewrites legacy v1 inline entries as snapshot sidecars;
+* ``repro-xpath serve`` runs the long-lived serving daemon
+  (:mod:`repro.serve`): line-delimited JSON over TCP, per-client
+  quotas, cost-priced admission control, per-query deadlines, and
+  graceful drain on SIGTERM. ``repro-xpath client`` is the matching
+  one-shot client: register documents, run queries, print results —
+  with typed server errors mapped onto the same exit-code families.
 
 Examples::
 
@@ -61,11 +67,25 @@ query from a bad document from a bad invocation:
 
 * 0 — success (and, for ``--compare``, agreement);
 * 1 — any other library error (:data:`EXIT_ERROR`);
-* 2 — bad invocation, or ``--compare`` disagreement (:data:`EXIT_USAGE`);
-* 3 — unparsable/ill-typed query (:data:`EXIT_QUERY`);
-* 4 — malformed XML document (:data:`EXIT_DOCUMENT`);
+* 2 — bad invocation, unknown algorithm, or ``--compare`` disagreement
+  (:data:`EXIT_USAGE`);
+* 3 — unparsable/ill-typed query, including unbound variables
+  (:data:`EXIT_QUERY`);
+* 4 — malformed XML document, or an unregistered document name over the
+  serving protocol (:data:`EXIT_DOCUMENT`);
 * 5 — fragment violation, e.g. ``corexpath`` forced onto a query outside
-  Core XPath (:data:`EXIT_FRAGMENT`).
+  Core XPath (:data:`EXIT_FRAGMENT`);
+* 6 — document-store failure, including corrupt snapshot sidecars
+  (:data:`EXIT_STORE`);
+* 7 — refused by the serving daemon: admission overload, rate limit,
+  quota, or a draining server (:data:`EXIT_OVERLOAD`);
+* 8 — query deadline exceeded (:data:`EXIT_DEADLINE`);
+* 9 — serving protocol or transport failure (:data:`EXIT_SERVE`).
+
+The class-level table ``_ERROR_EXITS`` and the wire-code table
+``_CODE_EXITS`` are kept coherent: for every library error,
+``error_exit_code(error) == _CODE_EXITS[error_code(error)]`` — a
+query that fails remotely exits exactly as it would have locally.
 """
 
 from __future__ import annotations
@@ -77,8 +97,17 @@ import sys
 from repro.axes import KERNEL_MODES, kernel_mode_forced, vector_backend
 from repro.engine import ALGORITHMS, XPathEngine
 from repro.errors import (
+    DeadlineExceededError,
+    DocumentFrozenError,
+    DocumentNotFinalizedError,
+    DocumentStoreError,
     FragmentViolationError,
+    OverloadError,
+    QuotaExceededError,
     ReproError,
+    ServeError,
+    UnboundVariableError,
+    UnknownAlgorithmError,
     XMLSyntaxError,
     XPathSyntaxError,
     XPathTypeError,
@@ -106,22 +135,71 @@ EXIT_USAGE = 2
 EXIT_QUERY = 3
 EXIT_DOCUMENT = 4
 EXIT_FRAGMENT = 5
+EXIT_STORE = 6
+EXIT_OVERLOAD = 7
+EXIT_DEADLINE = 8
+EXIT_SERVE = 9
 
-#: Most-specific-first mapping from error class to exit code.
-#: UnboundVariableError and the function-call errors subclass
-#: XPathTypeError or ReproError and fall through to EXIT_QUERY or
-#: EXIT_ERROR accordingly.
+#: Most-specific-first mapping from error class to exit code (subclasses
+#: before their bases, mirroring :data:`repro.errors.ERROR_CODES`).
 _ERROR_EXITS = (
     (XPathSyntaxError, EXIT_QUERY),
     (XPathTypeError, EXIT_QUERY),
+    (UnboundVariableError, EXIT_QUERY),
     (XMLSyntaxError, EXIT_DOCUMENT),
+    (DocumentFrozenError, EXIT_DOCUMENT),
+    (DocumentNotFinalizedError, EXIT_DOCUMENT),
     (FragmentViolationError, EXIT_FRAGMENT),
+    (UnknownAlgorithmError, EXIT_USAGE),
+    (DocumentStoreError, EXIT_STORE),
+    (DeadlineExceededError, EXIT_DEADLINE),
+    (OverloadError, EXIT_OVERLOAD),
+    (QuotaExceededError, EXIT_OVERLOAD),
+    (ServeError, EXIT_SERVE),
 )
+
+#: Every stable protocol code (:data:`repro.errors.PROTOCOL_CODES`)
+#: mapped onto an exit code. Kept coherent with ``_ERROR_EXITS`` — the
+#: taxonomy test asserts ``error_exit_code(e) == _CODE_EXITS[
+#: error_code(e)]`` for every library error class — so a remote failure
+#: relayed by the client exits exactly as the local failure would.
+_CODE_EXITS = {
+    "QUERY_SYNTAX": EXIT_QUERY,
+    "UNKNOWN_FUNCTION": EXIT_QUERY,
+    "WRONG_ARITY": EXIT_QUERY,
+    "QUERY_TYPE": EXIT_QUERY,
+    "UNBOUND_VARIABLE": EXIT_QUERY,
+    "XML_SYNTAX": EXIT_DOCUMENT,
+    "DOCUMENT_FROZEN": EXIT_DOCUMENT,
+    "DOCUMENT_NOT_FINALIZED": EXIT_DOCUMENT,
+    "UNKNOWN_DOCUMENT": EXIT_DOCUMENT,
+    "EVALUATION": EXIT_ERROR,
+    "INTERNAL": EXIT_ERROR,
+    "ERROR": EXIT_ERROR,
+    "SNAPSHOT_CORRUPT": EXIT_STORE,
+    "DOCUMENT_STORE": EXIT_STORE,
+    "FRAGMENT_VIOLATION": EXIT_FRAGMENT,
+    "UNKNOWN_ALGORITHM": EXIT_USAGE,
+    "UNKNOWN_VERB": EXIT_USAGE,
+    "DEADLINE": EXIT_DEADLINE,
+    "RATE_LIMITED": EXIT_OVERLOAD,
+    "OVERLOAD": EXIT_OVERLOAD,
+    "QUOTA": EXIT_OVERLOAD,
+    "SHUTTING_DOWN": EXIT_OVERLOAD,
+    "PROTOCOL": EXIT_SERVE,
+    "SERVE": EXIT_SERVE,
+    "FRAME_TOO_LARGE": EXIT_SERVE,
+}
 
 
 def error_exit_code(error: ReproError) -> int:
     """The exit code for a library error: distinct nonzero codes per
-    family, :data:`EXIT_ERROR` for anything unclassified."""
+    family, :data:`EXIT_ERROR` for anything unclassified. Errors
+    relayed from a server (:class:`~repro.errors.RemoteError`) carry
+    their stable protocol code and map through :data:`_CODE_EXITS`."""
+    protocol_code = getattr(error, "protocol_code", None)
+    if protocol_code is not None:
+        return _CODE_EXITS.get(protocol_code, EXIT_ERROR)
     for error_class, code in _ERROR_EXITS:
         if isinstance(error, error_class):
             return code
@@ -160,10 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Subcommands: 'repro-xpath plan QUERY' compiles and prints a query "
             "plan; 'repro-xpath batch ...' evaluates many queries x many "
             "documents through the plan cache; 'repro-xpath store ...' manages "
-            "a binary-snapshot document store (each has its own --help). They "
-            "are recognized only as the first argument — to evaluate a query "
-            "literally named 'plan', 'batch', or 'store', put an option first "
-            "(repro-xpath --xml '<r/>' plan) or write it as child::plan."
+            "a binary-snapshot document store; 'repro-xpath serve' runs the "
+            "serving daemon and 'repro-xpath client' talks to it (each has "
+            "its own --help). They are recognized only as the first argument "
+            "— to evaluate a query literally named like one, put an option "
+            "first (repro-xpath --xml '<r/>' plan) or write it as child::plan."
         ),
     )
     parser.add_argument("query", help="XPath 1.0 query (abbreviated syntax accepted)")
@@ -846,6 +925,307 @@ def store_main(argv: list[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# serve subcommand
+# ----------------------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath serve",
+        description="Run the serving daemon: line-delimited JSON over TCP "
+        "with per-client quotas, cost-priced admission control, per-query "
+        "deadlines, and graceful drain on SIGTERM (see repro.serve).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8727,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    parser.add_argument(
+        "--max-documents",
+        type=int,
+        default=64,
+        help="per-client registered-document cap",
+    )
+    parser.add_argument(
+        "--max-registered-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="per-client registered source-byte budget",
+    )
+    parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=32,
+        help="per-client concurrent-query cap",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-client sustained queries/second (default: unlimited)",
+    )
+    parser.add_argument(
+        "--burst", type=int, default=8, help="token-bucket burst for --rate"
+    )
+    parser.add_argument(
+        "--queue-high",
+        type=int,
+        default=64,
+        help="in-flight depth at which admission rejects outright",
+    )
+    parser.add_argument(
+        "--queue-degrade",
+        type=int,
+        default=16,
+        help="in-flight depth at which admission starts degrading",
+    )
+    parser.add_argument(
+        "--max-cost-seconds",
+        type=float,
+        default=5.0,
+        help="admission budget for requests without their own deadline",
+    )
+    parser.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline applied to requests that do not carry one",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        help="seconds in-flight work gets to finish after SIGTERM",
+    )
+    parser.add_argument(
+        "--batch-workers",
+        type=int,
+        default=2,
+        help="shard workers per BATCH request",
+    )
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    from repro.serve.admission import AdmissionController
+    from repro.serve.daemon import XPathDaemon, run_daemon
+    from repro.serve.quotas import ClientQuota
+
+    if args.queue_degrade > args.queue_high:
+        return _fail(
+            "--queue-degrade must not exceed --queue-high", EXIT_USAGE
+        )
+    service = QueryService()
+    daemon = XPathDaemon(
+        service=service,
+        host=args.host,
+        port=args.port,
+        quota=ClientQuota(
+            max_documents=args.max_documents,
+            max_registered_bytes=args.max_registered_bytes,
+            max_in_flight=args.max_in_flight,
+            rate=args.rate,
+            burst=args.burst,
+        ),
+        admission=AdmissionController(
+            service,
+            queue_high=args.queue_high,
+            queue_degrade=args.queue_degrade,
+            max_cost_seconds=args.max_cost_seconds,
+        ),
+        default_deadline_seconds=(
+            None
+            if args.default_deadline_ms is None
+            else args.default_deadline_ms / 1000.0
+        ),
+        batch_workers=args.batch_workers,
+        drain_grace=args.drain_grace,
+    )
+
+    def ready(started: XPathDaemon) -> None:
+        print(
+            f"repro-xpath serve: listening on {started.host}:{started.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_daemon(daemon, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    except ReproError as error:
+        return _fail(str(error), error_exit_code(error))
+    except OSError as error:
+        return _fail(str(error), EXIT_SERVE)
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# client subcommand
+# ----------------------------------------------------------------------
+
+
+def build_client_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath client",
+        description="One-shot client for the serving daemon: register "
+        "documents, run queries, print results. Typed server errors map "
+        "onto the same exit-code families as local failures.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="daemon address")
+    parser.add_argument("--port", type=int, required=True, help="daemon port")
+    parser.add_argument(
+        "--client",
+        help="client identity (quotas and registrations are per identity; "
+        "default: one identity per connection)",
+    )
+    parser.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register an XML file under NAME before querying (repeatable)",
+    )
+    parser.add_argument(
+        "--register-xml",
+        action="append",
+        default=[],
+        metavar="NAME=XML",
+        help="register an inline XML string under NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--query",
+        "-q",
+        action="append",
+        default=[],
+        metavar="QUERY",
+        help="a query to evaluate (repeatable)",
+    )
+    parser.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="a registered document to query (repeatable; default: every "
+        "document registered by this invocation)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query deadline in milliseconds",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        choices=("path", "xml", "value"),
+        default="path",
+        help="node rendering: debug path, serialized XML, or string value",
+    )
+    parser.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="surface OVERLOAD/RATE_LIMITED refusals immediately instead "
+        "of honoring the server's retry_after backoff hints",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, help="socket timeout in seconds"
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the daemon's per-client and global counters afterwards",
+    )
+    return parser
+
+
+def _render_response_payload(payload: dict) -> str:
+    """Render a QUERY response's result payload like the local modes."""
+    if payload.get("kind") == "node-set":
+        items = payload.get("items", [])
+        return "\n".join(items) if items else "(empty node-set)"
+    if payload.get("kind") == "boolean":
+        return "true" if payload.get("value") else "false"
+    return str(payload.get("value"))
+
+
+def client_main(argv: list[str]) -> int:
+    args = build_client_parser().parse_args(argv)
+    import json
+
+    from repro.serve.client import ServeClient
+
+    registrations = []
+    for spec, inline in [(s, False) for s in args.register] + [
+        (s, True) for s in args.register_xml
+    ]:
+        name, separator, value = spec.partition("=")
+        if not separator or not name:
+            return _fail(
+                f"bad registration {spec!r} (expected NAME=PATH or NAME=XML)",
+                EXIT_USAGE,
+            )
+        registrations.append((name, value, inline))
+    if not args.query and not registrations and not args.stats:
+        return _fail(
+            "nothing to do (use --register/--register-xml, -q, or --stats)",
+            EXIT_USAGE,
+        )
+    try:
+        client = ServeClient(
+            host=args.host,
+            port=args.port,
+            client=args.client,
+            timeout=args.timeout,
+            max_retries=0 if args.no_retry else 4,
+        )
+    except OSError as error:
+        return _fail(str(error), EXIT_SERVE)
+    try:
+        with client:
+            registered = []
+            for name, value, inline in registrations:
+                if inline:
+                    source = value
+                else:
+                    with open(value, encoding="utf-8") as handle:
+                        source = handle.read()
+                client.register(name, source)
+                registered.append(name)
+            doc_names = args.doc if args.doc else registered
+            if args.query and not doc_names:
+                return _fail(
+                    "no documents to query (use --register or --doc)",
+                    EXIT_USAGE,
+                )
+            for doc_name in doc_names:
+                for query in args.query:
+                    response = client.query(
+                        query,
+                        doc_name,
+                        deadline_ms=args.deadline_ms,
+                        output=args.output,
+                        retry=not args.no_retry,
+                    )
+                    print(
+                        f"=== {doc_name} :: {query} "
+                        f"[{response.get('algorithm', '?')}] ==="
+                    )
+                    print(_render_response_payload(response))
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2), file=sys.stderr)
+    except OSError as error:
+        return _fail(str(error), EXIT_SERVE)
+    except ReproError as error:
+        return _fail(str(error), error_exit_code(error))
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
 
@@ -861,6 +1241,10 @@ def main(argv: list[str] | None = None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "store":
         return store_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return client_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.file:

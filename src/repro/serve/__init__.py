@@ -1,0 +1,76 @@
+"""``repro.serve`` — the serving daemon, and why it admits before it works.
+
+The paper's result is that Core XPath evaluation is *predictable*:
+cost is a polynomial of measurable quantities (document size, query
+size, fragment), not a surprise discovered mid-evaluation. This package
+turns that predictability into an operational contract. A long-lived
+daemon (:class:`~repro.serve.daemon.XPathDaemon`) fronts one shared
+:class:`~repro.service.service.QueryService` over a line-delimited JSON
+TCP protocol (:mod:`repro.serve.protocol`), and every request walks the
+same gauntlet **before any evaluation starts**:
+
+1. **Quotas** (:mod:`repro.serve.quotas`) — static per-client fences:
+   registered-document count and byte budget, an in-flight cap, and a
+   token-bucket query rate. Refusals are typed (``QUOTA``,
+   ``RATE_LIMITED``) and carry ``retry_after`` hints when waiting helps.
+2. **Admission** (:mod:`repro.serve.admission`) — the dynamic gate. Each
+   (query, document) cell is priced from the specializer's cost model
+   (abstract units per candidate algorithm) times the observed
+   seconds-per-unit rate, floored by the document's shard-timing
+   history; the price is compared against the request's remaining
+   deadline and the daemon's queue depth. The verdict is admit, degrade
+   (force the cheapest admissible algorithm and drop batch sharing —
+   reduced service beats refusal), or a typed ``OVERLOAD`` rejection.
+   Because rejection happens at pricing time, an overloaded daemon's
+   refusal latency — and hence its p99 — stays bounded no matter what
+   is thrown at it; the :class:`~repro.serve.faults.FaultInjector`'s
+   ``evaluations_started`` counter is the auditable proof that rejected
+   work never ran.
+3. **Deadlines** — admitted work runs under cooperative cancellation:
+   ``asyncio.wait_for`` for single queries, a deadline-armed
+   :class:`~repro.service.async_service.BatchStream` for batches.
+   Expiry always produces a typed ``DEADLINE`` response (with the
+   partial cells, for batches) — never a hang, never a silent drop.
+4. **Drain** — SIGTERM flips the daemon into draining: new work is
+   refused with ``SHUTTING_DOWN``, in-flight work finishes (or is
+   deadlined out) within the grace window, response queues are flushed,
+   and the exact per-client counters (:class:`~repro.stats.ServeStats`)
+   still reconcile: ``admitted == completed + deadlined + failed``,
+   with zero admitted queries losing their response.
+
+:class:`~repro.serve.client.ServeClient` is the matching client: typed
+errors reconstructed from stable protocol codes, and jittered
+exponential backoff that honors the server's ``retry_after`` hints.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.serve.client import ServeClient
+from repro.serve.daemon import XPathDaemon, run_daemon
+from repro.serve.faults import FaultInjector
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    VERBS,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+from repro.serve.quotas import ClientQuota, ClientState, TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ClientQuota",
+    "ClientState",
+    "FaultInjector",
+    "MAX_FRAME_BYTES",
+    "ServeClient",
+    "TokenBucket",
+    "VERBS",
+    "XPathDaemon",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "run_daemon",
+]

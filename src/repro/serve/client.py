@@ -1,0 +1,226 @@
+"""A synchronous client for the serving daemon.
+
+:class:`ServeClient` speaks the line-delimited JSON protocol over a
+plain blocking socket — one request, one response, correlated by ``id``
+(the client never pipelines, so it needs no reader thread). Server
+errors come back typed: serve-family codes reconstruct their real
+exception classes (:class:`~repro.errors.OverloadError` with its
+``retry_after`` hint, :class:`~repro.errors.DeadlineExceededError` with
+the partial-result counts, ...) and everything else raises
+:class:`~repro.errors.RemoteError` carrying the stable protocol code,
+so CLI exit codes stay faithful across the wire.
+
+Backpressure cooperation: when the server refuses with a retryable code
+(``OVERLOAD`` or ``RATE_LIMITED`` *with* a ``retry_after`` hint, or an
+in-flight ``QUOTA`` refusal), :meth:`query`/:meth:`batch` honor the
+hint — sleeping ``max(hint, backoff)`` where backoff is jittered
+exponential (``base * 2**attempt * uniform(0.5, 1.5)``) — up to
+``max_retries`` times before surfacing the typed error. Refusals
+without a hint (priced cost over the request's own deadline,
+``SHUTTING_DOWN``) are never retried: the server said retrying cannot
+help. The RNG and sleep are injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadError,
+    ProtocolError,
+    QuotaExceededError,
+    RateLimitedError,
+    RemoteError,
+)
+from repro.serve.protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+
+#: Serve-family wire codes that reconstruct their real exception class
+#: client-side (everything else raises RemoteError with the code).
+_CODE_ERRORS = {
+    "OVERLOAD": OverloadError,
+    "RATE_LIMITED": RateLimitedError,
+    "QUOTA": QuotaExceededError,
+    "PROTOCOL": ProtocolError,
+}
+
+#: Codes eligible for client-side retry — but only when the server
+#: attached a retry_after hint (QUOTA in-flight refusals carry one;
+#: registration-budget refusals do not).
+_RETRYABLE_CODES = frozenset({"OVERLOAD", "RATE_LIMITED", "QUOTA"})
+
+
+def response_error(error_payload: dict) -> Exception:
+    """The typed exception for one wire error payload."""
+    code = error_payload.get("code", "ERROR")
+    message = error_payload.get("message", "")
+    retry_after = error_payload.get("retry_after")
+    if code == "DEADLINE":
+        error = DeadlineExceededError(
+            message,
+            completed=error_payload.get("completed"),
+            total=error_payload.get("total"),
+        )
+        # Batch deadline responses surface their partial result cells.
+        error.cells = error_payload.get("cells")
+        return error
+    cls = _CODE_ERRORS.get(code)
+    if cls is not None:
+        if issubclass(cls, (OverloadError, QuotaExceededError)):
+            return cls(message, retry_after=retry_after)
+        return cls(message)
+    return RemoteError(code, message)
+
+
+class ServeClient:
+    """One blocking connection to an :class:`~repro.serve.daemon.
+    XPathDaemon`. Usable as a context manager (``BYE`` + close on
+    exit)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        client: str | None = None,
+        timeout: float | None = 30.0,
+        max_retries: int = 4,
+        backoff_base: float = 0.05,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.client = client
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._request_id = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        #: Exact client-side response accounting (the zero-lost gate
+        #: compares these against the daemon's counters).
+        self.responses_received = 0
+        self.retries = 0
+
+    # -- context management ---------------------------------------------
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self.bye()
+        except (ProtocolError, OSError):
+            pass
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    # -- framing --------------------------------------------------------
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship raw bytes (the malformed-frame fault, client side)."""
+        self._sock.sendall(data)
+
+    def read_response(self) -> dict:
+        line = self._file.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ProtocolError("connection closed by server")
+        frame = decode_frame(line)
+        self.responses_received += 1
+        return frame
+
+    def request(self, verb: str, **fields) -> dict:
+        """One request/response exchange. Returns the ``ok`` response
+        payload; raises the typed exception for an error response."""
+        self._request_id += 1
+        frame = {"verb": verb, "id": self._request_id}
+        if self.client is not None:
+            frame["client"] = self.client
+        frame.update(fields)
+        self._sock.sendall(encode_frame(frame))
+        response = self.read_response()
+        if response.get("id") not in (None, self._request_id):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._request_id}"
+            )
+        if response.get("ok"):
+            return response
+        raise response_error({**response.get("error", {}), **{
+            key: value
+            for key, value in response.items()
+            if key in ("completed", "total", "cells")
+        }})
+
+    def _retrying(self, verb: str, **fields) -> dict:
+        """:meth:`request` plus the backpressure protocol: honor
+        retry_after hints with jittered exponential backoff."""
+        attempt = 0
+        while True:
+            try:
+                return self.request(verb, **fields)
+            except (OverloadError, QuotaExceededError) as error:
+                hint = getattr(error, "retry_after", None)
+                if hint is None or attempt >= self.max_retries:
+                    raise
+                backoff = self.backoff_base * (2**attempt) * self._rng.uniform(0.5, 1.5)
+                self._sleep(max(hint, backoff))
+                self.retries += 1
+                attempt += 1
+
+    # -- verbs ----------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("PING")
+
+    def register(self, name: str, xml: str) -> dict:
+        return self.request("REGISTER", name=name, xml=xml)
+
+    def unregister(self, name: str) -> dict:
+        return self.request("UNREGISTER", name=name)
+
+    def query(
+        self,
+        query: str,
+        doc: str,
+        deadline_ms: float | None = None,
+        output: str = "path",
+        retry: bool = True,
+    ) -> dict:
+        fields = {"query": query, "doc": doc, "output": output}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        if retry:
+            return self._retrying("QUERY", **fields)
+        return self.request("QUERY", **fields)
+
+    def batch(
+        self,
+        queries: list[str],
+        docs: list[str] | None = None,
+        deadline_ms: float | None = None,
+        output: str = "path",
+        retry: bool = True,
+    ) -> dict:
+        fields: dict = {"queries": queries, "output": output}
+        if docs is not None:
+            fields["docs"] = docs
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        if retry:
+            return self._retrying("BATCH", **fields)
+        return self.request("BATCH", **fields)
+
+    def stats(self) -> dict:
+        return self.request("STATS")["stats"]
+
+    def bye(self) -> dict:
+        return self.request("BYE")

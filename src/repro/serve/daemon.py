@@ -1,0 +1,766 @@
+"""The serving daemon: an asyncio TCP front end over the query service.
+
+One :class:`XPathDaemon` owns a shared :class:`~repro.service.service.
+QueryService` (plan cache, sessions, specializer timings), an
+:class:`~repro.serve.admission.AdmissionController` priced from that
+service's timing histories, per-client :class:`~repro.serve.quotas.
+ClientState`, and exact per-client + global :class:`~repro.stats.
+ServeStats`. Connections speak the line-delimited JSON protocol of
+:mod:`repro.serve.protocol`; requests on one connection are handled
+concurrently (pipelining) with responses correlated by ``id`` and
+delivered through a bounded per-connection response queue (backpressure
+propagates to the evaluation tasks, never unbounded buffering).
+
+The robustness contract, in the order a request meets it:
+
+1. **decode** — malformed lines get a typed ``PROTOCOL`` error and the
+   connection resynchronizes at the next newline; oversized frames get
+   ``FRAME_TOO_LARGE`` and a close.
+2. **quotas** — the client's token bucket (``RATE_LIMITED`` +
+   ``retry_after``) and in-flight cap (``QUOTA``) fence static resource
+   use before any pricing work.
+3. **admission** — the controller prices the (query, document) cells
+   from the specializer's cost model × observed per-algorithm rates ×
+   per-document shard history and admits, degrades (cheapest admissible
+   algorithm, sharing dropped), or rejects with typed ``OVERLOAD`` —
+   all *before evaluation starts*.
+4. **deadlines** — admitted work runs under ``asyncio.wait_for`` (single
+   queries) or a deadline-armed :class:`~repro.service.async_service.
+   BatchStream` (batches): expiry always yields a typed ``DEADLINE``
+   response — with the partial cells for batches — never a hang.
+   Worker threads already evaluating cannot be interrupted, only
+   abandoned; their results are dropped and their timing observations
+   still sharpen future admissions.
+5. **drain** — SIGTERM stops admission (``SHUTTING_DOWN``), lets
+   in-flight work finish inside ``drain_grace`` (stragglers are
+   cancelled into ``DEADLINE`` responses), flushes every response
+   queue, and only then closes: zero lost responses, counters
+   reconciled (``admitted == completed + deadlined + failed`` holds
+   through the shutdown).
+
+Every failure mode is deterministically testable through the
+:class:`~repro.serve.faults.FaultInjector` seam.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadError,
+    QuotaExceededError,
+    RateLimitedError,
+    ReproError,
+)
+from repro.serve.admission import AdmissionController
+from repro.serve.faults import FaultInjector
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    error_response,
+    error_to_response,
+    ok_response,
+)
+from repro.serve.quotas import ClientQuota, ClientState
+from repro.service.async_service import AsyncQueryService
+from repro.service.service import QueryService
+from repro.stats import ServeStats
+from repro.xml.parser import parse_document
+from repro.xml.serializer import serialize_node
+
+
+def render_value(value, style: str = "path") -> dict:
+    """An XPath result as a JSON-safe payload: node-sets become rendered
+    item lists (``path``/``value``/``xml`` styles, matching the CLI),
+    scalars keep their type tag."""
+    if isinstance(value, list):
+        if style == "xml":
+            items = [serialize_node(node) for node in value]
+        elif style == "value":
+            items = [node.string_value for node in value]
+        else:
+            items = [node.path() for node in value]
+        return {"kind": "node-set", "count": len(value), "items": items}
+    if isinstance(value, bool):
+        return {"kind": "boolean", "value": value}
+    if isinstance(value, (int, float)):
+        return {"kind": "number", "value": float(value)}
+    return {"kind": "string", "value": str(value)}
+
+
+def _consume_result(future) -> None:
+    """Swallow an abandoned evaluation's outcome (result, exception, or
+    cancellation) so the event loop never logs it as unretrieved."""
+    if not future.cancelled():
+        future.exception()
+
+
+class _Connection:
+    """One client connection: reader, writer, the bounded response
+    queue, and the set of in-flight request tasks."""
+
+    def __init__(self, reader, writer, default_client: str, queue_size: int):
+        self.reader = reader
+        self.writer = writer
+        self.default_client = default_client
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self.tasks: set[asyncio.Task] = set()
+        self.dead = False
+
+    async def send(self, frame: dict) -> None:
+        """Queue one response frame (drops silently once the transport
+        died — the handler's counters already recorded the outcome)."""
+        if not self.dead:
+            await self.queue.put(frame)
+
+    async def close_queue(self) -> None:
+        await self.queue.put(None)
+
+
+class XPathDaemon:
+    """The long-lived serving daemon. ``port=0`` binds an ephemeral port
+    (read :attr:`port` after :meth:`start`)."""
+
+    def __init__(
+        self,
+        service: QueryService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quota: ClientQuota | None = None,
+        admission: AdmissionController | None = None,
+        injector: FaultInjector | None = None,
+        default_deadline_seconds: float | None = None,
+        batch_workers: int = 2,
+        response_queue_size: int = 256,
+        drain_grace: float = 5.0,
+    ):
+        self.service = service if service is not None else QueryService()
+        self.async_service = AsyncQueryService(self.service)
+        self.host = host
+        self.port = port
+        self.quota = quota if quota is not None else ClientQuota()
+        self.admission = (
+            admission if admission is not None else AdmissionController(self.service)
+        )
+        self.injector = injector if injector is not None else FaultInjector()
+        self.default_deadline_seconds = default_deadline_seconds
+        self.batch_workers = batch_workers
+        self.response_queue_size = response_queue_size
+        self.drain_grace = drain_grace
+        #: Global exact counters; per-client instances in _client_stats.
+        self.stats = ServeStats(name="serve")
+        self._clients: dict[str, ClientState] = {}
+        self._client_stats: dict[str, ServeStats] = {}
+        self._connections: set[_Connection] = set()
+        self._connection_serial = 0
+        self._in_flight = 0
+        self.draining = False
+        self._drain_task: asyncio.Task | None = None
+        self._drained = asyncio.Event()
+        self._server: asyncio.Server | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_FRAME_BYTES + 2,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self, signals=(signal.SIGTERM, signal.SIGINT)) -> None:
+        """SIGTERM/SIGINT trigger the graceful drain (idempotent)."""
+        loop = asyncio.get_running_loop()
+        for signum in signals:
+            loop.add_signal_handler(signum, self.initiate_drain)
+
+    def initiate_drain(self) -> None:
+        if self._drain_task is None:
+            self._drain_task = asyncio.ensure_future(self.drain())
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, finish or deadline-out the
+        in-flight work within ``drain_grace``, flush every response
+        queue, close. Zero admitted queries lose their response."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {task for conn in self._connections for task in conn.tasks}
+        if pending:
+            done, stragglers = await asyncio.wait(pending, timeout=self.drain_grace)
+            for task in stragglers:
+                # The handler converts this cancel into a typed DEADLINE
+                # response (drained) before finishing — see _run_query.
+                task.cancel()
+            if stragglers:
+                await asyncio.wait(stragglers, timeout=self.drain_grace)
+        for conn in list(self._connections):
+            await self._teardown_connection(conn, cancel_tasks=False)
+        self._drained.set()
+
+    async def wait_closed(self) -> None:
+        await self._drained.wait()
+
+    # -- client bookkeeping ---------------------------------------------
+
+    def _client(self, frame: dict, conn: _Connection) -> tuple[ClientState, ServeStats]:
+        name = frame.get("client")
+        if not isinstance(name, str) or not name:
+            name = conn.default_client
+        state = self._clients.get(name)
+        if state is None:
+            state = ClientState(name=name, quota=self.quota)
+            self._clients[name] = state
+            self._client_stats[name] = ServeStats(name=f"serve_client_{name}")
+        return state, self._client_stats[name]
+
+    def stats_snapshot(self) -> dict:
+        """The STATS payload: exact global + per-client counters, live
+        gauges, and the fault injector's evaluation counts."""
+        return {
+            "global": self.stats.snapshot(),
+            "clients": {
+                name: stats.snapshot() for name, stats in self._client_stats.items()
+            },
+            "gauges": {
+                name: state.gauges() for name, state in self._clients.items()
+            },
+            "in_flight": self._in_flight,
+            "draining": self.draining,
+            "faults": self.injector.snapshot(),
+        }
+
+    # -- connection handling --------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self._connection_serial += 1
+        conn = _Connection(
+            reader,
+            writer,
+            default_client=f"conn:{self._connection_serial}",
+            queue_size=self.response_queue_size,
+        )
+        self._connections.add(conn)
+        writer_task = asyncio.ensure_future(self._write_loop(conn))
+        conn.writer_task = writer_task
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.stats.request()
+                    self.stats.malformed_frame()
+                    await conn.send(
+                        error_response(
+                            None,
+                            "FRAME_TOO_LARGE",
+                            f"frame exceeds the {MAX_FRAME_BYTES}-byte limit",
+                        )
+                    )
+                    break  # cannot resynchronize a partially-read line
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    frame = decode_frame(line)
+                except ReproError as error:
+                    self.stats.request()
+                    self.stats.malformed_frame()
+                    await conn.send(error_to_response(None, error))
+                    continue
+                if frame.get("verb") == "BYE":
+                    self.stats.request()
+                    if conn.tasks:
+                        await asyncio.wait(set(conn.tasks))
+                    await conn.send(ok_response(frame.get("id"), bye=True))
+                    break
+                task = asyncio.ensure_future(self._handle_frame(conn, frame))
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+        except ConnectionError:
+            pass
+        finally:
+            await self._teardown_connection(conn)
+
+    async def _teardown_connection(self, conn: _Connection, cancel_tasks: bool = True) -> None:
+        if conn not in self._connections:
+            return
+        self._connections.discard(conn)
+        if cancel_tasks and conn.tasks:
+            # The client is gone mid-flight: cancelled handlers record
+            # their queries as failed, keeping admitted == completed +
+            # deadlined + failed exact (see _run_query).
+            for task in set(conn.tasks):
+                task.cancel()
+            await asyncio.wait(set(conn.tasks), timeout=self.drain_grace)
+        await conn.close_queue()
+        try:
+            await asyncio.wait_for(conn.writer_task, timeout=self.drain_grace)
+        except asyncio.TimeoutError:
+            conn.writer_task.cancel()
+        conn.dead = True
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _write_loop(self, conn: _Connection) -> None:
+        """Drain the bounded response queue onto the socket; on a broken
+        transport keep consuming (and dropping) so handlers never block
+        on a queue nobody reads."""
+        while True:
+            frame = await conn.queue.get()
+            if frame is None:
+                return
+            if conn.dead:
+                continue
+            try:
+                data = encode_frame(frame)
+            except ReproError as error:
+                # An oversized response (giant node-set) degrades to a
+                # typed error frame; the connection stays usable.
+                data = encode_frame(
+                    error_response(frame.get("id"), "FRAME_TOO_LARGE", str(error))
+                )
+            try:
+                conn.writer.write(data)
+                await conn.writer.drain()
+            except (ConnectionError, OSError):
+                conn.dead = True
+
+    async def _drop_connection(self, conn: _Connection) -> None:
+        """Fault injection: hard mid-stream disconnect."""
+        conn.dead = True
+        try:
+            conn.writer.close()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- request dispatch -----------------------------------------------
+
+    async def _handle_frame(self, conn: _Connection, frame: dict) -> None:
+        request_id = frame.get("id")
+        verb = frame.get("verb")
+        self.stats.request()
+        client, client_stats = self._client(frame, conn)
+        client_stats.request()
+        if verb == "PING":
+            await conn.send(ok_response(request_id, pong=True, draining=self.draining))
+        elif verb == "STATS":
+            await conn.send(ok_response(request_id, stats=self.stats_snapshot()))
+        elif verb == "REGISTER":
+            await self._handle_register(conn, frame, client, client_stats)
+        elif verb == "UNREGISTER":
+            await self._handle_unregister(conn, frame, client, client_stats)
+        elif verb == "QUERY":
+            await self._handle_query(conn, frame, client, client_stats)
+        elif verb == "BATCH":
+            await self._handle_batch(conn, frame, client, client_stats)
+        else:
+            await conn.send(
+                error_response(
+                    request_id, "UNKNOWN_VERB", f"unknown verb {verb!r}"
+                )
+            )
+
+    async def _handle_register(self, conn, frame, client, client_stats) -> None:
+        request_id = frame.get("id")
+        if self.draining:
+            await conn.send(
+                error_response(
+                    request_id, "SHUTTING_DOWN", "daemon is draining"
+                )
+            )
+            return
+        name = frame.get("name")
+        xml = frame.get("xml")
+        if not isinstance(name, str) or not name or not isinstance(xml, str):
+            await conn.send(
+                error_response(
+                    request_id,
+                    "PROTOCOL",
+                    "REGISTER needs a non-empty string 'name' and a string 'xml'",
+                )
+            )
+            return
+        source_bytes = len(xml.encode("utf-8"))
+        try:
+            client.check_register(name, source_bytes)
+            document = await asyncio.to_thread(parse_document, xml)
+        except ReproError as error:
+            await conn.send(error_to_response(request_id, error))
+            return
+        client.register(name, document, source_bytes)
+        await conn.send(
+            ok_response(
+                request_id,
+                name=name,
+                nodes=len(document.nodes),
+                **client.gauges(),
+            )
+        )
+
+    async def _handle_unregister(self, conn, frame, client, client_stats) -> None:
+        request_id = frame.get("id")
+        if self.draining:
+            await conn.send(
+                error_response(request_id, "SHUTTING_DOWN", "daemon is draining")
+            )
+            return
+        name = frame.get("name")
+        if not isinstance(name, str) or not client.unregister(name):
+            await conn.send(
+                error_response(
+                    request_id, "UNKNOWN_DOCUMENT", f"no document {name!r} registered"
+                )
+            )
+            return
+        await conn.send(ok_response(request_id, name=name, **client.gauges()))
+
+    # -- QUERY ----------------------------------------------------------
+
+    def _deadline_seconds(self, frame: dict) -> float | None:
+        deadline_ms = frame.get("deadline_ms")
+        if deadline_ms is None:
+            return self.default_deadline_seconds
+        return max(float(deadline_ms), 0.0) / 1000.0
+
+    def _reject(self, client_stats: ServeStats, reason: str) -> None:
+        self.stats.reject(reason)
+        client_stats.reject(reason)
+
+    def _admission_gate(self, frame, client, client_stats):
+        """The shared pre-evaluation pipeline for QUERY and BATCH: count
+        the query, then drain/rate/slot checks. Returns an error frame to
+        send, or ``None`` to proceed (the in-flight slot is then held and
+        must be released by the caller)."""
+        request_id = frame.get("id")
+        self.stats.query()
+        client_stats.query()
+        if self.draining:
+            self._reject(client_stats, "draining")
+            return error_response(
+                request_id, "SHUTTING_DOWN", "daemon is draining; not admitting"
+            )
+        try:
+            client.check_rate()
+        except RateLimitedError as error:
+            self._reject(client_stats, "rate")
+            return error_to_response(request_id, error)
+        try:
+            client.acquire_slot()
+        except QuotaExceededError as error:
+            self._reject(client_stats, "quota")
+            return error_to_response(request_id, error)
+        return None
+
+    async def _handle_query(self, conn, frame, client, client_stats) -> None:
+        refusal = self._admission_gate(frame, client, client_stats)
+        if refusal is not None:
+            await conn.send(refusal)
+            return
+        try:
+            await self._run_query(conn, frame, client, client_stats)
+        finally:
+            client.release_slot()
+
+    async def _run_query(self, conn, frame, client, client_stats) -> None:
+        request_id = frame.get("id")
+        query = frame.get("query")
+        doc_name = frame.get("doc")
+        deadline_seconds = self._deadline_seconds(frame)
+        document = client.document(doc_name) if isinstance(doc_name, str) else None
+        if not isinstance(query, str) or document is None:
+            self.stats.request_error()
+            client_stats.request_error()
+            if not isinstance(query, str):
+                await conn.send(
+                    error_response(request_id, "PROTOCOL", "QUERY needs a string 'query'")
+                )
+            else:
+                await conn.send(
+                    error_response(
+                        request_id,
+                        "UNKNOWN_DOCUMENT",
+                        f"no document {doc_name!r} registered for client "
+                        f"{client.name!r}",
+                    )
+                )
+            return
+        try:
+            plan = self.service.plan(query)
+        except ReproError as error:
+            self.stats.request_error()
+            client_stats.request_error()
+            await conn.send(error_to_response(request_id, error))
+            return
+        decision = self.admission.decide(
+            [plan], [document], deadline_seconds, self._in_flight
+        )
+        if not decision.admitted:
+            self._reject(client_stats, "overload")
+            await conn.send(
+                error_to_response(
+                    request_id,
+                    OverloadError(decision.reason, retry_after=decision.retry_after),
+                )
+            )
+            return
+        self.stats.admit(degraded=decision.degraded)
+        client_stats.admit(degraded=decision.degraded)
+        self._in_flight += 1
+        started = time.monotonic()
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            None, self._evaluate_sync, plan, document, decision.algorithm, query
+        )
+        try:
+            if deadline_seconds is not None:
+                value = await asyncio.wait_for(
+                    asyncio.shield(future), deadline_seconds
+                )
+            else:
+                value = await future
+        except asyncio.TimeoutError:
+            # The worker thread cannot be interrupted; abandon its result
+            # (and swallow its eventual exception) but answer *now*.
+            future.add_done_callback(_consume_result)
+            self.stats.deadline(drained=self.draining)
+            client_stats.deadline(drained=self.draining)
+            await conn.send(
+                error_response(
+                    request_id,
+                    "DEADLINE",
+                    f"deadline of {deadline_seconds * 1000:.0f}ms exceeded",
+                    elapsed_ms=(time.monotonic() - started) * 1000.0,
+                )
+            )
+            return
+        except asyncio.CancelledError:
+            future.add_done_callback(_consume_result)
+            if self.draining:
+                # Drain-grace straggler: deadline it out, respond, finish.
+                self.stats.deadline(drained=True)
+                client_stats.deadline(drained=True)
+                await conn.send(
+                    error_response(
+                        request_id,
+                        "DEADLINE",
+                        "drain grace expired with the query still running",
+                        elapsed_ms=(time.monotonic() - started) * 1000.0,
+                    )
+                )
+                return
+            # Client went away mid-flight: no one to answer, but the
+            # counters must still reconcile.
+            self.stats.fail()
+            client_stats.fail()
+            raise
+        except ReproError as error:
+            self.stats.fail(drained=self.draining)
+            client_stats.fail(drained=self.draining)
+            await conn.send(error_to_response(request_id, error))
+            return
+        except Exception as error:  # worker death: typed, never lost
+            self.stats.fail(drained=self.draining)
+            client_stats.fail(drained=self.draining)
+            await conn.send(
+                error_response(request_id, "EVALUATION", f"evaluation failed: {error}")
+            )
+            return
+        finally:
+            self._in_flight -= 1
+        self.stats.complete(drained=self.draining)
+        client_stats.complete(drained=self.draining)
+        if self.injector.should_disconnect(query):
+            await self._drop_connection(conn)
+            return
+        payload = render_value(value, frame.get("output", "path"))
+        await conn.send(
+            ok_response(
+                request_id,
+                query=query,
+                doc=doc_name,
+                algorithm=decision.algorithm,
+                degraded=decision.degraded,
+                priced_ms=decision.priced_seconds * 1000.0,
+                elapsed_ms=(time.monotonic() - started) * 1000.0,
+                **payload,
+            )
+        )
+
+    def _evaluate_sync(self, plan, document, algorithm: str, query: str):
+        """Runs in a worker thread: the fault seam, then the service
+        (whose timing observations feed the admission oracle)."""
+        self.injector.before_evaluate(query)
+        return self.service.evaluate(plan, document, algorithm=algorithm)
+
+    # -- BATCH ----------------------------------------------------------
+
+    async def _handle_batch(self, conn, frame, client, client_stats) -> None:
+        refusal = self._admission_gate(frame, client, client_stats)
+        if refusal is not None:
+            await conn.send(refusal)
+            return
+        try:
+            await self._run_batch(conn, frame, client, client_stats)
+        finally:
+            client.release_slot()
+
+    async def _run_batch(self, conn, frame, client, client_stats) -> None:
+        request_id = frame.get("id")
+        queries = frame.get("queries")
+        doc_names = frame.get("docs") or client.document_names()
+        deadline_seconds = self._deadline_seconds(frame)
+        if (
+            not isinstance(queries, list)
+            or not queries
+            or not all(isinstance(query, str) for query in queries)
+            or not isinstance(doc_names, list)
+            or not doc_names
+        ):
+            self.stats.request_error()
+            client_stats.request_error()
+            await conn.send(
+                error_response(
+                    request_id,
+                    "PROTOCOL",
+                    "BATCH needs a non-empty string list 'queries' and "
+                    "registered documents ('docs' or prior REGISTERs)",
+                )
+            )
+            return
+        documents = []
+        for name in doc_names:
+            document = client.document(name) if isinstance(name, str) else None
+            if document is None:
+                self.stats.request_error()
+                client_stats.request_error()
+                await conn.send(
+                    error_response(
+                        request_id,
+                        "UNKNOWN_DOCUMENT",
+                        f"no document {name!r} registered for client {client.name!r}",
+                    )
+                )
+                return
+            documents.append(document)
+        try:
+            plans = [self.service.plan(query) for query in queries]
+        except ReproError as error:
+            self.stats.request_error()
+            client_stats.request_error()
+            await conn.send(error_to_response(request_id, error))
+            return
+        decision = self.admission.decide(
+            plans, documents, deadline_seconds, self._in_flight
+        )
+        if not decision.admitted:
+            self._reject(client_stats, "overload")
+            await conn.send(
+                error_to_response(
+                    request_id,
+                    OverloadError(decision.reason, retry_after=decision.retry_after),
+                )
+            )
+            return
+        self.stats.admit(degraded=decision.degraded)
+        client_stats.admit(degraded=decision.degraded)
+        self._in_flight += 1
+        started = time.monotonic()
+        style = frame.get("output", "path")
+        cells = []
+        stream = self.async_service.stream_many(
+            queries,
+            documents,
+            algorithm=decision.algorithm,
+            workers=max(1, min(self.batch_workers, len(documents))),
+            share=decision.share,
+            deadline_seconds=deadline_seconds,
+        )
+        total = len(queries) * len(documents)
+        try:
+            async for item in stream:
+                cells.append(
+                    {
+                        "doc": doc_names[item.document_index],
+                        "query": item.query,
+                        "algorithm": item.algorithm,
+                        **render_value(item.value, style),
+                    }
+                )
+        except DeadlineExceededError:
+            self.stats.deadline(drained=self.draining)
+            client_stats.deadline(drained=self.draining)
+            await conn.send(
+                error_response(
+                    request_id,
+                    "DEADLINE",
+                    f"batch deadline exceeded with {len(cells)} of {total} "
+                    "cells complete",
+                    cells=cells,
+                    completed=len(cells),
+                    total=total,
+                    elapsed_ms=(time.monotonic() - started) * 1000.0,
+                )
+            )
+            return
+        except asyncio.CancelledError:
+            await stream.aclose()
+            if self.draining:
+                self.stats.deadline(drained=True)
+                client_stats.deadline(drained=True)
+                await conn.send(
+                    error_response(
+                        request_id,
+                        "DEADLINE",
+                        "drain grace expired with the batch still running",
+                        cells=cells,
+                        completed=len(cells),
+                        total=total,
+                    )
+                )
+                return
+            self.stats.fail()
+            client_stats.fail()
+            raise
+        except ReproError as error:
+            self.stats.fail(drained=self.draining)
+            client_stats.fail(drained=self.draining)
+            await conn.send(error_to_response(request_id, error))
+            return
+        finally:
+            self._in_flight -= 1
+        self.stats.complete(drained=self.draining)
+        client_stats.complete(drained=self.draining)
+        await conn.send(
+            ok_response(
+                request_id,
+                cells=cells,
+                completed=len(cells),
+                total=total,
+                degraded=decision.degraded,
+                shared=decision.share,
+                priced_ms=decision.priced_seconds * 1000.0,
+                elapsed_ms=(time.monotonic() - started) * 1000.0,
+            )
+        )
+
+
+async def run_daemon(daemon: XPathDaemon, ready=None) -> None:
+    """Start a daemon, install signal handlers, and serve until drained
+    (the ``repro-xpath serve`` main loop)."""
+    await daemon.start()
+    daemon.install_signal_handlers()
+    if ready is not None:
+        ready(daemon)
+    await daemon.wait_closed()

@@ -1,0 +1,104 @@
+"""The wire protocol: line-delimited JSON frames over TCP.
+
+One request or response per line, UTF-8 JSON objects terminated by
+``\\n`` — trivially debuggable with ``nc`` and resynchronizable after a
+malformed frame (the next newline starts a clean frame). Requests carry
+a ``verb`` and an ``id`` the response echoes, so a client can pipeline
+requests on one connection and correlate out-of-order responses.
+
+Verbs (see :mod:`repro.serve.daemon` for semantics)::
+
+    PING        {"verb": "PING", "id": 1}
+    REGISTER    {"verb": "REGISTER", "id": 2, "name": "books", "xml": "<a/>"}
+    UNREGISTER  {"verb": "UNREGISTER", "id": 3, "name": "books"}
+    QUERY       {"verb": "QUERY", "id": 4, "query": "//b", "doc": "books",
+                 "deadline_ms": 250, "output": "path"}
+    BATCH       {"verb": "BATCH", "id": 5, "queries": ["//b", "count(//b)"],
+                 "docs": ["books"], "deadline_ms": 1000}
+    STATS       {"verb": "STATS", "id": 6}
+    BYE         {"verb": "BYE", "id": 7}
+
+Responses are ``{"id": ..., "ok": true, ...payload...}`` or
+``{"id": ..., "ok": false, "error": {"code": CODE, "message": ...,
+"retry_after": seconds-or-null}}`` where ``CODE`` is one of the stable
+codes in :data:`repro.errors.PROTOCOL_CODES` — the same table the CLI
+keys its exit codes on. ``retry_after`` is the server's backoff hint:
+present on queue-pressure rejections (``OVERLOAD``, ``RATE_LIMITED``,
+``QUOTA``), absent when retrying the same request cannot help (the
+priced cost exceeds the request's own deadline).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProtocolError, ReproError, error_code
+
+#: Hard per-frame byte bound (requests and responses). Registration
+#: payloads dominate frame size; 32 MiB comfortably fits every document
+#: the benchmarks ship while bounding a malicious client's buffer use.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: The request verbs the daemon understands.
+VERBS = ("PING", "REGISTER", "UNREGISTER", "QUERY", "BATCH", "STATS", "BYE")
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One frame: compact JSON + newline. Raises
+    :class:`~repro.errors.ProtocolError` when the encoded frame would
+    exceed :data:`MAX_FRAME_BYTES` (the receiver would reject it)."""
+    line = json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return line
+
+
+def decode_frame(line: bytes) -> dict:
+    """Decode one received line into a frame dict. Raises
+    :class:`~repro.errors.ProtocolError` for anything that is not a
+    single JSON object: resynchronization is the caller's job (skip to
+    the next newline), classification is ours."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"malformed frame: expected a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def ok_response(request_id, **payload) -> dict:
+    return {"id": request_id, "ok": True, **payload}
+
+
+def error_response(
+    request_id,
+    code: str,
+    message: str,
+    retry_after: float | None = None,
+    **payload,
+) -> dict:
+    """A typed error response. ``code`` must be a stable protocol code;
+    ``retry_after`` (seconds) is the backoff hint clients honor."""
+    error = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"id": request_id, "ok": False, "error": error, **payload}
+
+
+def error_to_response(request_id, error: ReproError) -> dict:
+    """Map a library error onto the wire via the stable code table."""
+    return error_response(
+        request_id,
+        error_code(error),
+        str(error),
+        retry_after=getattr(error, "retry_after", None),
+    )

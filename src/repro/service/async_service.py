@@ -30,8 +30,10 @@ seen so far, and after exhaustion :meth:`BatchStream.batch` returns a
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 
+from repro.errors import DeadlineExceededError
 from repro.service.scheduler import (
     AsyncScheduler,
     PreparedBatch,
@@ -73,9 +75,25 @@ class BatchStream:
     shard tasks (see :meth:`AsyncScheduler.stream`).
     """
 
-    def __init__(self, scheduler: AsyncScheduler, prepared: PreparedBatch):
+    def __init__(
+        self,
+        scheduler: AsyncScheduler,
+        prepared: PreparedBatch,
+        deadline: float | None = None,
+    ):
         self._scheduler = scheduler
         self._prepared = prepared
+        #: Absolute ``time.monotonic()`` deadline, or ``None`` for no
+        #: deadline. Enforced cooperatively at every ``__anext__``: an
+        #: expired deadline closes the stream (cancelling the remaining
+        #: shard tasks and awaiting the cancellations) and raises a typed
+        #: :class:`~repro.errors.DeadlineExceededError` carrying how many
+        #: cells were yielded — callers keep every already-yielded
+        #: partial result and never hang on the slow shard.
+        self._deadline = deadline
+        self._yielded = 0
+        #: True once the deadline fired (the stream is closed then).
+        self.deadline_exceeded = False
         self._generator = self._run()
         self._plan_stats = CacheStats(
             name="plan_cache", capacity=scheduler.service_config["plan_capacity"]
@@ -141,30 +159,67 @@ class BatchStream:
     # ------------------------------------------------------------------
 
     async def _run(self):
-        async for shard, outcome in self._scheduler.stream(self._prepared):
-            self._plan_stats.absorb_snapshot(outcome["plan_stats"])
-            self._result_stats.absorb_snapshot(outcome["result_stats"])
-            self._batch_plan_snapshots.append(outcome.get("batch_plan", {}))
-            self._scheduler.record_timing(shard, outcome, self._prepared)
-            self.shards.append(self._scheduler.shard_report(shard, outcome))
-            for document_index, row in zip(shard.document_indices, outcome["values"]):
-                self._values[document_index] = row
-                for query_index, value in enumerate(row):
-                    yield StreamItem(
-                        document_index=document_index,
-                        query_index=query_index,
-                        query=self._prepared.queries[query_index],
-                        algorithm=self._prepared.algorithms[query_index],
-                        value=value,
-                        shard_index=shard.index,
-                    )
-        self._exhausted = True
+        inner = self._scheduler.stream(self._prepared)
+        try:
+            async for shard, outcome in inner:
+                self._plan_stats.absorb_snapshot(outcome["plan_stats"])
+                self._result_stats.absorb_snapshot(outcome["result_stats"])
+                self._batch_plan_snapshots.append(outcome.get("batch_plan", {}))
+                self._scheduler.record_timing(shard, outcome, self._prepared)
+                self.shards.append(self._scheduler.shard_report(shard, outcome))
+                for document_index, row in zip(shard.document_indices, outcome["values"]):
+                    self._values[document_index] = row
+                    for query_index, value in enumerate(row):
+                        yield StreamItem(
+                            document_index=document_index,
+                            query_index=query_index,
+                            query=self._prepared.queries[query_index],
+                            algorithm=self._prepared.algorithms[query_index],
+                            value=value,
+                            shard_index=shard.index,
+                        )
+            self._exhausted = True
+        finally:
+            # ``async for`` never closes its iterator; on early exit
+            # (break/aclose/deadline) the scheduler generator would stay
+            # suspended with its shard tasks pending until loop shutdown.
+            # Drive its finally (cancel + await the cancellations) now.
+            await inner.aclose()
 
     def __aiter__(self) -> "BatchStream":
         return self
 
+    @property
+    def total_cells(self) -> int:
+        return len(self._prepared.documents) * len(self._prepared.queries)
+
     async def __anext__(self) -> StreamItem:
-        return await self._generator.__anext__()
+        if self._deadline is None:
+            item = await self._generator.__anext__()
+        else:
+            remaining = self._deadline - time.monotonic()
+            if remaining <= 0:
+                await self._expire()
+            try:
+                item = await asyncio.wait_for(
+                    self._generator.__anext__(), remaining
+                )
+            except asyncio.TimeoutError:
+                await self._expire()
+        self._yielded += 1
+        return item
+
+    async def _expire(self) -> None:
+        """Deadline hit: close the stream (cancelling and awaiting the
+        remaining shard tasks) and surface the typed marker."""
+        self.deadline_exceeded = True
+        await self.aclose()
+        raise DeadlineExceededError(
+            f"batch deadline exceeded after {self._yielded} of "
+            f"{self.total_cells} result cells",
+            completed=self._yielded,
+            total=self.total_cells,
+        )
 
     async def aclose(self) -> None:
         """Cancel the in-flight shards and close the stream."""
@@ -262,15 +317,29 @@ class AsyncQueryService:
         shard_by: str = "round-robin",
         max_concurrency: int | None = None,
         share: bool = True,
+        deadline_seconds: float | None = None,
     ) -> BatchStream:
         """The streaming form: a :class:`BatchStream` yielding results as
         shards complete. Query compilation and shard planning happen
         *here*, synchronously, so syntax/fragment errors surface before
         any iteration starts; no work is dispatched until the stream is
-        first awaited."""
+        first awaited.
+
+        ``deadline_seconds`` arms a cooperative per-batch deadline
+        (measured from this call): iteration past it raises a typed
+        :class:`~repro.errors.DeadlineExceededError` after closing the
+        stream — already-yielded cells stay valid partial results, and
+        shard evaluations already offloaded to worker threads finish
+        there with their results dropped (thread offloads cannot be
+        interrupted, only abandoned)."""
         scheduler = self._scheduler(workers, shard_by, max_concurrency)
         prepared = scheduler.prepare(queries, documents, algorithm, share=share)
-        return BatchStream(scheduler, prepared)
+        deadline = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+        return BatchStream(scheduler, prepared, deadline=deadline)
 
     # ------------------------------------------------------------------
 

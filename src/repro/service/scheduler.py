@@ -611,6 +611,11 @@ class AsyncScheduler(Scheduler):
         finally:
             for task in tasks:
                 task.cancel()
+            # Await the cancellations: leaving the generator (early break,
+            # aclose, deadline) must not leak pending tasks into the loop
+            # — the serving daemon's drain and the cancellation hammer
+            # both assert the loop is quiet afterwards.
+            await asyncio.gather(*tasks, return_exceptions=True)
 
 
 #: The selectable scheduler backends, by name.

@@ -483,6 +483,177 @@ class BatchPlanStats:
         return merged
 
 
+@dataclass
+class ServeStats:
+    """Exact accounting for the serving daemon (:mod:`repro.serve`).
+
+    The daemon keeps one instance per client plus one global instance
+    and bumps both on every event, so the global counters are the exact
+    per-client sums at all times (the EXP-SERVE gate asserts this with
+    ``==``). The same exactness contract as :class:`CacheStats` holds —
+    every update happens under the instance lock — with two
+    reconciliation identities the tests and the benchmark gate assert
+    literally against protocol-level request counts:
+
+    * ``queries == admitted + rejected_overload + rejected_rate +
+      rejected_quota + rejected_draining + request_errors`` — every
+      query that reached the admission pipeline was admitted, rejected
+      (with a typed reason), or failed request validation *before*
+      admission (unknown document, unparsable query);
+    * ``admitted == completed + deadlined + failed`` — every admitted
+      query produced exactly one response: its value, a typed
+      ``DEADLINE`` marker, or a typed evaluation error. Nothing is ever
+      admitted and then lost — the zero-lost-responses drain gate is
+      this identity plus a client-side response count.
+
+    ``degraded`` counts admissions that were priced over budget and
+    downgraded (cheapest admissible algorithm, batch sharing dropped)
+    instead of rejected — a subset of ``admitted``. ``drained`` counts
+    responses (completed, deadlined, or failed) delivered while the
+    daemon was draining — a subset of the outcome counters, never a
+    separate outcome.
+    """
+
+    name: str = "serve"
+    requests: int = 0
+    malformed: int = 0
+    queries: int = 0
+    admitted: int = 0
+    degraded: int = 0
+    rejected_overload: int = 0
+    rejected_rate: int = 0
+    rejected_quota: int = 0
+    rejected_draining: int = 0
+    request_errors: int = 0
+    completed: int = 0
+    deadlined: int = 0
+    failed: int = 0
+    drained: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def request(self, amount: int = 1) -> None:
+        with self._lock:
+            self.requests += amount
+        count(f"{self.name}_requests", amount)
+
+    def malformed_frame(self, amount: int = 1) -> None:
+        with self._lock:
+            self.malformed += amount
+        count(f"{self.name}_malformed", amount)
+
+    def query(self, amount: int = 1) -> None:
+        """One query reached the admission pipeline."""
+        with self._lock:
+            self.queries += amount
+        count(f"{self.name}_queries", amount)
+
+    def admit(self, degraded: bool = False) -> None:
+        with self._lock:
+            self.admitted += 1
+            if degraded:
+                self.degraded += 1
+        count(f"{self.name}_admitted")
+
+    def reject(self, reason: str) -> None:
+        """One typed pre-evaluation rejection: ``overload`` (admission),
+        ``rate`` (token bucket), ``quota`` (in-flight cap), or
+        ``draining`` (shutdown in progress)."""
+        field_name = f"rejected_{reason}"
+        with self._lock:
+            setattr(self, field_name, getattr(self, field_name) + 1)
+        count(f"{self.name}_{field_name}")
+
+    def request_error(self, amount: int = 1) -> None:
+        """One query refused before admission for a request-shape error
+        (unknown document, unparsable query, bad arguments)."""
+        with self._lock:
+            self.request_errors += amount
+        count(f"{self.name}_request_errors", amount)
+
+    def complete(self, drained: bool = False) -> None:
+        with self._lock:
+            self.completed += 1
+            if drained:
+                self.drained += 1
+        count(f"{self.name}_completed")
+
+    def deadline(self, drained: bool = False) -> None:
+        with self._lock:
+            self.deadlined += 1
+            if drained:
+                self.drained += 1
+        count(f"{self.name}_deadlined")
+
+    def fail(self, drained: bool = False) -> None:
+        with self._lock:
+            self.failed += 1
+            if drained:
+                self.drained += 1
+        count(f"{self.name}_failed")
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return (
+                self.rejected_overload
+                + self.rejected_rate
+                + self.rejected_quota
+                + self.rejected_draining
+            )
+
+    def absorb_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this instance (derived
+        fields recomputed, never summed)."""
+        with self._lock:
+            for key in (
+                "requests",
+                "malformed",
+                "queries",
+                "admitted",
+                "degraded",
+                "rejected_overload",
+                "rejected_rate",
+                "rejected_quota",
+                "rejected_draining",
+                "request_errors",
+                "completed",
+                "deadlined",
+                "failed",
+                "drained",
+            ):
+                setattr(self, key, getattr(self, key) + snapshot.get(key, 0))
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent point-in-time copy, including the derived
+        ``rejected`` total."""
+        with self._lock:
+            merged = {
+                "requests": self.requests,
+                "malformed": self.malformed,
+                "queries": self.queries,
+                "admitted": self.admitted,
+                "degraded": self.degraded,
+                "rejected_overload": self.rejected_overload,
+                "rejected_rate": self.rejected_rate,
+                "rejected_quota": self.rejected_quota,
+                "rejected_draining": self.rejected_draining,
+                "request_errors": self.request_errors,
+                "completed": self.completed,
+                "deadlined": self.deadlined,
+                "failed": self.failed,
+                "drained": self.drained,
+            }
+        merged["rejected"] = (
+            merged["rejected_overload"]
+            + merged["rejected_rate"]
+            + merged["rejected_quota"]
+            + merged["rejected_draining"]
+        )
+        return merged
+
+
 # Active collectors; almost always empty, occasionally one deep.
 _active: list[Stats] = []
 

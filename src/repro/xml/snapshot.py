@@ -34,7 +34,10 @@ structural validation (parent ordering, attribute contiguity, exact
 ``size``/``depth`` recomputation, and the closed-form post identity
 ``post = pre - depth + size - 1``) rejects well-formed-looking blobs
 that do not describe a legal document. Every failure raises
-:class:`~repro.errors.DocumentStoreError`.
+:class:`~repro.errors.SnapshotCorruptError` (a
+:class:`~repro.errors.DocumentStoreError`), carrying the byte offset at
+which decoding stopped when one is known — ``struct``/checksum
+internals never leak to callers.
 """
 
 from __future__ import annotations
@@ -45,7 +48,7 @@ import weakref
 import zlib
 from array import array
 
-from repro.errors import DocumentStoreError
+from repro.errors import DocumentStoreError, SnapshotCorruptError
 from repro.xml.columns import ColumnDocument, DocumentColumns
 from repro.xml.document import Document, Node, NodeKind
 from repro.xml.index import NodeIndex, adopt_node_index, node_index
@@ -135,7 +138,9 @@ class _Reader:
     def take(self, count: int, what: str) -> bytes:
         end = self.offset + count
         if count < 0 or end > len(self.blob):
-            raise DocumentStoreError(f"corrupt snapshot: truncated {what}")
+            raise SnapshotCorruptError(
+                f"corrupt snapshot: truncated {what}", offset=self.offset
+            )
         raw = self.blob[self.offset : end]
         self.offset = end
         return raw
@@ -153,8 +158,9 @@ def _read_string_column(reader: _Reader, total: int, what: str) -> list[str | No
     # min() guards the sum identity: once no entry is below -1, the
     # positive total is sum + count(-1), both C-speed over the array.
     if min(lengths, default=0) < -1 or sum(lengths) + lengths.count(-1) != blob_len:
-        raise DocumentStoreError(
-            f"corrupt snapshot: {what} column lengths do not match blob"
+        raise SnapshotCorruptError(
+            f"corrupt snapshot: {what} column lengths do not match blob",
+            offset=reader.offset,
         )
     blob = reader.take(blob_len, f"{what} blob")
     strings: list[str | None] = []
@@ -183,7 +189,7 @@ def _read_string_column(reader: _Reader, total: int, what: str) -> list[str | No
                     append(blob[offset : offset + length].decode("utf-8"))
                     offset += length
     except UnicodeDecodeError as error:
-        raise DocumentStoreError(f"corrupt snapshot: {what} not UTF-8") from error
+        raise SnapshotCorruptError(f"corrupt snapshot: {what} not UTF-8") from error
     return strings
 
 
@@ -206,58 +212,48 @@ def _validate_columns(kinds, parent_pre, size, post, depth, names) -> None:
     parent_pre = parent_pre.tolist() if isinstance(parent_pre, array) else parent_pre
     depth = depth.tolist() if isinstance(depth, array) else depth
     if kinds[0] != doc or parent_pre[0] != -1 or depth[0] != 0:
-        raise DocumentStoreError("corrupt snapshot: malformed document node")
+        raise SnapshotCorruptError("corrupt snapshot: malformed document node")
     if names[0] is not None:
-        raise DocumentStoreError("corrupt snapshot: bad name column at node 0")
+        raise SnapshotCorruptError("corrupt snapshot: bad name column at node 0")
     for i in range(1, total):
         code = kinds[i]
         parent = parent_pre[i]
         if parent < 0 or parent >= i:
-            raise DocumentStoreError(
-                f"corrupt snapshot: node {i} has invalid parent {parent}"
-            )
+            raise SnapshotCorruptError(f"corrupt snapshot: node {i} has invalid parent {parent}")
         if depth[i] != depth[parent] + 1:
-            raise DocumentStoreError(f"corrupt snapshot: depth broken at node {i}")
+            raise SnapshotCorruptError(f"corrupt snapshot: depth broken at node {i}")
         owner = kinds[parent]
         if code == attr:
             if owner != elem:
-                raise DocumentStoreError(
-                    f"corrupt snapshot: attribute {i} owned by a non-element"
-                )
+                raise SnapshotCorruptError(f"corrupt snapshot: attribute {i} owned by a non-element")
             # Attributes are numbered immediately after their element,
             # before any of its children — the contiguity every axis
             # kernel's interval arithmetic relies on.
             if i != parent + 1 and not (
                 kinds[i - 1] == attr and parent_pre[i - 1] == parent
             ):
-                raise DocumentStoreError(
-                    f"corrupt snapshot: attribute {i} not contiguous with element"
-                )
+                raise SnapshotCorruptError(f"corrupt snapshot: attribute {i} not contiguous with element")
             if names[i] is None:
-                raise DocumentStoreError(
+                raise SnapshotCorruptError(
                     f"corrupt snapshot: bad name column at node {i}"
                 )
         else:
             if owner != elem and owner != doc:
-                raise DocumentStoreError(
-                    f"corrupt snapshot: node {i} attached under a leaf"
-                )
+                raise SnapshotCorruptError(f"corrupt snapshot: node {i} attached under a leaf")
             if code == elem or code == pi:
                 if names[i] is None:
-                    raise DocumentStoreError(
+                    raise SnapshotCorruptError(
                         f"corrupt snapshot: bad name column at node {i}"
                     )
             elif code == txt or code == comment:
                 if names[i] is not None:
-                    raise DocumentStoreError(
+                    raise SnapshotCorruptError(
                         f"corrupt snapshot: bad name column at node {i}"
                     )
             elif code == doc:
-                raise DocumentStoreError("corrupt snapshot: document node not first")
+                raise SnapshotCorruptError("corrupt snapshot: document node not first")
             else:
-                raise DocumentStoreError(
-                    f"corrupt snapshot: unknown node kind {chr(code)!r}"
-                )
+                raise SnapshotCorruptError(f"corrupt snapshot: unknown node kind {chr(code)!r}")
     # Exact subtree sizes, bottom-up (children precede nothing: walking
     # pre-order backwards sees every child before its parent total).
     size = size.tolist() if isinstance(size, array) else list(size)
@@ -267,9 +263,7 @@ def _validate_columns(kinds, parent_pre, size, post, depth, names) -> None:
     if size != recomputed:  # one C-speed compare; loop only to blame
         for i in range(total):
             if size[i] != recomputed[i]:
-                raise DocumentStoreError(
-                    f"corrupt snapshot: size broken at node {i}"
-                )
+                raise SnapshotCorruptError(f"corrupt snapshot: size broken at node {i}")
     # Closed-form post identity — pins the whole column exactly.
     expected_post = [
         i - d + s - 1 for i, (d, s) in enumerate(zip(depth, size))
@@ -278,9 +272,7 @@ def _validate_columns(kinds, parent_pre, size, post, depth, names) -> None:
     if post != expected_post:
         for i in range(total):
             if post[i] != expected_post[i]:
-                raise DocumentStoreError(
-                    f"corrupt snapshot: post broken at node {i}"
-                )
+                raise SnapshotCorruptError(f"corrupt snapshot: post broken at node {i}")
 
 
 def decode_snapshot(blob: bytes, lazy: bool = False) -> Document:
@@ -294,7 +286,7 @@ def decode_snapshot(blob: bytes, lazy: bool = False) -> Document:
     mode (asserted by the lazy property suite and the EXP-LAZY identity
     gate). Validation is identical in both modes.
 
-    Raises :class:`~repro.errors.DocumentStoreError` on any corruption:
+    Raises :class:`~repro.errors.SnapshotCorruptError` on any corruption:
     truncation, bad magic, wrong version, checksum mismatch, column
     lengths that disagree, or structurally illegal node tables.
     """
@@ -302,26 +294,36 @@ def decode_snapshot(blob: bytes, lazy: bool = False) -> Document:
         raise DocumentStoreError("snapshot must be a bytes-like object")
     blob = bytes(blob)
     if len(blob) < len(SNAPSHOT_MAGIC) + 4 + 8 + 4 + 4:
-        raise DocumentStoreError("corrupt snapshot: truncated header")
+        raise SnapshotCorruptError(
+            "corrupt snapshot: truncated header", offset=len(blob)
+        )
     if blob[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
-        raise DocumentStoreError("corrupt snapshot: bad magic")
+        raise SnapshotCorruptError("corrupt snapshot: bad magic", offset=0)
     declared_crc = _U32.unpack(blob[-4:])[0]
     if zlib.crc32(blob[:-4]) != declared_crc:
-        raise DocumentStoreError("corrupt snapshot: checksum mismatch")
+        raise SnapshotCorruptError(
+            "corrupt snapshot: checksum mismatch", offset=len(blob) - 4
+        )
     reader = _Reader(blob[:-4])
     reader.take(len(SNAPSHOT_MAGIC), "magic")
     version = reader.u32("version")
     if version != SNAPSHOT_VERSION:
-        raise DocumentStoreError(f"unsupported snapshot version {version}")
+        raise SnapshotCorruptError(
+            f"unsupported snapshot version {version}", offset=len(SNAPSHOT_MAGIC)
+        )
     total = reader.u64("node count")
     if total < 1:
-        raise DocumentStoreError("corrupt snapshot: empty node table")
+        raise SnapshotCorruptError(
+            "corrupt snapshot: empty node table", offset=len(SNAPSHOT_MAGIC) + 4
+        )
     try:
         id_attribute = reader.take(reader.u32("id length"), "id attribute").decode(
             "utf-8"
         )
     except UnicodeDecodeError as error:
-        raise DocumentStoreError("corrupt snapshot: id attribute not UTF-8") from error
+        raise SnapshotCorruptError(
+            "corrupt snapshot: id attribute not UTF-8"
+        ) from error
     kinds = reader.take(total, "kind column")
     parent_pre = _column_from_bytes(reader.take(total * 8, "parent column"))
     size = _column_from_bytes(reader.take(total * 8, "size column"))
@@ -330,7 +332,9 @@ def decode_snapshot(blob: bytes, lazy: bool = False) -> Document:
     names = _read_string_column(reader, total, "name")
     values = _read_string_column(reader, total, "value")
     if reader.offset != len(reader.blob):
-        raise DocumentStoreError("corrupt snapshot: trailing bytes")
+        raise SnapshotCorruptError(
+            "corrupt snapshot: trailing bytes", offset=reader.offset
+        )
     _validate_columns(kinds, parent_pre, size, post, depth, names)
 
     if lazy:
@@ -405,20 +409,28 @@ def snapshot_column_sizes(blob: bytes) -> dict[str, int]:
         raise DocumentStoreError("snapshot must be a bytes-like object")
     blob = bytes(blob)
     if len(blob) < len(SNAPSHOT_MAGIC) + 4 + 8 + 4 + 4:
-        raise DocumentStoreError("corrupt snapshot: truncated header")
+        raise SnapshotCorruptError(
+            "corrupt snapshot: truncated header", offset=len(blob)
+        )
     if blob[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
-        raise DocumentStoreError("corrupt snapshot: bad magic")
+        raise SnapshotCorruptError("corrupt snapshot: bad magic", offset=0)
     declared_crc = _U32.unpack(blob[-4:])[0]
     if zlib.crc32(blob[:-4]) != declared_crc:
-        raise DocumentStoreError("corrupt snapshot: checksum mismatch")
+        raise SnapshotCorruptError(
+            "corrupt snapshot: checksum mismatch", offset=len(blob) - 4
+        )
     reader = _Reader(blob[:-4])
     reader.take(len(SNAPSHOT_MAGIC), "magic")
     version = reader.u32("version")
     if version != SNAPSHOT_VERSION:
-        raise DocumentStoreError(f"unsupported snapshot version {version}")
+        raise SnapshotCorruptError(
+            f"unsupported snapshot version {version}", offset=len(SNAPSHOT_MAGIC)
+        )
     total = reader.u64("node count")
     if total < 1:
-        raise DocumentStoreError("corrupt snapshot: empty node table")
+        raise SnapshotCorruptError(
+            "corrupt snapshot: empty node table", offset=len(SNAPSHOT_MAGIC) + 4
+        )
     reader.take(reader.u32("id length"), "id attribute")
     reader.take(total, "kind column")
     reader.take(total * 32, "int columns")

@@ -232,3 +232,114 @@ def test_async_evaluate_runs_off_the_event_loop_thread(documents):
     asyncio.run(main())
     assert threading.current_thread() is loop_thread
     assert len(ticks) == 3
+
+
+def test_stream_early_break_leaves_no_pending_tasks(documents):
+    """Breaking out of the stream cancels the remaining shard tasks
+    promptly AND awaits them: after the break, the loop holds no
+    stragglers (the serving daemon's drain asserts a quiet loop)."""
+    service = AsyncQueryService()
+    stream = service.stream_many(QUERIES, documents, workers=4)
+
+    async def main():
+        async for _ in stream:
+            break
+        await stream.aclose()
+        # Everything except this coroutine must be done or gone.
+        leftovers = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task() and not task.done()
+        ]
+        return leftovers
+
+    assert asyncio.run(main()) == []
+
+
+def test_stream_early_break_stats_stay_reconciled(documents):
+    """Stats after an early break describe exactly the shards that
+    completed — the incremental sums never over- or under-count."""
+    service = AsyncQueryService()
+    stream = service.stream_many(QUERIES, documents, workers=len(documents))
+    seen = []
+
+    async def main():
+        async for item in stream:
+            seen.append(item)
+            if len(seen) >= len(QUERIES):  # one full shard, then break
+                break
+        await stream.aclose()
+
+    asyncio.run(main())
+    completed_shards = {item.shard_index for item in seen}
+    # Shard reports exist exactly for the shards that completed before
+    # the break (a racing second shard may have finished too).
+    assert len(stream.shards) >= len(completed_shards)
+    # Plan-cache traffic reflects completed shards only: each shard
+    # touches the cache once per query (a hit when the prepare phase
+    # precompiled the plan, a miss otherwise).
+    per_shard_lookups = len(set(QUERIES))
+    traffic = stream.plan_stats["hits"] + stream.plan_stats["misses"]
+    assert traffic == per_shard_lookups * len(stream.shards)
+    # The incremental sums reconcile exactly with the per-shard reports.
+    for key in ("hits", "misses", "evictions"):
+        assert stream.plan_stats[key] == sum(
+            report["plan_stats"][key] for report in stream.shards
+        )
+        assert stream.result_stats[key] == sum(
+            report["result_stats"][key] for report in stream.shards
+        )
+    # Every yielded cell belongs to a shard whose results are final.
+    for item in seen:
+        assert stream._values[item.document_index][item.query_index] is not None
+
+
+def test_stream_many_deadline_raises_typed_error_with_progress(documents):
+    """A deadline-armed stream always terminates with the typed error
+    carrying completed/total — never a hang (PR 10 serving contract)."""
+    from repro.errors import DeadlineExceededError
+
+    service = AsyncQueryService()
+    stream = service.stream_many(
+        QUERIES, documents, workers=2, deadline_seconds=0.0
+    )
+
+    async def main():
+        results = []
+        async for item in stream:
+            results.append(item)
+        return results
+
+    with pytest.raises(DeadlineExceededError) as excinfo:
+        asyncio.run(main())
+    error = excinfo.value
+    assert error.total == len(QUERIES) * len(documents)
+    assert 0 <= error.completed < error.total
+    assert stream.deadline_exceeded
+
+
+def test_stream_many_without_deadline_is_unchanged(documents, sequential):
+    service = AsyncQueryService()
+    stream = service.stream_many(QUERIES, documents, deadline_seconds=None)
+
+    async def main():
+        return [item async for item in stream]
+
+    items = asyncio.run(main())
+    assert len(items) == len(QUERIES) * len(documents)
+    assert not stream.deadline_exceeded
+
+
+def test_stream_generous_deadline_completes_everything(documents):
+    service = AsyncQueryService()
+    stream = service.stream_many(
+        QUERIES, documents, workers=2, deadline_seconds=60.0
+    )
+
+    async def main():
+        return [item async for item in stream]
+
+    items = asyncio.run(main())
+    assert len(items) == stream.total_cells
+    assert not stream.deadline_exceeded
+    assert stream.batch().values  # exhausted normally: batch() works

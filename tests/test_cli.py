@@ -148,7 +148,7 @@ def test_plan_subcommand_malformed_query_exit_code(capsys):
 
 def test_plan_subcommand_unbound_variable_exit_code(capsys):
     code, _, err = run(capsys, "plan", "//b[. > $nope]")
-    assert code == 1
+    assert code == 3  # EXIT_QUERY: unbound variables are query errors
     assert "error:" in err
 
 
@@ -276,9 +276,9 @@ def test_batch_subcommand_fragment_violation_exit_code(capsys):
     assert "Core XPath" in err
 
 
-def test_batch_subcommand_unbound_variable_falls_back_to_generic_code(capsys):
+def test_batch_subcommand_unbound_variable_exit_code(capsys):
     code, _, err = run(capsys, "batch", "--xml", XML, "-q", "//b[. > $nope]")
-    assert code == 1  # EXIT_ERROR: not one of the mapped families
+    assert code == 3  # EXIT_QUERY: unbound variables are query errors
     assert "$nope" in err
 
 
@@ -493,7 +493,7 @@ def test_batch_snapshot_store_missing_document_exit_code(tmp_path, capsys):
     code, _, err = run(
         capsys, "batch", "--snapshot-store", str(store), "--doc", "ghost", "-q", "//b",
     )
-    assert code == 1  # DocumentStoreError -> EXIT_ERROR
+    assert code == 6  # DocumentStoreError -> EXIT_STORE
     assert "ghost" in err
 
 
@@ -510,7 +510,7 @@ def test_batch_snapshot_store_corrupt_sidecar_exit_code(tmp_path, capsys):
     (sidecar,) = sidecar_dir.iterdir()
     sidecar.write_bytes(b"garbage")
     code, _, err = run(capsys, "batch", "--snapshot-store", str(store), "-q", "//b")
-    assert code == 1
+    assert code == 6  # SnapshotCorruptError -> EXIT_STORE
     assert "error:" in err
 
 

@@ -373,3 +373,102 @@ def test_snapshot_preserves_custom_id_attribute():
     loaded = decode_snapshot(encode_snapshot(original))
     assert loaded.id_attribute == "key"
     assert loaded.element_by_id("k1") is loaded.root_element
+
+
+# ----------------------------------------------------------------------
+# Typed corruption: SnapshotCorruptError with offset context (PR 10)
+# ----------------------------------------------------------------------
+
+
+def test_every_truncation_raises_typed_snapshot_corrupt_with_offset():
+    """Truncation at every boundary surfaces the typed subclass with a
+    byte offset — never a struct/checksum internal."""
+    from repro.errors import SnapshotCorruptError
+
+    blob = encode_snapshot(book_catalog(books=2))
+    lengths = set(range(0, len(blob), max(1, len(blob) // 96)))
+    lengths.update({0, 1, 7, 8, 11, 12, 19, 20, 23, 24, len(blob) - 5, len(blob) - 1})
+    for length in sorted(lengths):
+        with pytest.raises(SnapshotCorruptError) as excinfo:
+            decode_snapshot(blob[:length])
+        assert excinfo.value.offset is not None
+        assert "at byte" in str(excinfo.value)
+
+
+def test_bit_flip_fuzzing_raises_only_the_typed_error():
+    """Byte-level corruption fuzzing: flip bytes everywhere (CRC catches
+    them), and reseal a sample so deeper structural checks fire — every
+    failure is SnapshotCorruptError, and no struct.error, ValueError,
+    or UnicodeDecodeError ever leaks."""
+    from repro.errors import SnapshotCorruptError
+
+    rng = random.Random(20251008)
+    blob = encode_snapshot(running_example_document())
+    for _ in range(120):
+        corrupted = bytearray(blob)
+        offset = rng.randrange(len(corrupted))
+        corrupted[offset] ^= 1 << rng.randrange(8)
+        try:
+            decode_snapshot(bytes(corrupted))
+        except SnapshotCorruptError:
+            pass  # the only acceptable failure type
+    # Resealed corruption gets past the CRC; structural validation must
+    # still classify it as SnapshotCorruptError.
+    for _ in range(120):
+        payload = bytearray(blob[:-4])
+        offset = rng.randrange(len(SNAPSHOT_MAGIC), len(payload))
+        payload[offset] ^= 1 << rng.randrange(8)
+        try:
+            decode_snapshot(_reseal(bytes(payload)))
+        except SnapshotCorruptError:
+            pass
+
+
+def test_snapshot_corrupt_offsets_point_into_the_blob():
+    from repro.errors import SnapshotCorruptError
+
+    blob = encode_snapshot(parse_document("<a><b>hi</b></a>"))
+    with pytest.raises(SnapshotCorruptError) as excinfo:
+        decode_snapshot(b"NOTSNAP!" + blob[8:])
+    assert excinfo.value.offset == 0  # magic lives at the start
+    with pytest.raises(SnapshotCorruptError) as excinfo:
+        corrupted = bytearray(blob)
+        corrupted[-1] ^= 0x01
+        decode_snapshot(bytes(corrupted))
+    assert excinfo.value.offset == len(blob) - 4  # the CRC trailer
+
+
+def test_type_errors_stay_plain_document_store_errors():
+    """Passing a non-bytes object is a caller bug, not corruption — it
+    must not masquerade as SnapshotCorruptError."""
+    from repro.errors import SnapshotCorruptError
+
+    with pytest.raises(DocumentStoreError) as excinfo:
+        decode_snapshot("not bytes")
+    assert not isinstance(excinfo.value, SnapshotCorruptError)
+
+
+def test_store_load_surfaces_typed_corruption_from_the_sidecar(tmp_path):
+    """Corrupting sidecar bytes on disk surfaces SnapshotCorruptError
+    through DocumentStore.load, with the offset context intact."""
+    from repro.errors import SnapshotCorruptError
+    from repro.xml.store import DocumentStore
+
+    store = DocumentStore(tmp_path / "cat.json")
+    sidecar = store.save_snapshot("books", book_catalog(books=2))
+    blob = sidecar.read_bytes()
+    # Truncated sidecar.
+    sidecar.write_bytes(blob[: len(blob) // 2])
+    fresh = DocumentStore(tmp_path / "cat.json")
+    with pytest.raises(SnapshotCorruptError) as excinfo:
+        fresh.load("books")
+    assert excinfo.value.offset is not None
+    # Flipped byte (checksum catches it) — still the typed subclass.
+    corrupted = bytearray(blob)
+    corrupted[len(blob) // 3] ^= 0x10
+    sidecar.write_bytes(bytes(corrupted))
+    with pytest.raises(SnapshotCorruptError):
+        DocumentStore(tmp_path / "cat.json").load("books")
+    # Restoring the bytes restores the document.
+    sidecar.write_bytes(blob)
+    assert len(DocumentStore(tmp_path / "cat.json").load("books").nodes) > 1

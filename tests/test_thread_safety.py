@@ -217,6 +217,56 @@ def test_concurrent_drivers_through_the_async_front_end():
     assert plan.misses - plan.evictions == len(service.service.plans)
 
 
+def test_eight_task_cancellation_hammer_leaves_a_quiet_loop():
+    """PR 10's cancellation contract under contention: 8 concurrent
+    batch streams, each broken out of at a different point (including
+    before the first item), must leave the event loop with zero pending
+    tasks and per-stream stats that reconcile exactly with the shards
+    that actually completed — cancellation loses no counters and leaks
+    no work."""
+    import asyncio
+
+    from repro.service import AsyncQueryService
+
+    documents = [parse_document(f"<r><a><b>{i}</b></a><c/></r>") for i in range(6)]
+    queries = ["//b", "count(//*)", "/r/c"]
+    service = AsyncQueryService()
+
+    async def drive(index):
+        stream = service.stream_many(queries, documents, workers=3)
+        taken = 0
+        async for _ in stream:
+            taken += 1
+            if taken > index:  # task 0 breaks immediately, task 7 latest
+                break
+        await stream.aclose()
+        return stream
+
+    async def main():
+        streams = await asyncio.gather(*(drive(i) for i in range(THREADS)))
+        leftovers = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task() and not task.done()
+        ]
+        return streams, leftovers
+
+    for _ in range(3):
+        streams, leftovers = asyncio.run(main())
+        assert leftovers == []
+        for stream in streams:
+            # Exact reconciliation: cache traffic equals one lookup per
+            # query for each shard whose outcome was absorbed.
+            snapshot = stream.plan_stats
+            assert snapshot["hits"] + snapshot["misses"] == len(queries) * len(
+                stream.shards
+            )
+            for key in ("hits", "misses", "evictions"):
+                assert snapshot[key] == sum(
+                    report["plan_stats"][key] for report in stream.shards
+                )
+
+
 def test_node_index_is_built_exactly_once_under_contention():
     """PR 5's new process-wide cache under the hammer: 8 threads racing
     to index one shared document get the *same* instance, the build
