@@ -45,12 +45,14 @@ Every failure mode is deterministically testable through the
 from __future__ import annotations
 
 import asyncio
+import math
 import signal
 import time
 
 from repro.errors import (
     DeadlineExceededError,
     OverloadError,
+    ProtocolError,
     QuotaExceededError,
     RateLimitedError,
     ReproError,
@@ -137,6 +139,8 @@ class XPathDaemon:
         batch_workers: int = 2,
         response_queue_size: int = 256,
         drain_grace: float = 5.0,
+        client_retention_seconds: float = 900.0,
+        max_retained_clients: int = 1024,
     ):
         self.service = service if service is not None else QueryService()
         self.async_service = AsyncQueryService(self.service)
@@ -151,10 +155,15 @@ class XPathDaemon:
         self.batch_workers = batch_workers
         self.response_queue_size = response_queue_size
         self.drain_grace = drain_grace
+        self.client_retention_seconds = client_retention_seconds
+        self.max_retained_clients = max_retained_clients
         #: Global exact counters; per-client instances in _client_stats.
         self.stats = ServeStats(name="serve")
         self._clients: dict[str, ClientState] = {}
         self._client_stats: dict[str, ServeStats] = {}
+        #: Counters of evicted clients, folded here so the exact
+        #: ``global == sum(clients)`` identity survives eviction.
+        self._evicted_stats = ServeStats(name="serve_evicted")
         self._connections: set[_Connection] = set()
         self._connection_serial = 0
         self._in_flight = 0
@@ -190,8 +199,11 @@ class XPathDaemon:
         queue, close. Zero admitted queries lose their response."""
         self.draining = True
         if self._server is not None:
+            # Stop accepting. wait_closed() is deferred until after the
+            # teardown loop below: on Python >= 3.12.1 it also waits for
+            # every client connection, so awaiting it here would hang
+            # the drain for as long as any client stays connected.
             self._server.close()
-            await self._server.wait_closed()
         pending = {task for conn in self._connections for task in conn.tasks}
         if pending:
             done, stragglers = await asyncio.wait(pending, timeout=self.drain_grace)
@@ -203,6 +215,13 @@ class XPathDaemon:
                 await asyncio.wait(stragglers, timeout=self.drain_grace)
         for conn in list(self._connections):
             await self._teardown_connection(conn, cancel_tasks=False)
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(
+                    self._server.wait_closed(), timeout=self.drain_grace
+                )
+            except asyncio.TimeoutError:
+                pass
         self._drained.set()
 
     async def wait_closed(self) -> None:
@@ -216,19 +235,55 @@ class XPathDaemon:
             name = conn.default_client
         state = self._clients.get(name)
         if state is None:
+            self._evict_idle_clients()
             state = ClientState(name=name, quota=self.quota)
             self._clients[name] = state
             self._client_stats[name] = ServeStats(name=f"serve_client_{name}")
+        state.touch()
         return state, self._client_stats[name]
 
+    def _evict_client(self, name: str) -> None:
+        """Drop one client's retained state (registrations included),
+        folding its counters into the ``(evicted)`` bucket so the exact
+        ``global == sum(clients)`` identity keeps holding."""
+        self._clients.pop(name, None)
+        stats = self._client_stats.pop(name, None)
+        if stats is not None:
+            self._evicted_stats.absorb_snapshot(stats.snapshot())
+
+    def _evict_idle_clients(self) -> None:
+        """Bound retained client state: drop named clients idle past the
+        retention window, then oldest-idle ones beyond the retained-client
+        cap. Live connections' default identities and clients with work
+        in flight are never touched; anonymous ``conn:N`` state is evicted
+        separately at connection teardown. A connected client that stays
+        completely silent past the window loses its registrations too —
+        periodic PINGs keep it resident."""
+        now = time.monotonic()
+        live = {conn.default_client for conn in self._connections}
+        idle = sorted(
+            (state.last_active, name)
+            for name, state in self._clients.items()
+            if name not in live and state.in_flight == 0
+        )
+        over_cap = len(self._clients) - self.max_retained_clients
+        for index, (last_active, name) in enumerate(idle):
+            if index < over_cap or now - last_active >= self.client_retention_seconds:
+                self._evict_client(name)
+
     def stats_snapshot(self) -> dict:
-        """The STATS payload: exact global + per-client counters, live
-        gauges, and the fault injector's evaluation counts."""
+        """The STATS payload: exact global + per-client counters (evicted
+        clients' counters aggregated under ``(evicted)``), live gauges,
+        and the fault injector's evaluation counts."""
+        clients = {
+            name: stats.snapshot() for name, stats in self._client_stats.items()
+        }
+        evicted = self._evicted_stats.snapshot()
+        if any(evicted.values()):
+            clients["(evicted)"] = evicted
         return {
             "global": self.stats.snapshot(),
-            "clients": {
-                name: stats.snapshot() for name, stats in self._client_stats.items()
-            },
+            "clients": clients,
             "gauges": {
                 name: state.gauges() for name, state in self._clients.items()
             },
@@ -312,6 +367,12 @@ class XPathDaemon:
             await conn.writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+        # The anonymous per-connection identity can never be addressed
+        # again (serials are unique): retaining it would leak one
+        # ClientState + ServeStats per connection for the daemon's life.
+        state = self._clients.get(conn.default_client)
+        if state is not None and state.in_flight == 0:
+            self._evict_client(conn.default_client)
 
     async def _write_loop(self, conn: _Connection) -> None:
         """Drain the bounded response queue onto the socket; on a broken
@@ -429,9 +490,19 @@ class XPathDaemon:
     # -- QUERY ----------------------------------------------------------
 
     def _deadline_seconds(self, frame: dict) -> float | None:
+        """The request's deadline in seconds. Raises a typed
+        :class:`~repro.errors.ProtocolError` on a non-numeric
+        ``deadline_ms`` — untrusted wire input must never escape as a
+        bare ``ValueError`` that would eat the response."""
         deadline_ms = frame.get("deadline_ms")
         if deadline_ms is None:
             return self.default_deadline_seconds
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise ProtocolError(
+                f"'deadline_ms' must be a number, got {type(deadline_ms).__name__}"
+            )
+        if not math.isfinite(deadline_ms):
+            raise ProtocolError(f"'deadline_ms' must be finite, got {deadline_ms!r}")
         return max(float(deadline_ms), 0.0) / 1000.0
 
     def _reject(self, client_stats: ServeStats, reason: str) -> None:
@@ -477,7 +548,13 @@ class XPathDaemon:
         request_id = frame.get("id")
         query = frame.get("query")
         doc_name = frame.get("doc")
-        deadline_seconds = self._deadline_seconds(frame)
+        try:
+            deadline_seconds = self._deadline_seconds(frame)
+        except ProtocolError as error:
+            self.stats.request_error()
+            client_stats.request_error()
+            await conn.send(error_to_response(request_id, error))
+            return
         document = client.document(doc_name) if isinstance(doc_name, str) else None
         if not isinstance(query, str) or document is None:
             self.stats.request_error()
@@ -520,10 +597,10 @@ class XPathDaemon:
         self._in_flight += 1
         started = time.monotonic()
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(
-            None, self._evaluate_sync, plan, document, decision.algorithm, query
-        )
         try:
+            future = loop.run_in_executor(
+                None, self._evaluate_sync, plan, document, decision.algorithm, query
+            )
             if deadline_seconds is not None:
                 value = await asyncio.wait_for(
                     asyncio.shield(future), deadline_seconds
@@ -620,7 +697,13 @@ class XPathDaemon:
         request_id = frame.get("id")
         queries = frame.get("queries")
         doc_names = frame.get("docs") or client.document_names()
-        deadline_seconds = self._deadline_seconds(frame)
+        try:
+            deadline_seconds = self._deadline_seconds(frame)
+        except ProtocolError as error:
+            self.stats.request_error()
+            client_stats.request_error()
+            await conn.send(error_to_response(request_id, error))
+            return
         if (
             not isinstance(queries, list)
             or not queries
@@ -675,20 +758,21 @@ class XPathDaemon:
             return
         self.stats.admit(degraded=decision.degraded)
         client_stats.admit(degraded=decision.degraded)
-        self._in_flight += 1
         started = time.monotonic()
         style = frame.get("output", "path")
         cells = []
-        stream = self.async_service.stream_many(
-            queries,
-            documents,
-            algorithm=decision.algorithm,
-            workers=max(1, min(self.batch_workers, len(documents))),
-            share=decision.share,
-            deadline_seconds=deadline_seconds,
-        )
         total = len(queries) * len(documents)
+        stream = None
+        self._in_flight += 1
         try:
+            stream = self.async_service.stream_many(
+                queries,
+                documents,
+                algorithm=decision.algorithm,
+                workers=max(1, min(self.batch_workers, len(documents))),
+                share=decision.share,
+                deadline_seconds=deadline_seconds,
+            )
             async for item in stream:
                 cells.append(
                     {
@@ -715,7 +799,8 @@ class XPathDaemon:
             )
             return
         except asyncio.CancelledError:
-            await stream.aclose()
+            if stream is not None:
+                await stream.aclose()
             if self.draining:
                 self.stats.deadline(drained=True)
                 client_stats.deadline(drained=True)
@@ -737,6 +822,13 @@ class XPathDaemon:
             self.stats.fail(drained=self.draining)
             client_stats.fail(drained=self.draining)
             await conn.send(error_to_response(request_id, error))
+            return
+        except Exception as error:  # worker death: typed, never lost
+            self.stats.fail(drained=self.draining)
+            client_stats.fail(drained=self.draining)
+            await conn.send(
+                error_response(request_id, "EVALUATION", f"evaluation failed: {error}")
+            )
             return
         finally:
             self._in_flight -= 1

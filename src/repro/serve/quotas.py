@@ -96,14 +96,22 @@ class ClientState:
     documents: dict = field(default_factory=dict)
     registered_bytes: int = 0
     in_flight: int = 0
+    #: Monotonic instant of the client's last frame — the idle measure
+    #: the daemon's retention sweep evicts on.
+    last_active: float = 0.0
     bucket: TokenBucket | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
     def __post_init__(self):
+        self.last_active = self.clock()
         if self.quota.rate is not None:
             self.bucket = TokenBucket(
                 self.quota.rate, self.quota.burst, clock=self.clock
             )
+
+    def touch(self) -> None:
+        """Mark the client active now (called on every frame it sends)."""
+        self.last_active = self.clock()
 
     # -- registration ---------------------------------------------------
 

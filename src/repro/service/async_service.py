@@ -194,7 +194,15 @@ class BatchStream:
         return len(self._prepared.documents) * len(self._prepared.queries)
 
     async def __anext__(self) -> StreamItem:
-        if self._deadline is None:
+        if (
+            self._deadline is None
+            or self._exhausted
+            or self._yielded >= self.total_cells
+        ):
+            # With every cell already yielded the only remaining outcome
+            # is StopAsyncIteration: a deadline lapsing just after the
+            # last yield must not turn a fully-successful batch into a
+            # DeadlineExceededError on its final __anext__.
             item = await self._generator.__anext__()
         else:
             remaining = self._deadline - time.monotonic()

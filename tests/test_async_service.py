@@ -343,3 +343,31 @@ def test_stream_generous_deadline_completes_everything(documents):
     assert len(items) == stream.total_cells
     assert not stream.deadline_exceeded
     assert stream.batch().values  # exhausted normally: batch() works
+
+
+def test_deadline_lapsing_after_the_last_cell_is_not_a_deadline(documents):
+    """A batch whose cells all completed must end in StopAsyncIteration
+    even when the deadline lapses right after the last yield — the final
+    ``__anext__`` must never turn a fully-successful batch into a
+    DeadlineExceededError (regression)."""
+    service = AsyncQueryService()
+    stream = service.stream_many(
+        QUERIES, documents, workers=2, deadline_seconds=60.0
+    )
+
+    async def main():
+        items = []
+        while True:
+            if len(items) == stream.total_cells:
+                # Lapse the deadline between the last yield and the
+                # final __anext__ — the worst-case race the daemon hits.
+                stream._deadline = time.monotonic() - 1.0
+            try:
+                items.append(await stream.__anext__())
+            except StopAsyncIteration:
+                return items
+
+    items = asyncio.run(main())
+    assert len(items) == stream.total_cells
+    assert not stream.deadline_exceeded
+    assert stream.batch().values  # exhausted normally, stats reconciled

@@ -516,6 +516,58 @@ def test_worker_death_returns_a_typed_error_response():
         assert_identities(snapshot)
 
 
+def test_non_numeric_deadline_gets_a_typed_protocol_error():
+    """An untrusted ``deadline_ms`` must never escape as a bare
+    ``ValueError`` that eats the response (regression)."""
+    with running_daemon() as daemon:
+        with ServeClient(port=daemon.port, client="t") as client:
+            client.register("d", BOOKS)
+            with pytest.raises(ProtocolError):
+                client.request("QUERY", query="//book", doc="d", deadline_ms="fast")
+            with pytest.raises(ProtocolError):
+                client.request(
+                    "BATCH", queries=["//book"], docs=["d"], deadline_ms=[250]
+                )
+            with pytest.raises(ProtocolError):
+                client.request("QUERY", query="//book", doc="d", deadline_ms=True)
+            # The connection stays usable after each typed refusal.
+            assert client.query("//book", "d")["ok"]
+        snapshot = daemon.stats.snapshot()
+        assert snapshot["request_errors"] == 3
+        assert_identities(snapshot)
+
+
+def test_batch_worker_death_returns_a_typed_error_and_frees_the_gauge():
+    """A non-ReproError escaping batch evaluation must produce a typed
+    ``EVALUATION`` response and release the in-flight gauge, or the
+    daemon would slowly reject all traffic at the queue watermark
+    (regression)."""
+    service = QueryService()
+    with running_daemon(service=service, admission=permissive(service)) as daemon:
+        with ServeClient(port=daemon.port, client="w") as client:
+            client.register("d", BOOKS)
+            real = daemon.async_service.stream_many
+
+            def dying_stream(*args, **kwargs):
+                async def gen():
+                    raise RuntimeError("worker died evaluating the batch")
+                    yield  # pragma: no cover
+
+                return gen()
+
+            daemon.async_service.stream_many = dying_stream
+            with pytest.raises(RemoteError) as excinfo:
+                client.batch(["//book"], ["d"])
+            assert excinfo.value.protocol_code == "EVALUATION"
+            assert "worker died" in str(excinfo.value)
+            assert daemon._in_flight == 0
+            daemon.async_service.stream_many = real
+            assert client.batch(["//title"], ["d"])["ok"]  # daemon survived
+        snapshot = daemon.stats.snapshot()
+        assert snapshot["failed"] == 1 and snapshot["completed"] == 1
+        assert_identities(snapshot)
+
+
 def test_mid_stream_disconnect_keeps_counters_reconciled():
     injector = FaultInjector(disconnect_matching="price")
     service = QueryService()
@@ -589,6 +641,58 @@ def test_stats_verb_reports_exact_per_client_counters():
             )
         assert stats["clients"]["one"]["request_errors"] == 1
         assert stats["clients"]["two"]["completed"] == 2
+
+
+def test_anonymous_client_state_is_evicted_at_teardown():
+    """Anonymous ``conn:N`` identities can never be addressed again;
+    retaining them would leak one ClientState + ServeStats per
+    connection for the daemon's lifetime (regression)."""
+    with running_daemon() as daemon:
+        with ServeClient(port=daemon.port) as client:  # no client name
+            assert client.ping()["pong"]
+            anonymous = [name for name in daemon._clients if name.startswith("conn:")]
+            assert anonymous  # the identity exists while connected
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not any(name.startswith("conn:") for name in daemon._clients):
+                break
+            time.sleep(0.05)
+        assert not any(name.startswith("conn:") for name in daemon._clients)
+        # The evicted identity's counters survive in the aggregate
+        # bucket, so global == sum(clients) stays exact.
+        with ServeClient(port=daemon.port, client="after") as client:
+            stats = client.stats()
+        snapshot = stats["global"]
+        assert_identities(snapshot)
+        assert "(evicted)" in stats["clients"]
+        for key in ("queries", "admitted", "completed"):
+            assert snapshot[key] == sum(
+                client[key] for client in stats["clients"].values()
+            )
+
+
+def test_idle_named_clients_are_evicted_after_the_retention_window():
+    """Named-client registrations must not pin memory forever: past the
+    retention window an idle disconnected client is dropped, counters
+    folded into the ``(evicted)`` bucket (regression)."""
+    with running_daemon(client_retention_seconds=0.0) as daemon:
+        with ServeClient(port=daemon.port, client="old") as client:
+            client.register("d", BOOKS)
+            assert client.query("//book", "d")["ok"]
+        # A new client's creation triggers the retention sweep.
+        with ServeClient(port=daemon.port, client="fresh") as client:
+            assert client.ping()["pong"]
+            stats = client.stats()
+        assert "old" not in daemon._clients
+        assert "old" not in stats["clients"]
+        evicted = stats["clients"]["(evicted)"]
+        assert evicted["completed"] >= 1
+        snapshot = stats["global"]
+        assert_identities(snapshot)
+        for key in ("queries", "admitted", "completed"):
+            assert snapshot[key] == sum(
+                client[key] for client in stats["clients"].values()
+            )
 
 
 # ----------------------------------------------------------------------
